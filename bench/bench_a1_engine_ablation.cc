@@ -1,0 +1,105 @@
+// A1 — Engine ablations (design choices called out in DESIGN.md):
+//   * semi-naive vs naive rounds,
+//   * greedy join reordering vs written order,
+//   * the single-tuple-head cut on vs off.
+// Not a paper claim; this isolates how much of the measured effects come
+// from the substrate rather than from the paper's rewritings.
+
+#include "bench_util.h"
+
+namespace exdl::bench {
+namespace {
+
+const char kProgram[] =
+    "tc(X, Y) :- e(X, Y).\n"
+    "tc(X, Y) :- e(X, Z), tc(Z, Y).\n"
+    "?- tc(X, Y).\n";
+
+Database MakeEdb(Context* ctx, int n) {
+  Database edb;
+  GraphSpec spec;
+  spec.kind = GraphSpec::Kind::kChain;  // n rounds of recursion
+  spec.nodes = n;
+  spec.seed = 3;
+  MakeGraph(ctx, &edb, ctx->InternPredicate("e", 2), spec);
+  return edb;
+}
+
+void RunCase(benchmark::State& state, bool seminaive, bool reorder) {
+  Setup setup = ParseOrDie(kProgram);
+  Database edb = MakeEdb(setup.ctx.get(), static_cast<int>(state.range(0)));
+  EvalOptions options;
+  options.seminaive = seminaive;
+  options.plan.reorder = reorder;
+  EvalStats last;
+  for (auto _ : state) {
+    last = EvalOrDie(setup.program, edb, options).stats;
+  }
+  ReportStats(state, last);
+}
+
+void BM_SemiNaive(benchmark::State& state) { RunCase(state, true, true); }
+void BM_Naive(benchmark::State& state) { RunCase(state, false, true); }
+// Join-order ablation needs a rule where the written order builds a cross
+// product that variable-chaining avoids: a-c are disconnected until b
+// links Y to Z.
+void RunReorderCase(benchmark::State& state, bool reorder) {
+  Setup setup = ParseOrDie(
+      "q(X, W) :- a(X, Y), c(Z, W), b(Y, Z).\n"
+      "?- q(X, W).\n");
+  Database edb;
+  int n = static_cast<int>(state.range(0));
+  MakeRandomTuples(setup.ctx.get(), &edb,
+                   setup.ctx->InternPredicate("a", 2), n, n, 11);
+  MakeRandomTuples(setup.ctx.get(), &edb,
+                   setup.ctx->InternPredicate("b", 2), n / 4, n, 12);
+  MakeRandomTuples(setup.ctx.get(), &edb,
+                   setup.ctx->InternPredicate("c", 2), n, n, 13);
+  EvalOptions options;
+  options.plan.reorder = reorder;
+  EvalStats last;
+  for (auto _ : state) {
+    last = EvalOrDie(setup.program, edb, options).stats;
+  }
+  ReportStats(state, last);
+}
+void BM_Reorder(benchmark::State& state) { RunReorderCase(state, true); }
+void BM_NoReorder(benchmark::State& state) {
+  RunReorderCase(state, false);
+}
+
+// Cut ablation runs the boolean-heavy program from E2's family.
+void BM_Cut(benchmark::State& state, bool cut) {
+  Setup setup = ParseOrDie(
+      "flag :- sup(S, M), mach(M).\n"
+      "ans(X) :- src(X), flag.\n"
+      "?- ans(X).\n");
+  Database edb;
+  MakeRandomTuples(setup.ctx.get(), &edb,
+                   setup.ctx->InternPredicate("sup", 2),
+                   static_cast<int>(state.range(0)), 64, 5);
+  MakeRandomTuples(setup.ctx.get(), &edb,
+                   setup.ctx->InternPredicate("mach", 1),
+                   static_cast<int>(state.range(0)) / 8, 64, 6);
+  MakeRandomTuples(setup.ctx.get(), &edb,
+                   setup.ctx->InternPredicate("src", 1), 32, 64, 7);
+  EvalOptions options;
+  options.boolean_cut = cut;
+  EvalStats last;
+  for (auto _ : state) {
+    last = EvalOrDie(setup.program, edb, options).stats;
+  }
+  ReportStats(state, last);
+}
+void BM_CutOn(benchmark::State& state) { BM_Cut(state, true); }
+void BM_CutOff(benchmark::State& state) { BM_Cut(state, false); }
+
+BENCHMARK(BM_SemiNaive)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Naive)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Reorder)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NoReorder)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CutOn)->Arg(1024)->Arg(8192)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CutOff)->Arg(1024)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace exdl::bench

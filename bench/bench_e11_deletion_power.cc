@@ -1,0 +1,106 @@
+// E11 — Deletion-power hierarchy over a program corpus: Sagiv's uniform
+// equivalence test vs the summary tests (Lemma 5.1 / 5.3) vs the
+// optimistic Theorem 5.2 test.
+//
+// Each variant optimizes the same corpus of structured programs; counters
+// report the total rules deleted (cleanup excluded) — the paper's claimed
+// ordering is Sagiv ⊥ summaries (incomparable in general, complementary in
+// practice) with Theorem 5.2 subsuming the summary tests.
+
+#include "bench_util.h"
+
+namespace exdl::bench {
+namespace {
+
+std::vector<std::string> Corpus() {
+  return {
+      // Example 4: recursive rule redundant under UE.
+      "a(X) :- p(X, Z), a(Z).\n"
+      "a(X) :- p(X, Z).\n"
+      "?- a(X).\n",
+      // Example 5/6: UQE-only deletions.
+      "query(X) :- a(X, Y).\n"
+      "a(X, Y) :- a(X, Z), p(Z, Y).\n"
+      "a(X, Y) :- p(X, Y).\n"
+      "?- query(X).\n",
+      // Example 7-style cascade.
+      "q(X) :- a1(X, Y).\n"
+      "q(X) :- a1(X, Z), b2(Z, W, V).\n"
+      "q(X) :- a2(X, Z), b3(Z, W).\n"
+      "a2(X, Z) :- a1(X, U), b4(U, Z).\n"
+      "a1(X, Y) :- b1(X, Y).\n"
+      "?- q(X).\n",
+      // Example 10 (needs chains).
+      "pd(X, Y) :- pn(X, Y).\n"
+      "pd(X, Y) :- pn(Y, X).\n"
+      "pn(X, Y) :- q2(X, Y).\n"
+      "pn(X, Y) :- q2(Y, X).\n"
+      "q2(X, Y) :- pn(X, Y).\n"
+      "pn(X, Y) :- b(X, Y).\n"
+      "?- pd(X, Y).\n",
+      // Plain transitive closure (nothing deletable).
+      "tc(X, Y) :- e(X, Y).\n"
+      "tc(X, Y) :- e(X, Z), tc(Z, Y).\n"
+      "?- tc(X, Y).\n",
+  };
+}
+
+void RunCase(benchmark::State& state, bool sagiv, bool summaries,
+             bool optimistic, size_t chain_length,
+             bool subsumption = false) {
+  std::vector<std::string> corpus = Corpus();
+  size_t deleted = 0;
+  size_t cleaned = 0;
+  for (auto _ : state) {
+    deleted = 0;
+    cleaned = 0;
+    for (const std::string& source : corpus) {
+      Setup setup = ParseOrDie(source);
+      OptimizerOptions options;
+      options.deletion.use_subsumption = subsumption;
+      options.deletion.use_sagiv = sagiv;
+      options.deletion.use_summaries = summaries;
+      options.deletion.use_optimistic = optimistic;
+      options.deletion.closure.max_chain_length = chain_length;
+      Result<OptimizedProgram> optimized =
+          OptimizeExistential(setup.program, options);
+      if (!optimized.ok()) std::abort();
+      deleted += optimized->report.deleted_by_subsumption +
+                 optimized->report.deleted_by_summary +
+                 optimized->report.deleted_by_sagiv +
+                 optimized->report.deleted_by_optimistic;
+      cleaned += optimized->report.removed_by_cleanup;
+    }
+  }
+  state.counters["deleted"] = static_cast<double>(deleted);
+  state.counters["cleanup"] = static_cast<double>(cleaned);
+}
+
+void BM_SagivOnly(benchmark::State& state) {
+  RunCase(state, true, false, false, 0);
+}
+void BM_Lemma51(benchmark::State& state) {
+  RunCase(state, false, true, false, 1);
+}
+void BM_Lemma53(benchmark::State& state) {
+  RunCase(state, false, true, false, 0);
+}
+void BM_Optimistic(benchmark::State& state) {
+  RunCase(state, false, false, true, 0);
+}
+void BM_SubsumptionOnly(benchmark::State& state) {
+  RunCase(state, false, false, false, 0, /*subsumption=*/true);
+}
+void BM_Everything(benchmark::State& state) {
+  RunCase(state, true, true, true, 0, /*subsumption=*/true);
+}
+
+BENCHMARK(BM_SubsumptionOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SagivOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lemma51)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lemma53)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Optimistic)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Everything)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace exdl::bench

@@ -1,0 +1,56 @@
+// E12 — The folding rewriting (Example 11) as an end-to-end optimization:
+// folding the shared body pattern lets the deletion machinery discard the
+// heavy recursive rule, which plain deletion cannot touch.
+
+#include "bench_util.h"
+
+namespace exdl::bench {
+namespace {
+
+const char kProgram[] =
+    "pnd(X) :- pnn(X, Y), g3(Y, Z, U).\n"
+    "pnd(X) :- pnn(X, Z), g1(Z, Y).\n"
+    "pnn(X, Z) :- pnn(X, W), g2(W, Z).\n"
+    "pnn(X, Z) :- pnn(X, V), g3(V, Z, U), g4(U, W).\n"
+    "pnn(X, Y) :- g0(X, Y).\n"
+    "?- pnd(X).\n";
+
+Database MakeEdb(Context* ctx, int n) {
+  Database edb;
+  MakeRandomTuples(ctx, &edb, ctx->InternPredicate("g0", 2), n, n / 2, 61);
+  MakeRandomTuples(ctx, &edb, ctx->InternPredicate("g1", 2), n, n / 2, 62);
+  MakeRandomTuples(ctx, &edb, ctx->InternPredicate("g2", 2), n, n / 2, 63);
+  MakeRandomTuples(ctx, &edb, ctx->InternPredicate("g3", 3), n, n / 2, 64);
+  MakeRandomTuples(ctx, &edb, ctx->InternPredicate("g4", 2), n, n / 2, 65);
+  return edb;
+}
+
+void RunCase(benchmark::State& state, bool folding) {
+  Setup setup = ParseOrDie(kProgram);
+  OptimizerOptions options;
+  options.adorn = false;
+  options.enable_folding = folding;
+  Program program = OptimizeOrDie(setup.program, options);
+  state.counters["rules"] = static_cast<double>(program.NumRules());
+  Database edb = MakeEdb(setup.ctx.get(), static_cast<int>(state.range(0)));
+  EvalStats last;
+  size_t answers = 0;
+  for (auto _ : state) {
+    EvalResult r = EvalOrDie(program, edb);
+    last = r.stats;
+    answers = r.answers.size();
+  }
+  ReportStats(state, last);
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void BM_WithoutFolding(benchmark::State& state) { RunCase(state, false); }
+void BM_WithFolding(benchmark::State& state) { RunCase(state, true); }
+
+BENCHMARK(BM_WithoutFolding)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WithFolding)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace exdl::bench

@@ -1,0 +1,67 @@
+// E6 — Lemma 5.3 (unit-rule chains) vs Lemma 5.1 (single unit rule) on the
+// symmetric program of Example 10.
+//
+// The recursive rule of Example 10 is only deletable when summaries may be
+// matched against *compositions* of unit rules. Rows report how many rules
+// each variant deletes and the downstream evaluation cost.
+
+#include "bench_util.h"
+
+#include "equiv/summary_closure.h"
+
+namespace exdl::bench {
+namespace {
+
+const char kProgram[] =
+    "pd(X, Y) :- pn(X, Y).\n"
+    "pd(X, Y) :- pn(Y, X).\n"
+    "pn(X, Y) :- q2(X, Y).\n"
+    "pn(X, Y) :- q2(Y, X).\n"
+    "q2(X, Y) :- pn(X, Y).\n"
+    "pn(X, Y) :- b(X, Y).\n"
+    "?- pd(X, Y).\n";
+
+void RunCase(benchmark::State& state, size_t max_chain_length) {
+  Setup setup = ParseOrDie(kProgram);
+  OptimizerOptions options;
+  options.adorn = false;  // the program is already in its final shape
+  options.add_unit_rules = false;
+  options.deletion.use_subsumption = false;  // isolate the summary tests
+  options.deletion.closure.max_chain_length = max_chain_length;
+  Program program = OptimizeOrDie(setup.program, options);
+  state.counters["rules"] = static_cast<double>(program.NumRules());
+  Database edb;
+  MakeRandomTuples(setup.ctx.get(), &edb,
+                   setup.ctx->InternPredicate("b", 2),
+                   static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(0)) / 2, 77);
+  EvalStats last;
+  for (auto _ : state) {
+    last = EvalOrDie(program, edb).stats;
+  }
+  ReportStats(state, last);
+}
+
+void BM_Lemma51(benchmark::State& state) { RunCase(state, 1); }
+void BM_Lemma53(benchmark::State& state) { RunCase(state, 0); }
+
+void BM_Unoptimized(benchmark::State& state) {
+  Setup setup = ParseOrDie(kProgram);
+  Database edb;
+  MakeRandomTuples(setup.ctx.get(), &edb,
+                   setup.ctx->InternPredicate("b", 2),
+                   static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(0)) / 2, 77);
+  EvalStats last;
+  for (auto _ : state) {
+    last = EvalOrDie(setup.program, edb).stats;
+  }
+  ReportStats(state, last);
+}
+
+BENCHMARK(BM_Unoptimized)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lemma51)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lemma53)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace exdl::bench

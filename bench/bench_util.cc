@@ -1,0 +1,49 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace exdl::bench {
+
+Setup ParseOrDie(const std::string& source) {
+  ContextPtr ctx = std::make_shared<Context>();
+  Result<ParsedUnit> parsed = ParseProgram(source, ctx);
+  if (!parsed.ok()) {
+    std::cerr << "bench parse error: " << parsed.status().ToString() << "\n";
+    std::abort();
+  }
+  Setup out{ctx, std::move(parsed->program), Database()};
+  for (const Atom& fact : parsed->facts) (void)out.edb.AddFact(fact);
+  return out;
+}
+
+Program OptimizeOrDie(const Program& program,
+                      const OptimizerOptions& options) {
+  Result<OptimizedProgram> optimized = OptimizeExistential(program, options);
+  if (!optimized.ok()) {
+    std::cerr << "bench optimize error: " << optimized.status().ToString()
+              << "\n";
+    std::abort();
+  }
+  return std::move(optimized->program);
+}
+
+EvalResult EvalOrDie(const Program& program, const Database& edb,
+                     const EvalOptions& options) {
+  Result<EvalResult> result = Evaluate(program, edb, options);
+  if (!result.ok()) {
+    std::cerr << "bench eval error: " << result.status().ToString() << "\n";
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+void ReportStats(benchmark::State& state, const EvalStats& stats) {
+  state.counters["tuples"] = static_cast<double>(stats.tuples_inserted);
+  state.counters["dups"] = static_cast<double>(stats.duplicate_inserts);
+  state.counters["firings"] = static_cast<double>(stats.rule_firings);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["probes"] = static_cast<double>(stats.index_probes);
+}
+
+}  // namespace exdl::bench

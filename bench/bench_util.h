@@ -1,0 +1,39 @@
+// Shared helpers for the experiment benches (see DESIGN.md section 4 for
+// the experiment index E1..E11 and EXPERIMENTS.md for results).
+
+#ifndef EXDL_BENCH_BENCH_UTIL_H_
+#define EXDL_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "core/optimizer.h"
+#include "core/workload.h"
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+
+namespace exdl::bench {
+
+/// Parses `source`, aborting on error (bench setup must not fail quietly).
+struct Setup {
+  ContextPtr ctx;
+  Program program;
+  Database edb;
+};
+Setup ParseOrDie(const std::string& source);
+
+/// Runs the optimizer, aborting on error.
+Program OptimizeOrDie(const Program& program,
+                      const OptimizerOptions& options = {});
+
+/// Evaluates, aborting on error.
+EvalResult EvalOrDie(const Program& program, const Database& edb,
+                     const EvalOptions& options = {});
+
+/// Publishes the standard counters on `state`.
+void ReportStats(benchmark::State& state, const EvalStats& stats);
+
+}  // namespace exdl::bench
+
+#endif  // EXDL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,127 @@
+#include "adorn/adorn.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace exdl {
+namespace {
+
+/// Key for "adorned version of predicate" during the worklist run.
+struct VersionKey {
+  PredId original;
+  std::string adornment;
+  bool operator==(const VersionKey&) const = default;
+};
+struct VersionKeyHash {
+  size_t operator()(const VersionKey& k) const {
+    return k.original ^ (std::hash<std::string>()(k.adornment) << 1);
+  }
+};
+
+}  // namespace
+
+bool OccurrenceIsExistential(const Rule& rule, size_t body_index,
+                             size_t arg_index,
+                             const Adornment& head_adornment) {
+  const Term& t = rule.body[body_index].args[arg_index];
+  if (!t.IsVar()) return false;
+  SymbolId v = t.id();
+  // Any other occurrence in the body (including the same literal) makes it
+  // needed.
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    for (size_t j = 0; j < rule.body[i].args.size(); ++j) {
+      if (i == body_index && j == arg_index) continue;
+      const Term& u = rule.body[i].args[j];
+      if (u.IsVar() && u.id() == v) return false;
+    }
+  }
+  // Head occurrences must all be in existential ('d') positions.
+  for (size_t j = 0; j < rule.head.args.size(); ++j) {
+    const Term& u = rule.head.args[j];
+    if (!u.IsVar() || u.id() != v) continue;
+    bool head_pos_existential =
+        j < head_adornment.size() && head_adornment.existential(j);
+    if (!head_pos_existential) return false;
+  }
+  return true;
+}
+
+Result<Program> AdornExistential(const Program& program) {
+  if (!program.query()) {
+    return Status::FailedPrecondition("program has no query to adorn from");
+  }
+  Context& ctx = program.ctx();
+  const Atom& query = *program.query();
+  std::unordered_set<PredId> idb = program.IdbPredicates();
+
+  // Query over a base predicate: nothing to adorn.
+  if (idb.count(query.pred) == 0) return program.Clone();
+
+  for (PredId p : idb) {
+    if (!ctx.predicate(p).adornment.empty()) {
+      return Status::FailedPrecondition(
+          "derived predicate '" + ctx.PredicateDisplayName(p) +
+          "' is already adorned; AdornExistential expects an unadorned "
+          "program");
+    }
+  }
+
+  const PredicateInfo& qinfo = ctx.predicate(query.pred);
+  Adornment query_adornment = qinfo.adornment.empty()
+                                  ? Adornment::AllNeeded(qinfo.arity)
+                                  : qinfo.adornment;
+
+  Program adorned(program.context());
+  // Map (original pred, adornment) -> adorned PredId; versions enter the
+  // worklist exactly once, when first created.
+  std::unordered_map<VersionKey, PredId, VersionKeyHash> versions;
+  std::deque<std::pair<PredId, Adornment>> worklist;
+
+  auto version_of = [&](PredId original, const Adornment& a) -> PredId {
+    VersionKey key{original, a.str()};
+    auto it = versions.find(key);
+    if (it != versions.end()) return it->second;
+    const PredicateInfo& info = ctx.predicate(original);
+    PredId adorned_pred = ctx.InternPredicate(info.name, info.arity, a);
+    versions.emplace(std::move(key), adorned_pred);
+    worklist.emplace_back(original, a);
+    return adorned_pred;
+  };
+
+  PredId adorned_query_pred = version_of(query.pred, query_adornment);
+  while (!worklist.empty()) {
+    auto [original, head_adornment] = worklist.front();
+    worklist.pop_front();
+    PredId head_version = version_of(original, head_adornment);
+    for (const Rule& rule : program.rules()) {
+      if (rule.head.pred != original) continue;
+      Rule new_rule = rule;
+      new_rule.head.pred = head_version;
+      for (size_t b = 0; b < rule.body.size(); ++b) {
+        const Atom& lit = rule.body[b];
+        if (idb.count(lit.pred) == 0) continue;  // base predicates stay
+        Adornment a = Adornment::AllNeeded(lit.args.size());
+        // A negated literal's columns are never projectable: dropping one
+        // would turn "no tuple matches" into "no tuple projects", i.e.
+        // swap NOT-EXISTS for EXISTS-NOT. Keep all-needed.
+        if (!lit.negated) {
+          for (size_t j = 0; j < lit.args.size(); ++j) {
+            if (OccurrenceIsExistential(rule, b, j, head_adornment)) {
+              a.set(j, Adornment::kExistential);
+            }
+          }
+        }
+        new_rule.body[b].pred = version_of(lit.pred, a);
+      }
+      adorned.AddRule(std::move(new_rule));
+    }
+  }
+
+  Atom adorned_query = query;
+  adorned_query.pred = adorned_query_pred;
+  adorned.SetQuery(std::move(adorned_query));
+  return adorned;
+}
+
+}  // namespace exdl

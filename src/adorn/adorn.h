@@ -1,0 +1,43 @@
+// The existential adornment algorithm of Section 2.
+//
+// Starting from the query predicate's adornment (all-`n` unless the query
+// atom already names an adorned version), every rule defining an adorned
+// predicate is rewritten: derived body literals receive adorned versions in
+// which an argument is `d` (existential) exactly when its variable occurs
+// nowhere else in the rule except possibly in `d` positions of the head
+// (the sufficient criterion of Lemma 2.2; the exact notion is undecidable
+// by Lemma 2.1). Newly created adorned versions are processed in turn; the
+// worklist terminates because each predicate has finitely many adornments.
+//
+// Base (EDB) predicates are never renamed — only derived predicates get
+// adorned versions, as in the paper's Example 1.
+
+#ifndef EXDL_ADORN_ADORN_H_
+#define EXDL_ADORN_ADORN_H_
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace exdl {
+
+/// Computes the adorned program P^{e,ad}. The result's query names the
+/// adorned version of the input query predicate. Rules for adorned
+/// versions not reachable from the query are not emitted.
+///
+/// Requires: `program` has a query; its derived predicates are unadorned
+/// (adorning an already-adorned program is rejected). If the query
+/// predicate is a base predicate the program is returned unchanged.
+Result<Program> AdornExistential(const Program& program);
+
+/// Per-occurrence existentiality test used by the algorithm (exposed for
+/// tests): true if the variable at `arg_index` of body literal
+/// `body_index` in `rule` occurs nowhere else in the rule except possibly
+/// in positions of the head that `head_adornment` marks `d`. Constants are
+/// never existential.
+bool OccurrenceIsExistential(const Rule& rule, size_t body_index,
+                             size_t arg_index,
+                             const Adornment& head_adornment);
+
+}  // namespace exdl
+
+#endif  // EXDL_ADORN_ADORN_H_

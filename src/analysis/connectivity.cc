@@ -1,0 +1,96 @@
+#include "analysis/connectivity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace exdl {
+namespace {
+
+/// Minimal union-find over dense variable indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+/// True if stored argument position `i` of `atom` is a needed ('n')
+/// position. All positions of unadorned or projected predicates are
+/// needed (a projected predicate stores only its 'n' arguments).
+bool StoredArgNeeded(const Context& ctx, const Atom& atom, size_t i) {
+  const PredicateInfo& info = ctx.predicate(atom.pred);
+  if (info.adornment.empty() || info.IsProjected()) return true;
+  return info.adornment.needed(i);
+}
+
+}  // namespace
+
+BodyComponents ComputeBodyComponents(const Context& ctx, const Rule& rule) {
+  // Dense-number the rule's variables.
+  std::unordered_map<SymbolId, size_t> var_index;
+  auto var_id = [&](SymbolId v) {
+    auto [it, inserted] = var_index.emplace(v, var_index.size());
+    return it->second;
+  };
+  std::vector<std::vector<size_t>> atom_vars(rule.body.size());
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    for (const Term& t : rule.body[i].args) {
+      if (t.IsVar()) atom_vars[i].push_back(var_id(t.id()));
+    }
+  }
+  std::vector<size_t> head_needed_vars;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    const Term& t = rule.head.args[i];
+    if (t.IsVar() && StoredArgNeeded(ctx, rule.head, i)) {
+      head_needed_vars.push_back(var_id(t.id()));
+    }
+  }
+
+  UnionFind uf(var_index.size());
+  for (const std::vector<size_t>& vars : atom_vars) {
+    for (size_t i = 1; i < vars.size(); ++i) uf.Union(vars[0], vars[i]);
+  }
+  // The head predicate connects its needed variables to each other.
+  for (size_t i = 1; i < head_needed_vars.size(); ++i) {
+    uf.Union(head_needed_vars[0], head_needed_vars[i]);
+  }
+
+  BodyComponents result;
+  // Group body atoms by the root of any of their variables; variable-free
+  // atoms are singleton components.
+  std::unordered_map<size_t, size_t> root_to_component;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (atom_vars[i].empty()) {
+      result.components.push_back({i});
+      continue;
+    }
+    size_t root = uf.Find(atom_vars[i][0]);
+    auto [it, inserted] =
+        root_to_component.emplace(root, result.components.size());
+    if (inserted) {
+      result.components.push_back({i});
+    } else {
+      result.components[it->second].push_back(i);
+    }
+  }
+
+  if (!head_needed_vars.empty()) {
+    size_t head_root = uf.Find(head_needed_vars[0]);
+    auto it = root_to_component.find(head_root);
+    if (it != root_to_component.end()) result.head_component = it->second;
+  }
+  return result;
+}
+
+}  // namespace exdl

@@ -1,0 +1,40 @@
+// Connected components of a rule body (Section 3.1).
+//
+// Two variables are connected when they occur in the same predicate
+// occurrence; the relation is closed transitively. The head predicate also
+// connects its variables — but only those in argument positions that are
+// *not* existential ('d'). The body atoms then partition into components;
+// the one containing the head's needed variables is the head component, and
+// every other component is an existential subquery that can be replaced by
+// a 0-ary boolean predicate (Lemma 3.1).
+
+#ifndef EXDL_ANALYSIS_CONNECTIVITY_H_
+#define EXDL_ANALYSIS_CONNECTIVITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ast/rule.h"
+
+namespace exdl {
+
+inline constexpr size_t kNoHeadComponent = static_cast<size_t>(-1);
+
+/// Partition of a rule's body atoms into connectivity components.
+struct BodyComponents {
+  /// Disjoint, exhaustive groups of body-atom indices. Groups preserve the
+  /// body order of their smallest member.
+  std::vector<std::vector<size_t>> components;
+  /// Index into `components` of the group connected to the head's needed
+  /// variables, or kNoHeadComponent if none (head ground, 0-ary, or all
+  /// head arguments existential).
+  size_t head_component = kNoHeadComponent;
+};
+
+/// Computes the Section 3.1 decomposition for `rule`. The head's needed
+/// positions are those adorned 'n' (every position when unadorned).
+BodyComponents ComputeBodyComponents(const Context& ctx, const Rule& rule);
+
+}  // namespace exdl
+
+#endif  // EXDL_ANALYSIS_CONNECTIVITY_H_

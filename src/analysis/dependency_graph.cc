@@ -1,0 +1,112 @@
+#include "analysis/dependency_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exdl {
+
+DependencyGraph::DependencyGraph(const Program& program) {
+  std::unordered_set<PredId> seen_nodes;
+  auto add_node = [&](PredId p) {
+    if (seen_nodes.insert(p).second) {
+      nodes_.push_back(p);
+      edges_[p];  // ensure adjacency entry exists
+    }
+  };
+  for (const Rule& r : program.rules()) {
+    add_node(r.head.pred);
+    for (const Atom& a : r.body) {
+      add_node(a.pred);
+      std::vector<PredId>& adj = edges_[r.head.pred];
+      if (std::find(adj.begin(), adj.end(), a.pred) == adj.end()) {
+        adj.push_back(a.pred);
+      }
+      if (a.pred == r.head.pred) self_loop_.insert(a.pred);
+    }
+  }
+  if (program.query()) add_node(program.query()->pred);
+
+  for (PredId v : nodes_) {
+    if (index_.find(v) == index_.end()) Tarjan(v);
+  }
+}
+
+void DependencyGraph::Tarjan(PredId v) {
+  // Iterative Tarjan to be safe on long dependency chains.
+  struct Frame {
+    PredId node;
+    size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+  call_stack.push_back({v, 0});
+  index_[v] = lowlink_[v] = next_index_++;
+  stack_.push_back(v);
+  on_stack_.insert(v);
+
+  while (!call_stack.empty()) {
+    Frame& frame = call_stack.back();
+    const std::vector<PredId>& adj = edges_[frame.node];
+    if (frame.edge_pos < adj.size()) {
+      PredId w = adj[frame.edge_pos++];
+      if (index_.find(w) == index_.end()) {
+        index_[w] = lowlink_[w] = next_index_++;
+        stack_.push_back(w);
+        on_stack_.insert(w);
+        call_stack.push_back({w, 0});
+      } else if (on_stack_.count(w) > 0) {
+        lowlink_[frame.node] = std::min(lowlink_[frame.node], index_[w]);
+      }
+      continue;
+    }
+    // Node finished.
+    PredId node = frame.node;
+    call_stack.pop_back();
+    if (!call_stack.empty()) {
+      PredId parent = call_stack.back().node;
+      lowlink_[parent] = std::min(lowlink_[parent], lowlink_[node]);
+    }
+    if (lowlink_[node] == index_[node]) {
+      std::vector<PredId> component;
+      for (;;) {
+        PredId w = stack_.back();
+        stack_.pop_back();
+        on_stack_.erase(w);
+        component.push_back(w);
+        component_of_[w] = static_cast<int>(components_.size());
+        if (w == node) break;
+      }
+      components_.push_back(std::move(component));
+    }
+  }
+}
+
+const std::vector<PredId>& DependencyGraph::DependsOn(PredId p) const {
+  auto it = edges_.find(p);
+  return it == edges_.end() ? empty_ : it->second;
+}
+
+int DependencyGraph::ComponentOf(PredId p) const {
+  auto it = component_of_.find(p);
+  assert(it != component_of_.end() && "predicate not in dependency graph");
+  return it->second;
+}
+
+const std::vector<PredId>& DependencyGraph::Component(int c) const {
+  return components_[static_cast<size_t>(c)];
+}
+
+bool DependencyGraph::IsRecursive(PredId p) const {
+  auto it = component_of_.find(p);
+  if (it == component_of_.end()) return false;
+  if (components_[static_cast<size_t>(it->second)].size() > 1) return true;
+  return self_loop_.count(p) > 0;
+}
+
+bool DependencyGraph::HasRecursion() const {
+  for (PredId p : nodes_) {
+    if (IsRecursive(p)) return true;
+  }
+  return false;
+}
+
+}  // namespace exdl

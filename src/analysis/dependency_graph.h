@@ -1,0 +1,63 @@
+// Predicate dependency graph and strongly connected components.
+//
+// There is an edge p -> q when some rule with head predicate p has q in its
+// body. SCCs (Tarjan) identify recursive predicates: a predicate is
+// recursive if its SCC has more than one member or depends on itself.
+
+#ifndef EXDL_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define EXDL_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/program.h"
+
+namespace exdl {
+
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(const Program& program);
+
+  /// Body predicates of rules defining `p` (deduplicated).
+  const std::vector<PredId>& DependsOn(PredId p) const;
+
+  /// SCC index of `p`; SCCs are numbered in reverse topological order
+  /// (an SCC's dependencies have smaller indices).
+  int ComponentOf(PredId p) const;
+
+  /// Members of SCC `c`.
+  const std::vector<PredId>& Component(int c) const;
+  size_t NumComponents() const { return components_.size(); }
+
+  bool SameScc(PredId a, PredId b) const {
+    return ComponentOf(a) == ComponentOf(b);
+  }
+
+  /// True if `p` participates in recursion (multi-member SCC or self-loop).
+  bool IsRecursive(PredId p) const;
+
+  /// True if the program has any recursive predicate.
+  bool HasRecursion() const;
+
+ private:
+  void Tarjan(PredId v);
+
+  std::unordered_map<PredId, std::vector<PredId>> edges_;
+  std::vector<PredId> nodes_;
+  std::unordered_map<PredId, int> component_of_;
+  std::vector<std::vector<PredId>> components_;
+  std::unordered_set<PredId> self_loop_;
+  std::vector<PredId> empty_;
+
+  // Tarjan state.
+  std::unordered_map<PredId, int> index_;
+  std::unordered_map<PredId, int> lowlink_;
+  std::vector<PredId> stack_;
+  std::unordered_set<PredId> on_stack_;
+  int next_index_ = 0;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_ANALYSIS_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,43 @@
+#include "analysis/reachability.h"
+
+namespace exdl {
+
+std::unordered_set<PredId> ReachablePredicates(
+    const Program& program, const std::vector<PredId>& roots) {
+  std::unordered_set<PredId> reachable(roots.begin(), roots.end());
+  std::vector<PredId> frontier(roots.begin(), roots.end());
+  while (!frontier.empty()) {
+    PredId p = frontier.back();
+    frontier.pop_back();
+    for (const Rule& r : program.rules()) {
+      if (r.head.pred != p) continue;
+      for (const Atom& a : r.body) {
+        if (reachable.insert(a.pred).second) frontier.push_back(a.pred);
+      }
+    }
+  }
+  return reachable;
+}
+
+std::unordered_set<PredId> ReachableFromQuery(const Program& program) {
+  if (!program.query()) return {};
+  return ReachablePredicates(program, {program.query()->pred});
+}
+
+std::vector<size_t> RulesWithUndefinedIdb(
+    const Program& program,
+    const std::unordered_set<PredId>& edb_predicates) {
+  std::unordered_set<PredId> defined = program.IdbPredicates();
+  std::vector<size_t> out;
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    for (const Atom& a : program.rules()[i].body) {
+      if (defined.count(a.pred) == 0 && edb_predicates.count(a.pred) == 0) {
+        out.push_back(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace exdl

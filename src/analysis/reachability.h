@@ -1,0 +1,32 @@
+// Reachability of predicates/rules from the query, and detection of
+// undefined derived predicates. The deletion cascades of Examples 7 and 8
+// ("we can then drop rule 1 since p.1 is not reachable from the query" /
+// "since there is now no rule defining p1") are built from these sets.
+
+#ifndef EXDL_ANALYSIS_REACHABILITY_H_
+#define EXDL_ANALYSIS_REACHABILITY_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "ast/program.h"
+
+namespace exdl {
+
+/// Predicates reachable from `roots` by following head -> body edges.
+std::unordered_set<PredId> ReachablePredicates(
+    const Program& program, const std::vector<PredId>& roots);
+
+/// Predicates reachable from the program's query (empty set if no query).
+std::unordered_set<PredId> ReachableFromQuery(const Program& program);
+
+/// Rule indices whose body mentions a derived predicate with no defining
+/// rule (such rules can never fire: the predicate's extension is empty for
+/// every *standard* input; under uniform semantics callers must instead
+/// treat such predicates as EDB — see transform/cleanup).
+std::vector<size_t> RulesWithUndefinedIdb(
+    const Program& program, const std::unordered_set<PredId>& edb_predicates);
+
+}  // namespace exdl
+
+#endif  // EXDL_ANALYSIS_REACHABILITY_H_

@@ -1,0 +1,54 @@
+#include "analysis/stratification.h"
+
+#include <algorithm>
+
+namespace exdl {
+
+Result<Stratification> Stratify(const Program& program) {
+  for (const Rule& r : program.rules()) {
+    if (r.head.negated) {
+      return Status::InvalidArgument("negated rule head");
+    }
+  }
+  if (program.query() && program.query()->negated) {
+    return Status::InvalidArgument("negated query");
+  }
+
+  std::unordered_set<PredId> idb = program.IdbPredicates();
+  Stratification result;
+  for (PredId p : idb) result.stratum_of[p] = 0;
+
+  // Bellman-Ford-style relaxation:
+  //   stratum(head) >= stratum(positive derived body literal)
+  //   stratum(head) >= stratum(negated derived body literal) + 1
+  // A program with n derived predicates needs strata < n; more iterations
+  // mean a negative cycle.
+  size_t n = idb.size();
+  for (size_t iteration = 0; iteration <= n + 1; ++iteration) {
+    bool changed = false;
+    for (const Rule& r : program.rules()) {
+      int& head_stratum = result.stratum_of[r.head.pred];
+      for (const Atom& lit : r.body) {
+        if (idb.count(lit.pred) == 0) continue;
+        int required = result.stratum_of[lit.pred] + (lit.negated ? 1 : 0);
+        if (head_stratum < required) {
+          head_stratum = required;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      int max_stratum = 0;
+      for (const auto& [pred, s] : result.stratum_of) {
+        max_stratum = std::max(max_stratum, s);
+      }
+      result.num_strata = max_stratum + 1;
+      return result;
+    }
+  }
+  return Status::FailedPrecondition(
+      "program is not stratified: a predicate depends on itself through "
+      "negation");
+}
+
+}  // namespace exdl

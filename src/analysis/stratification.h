@@ -1,0 +1,40 @@
+// Stratification for programs with negated body literals.
+//
+// A program is stratified when no predicate depends on itself through a
+// negation: every cycle of the dependency graph uses only positive edges.
+// Strata are then the SCC layers — a predicate's stratum is strictly above
+// the strata of predicates it negates and at least those it uses
+// positively. The evaluator computes one fixpoint per stratum, so negated
+// literals always read fully computed relations (the standard stratified
+// semantics — the generalization Section 6 of the paper points to).
+
+#ifndef EXDL_ANALYSIS_STRATIFICATION_H_
+#define EXDL_ANALYSIS_STRATIFICATION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct Stratification {
+  /// Stratum of each derived predicate (base predicates are stratum 0 and
+  /// not listed). Strata are consecutive from 0.
+  std::unordered_map<PredId, int> stratum_of;
+  int num_strata = 1;
+
+  int StratumOf(PredId p) const {
+    auto it = stratum_of.find(p);
+    return it == stratum_of.end() ? 0 : it->second;
+  }
+};
+
+/// Computes strata, or fails when the program is not stratified (a
+/// negative cycle) or a head/query/fact atom is negated.
+Result<Stratification> Stratify(const Program& program);
+
+}  // namespace exdl
+
+#endif  // EXDL_ANALYSIS_STRATIFICATION_H_

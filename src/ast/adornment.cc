@@ -1,0 +1,77 @@
+#include "ast/adornment.h"
+
+#include <algorithm>
+
+namespace exdl {
+
+Result<Adornment> Adornment::Parse(std::string_view s) {
+  bool has_nd = false;
+  bool has_bf = false;
+  for (char c : s) {
+    switch (c) {
+      case kNeeded:
+      case kExistential:
+        has_nd = true;
+        break;
+      case kBound:
+      case kFree:
+        has_bf = true;
+        break;
+      default:
+        return Status::InvalidArgument(
+            std::string("bad adornment character '") + c + "' in '" +
+            std::string(s) + "'");
+    }
+  }
+  // 'b'/'f' do not collide with 'n'/'d' so mixing the alphabets is always a
+  // mistake in the input.
+  if (has_nd && has_bf) {
+    return Status::InvalidArgument("adornment mixes n/d and b/f alphabets: '" +
+                                   std::string(s) + "'");
+  }
+  return Adornment(std::string(s));
+}
+
+Adornment Adornment::AllNeeded(size_t arity) {
+  return Adornment(std::string(arity, kNeeded));
+}
+
+Adornment Adornment::AllFree(size_t arity) {
+  return Adornment(std::string(arity, kFree));
+}
+
+size_t Adornment::CountNeeded() const {
+  return static_cast<size_t>(
+      std::count(chars_.begin(), chars_.end(), kNeeded));
+}
+
+size_t Adornment::CountBound() const {
+  return static_cast<size_t>(std::count(chars_.begin(), chars_.end(), kBound));
+}
+
+bool Adornment::AllPositionsNeeded() const {
+  return std::all_of(chars_.begin(), chars_.end(),
+                     [](char c) { return c == kNeeded; });
+}
+
+bool Adornment::HasExistential() const {
+  return chars_.find(kExistential) != std::string::npos;
+}
+
+std::vector<size_t> Adornment::NeededPositions() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < chars_.size(); ++i) {
+    if (chars_[i] == kNeeded) out.push_back(i);
+  }
+  return out;
+}
+
+bool Covers(const Adornment& a1, const Adornment& a) {
+  if (a1.size() != a.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.needed(i) && !a1.needed(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace exdl

@@ -1,0 +1,103 @@
+// Adornments: per-argument annotation strings attached to predicate versions.
+//
+// The paper uses two adornment alphabets:
+//   * `n` (needed) / `d` (don't-care, existential) for the existential
+//     analysis of Section 2, and
+//   * `b` (bound) / `f` (free) for the magic-set rewriting that the paper
+//     notes is orthogonal (Section 1 / 6).
+// An adorned predicate such as `a^nd` is a distinct predicate version from
+// the base predicate `a`; see Context.
+//
+// After projection pushing (Lemma 3.2) the adornment string can be longer
+// than the predicate's stored arity: positions adorned `d` no longer store
+// an argument. `NeededPositions()` gives the correspondence.
+
+#ifndef EXDL_AST_ADORNMENT_H_
+#define EXDL_AST_ADORNMENT_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace exdl {
+
+/// An adornment string over {n,d} or {b,f}. Empty means "unadorned".
+class Adornment {
+ public:
+  static constexpr char kNeeded = 'n';
+  static constexpr char kExistential = 'd';
+  static constexpr char kBound = 'b';
+  static constexpr char kFree = 'f';
+
+  /// Unadorned.
+  Adornment() = default;
+
+  /// Validates that `s` is uniformly over {n,d} or over {b,f}.
+  static Result<Adornment> Parse(std::string_view s);
+
+  /// All-`n` adornment of length `arity`.
+  static Adornment AllNeeded(size_t arity);
+  /// All-`f` adornment of length `arity`.
+  static Adornment AllFree(size_t arity);
+
+  bool empty() const { return chars_.empty(); }
+  size_t size() const { return chars_.size(); }
+  char at(size_t i) const { return chars_[i]; }
+  void set(size_t i, char c) { chars_[i] = c; }
+  void push_back(char c) { chars_.push_back(c); }
+
+  bool needed(size_t i) const { return chars_[i] == kNeeded; }
+  bool existential(size_t i) const { return chars_[i] == kExistential; }
+  bool bound(size_t i) const { return chars_[i] == kBound; }
+  bool free(size_t i) const { return chars_[i] == kFree; }
+
+  /// Number of `n` (resp. `b`) positions.
+  size_t CountNeeded() const;
+  size_t CountBound() const;
+  /// True if every position is `n`.
+  bool AllPositionsNeeded() const;
+  /// True if some position is `d`.
+  bool HasExistential() const;
+
+  /// Indices of the positions adorned `n` (in order). This is the
+  /// correspondence between a projected predicate's stored arguments and
+  /// its (longer) adornment string (Lemma 3.2).
+  std::vector<size_t> NeededPositions() const;
+
+  const std::string& str() const { return chars_; }
+
+  friend bool operator==(const Adornment& a, const Adornment& b) {
+    return a.chars_ == b.chars_;
+  }
+  friend bool operator!=(const Adornment& a, const Adornment& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Adornment& a, const Adornment& b) {
+    return a.chars_ < b.chars_;
+  }
+
+ private:
+  explicit Adornment(std::string chars) : chars_(std::move(chars)) {}
+
+  std::string chars_;
+};
+
+/// `a1` covers `a` (Section 5): same length and every `n` in `a` is `n` in
+/// `a1`. A tuple of the covering version is also a tuple of the covered one,
+/// so a unit rule `p^a(t) :- p^a1(t1)` may always be added.
+bool Covers(const Adornment& a1, const Adornment& a);
+
+}  // namespace exdl
+
+template <>
+struct std::hash<exdl::Adornment> {
+  size_t operator()(const exdl::Adornment& a) const {
+    return std::hash<std::string>()(a.str());
+  }
+};
+
+#endif  // EXDL_AST_ADORNMENT_H_

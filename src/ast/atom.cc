@@ -1,0 +1,27 @@
+#include "ast/atom.h"
+
+#include <algorithm>
+
+namespace exdl {
+
+bool Atom::IsGround() const {
+  return std::all_of(args.begin(), args.end(),
+                     [](const Term& t) { return t.IsConst(); });
+}
+
+bool Atom::HasVar(SymbolId v) const {
+  return std::any_of(args.begin(), args.end(), [v](const Term& t) {
+    return t.IsVar() && t.id() == v;
+  });
+}
+
+void Atom::CollectVars(std::vector<SymbolId>* out) const {
+  for (const Term& t : args) {
+    if (!t.IsVar()) continue;
+    if (std::find(out->begin(), out->end(), t.id()) == out->end()) {
+      out->push_back(t.id());
+    }
+  }
+}
+
+}  // namespace exdl

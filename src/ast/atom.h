@@ -1,0 +1,61 @@
+// Atom: a predicate applied to a vector of terms, e.g. `a@nd(X, 5)`.
+
+#ifndef EXDL_AST_ATOM_H_
+#define EXDL_AST_ATOM_H_
+
+#include <vector>
+
+#include "ast/context.h"
+#include "ast/term.h"
+
+namespace exdl {
+
+/// One predicate occurrence. Used for rule heads, body literals, queries
+/// and (when ground) facts. Body literals may be negated (`not p(X)`,
+/// stratified semantics — see analysis/stratification.h); heads, queries
+/// and facts must be positive.
+struct Atom {
+  PredId pred = kInvalidId;
+  std::vector<Term> args;
+  bool negated = false;
+
+  Atom() = default;
+  Atom(PredId p, std::vector<Term> a) : pred(p), args(std::move(a)) {}
+
+  size_t arity() const { return args.size(); }
+
+  /// True if every argument is a constant.
+  bool IsGround() const;
+
+  /// True if variable `v` occurs among the arguments.
+  bool HasVar(SymbolId v) const;
+
+  /// Appends the distinct variables of this atom to `out` (first-occurrence
+  /// order, no duplicates within the combined output).
+  void CollectVars(std::vector<SymbolId>* out) const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.pred == b.pred && a.negated == b.negated && a.args == b.args;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.pred != b.pred) return a.pred < b.pred;
+    if (a.negated != b.negated) return a.negated < b.negated;
+    return a.args < b.args;
+  }
+};
+
+}  // namespace exdl
+
+template <>
+struct std::hash<exdl::Atom> {
+  size_t operator()(const exdl::Atom& a) const {
+    size_t h = a.pred * 2 + (a.negated ? 1 : 0);
+    for (const exdl::Term& t : a.args) {
+      h = h * 1099511628211ULL + std::hash<exdl::Term>()(t);
+    }
+    return h;
+  }
+};
+
+#endif  // EXDL_AST_ATOM_H_

@@ -1,0 +1,86 @@
+#include "ast/context.h"
+
+#include <cassert>
+
+namespace exdl {
+
+SymbolId Context::InternSymbol(std::string_view name) {
+  auto it = symbol_ids_.find(std::string(name));
+  if (it != symbol_ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(symbols_.size());
+  symbols_.emplace_back(name);
+  symbol_ids_.emplace(symbols_.back(), id);
+  return id;
+}
+
+std::optional<SymbolId> Context::FindSymbol(std::string_view name) const {
+  auto it = symbol_ids_.find(std::string(name));
+  if (it == symbol_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Context::SymbolName(SymbolId id) const {
+  assert(id < symbols_.size());
+  return symbols_[id];
+}
+
+SymbolId Context::FreshSymbol(std::string_view hint) {
+  for (;;) {
+    // '_' keeps generated names lexable so printed programs re-parse.
+    std::string candidate =
+        std::string(hint) + "_" + std::to_string(fresh_counter_++);
+    if (symbol_ids_.find(candidate) == symbol_ids_.end()) {
+      return InternSymbol(candidate);
+    }
+  }
+}
+
+PredId Context::InternPredicate(SymbolId name, uint32_t arity,
+                                const Adornment& adornment) {
+  PredKey key{name, arity, adornment.str()};
+  auto it = pred_ids_.find(key);
+  if (it != pred_ids_.end()) return it->second;
+  PredId id = static_cast<PredId>(preds_.size());
+  preds_.push_back(PredicateInfo{name, arity, adornment});
+  pred_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+PredId Context::InternPredicate(std::string_view name, uint32_t arity,
+                                const Adornment& adornment) {
+  return InternPredicate(InternSymbol(name), arity, adornment);
+}
+
+std::optional<PredId> Context::FindPredicate(SymbolId name, uint32_t arity,
+                                             const Adornment& adornment) const {
+  auto it = pred_ids_.find(PredKey{name, arity, adornment.str()});
+  if (it == pred_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const PredicateInfo& Context::predicate(PredId id) const {
+  assert(id < preds_.size());
+  return preds_[id];
+}
+
+std::string Context::PredicateDisplayName(PredId id) const {
+  const PredicateInfo& info = predicate(id);
+  std::string out = SymbolName(info.name);
+  if (!info.adornment.empty()) {
+    out += "@";
+    out += info.adornment.str();
+  }
+  if (info.IsProjected()) {
+    out += "/";
+    out += std::to_string(info.arity);
+  }
+  return out;
+}
+
+PredId Context::FreshPredicate(std::string_view hint, uint32_t arity,
+                               const Adornment& adornment) {
+  SymbolId name = FreshSymbol(hint);
+  return InternPredicate(name, arity, adornment);
+}
+
+}  // namespace exdl

@@ -1,0 +1,116 @@
+// Context: interning tables shared by a Program and everything derived
+// from it.
+//
+// Two tables live here:
+//   * symbols — names of constants and variables, interned to SymbolId;
+//   * predicates — (base name, stored arity, adornment) triples interned to
+//     PredId. The adorned version `a^nd` of `a` is a distinct predicate, as
+//     in the paper; after projection pushing, `a^nd` with arity 1 is again
+//     distinct from the unprojected `a^nd` with arity 2.
+//
+// A Context is shared via shared_ptr: transformations produce new Programs
+// that reference the same Context, so PredIds and SymbolIds remain
+// comparable across the original and every rewritten program.
+
+#ifndef EXDL_AST_CONTEXT_H_
+#define EXDL_AST_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/adornment.h"
+
+namespace exdl {
+
+using SymbolId = uint32_t;
+using PredId = uint32_t;
+inline constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+/// Metadata for one interned predicate version.
+struct PredicateInfo {
+  SymbolId name = kInvalidId;  ///< Base name symbol ("a" for a^nd).
+  uint32_t arity = 0;          ///< Number of *stored* argument positions.
+  Adornment adornment;         ///< Empty for unadorned predicates.
+
+  /// True if some positions were projected out (adornment longer than the
+  /// stored arity, per Lemma 3.2).
+  bool IsProjected() const {
+    return !adornment.empty() && adornment.size() != arity;
+  }
+};
+
+/// Interning tables for symbols and predicate versions.
+class Context {
+ public:
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // -- Symbols ---------------------------------------------------------
+
+  /// Interns `name`, returning the existing id if already present.
+  SymbolId InternSymbol(std::string_view name);
+  /// Looks up `name` without interning.
+  std::optional<SymbolId> FindSymbol(std::string_view name) const;
+  const std::string& SymbolName(SymbolId id) const;
+  size_t NumSymbols() const { return symbols_.size(); }
+
+  /// Interns a fresh symbol guaranteed distinct from all existing ones;
+  /// used for renamed variables and frozen constants. The name is
+  /// `<hint>$<counter>`.
+  SymbolId FreshSymbol(std::string_view hint);
+
+  // -- Predicates ------------------------------------------------------
+
+  /// Interns the predicate version (name, arity, adornment).
+  PredId InternPredicate(SymbolId name, uint32_t arity,
+                         const Adornment& adornment = Adornment());
+  /// Convenience overload interning the name string too.
+  PredId InternPredicate(std::string_view name, uint32_t arity,
+                         const Adornment& adornment = Adornment());
+  /// Looks up without interning.
+  std::optional<PredId> FindPredicate(SymbolId name, uint32_t arity,
+                                      const Adornment& adornment) const;
+
+  const PredicateInfo& predicate(PredId id) const;
+  size_t NumPredicates() const { return preds_.size(); }
+
+  /// Human-readable name: "a", "a@nd", or "a@nd/1" when projected.
+  std::string PredicateDisplayName(PredId id) const;
+
+  /// Interns a fresh predicate with a unique name derived from `hint`
+  /// (used for boolean components B_i and magic predicates).
+  PredId FreshPredicate(std::string_view hint, uint32_t arity,
+                        const Adornment& adornment = Adornment());
+
+ private:
+  struct PredKey {
+    SymbolId name;
+    uint32_t arity;
+    std::string adornment;
+    bool operator==(const PredKey&) const = default;
+  };
+  struct PredKeyHash {
+    size_t operator()(const PredKey& k) const {
+      size_t h = std::hash<uint64_t>()((uint64_t{k.name} << 32) | k.arity);
+      return h ^ (std::hash<std::string>()(k.adornment) * 1099511628211ULL);
+    }
+  };
+
+  std::vector<std::string> symbols_;
+  std::unordered_map<std::string, SymbolId> symbol_ids_;
+  std::vector<PredicateInfo> preds_;
+  std::unordered_map<PredKey, PredId, PredKeyHash> pred_ids_;
+  uint64_t fresh_counter_ = 0;
+};
+
+using ContextPtr = std::shared_ptr<Context>;
+
+}  // namespace exdl
+
+#endif  // EXDL_AST_CONTEXT_H_

@@ -1,0 +1,55 @@
+#include "ast/printer.h"
+
+namespace exdl {
+
+std::string ToString(const Context& ctx, const Term& term) {
+  return ctx.SymbolName(term.id());
+}
+
+std::string ToString(const Context& ctx, const Atom& atom) {
+  const PredicateInfo& info = ctx.predicate(atom.pred);
+  std::string out = atom.negated ? "not " : "";
+  out += ctx.SymbolName(info.name);
+  if (!info.adornment.empty()) {
+    out += "@";
+    out += info.adornment.str();
+  }
+  if (atom.args.empty()) return out;
+  out += "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ToString(ctx, atom.args[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string ToString(const Context& ctx, const Rule& rule) {
+  std::string out = ToString(ctx, rule.head);
+  if (!rule.body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ToString(ctx, rule.body[i]);
+    }
+  }
+  out += ".";
+  return out;
+}
+
+std::string ToString(const Program& program) {
+  const Context& ctx = program.ctx();
+  std::string out;
+  for (const Rule& r : program.rules()) {
+    out += ToString(ctx, r);
+    out += "\n";
+  }
+  if (program.query()) {
+    out += "?- ";
+    out += ToString(ctx, *program.query());
+    out += ".\n";
+  }
+  return out;
+}
+
+}  // namespace exdl

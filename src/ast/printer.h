@@ -1,0 +1,22 @@
+// Pretty-printing of AST nodes back to the concrete Datalog syntax that the
+// parser accepts (round-trippable).
+
+#ifndef EXDL_AST_PRINTER_H_
+#define EXDL_AST_PRINTER_H_
+
+#include <string>
+
+#include "ast/program.h"
+
+namespace exdl {
+
+std::string ToString(const Context& ctx, const Term& term);
+std::string ToString(const Context& ctx, const Atom& atom);
+std::string ToString(const Context& ctx, const Rule& rule);
+
+/// Prints every rule, one per line, followed by `?- query.` if present.
+std::string ToString(const Program& program);
+
+}  // namespace exdl
+
+#endif  // EXDL_AST_PRINTER_H_

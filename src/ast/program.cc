@@ -1,0 +1,64 @@
+#include "ast/program.h"
+
+namespace exdl {
+
+std::unordered_set<PredId> Program::IdbPredicates() const {
+  std::unordered_set<PredId> out;
+  for (const Rule& r : rules_) out.insert(r.head.pred);
+  return out;
+}
+
+std::unordered_set<PredId> Program::EdbPredicates() const {
+  std::unordered_set<PredId> idb = IdbPredicates();
+  std::unordered_set<PredId> out;
+  for (const Rule& r : rules_) {
+    for (const Atom& a : r.body) {
+      if (idb.find(a.pred) == idb.end()) out.insert(a.pred);
+    }
+  }
+  if (query_ && idb.find(query_->pred) == idb.end()) out.insert(query_->pred);
+  return out;
+}
+
+std::unordered_set<PredId> Program::AllPredicates() const {
+  std::unordered_set<PredId> out;
+  for (const Rule& r : rules_) {
+    out.insert(r.head.pred);
+    for (const Atom& a : r.body) out.insert(a.pred);
+  }
+  if (query_) out.insert(query_->pred);
+  return out;
+}
+
+bool Program::HasNegation() const {
+  for (const Rule& r : rules_) {
+    for (const Atom& a : r.body) {
+      if (a.negated) return true;
+    }
+  }
+  return false;
+}
+
+bool Program::IsIdb(PredId p) const {
+  for (const Rule& r : rules_) {
+    if (r.head.pred == p) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> Program::RulesDefining(PredId p) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].head.pred == p) out.push_back(i);
+  }
+  return out;
+}
+
+Program Program::Clone() const {
+  Program copy(context_);
+  copy.rules_ = rules_;
+  copy.query_ = query_;
+  return copy;
+}
+
+}  // namespace exdl

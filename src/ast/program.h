@@ -1,0 +1,66 @@
+// Program: an IDB (set of rules) plus the query atom, sharing a Context.
+//
+// Following the paper's conventions (Section 1.1): the IDB contains no
+// facts — all facts live in the extensional Database (storage module). A
+// predicate is *derived* (IDB) if some rule defines it; every other
+// predicate mentioned is a base (EDB) predicate.
+
+#ifndef EXDL_AST_PROGRAM_H_
+#define EXDL_AST_PROGRAM_H_
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/rule.h"
+
+namespace exdl {
+
+class Program {
+ public:
+  explicit Program(ContextPtr context) : context_(std::move(context)) {}
+
+  const ContextPtr& context() const { return context_; }
+  Context& ctx() const { return *context_; }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& mutable_rules() { return rules_; }
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  size_t NumRules() const { return rules_.size(); }
+
+  /// The query atom (e.g. `query(X)` or `a@nd(X)`); optional because
+  /// substrate code also manipulates query-less rule sets.
+  const std::optional<Atom>& query() const { return query_; }
+  void SetQuery(Atom q) { query_ = std::move(q); }
+  void ClearQuery() { query_.reset(); }
+
+  /// Predicates defined by at least one rule (the derived predicates).
+  std::unordered_set<PredId> IdbPredicates() const;
+
+  /// Predicates that occur in some body (or the query) but are defined by
+  /// no rule — the base relations.
+  std::unordered_set<PredId> EdbPredicates() const;
+
+  /// Every predicate mentioned anywhere (heads, bodies, query).
+  std::unordered_set<PredId> AllPredicates() const;
+
+  bool IsIdb(PredId p) const;
+
+  /// True if any body literal is negated (stratified-negation programs).
+  bool HasNegation() const;
+
+  /// Rule indices whose head predicate is `p`.
+  std::vector<size_t> RulesDefining(PredId p) const;
+
+  /// Deep-copies rules/query; shares the Context (ids stay comparable).
+  Program Clone() const;
+
+ private:
+  ContextPtr context_;
+  std::vector<Rule> rules_;
+  std::optional<Atom> query_;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_AST_PROGRAM_H_

@@ -1,0 +1,43 @@
+#include "ast/rule.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace exdl {
+
+std::vector<SymbolId> Rule::Vars() const {
+  std::vector<SymbolId> out;
+  head.CollectVars(&out);
+  for (const Atom& a : body) a.CollectVars(&out);
+  return out;
+}
+
+std::vector<SymbolId> Rule::BodyVars() const {
+  std::vector<SymbolId> out;
+  for (const Atom& a : body) a.CollectVars(&out);
+  return out;
+}
+
+bool Rule::IsUnitRule() const {
+  if (body.size() != 1) return false;
+  const Atom& b = body[0];
+  std::unordered_set<SymbolId> body_vars;
+  for (const Term& t : b.args) {
+    if (!t.IsVar()) return false;
+    if (!body_vars.insert(t.id()).second) return false;  // repeated var
+  }
+  std::unordered_set<SymbolId> head_vars;
+  for (const Term& t : head.args) {
+    if (!t.IsVar()) return false;
+    if (!head_vars.insert(t.id()).second) return false;
+    if (body_vars.find(t.id()) == body_vars.end()) return false;
+  }
+  return true;
+}
+
+bool Rule::BodyContains(PredId pred) const {
+  return std::any_of(body.begin(), body.end(),
+                     [pred](const Atom& a) { return a.pred == pred; });
+}
+
+}  // namespace exdl

@@ -1,0 +1,45 @@
+// Rule: `head :- body.` A rule with an empty body is a fact schema; ground
+// facts are normally stored in the Database instead (the paper assumes the
+// IDB contains no facts).
+
+#ifndef EXDL_AST_RULE_H_
+#define EXDL_AST_RULE_H_
+
+#include <vector>
+
+#include "ast/atom.h"
+
+namespace exdl {
+
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+
+  Rule() = default;
+  Rule(Atom h, std::vector<Atom> b) : head(std::move(h)), body(std::move(b)) {}
+
+  /// Distinct variables of the whole rule, head first, in first-occurrence
+  /// order.
+  std::vector<SymbolId> Vars() const;
+
+  /// Distinct variables of the body only.
+  std::vector<SymbolId> BodyVars() const;
+
+  /// A *unit rule* in the sense of Section 5: exactly one body literal,
+  /// every argument a variable, no repeated variable within head or body
+  /// atom, and every head variable drawn from the body atom. (Constants or
+  /// repetitions would constrain tuples beyond a pure projection.)
+  bool IsUnitRule() const;
+
+  /// True if `pred` occurs in the body.
+  bool BodyContains(PredId pred) const;
+
+  friend bool operator==(const Rule& a, const Rule& b) {
+    return a.head == b.head && a.body == b.body;
+  }
+  friend bool operator!=(const Rule& a, const Rule& b) { return !(a == b); }
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_AST_RULE_H_

@@ -1,0 +1,4 @@
+#include "ast/term.h"
+
+// Term is header-only; this translation unit exists so the ast library has a
+// stable object for the header's inline symbols under all toolchains.

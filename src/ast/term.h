@@ -1,0 +1,53 @@
+// Term: a variable or a constant argument of an atom.
+
+#ifndef EXDL_AST_TERM_H_
+#define EXDL_AST_TERM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "ast/context.h"
+
+namespace exdl {
+
+/// A variable or constant. Both refer to interned symbols; the kind bit
+/// distinguishes them (variables and constants live in the same symbol
+/// table but never unify by id alone).
+class Term {
+ public:
+  enum class Kind : uint8_t { kVariable, kConstant };
+
+  static Term Var(SymbolId v) { return Term(Kind::kVariable, v); }
+  static Term Const(SymbolId c) { return Term(Kind::kConstant, c); }
+
+  Kind kind() const { return kind_; }
+  bool IsVar() const { return kind_ == Kind::kVariable; }
+  bool IsConst() const { return kind_ == Kind::kConstant; }
+  SymbolId id() const { return id_; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.id_ < b.id_;
+  }
+
+ private:
+  Term(Kind kind, SymbolId id) : kind_(kind), id_(id) {}
+
+  Kind kind_;
+  SymbolId id_;
+};
+
+}  // namespace exdl
+
+template <>
+struct std::hash<exdl::Term> {
+  size_t operator()(const exdl::Term& t) const {
+    return (static_cast<size_t>(t.kind()) << 31) ^ t.id();
+  }
+};
+
+#endif  // EXDL_AST_TERM_H_

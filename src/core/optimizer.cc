@@ -1,0 +1,134 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+
+#include "adorn/adorn.h"
+#include "transform/cleanup.h"
+#include "transform/folding.h"
+#include "transform/components.h"
+#include "transform/magic.h"
+#include "transform/projection.h"
+#include "transform/unit_rules.h"
+
+namespace exdl {
+
+Result<OptimizedProgram> OptimizeExistential(const Program& program,
+                                             const OptimizerOptions& options) {
+  if (!program.query()) {
+    return Status::FailedPrecondition("optimizer requires a query");
+  }
+  OptimizedProgram out{program.Clone(), std::nullopt, {}};
+  out.report.original_rules = program.NumRules();
+  std::unordered_set<PredId> input_preds = program.EdbPredicates();
+
+  if (options.adorn && program.IsIdb(program.query()->pred)) {
+    EXDL_ASSIGN_OR_RETURN(out.program, AdornExistential(out.program));
+    out.report.adorned = true;
+    out.report.adorned_rules = out.program.NumRules();
+  }
+
+  if (options.push_projections) {
+    EXDL_ASSIGN_OR_RETURN(ProjectionResult projected,
+                          PushProjections(out.program));
+    out.report.predicates_projected = projected.predicates_projected;
+    out.report.positions_dropped = projected.positions_dropped;
+    out.program = std::move(projected.program);
+  }
+
+  if (options.extract_components) {
+    EXDL_ASSIGN_OR_RETURN(ComponentResult components,
+                          ExtractComponents(out.program));
+    out.report.booleans_created = components.booleans_created;
+    out.report.rules_split = components.rules_split;
+    out.program = std::move(components.program);
+  }
+
+  const bool has_negation = out.program.HasNegation();
+  std::vector<Rule> added_unit_rules;
+  if (options.add_unit_rules && options.delete_rules && !has_negation) {
+    EXDL_ASSIGN_OR_RETURN(UnitRuleResult units,
+                          AddCoveringUnitRules(out.program));
+    out.report.unit_rules_added = units.rules_added;
+    added_unit_rules = std::move(units.added);
+    out.program = std::move(units.program);
+  }
+
+  std::vector<Rule> justification_rules;
+  bool retraction_safe = true;
+  if (options.delete_rules) {
+    DeletionOptions deletion = options.deletion;
+    deletion.input_preds = input_preds;
+    EXDL_ASSIGN_OR_RETURN(DeletionResult deleted,
+                          DeleteRedundantRules(out.program, deletion));
+    out.report.deleted_by_subsumption = deleted.deleted_by_subsumption;
+    out.report.deleted_by_summary = deleted.deleted_by_summary;
+    out.report.deleted_by_sagiv = deleted.deleted_by_sagiv;
+    out.report.deleted_by_optimistic = deleted.deleted_by_optimistic;
+    out.report.removed_by_cleanup = deleted.removed_by_cleanup;
+    out.report.log = std::move(deleted.log);
+    justification_rules = std::move(deleted.justification_rules);
+    // Sagiv/optimistic deletions do not report which rules their
+    // re-derivations use, so retraction is only safe without them.
+    retraction_safe = deleted.deleted_by_sagiv == 0 &&
+                      deleted.deleted_by_optimistic == 0;
+    out.program = std::move(deleted.program);
+  }
+
+  // Retract surviving added unit rules that no deletion leaned on: they
+  // only copy tuples between predicate versions, so a load-free one would
+  // cost evaluation work the original program never paid. Replaying the
+  // deletion sequence without an unused unit rule reaches the same (or a
+  // smaller dead-rule) result, so removal preserves equivalence.
+  for (const Rule& unit : added_unit_rules) {
+    if (!retraction_safe) break;
+    if (std::find(justification_rules.begin(), justification_rules.end(),
+                  unit) != justification_rules.end()) {
+      continue;
+    }
+    auto& rules = out.program.mutable_rules();
+    auto it = std::find(rules.begin(), rules.end(), unit);
+    if (it == rules.end()) continue;
+    rules.erase(it);
+    ++out.report.unit_rules_retracted;
+  }
+  if (options.enable_folding && options.delete_rules && !has_negation) {
+    EXDL_ASSIGN_OR_RETURN(FoldingResult folded,
+                          FoldAlmostUnitRules(out.program));
+    out.report.rules_folded = folded.rules_folded;
+    out.report.bodies_folded = folded.bodies_folded;
+    if (folded.rules_folded > 0) {
+      DeletionOptions deletion = options.deletion;
+      deletion.input_preds = input_preds;
+      EXDL_ASSIGN_OR_RETURN(DeletionResult deleted,
+                            DeleteRedundantRules(folded.program, deletion));
+      out.report.deleted_after_folding = deleted.deleted_by_summary +
+                                         deleted.deleted_by_sagiv +
+                                         deleted.deleted_by_optimistic;
+      out.report.removed_by_cleanup += deleted.removed_by_cleanup;
+      for (std::string& line : deleted.log) {
+        out.report.log.push_back(std::move(line));
+      }
+      EXDL_ASSIGN_OR_RETURN(
+          out.program,
+          UnfoldAuxiliaries(deleted.program, folded.aux_preds));
+    }
+  }
+  if (options.delete_rules && options.deletion.cleanup && !has_negation) {
+    EXDL_ASSIGN_OR_RETURN(CleanupResult cleaned,
+                          CleanupProgram(out.program, input_preds));
+    out.report.removed_by_cleanup += cleaned.rules_removed;
+    out.program = std::move(cleaned.program);
+  }
+
+  if (options.apply_magic) {
+    EXDL_ASSIGN_OR_RETURN(MagicResult magic, MagicRewrite(out.program));
+    out.program = std::move(magic.program);
+    out.magic_seed = std::move(magic.seed_fact);
+    out.report.magic_applied = true;
+  }
+
+  out.report.final_rules = out.program.NumRules();
+  return out;
+}
+
+}  // namespace exdl

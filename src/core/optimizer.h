@@ -1,0 +1,60 @@
+// The optimizer pipeline — the paper's end-to-end compilation:
+//
+//   adorn (Section 2)
+//     -> push projections (Section 3.2, Lemma 3.2)
+//     -> extract existential components (Section 3.1, Lemma 3.1)
+//     -> add covering unit rules (Section 5)
+//     -> delete redundant rules (Algorithm 5.2; summaries, optionally
+//        Sagiv's UE test and the optimistic Theorem 5.2 test)
+//     -> retract added unit rules that ended up load-free
+//     -> cleanup
+//   [ -> magic-set rewriting (orthogonal selection pushing) ]
+//
+// Every phase preserves the query answers for all instances of the input
+// (EDB) schema; the tests verify this property on random instances.
+
+#ifndef EXDL_CORE_OPTIMIZER_H_
+#define EXDL_CORE_OPTIMIZER_H_
+
+#include <optional>
+
+#include "ast/program.h"
+#include "core/report.h"
+#include "transform/rule_deletion.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct OptimizerOptions {
+  bool adorn = true;
+  bool push_projections = true;
+  bool extract_components = true;
+  bool add_unit_rules = true;
+  bool delete_rules = true;
+  /// Deletion backends; input_preds is filled by the optimizer.
+  DeletionOptions deletion;
+  /// Also apply magic sets at the end (selection pushing; Section 1/6's
+  /// orthogonality). Requires constants in the query to be useful.
+  bool apply_magic = false;
+  /// Example 11's folding heuristic: fold almost-unit rule bodies into
+  /// auxiliary predicates, retry deletion, then inline the auxiliaries
+  /// away. Off by default (the paper calls the fold "essentially a
+  /// guess").
+  bool enable_folding = false;
+};
+
+struct OptimizedProgram {
+  Program program;
+  /// Set when magic was applied: insert into the EDB before evaluating.
+  std::optional<Atom> magic_seed;
+  OptimizationReport report;
+};
+
+/// Runs the pipeline. `program` must have a query; base predicates form
+/// the input schema.
+Result<OptimizedProgram> OptimizeExistential(
+    const Program& program, const OptimizerOptions& options = {});
+
+}  // namespace exdl
+
+#endif  // EXDL_CORE_OPTIMIZER_H_

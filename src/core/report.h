@@ -1,0 +1,54 @@
+// Optimization report: what every phase of the pipeline did.
+
+#ifndef EXDL_CORE_REPORT_H_
+#define EXDL_CORE_REPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace exdl {
+
+struct OptimizationReport {
+  size_t original_rules = 0;
+  size_t final_rules = 0;
+
+  // Phase 0 — adornment (Section 2).
+  bool adorned = false;
+  size_t adorned_rules = 0;
+
+  // Phase 2 — projection pushing (Section 3.2). (Numbered as in the
+  // paper; this implementation runs it before component extraction, see
+  // transform/components.h.)
+  size_t predicates_projected = 0;
+  size_t positions_dropped = 0;
+
+  // Phase 1 — connected components (Section 3.1).
+  size_t booleans_created = 0;
+  size_t rules_split = 0;
+
+  // Phase 3 — rule deletion (Sections 3.3 & 5).
+  size_t unit_rules_added = 0;
+  size_t unit_rules_retracted = 0;
+  size_t deleted_by_subsumption = 0;
+  size_t deleted_by_summary = 0;
+  size_t deleted_by_sagiv = 0;
+  size_t deleted_by_optimistic = 0;
+  size_t removed_by_cleanup = 0;
+
+  // Example 11 folding (optional phase).
+  size_t rules_folded = 0;
+  size_t bodies_folded = 0;
+  size_t deleted_after_folding = 0;
+
+  bool magic_applied = false;
+
+  /// Per-deletion justifications and other notes, in order.
+  std::vector<std::string> log;
+
+  std::string ToString() const;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_CORE_REPORT_H_

@@ -1,0 +1,52 @@
+// Synthetic workload generators for benchmarks and examples. The paper
+// reports no machine experiments (see DESIGN.md §3); these generators
+// provide the database instances over which its claims are measured.
+
+#ifndef EXDL_CORE_WORKLOAD_H_
+#define EXDL_CORE_WORKLOAD_H_
+
+#include <vector>
+
+#include "ast/context.h"
+#include "storage/database.h"
+
+namespace exdl {
+
+/// Shape of a generated directed graph over `nodes` vertices.
+struct GraphSpec {
+  enum class Kind {
+    kChain,         ///< n0 -> n1 -> ... -> n_{k-1}
+    kCycle,         ///< chain plus a closing edge
+    kRandomSparse,  ///< ~avg_degree random out-edges per node
+    kGrid,          ///< sqrt(n) x sqrt(n) lattice, right+down edges
+    kTree,          ///< random parent among earlier nodes (edges parent->child)
+    kPreferential,  ///< preferential attachment (heavy-tailed in-degree)
+  };
+  Kind kind = Kind::kRandomSparse;
+  int nodes = 100;
+  double avg_degree = 2.0;  ///< kRandomSparse / kPreferential only.
+  uint64_t seed = 42;
+};
+
+/// Interns node constants "n0".."n{count-1}".
+std::vector<Value> MakeNodes(Context* ctx, int count);
+
+/// Builds the edge relation of `spec` into `db` under `edge_pred`
+/// (binary). Returns the nodes used.
+std::vector<Value> MakeGraph(Context* ctx, Database* db, PredId edge_pred,
+                             const GraphSpec& spec);
+
+/// Like MakeGraph, but each edge gets a uniformly chosen label predicate
+/// out of `edge_preds` (for chain-program workloads).
+std::vector<Value> MakeLabeledGraph(Context* ctx, Database* db,
+                                    const std::vector<PredId>& edge_preds,
+                                    const GraphSpec& spec);
+
+/// `count` uniform random tuples over a domain of `domain_size` fresh
+/// constants, inserted for `pred`.
+void MakeRandomTuples(Context* ctx, Database* db, PredId pred, int count,
+                      int domain_size, uint64_t seed);
+
+}  // namespace exdl
+
+#endif  // EXDL_CORE_WORKLOAD_H_

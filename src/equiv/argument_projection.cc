@@ -1,0 +1,166 @@
+#include "equiv/argument_projection.h"
+
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+namespace exdl {
+namespace {
+
+/// Small union-find over dense indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+void Summary::Normalize() {
+  std::unordered_map<int, int> renumber;
+  for (int& c : classes_) {
+    auto [it, inserted] =
+        renumber.emplace(c, static_cast<int>(renumber.size()));
+    c = it->second;
+  }
+}
+
+Summary Summary::FromRule(const Context& ctx, const Atom& head,
+                          const Atom& body_lit) {
+  (void)ctx;
+  uint32_t m = static_cast<uint32_t>(head.args.size());
+  uint32_t n = static_cast<uint32_t>(body_lit.args.size());
+  Summary s(head.pred, body_lit.pred, m, n);
+  UnionFind uf(m + n);
+  // Positions holding the same term (variable or constant) carry equal
+  // values in every instance; connect them.
+  std::map<Term, size_t> first_pos;
+  auto visit = [&](const Term& t, size_t pos) {
+    auto [it, inserted] = first_pos.emplace(t, pos);
+    if (!inserted) uf.Union(it->second, pos);
+  };
+  for (uint32_t i = 0; i < m; ++i) visit(head.args[i], i);
+  for (uint32_t j = 0; j < n; ++j) visit(body_lit.args[j], m + j);
+  s.classes_.resize(m + n);
+  for (size_t i = 0; i < m + n; ++i) {
+    s.classes_[i] = static_cast<int>(uf.Find(i));
+  }
+  s.Normalize();
+  return s;
+}
+
+Summary Summary::Identity(const Context& ctx, PredId pred) {
+  uint32_t arity = ctx.predicate(pred).arity;
+  Summary s(pred, pred, arity, arity);
+  s.classes_.resize(2 * static_cast<size_t>(arity));
+  for (uint32_t i = 0; i < arity; ++i) {
+    s.classes_[i] = static_cast<int>(i);
+    s.classes_[arity + i] = static_cast<int>(i);
+  }
+  return s;
+}
+
+Summary Summary::Compose(const Summary& ab, const Summary& bc) {
+  assert(ab.dst_ == bc.src_);
+  assert(ab.dst_arity_ == bc.src_arity_);
+  uint32_t m = ab.src_arity_;
+  uint32_t k = ab.dst_arity_;
+  uint32_t n = bc.dst_arity_;
+  UnionFind uf(m + k + n);
+  // Merge ab's classes over [0, m+k) and bc's classes over [m, m+k+n),
+  // sharing the middle layer.
+  std::unordered_map<int, size_t> rep;
+  for (uint32_t i = 0; i < m + k; ++i) {
+    auto [it, inserted] = rep.emplace(ab.classes_[i], i);
+    if (!inserted) uf.Union(it->second, i);
+  }
+  rep.clear();
+  for (uint32_t i = 0; i < k + n; ++i) {
+    auto [it, inserted] = rep.emplace(bc.classes_[i], m + i);
+    if (!inserted) uf.Union(it->second, m + i);
+  }
+  Summary out(ab.src_, bc.dst_, m, n);
+  out.classes_.resize(static_cast<size_t>(m) + n);
+  for (uint32_t i = 0; i < m; ++i) {
+    out.classes_[i] = static_cast<int>(uf.Find(i));
+  }
+  for (uint32_t j = 0; j < n; ++j) {
+    out.classes_[m + j] = static_cast<int>(uf.Find(m + k + j));
+  }
+  out.Normalize();
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> Summary::CrossEdges() const {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  for (uint32_t i = 0; i < src_arity_; ++i) {
+    for (uint32_t j = 0; j < dst_arity_; ++j) {
+      if (Connected(i, j)) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+bool Summary::ConnectsAtLeast(const Summary& other) const {
+  if (src_ != other.src_ || dst_ != other.dst_) return false;
+  for (auto [i, j] : other.CrossEdges()) {
+    if (!Connected(i, j)) return false;
+  }
+  return true;
+}
+
+std::string Summary::ToString(const Context& ctx) const {
+  std::string out = ctx.PredicateDisplayName(src_) + "->" +
+                    ctx.PredicateDisplayName(dst_) + " ";
+  int num_classes = 0;
+  for (int c : classes_) num_classes = std::max(num_classes, c + 1);
+  for (int c = 0; c < num_classes; ++c) {
+    out += "[";
+    bool first = true;
+    for (uint32_t i = 0; i < src_arity_; ++i) {
+      if (classes_[i] == c) {
+        if (!first) out += " ";
+        out += std::to_string(i);
+        first = false;
+      }
+    }
+    out += "|";
+    first = true;
+    for (uint32_t j = 0; j < dst_arity_; ++j) {
+      if (classes_[src_arity_ + j] == c) {
+        if (!first) out += " ";
+        out += std::to_string(j);
+        first = false;
+      }
+    }
+    out += "]";
+  }
+  return out;
+}
+
+size_t Summary::Hash() const {
+  size_t h = 1469598103934665603ULL;
+  h ^= src_;
+  h *= 1099511628211ULL;
+  h ^= dst_;
+  h *= 1099511628211ULL;
+  for (int c : classes_) {
+    h ^= static_cast<size_t>(c + 1);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace exdl

@@ -1,0 +1,113 @@
+// Argument projections and their summaries (Section 5).
+//
+// The paper defines an argument projection (p^a, p1^a1) as a bipartite
+// graph on the needed argument positions of the two literals, with an edge
+// when the same variable occupies both positions; the *summary* of a
+// composite of projections has an edge wherever a *path* exists in the
+// merged graph.
+//
+// Path connectivity through merged middle layers can link two source
+// positions (or two target positions) to each other, and that intra-layer
+// information changes the cross edges of later compositions. A faithful
+// bipartite-edge-set representation would therefore not compose
+// associatively. We instead represent a summary as a *partition* of the
+// source and target argument positions into connected groups; this is
+// exactly path connectivity, composes associatively (merge on the shared
+// layer, then restrict), and the paper's cross edges are recovered as the
+// pairs (i, j) lying in a common group.
+
+#ifndef EXDL_EQUIV_ARGUMENT_PROJECTION_H_
+#define EXDL_EQUIV_ARGUMENT_PROJECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/rule.h"
+
+namespace exdl {
+
+/// Summary of a (composite) argument projection from predicate version
+/// `src` to predicate version `dst`: path-connectivity classes over the
+/// src positions followed by the dst positions.
+class Summary {
+ public:
+  /// The projection induced by `head` and one `body_lit` of a rule: two
+  /// positions are connected when they hold the same variable or the same
+  /// constant.
+  static Summary FromRule(const Context& ctx, const Atom& head,
+                          const Atom& body_lit);
+
+  /// Identity projection on `pred` (the paper's trivial unit rule
+  /// p(X..) :- p(X..), used in Example 7): position i ~ position i'.
+  static Summary Identity(const Context& ctx, PredId pred);
+
+  /// Summary of `ab` composed with `bc`; requires ab.dst() == bc.src().
+  /// Classes of the shared layer are merged, then the shared layer is
+  /// dropped — connectivity among the remaining positions is preserved.
+  static Summary Compose(const Summary& ab, const Summary& bc);
+
+  PredId src() const { return src_; }
+  PredId dst() const { return dst_; }
+  uint32_t src_arity() const { return src_arity_; }
+  uint32_t dst_arity() const { return dst_arity_; }
+
+  /// Class id of source position `i` (-1 = singleton/unconnected class is
+  /// never used; every position always has a class).
+  int SrcClass(uint32_t i) const { return classes_[i]; }
+  int DstClass(uint32_t j) const { return classes_[src_arity_ + j]; }
+
+  /// True when source position i and target position j are connected.
+  bool Connected(uint32_t i, uint32_t j) const {
+    return SrcClass(i) == DstClass(j);
+  }
+
+  /// The paper's cross edges: all connected (i, j) pairs.
+  std::vector<std::pair<uint32_t, uint32_t>> CrossEdges() const;
+
+  /// True if every cross edge of `other` joins positions that this summary
+  /// also connects (same endpoints required). This is the soundness
+  /// condition for replacing a derivation by a unit-rule chain: the chain's
+  /// forced equalities must already hold along every composite path.
+  bool ConnectsAtLeast(const Summary& other) const;
+
+  /// Debug form like "a@nd->p@nn [0|0] [1 2|-]".
+  std::string ToString(const Context& ctx) const;
+
+  friend bool operator==(const Summary& a, const Summary& b) {
+    return a.src_ == b.src_ && a.dst_ == b.dst_ && a.classes_ == b.classes_;
+  }
+  friend bool operator<(const Summary& a, const Summary& b) {
+    if (a.src_ != b.src_) return a.src_ < b.src_;
+    if (a.dst_ != b.dst_) return a.dst_ < b.dst_;
+    return a.classes_ < b.classes_;
+  }
+
+  size_t Hash() const;
+
+ private:
+  Summary(PredId src, PredId dst, uint32_t src_arity, uint32_t dst_arity)
+      : src_(src), dst_(dst), src_arity_(src_arity), dst_arity_(dst_arity) {}
+
+  /// Renumbers classes by first occurrence so equal partitions compare
+  /// equal.
+  void Normalize();
+
+  PredId src_;
+  PredId dst_;
+  uint32_t src_arity_;
+  uint32_t dst_arity_;
+  /// One class id per position: src positions first, then dst positions.
+  std::vector<int> classes_;
+};
+
+}  // namespace exdl
+
+template <>
+struct std::hash<exdl::Summary> {
+  size_t operator()(const exdl::Summary& s) const { return s.Hash(); }
+};
+
+#endif  // EXDL_EQUIV_ARGUMENT_PROJECTION_H_

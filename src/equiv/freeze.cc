@@ -1,0 +1,40 @@
+#include "equiv/freeze.h"
+
+namespace exdl {
+namespace {
+
+Atom FreezeAtom(const Atom& atom,
+                std::unordered_map<SymbolId, SymbolId>* var_to_const,
+                Context* ctx) {
+  Atom out;
+  out.pred = atom.pred;
+  out.args.reserve(atom.args.size());
+  for (const Term& t : atom.args) {
+    if (t.IsConst()) {
+      out.args.push_back(t);
+      continue;
+    }
+    auto it = var_to_const->find(t.id());
+    if (it == var_to_const->end()) {
+      SymbolId c = ctx->FreshSymbol("frz");
+      it = var_to_const->emplace(t.id(), c).first;
+    }
+    out.args.push_back(Term::Const(it->second));
+  }
+  return out;
+}
+
+}  // namespace
+
+FrozenRule FreezeRule(const Rule& rule, Context* ctx) {
+  FrozenRule out;
+  for (const Atom& lit : rule.body) {
+    Atom frozen = FreezeAtom(lit, &out.var_to_const, ctx);
+    // Body atoms are ground after freezing by construction.
+    (void)out.body_facts.AddFact(frozen);
+  }
+  out.head = FreezeAtom(rule.head, &out.var_to_const, ctx);
+  return out;
+}
+
+}  // namespace exdl

@@ -1,0 +1,30 @@
+// Frozen (ground) instances of rules, the raw material of every uniform
+// equivalence test (Section 4, Example 4): each variable of the rule is
+// replaced by a globally fresh constant; the instantiated body becomes an
+// input database (which may contain facts for derived predicates — that is
+// the point of *uniform* notions) and the instantiated head is the fact
+// whose (query-relevant) derivability is checked.
+
+#ifndef EXDL_EQUIV_FREEZE_H_
+#define EXDL_EQUIV_FREEZE_H_
+
+#include <unordered_map>
+
+#include "ast/rule.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct FrozenRule {
+  Database body_facts;  ///< One fact per body literal, variables frozen.
+  Atom head;            ///< The frozen (ground) head.
+  std::unordered_map<SymbolId, SymbolId> var_to_const;
+};
+
+/// Freezes `rule`, interning fresh constants into `ctx`.
+FrozenRule FreezeRule(const Rule& rule, Context* ctx);
+
+}  // namespace exdl
+
+#endif  // EXDL_EQUIV_FREEZE_H_

@@ -1,0 +1,64 @@
+// Optimistic derivations and the deletion test of Theorem 5.2.
+//
+// An optimistic derivation fires a rule as soon as *one* body literal is
+// matched by a known fact, assuming the remaining literals; head variables
+// the matched literal leaves unbound range over the active domain. The
+// optimistic answer over-approximates every fact the rule set could
+// contribute in any context. Theorem 5.2: if the optimistic answer of
+// (Q, freeze(body r), IDB) is contained in the ordinary answer of
+// (Q, freeze(body r), IDB \ {r}), then deleting r preserves uniform query
+// equivalence. This is the strongest (and most expensive) of the paper's
+// deletion tests; the summary tests of Section 5 are fast special cases.
+
+#ifndef EXDL_EQUIV_OPTIMISTIC_H_
+#define EXDL_EQUIV_OPTIMISTIC_H_
+
+#include <unordered_set>
+
+#include "ast/program.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct OptimisticOptions {
+  /// Abort threshold: optimistic fixpoints can be domain^arity large.
+  size_t max_facts = 200000;
+  /// Extra constants added to the active domain (the deletion test injects
+  /// a generic constant representing "any value from the context").
+  std::vector<Value> extra_domain;
+  /// "May-equal" constants: during unification a flexible constant matches
+  /// any value. The deletion test marks every frozen constant flexible, so
+  /// spines that depend on a frozen variable coinciding with a program
+  /// constant (or with another frozen variable) are not missed — an
+  /// over-approximation, which is the sound direction for Theorem 5.2.
+  std::unordered_set<Value> flexible;
+};
+
+/// The optimistic fixpoint of `program` over `input`. The active domain is
+/// every constant in `input` plus every constant in the rules.
+Result<Database> OptimisticFixpoint(
+    const Program& program, const Database& input,
+    const OptimisticOptions& options = OptimisticOptions());
+
+/// Theorem 5.2's deletion test with IDB2 = IDB \ {rule_index}.
+///
+/// Implementation: let h/B be the frozen head/body of the rule. A real
+/// derivation of a query fact through the rule has a spine from a topmost
+/// application of it up to the root; that spine is exactly an optimistic
+/// chain from h using the remaining rules, with context values abstracted
+/// to either frozen constants or a generic fresh constant. The test
+/// requires every query fact optimistically reachable from {h} to be
+/// ordinarily derivable from B by the remaining rules — patterns that
+/// mention the generic constant can never be, which makes the check
+/// conservative exactly where context values leak into answers.
+///
+/// Size-cap failures surface as errors (distinguishing "no" from "gave
+/// up").
+Result<bool> DeletableUnderOptimisticUqe(
+    const Program& program, size_t rule_index,
+    const OptimisticOptions& options = OptimisticOptions());
+
+}  // namespace exdl
+
+#endif  // EXDL_EQUIV_OPTIMISTIC_H_

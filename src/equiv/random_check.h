@@ -1,0 +1,56 @@
+// Randomized query-equivalence testing oracle.
+//
+// Query equivalence is undecidable (Section 4), so this is *not* a decision
+// procedure: it generates random database instances, evaluates both
+// programs, and compares query answers. The property tests use it to gain
+// confidence in every transformation; a single disagreement is a
+// counterexample (and is reported precisely).
+
+#ifndef EXDL_EQUIV_RANDOM_CHECK_H_
+#define EXDL_EQUIV_RANDOM_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct RandomCheckOptions {
+  int trials = 16;
+  int domain_size = 5;        ///< Distinct constants per instance.
+  int max_tuples_per_pred = 12;
+  uint64_t seed = 0xEDB0;
+  /// Also populate derived predicates (exercises *uniform* equivalence
+  /// claims rather than plain query equivalence).
+  bool populate_derived = false;
+};
+
+struct RandomCheckReport {
+  bool equivalent = true;
+  std::string counterexample;  ///< Human-readable, set when !equivalent.
+  int trials_run = 0;
+};
+
+/// Compares query answers of `p1` and `p2` (which must share a Context and
+/// both have queries) over random instances of `input_preds`.
+Result<RandomCheckReport> CheckQueryEquivalent(
+    const Program& p1, const Program& p2,
+    const std::vector<PredId>& input_preds,
+    const RandomCheckOptions& options = RandomCheckOptions());
+
+/// Convenience: input predicates = p1's base (EDB) predicates.
+Result<RandomCheckReport> CheckQueryEquivalentOnEdb(
+    const Program& p1, const Program& p2,
+    const RandomCheckOptions& options = RandomCheckOptions());
+
+/// Builds one random instance for `input_preds` (exposed for benches).
+Database RandomInstance(Context* ctx, const std::vector<PredId>& input_preds,
+                        int domain_size, int max_tuples_per_pred,
+                        uint64_t seed);
+
+}  // namespace exdl
+
+#endif  // EXDL_EQUIV_RANDOM_CHECK_H_

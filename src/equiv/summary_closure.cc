@@ -1,0 +1,174 @@
+#include "equiv/summary_closure.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace exdl {
+
+Result<SummaryAnalysis> SummaryAnalysis::Build(
+    const Program& program, const SummaryClosureOptions& options) {
+  if (!program.query()) {
+    return Status::FailedPrecondition(
+        "summary analysis requires a program with a query");
+  }
+  if (program.HasNegation()) {
+    return Status::FailedPrecondition(
+        "summary-based deletion requires a positive program");
+  }
+  SummaryAnalysis out;
+  out.program_ = &program;
+  const Context& ctx = program.ctx();
+  PredId query_pred = program.query()->pred;
+
+  // rules defining each predicate version.
+  std::unordered_map<PredId, std::vector<size_t>> defining;
+  for (size_t r = 0; r < program.rules().size(); ++r) {
+    defining[program.rules()[r].head.pred].push_back(r);
+  }
+
+  // --- Closure of composite projections from the query --------------------
+  std::deque<std::pair<Occurrence, Summary>> worklist;
+  auto add_summary = [&](const Occurrence& o, Summary s) {
+    auto& set = out.reach_set_[o];
+    if (set.size() >= options.max_summaries_per_occurrence ||
+        out.total_summaries_ >= options.max_total_summaries) {
+      out.complete_ = false;
+      return;
+    }
+    if (!set.insert(s).second) return;
+    out.reach_[o].push_back(s);
+    ++out.total_summaries_;
+    worklist.emplace_back(o, std::move(s));
+  };
+
+  // Seeds: occurrences inside rules whose head is the query predicate.
+  for (size_t r : defining.count(query_pred) ? defining[query_pred]
+                                             : std::vector<size_t>{}) {
+    const Rule& rule = program.rules()[r];
+    for (size_t pos = 0; pos < rule.body.size(); ++pos) {
+      add_summary(Occurrence{r, pos},
+                  Summary::FromRule(ctx, rule.head, rule.body[pos]));
+    }
+  }
+  // Extension: a summary reaching an occurrence of predicate P continues
+  // into every rule defining P.
+  while (!worklist.empty()) {
+    auto [o, s] = worklist.front();
+    worklist.pop_front();
+    PredId p = program.rules()[o.rule].body[o.position].pred;
+    auto it = defining.find(p);
+    if (it == defining.end()) continue;
+    for (size_t r2 : it->second) {
+      const Rule& rule2 = program.rules()[r2];
+      for (size_t pos = 0; pos < rule2.body.size(); ++pos) {
+        add_summary(
+            Occurrence{r2, pos},
+            Summary::Compose(
+                s, Summary::FromRule(ctx, rule2.head, rule2.body[pos])));
+      }
+    }
+  }
+
+  // --- Unit chains from the query (Lemma 5.3's S2) -------------------------
+  std::vector<size_t> unit_rules;
+  for (size_t r = 0; r < program.rules().size(); ++r) {
+    if (program.rules()[r].IsUnitRule()) unit_rules.push_back(r);
+  }
+  auto chain_known = [&](const Summary& s,
+                         const std::vector<size_t>& used) {
+    for (const UnitChain& c : out.unit_chains_) {
+      if (c.summary == s &&
+          std::includes(used.begin(), used.end(), c.rules_used.begin(),
+                        c.rules_used.end())) {
+        // An existing chain with the same summary and a subset of the
+        // rules subsumes the candidate.
+        return true;
+      }
+    }
+    return false;
+  };
+  std::deque<size_t> chain_worklist;  // indices into unit_chains_
+  out.unit_chains_.push_back(
+      UnitChain{Summary::Identity(ctx, query_pred), {}, 0});
+  chain_worklist.push_back(0);
+  while (!chain_worklist.empty()) {
+    size_t ci = chain_worklist.front();
+    chain_worklist.pop_front();
+    // Copy: unit_chains_ may reallocate while we append.
+    UnitChain chain = out.unit_chains_[ci];
+    if (options.max_chain_length != 0 &&
+        chain.length >= options.max_chain_length) {
+      continue;
+    }
+    for (size_t u : unit_rules) {
+      const Rule& unit = program.rules()[u];
+      if (unit.head.pred != chain.summary.dst()) continue;
+      Summary s = Summary::Compose(
+          chain.summary, Summary::FromRule(ctx, unit.head, unit.body[0]));
+      std::vector<size_t> used = chain.rules_used;
+      if (!std::binary_search(used.begin(), used.end(), u)) {
+        used.insert(std::upper_bound(used.begin(), used.end(), u), u);
+      }
+      if (chain_known(s, used)) continue;
+      if (out.unit_chains_.size() >= options.max_unit_chains) {
+        out.complete_ = false;
+        break;
+      }
+      out.unit_chains_.push_back(
+          UnitChain{std::move(s), std::move(used), chain.length + 1});
+      chain_worklist.push_back(out.unit_chains_.size() - 1);
+    }
+  }
+  return out;
+}
+
+const std::vector<Summary>& SummaryAnalysis::SummariesTo(
+    const Occurrence& o) const {
+  auto it = reach_.find(o);
+  return it == reach_.end() ? empty_ : it->second;
+}
+
+bool SummaryAnalysis::OccurrenceJustified(const Occurrence& o) const {
+  return JustificationUses(o).has_value();
+}
+
+std::optional<std::vector<size_t>> SummaryAnalysis::JustificationUses(
+    const Occurrence& o) const {
+  if (!complete_) return std::nullopt;
+  const Atom& lit = program_->rules()[o.rule].body[o.position];
+  std::unordered_set<size_t> uses;
+  for (const Summary& s : SummariesTo(o)) {
+    bool subsumed = false;
+    for (const UnitChain& c : unit_chains_) {
+      if (c.summary.dst() != lit.pred) continue;
+      if (std::binary_search(c.rules_used.begin(), c.rules_used.end(),
+                             o.rule)) {
+        continue;  // a rule cannot justify its own deletion
+      }
+      if (s.ConnectsAtLeast(c.summary)) {
+        uses.insert(c.rules_used.begin(), c.rules_used.end());
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) return std::nullopt;
+  }
+  // Vacuous when unreachable from the query (no summaries, empty uses).
+  return std::vector<size_t>(uses.begin(), uses.end());
+}
+
+std::vector<size_t> SummaryAnalysis::DeletableRules() const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < program_->rules().size(); ++r) {
+    const Rule& rule = program_->rules()[r];
+    bool deletable = false;
+    for (size_t pos = 0; pos < rule.body.size() && !deletable; ++pos) {
+      deletable = OccurrenceJustified(Occurrence{r, pos});
+    }
+    // A rule with an empty body cannot be justified through an occurrence.
+    if (deletable) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace exdl

@@ -1,0 +1,118 @@
+// Algorithm 5.1 (summary closure) and the deletion tests of Lemma 5.1 and
+// Lemma 5.3.
+//
+// For each body-literal occurrence o = (rule, position), `SummariesTo(o)`
+// is the set of summaries of all composite argument projections
+// (q^a, ...), ..., (head(rule), o) — i.e. of all root-to-occurrence spines
+// a derivation of a query fact can have. The set is computed by a worklist
+// closure and is finite (bounded by partitions of the position sets).
+//
+// Separately, `UnitChains()` holds the summaries of all compositions of
+// unit-rule projections starting from the query predicate (Lemma 5.3's set
+// S2; Lemma 5.1 is the chain-length <= 1 case; the identity chain is the
+// paper's trivial unit rule from Example 7). Each chain is tagged with the
+// rules it uses so that a rule is never justified by a chain that needs
+// that same rule.
+//
+// An occurrence o in rule r is *justified* when every summary reaching o
+// connects at least the position pairs some unit chain (not using r)
+// forces equal; the rule containing a justified occurrence can be deleted
+// preserving uniform query equivalence. Occurrences unreachable from the
+// query are vacuously justified (their rules contribute to no query fact).
+
+#ifndef EXDL_EQUIV_SUMMARY_CLOSURE_H_
+#define EXDL_EQUIV_SUMMARY_CLOSURE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/program.h"
+#include "equiv/argument_projection.h"
+#include "util/status.h"
+
+namespace exdl {
+
+/// A body literal occurrence, the paper's `p.n` numbering.
+struct Occurrence {
+  size_t rule = 0;
+  size_t position = 0;
+  bool operator==(const Occurrence&) const = default;
+};
+struct OccurrenceHash {
+  size_t operator()(const Occurrence& o) const {
+    return o.rule * 1000003u + o.position;
+  }
+};
+
+struct SummaryClosureOptions {
+  /// Caps keeping pathological programs from exhausting memory; hitting a
+  /// cap marks the analysis incomplete and disables deletions (sound).
+  size_t max_summaries_per_occurrence = 4096;
+  size_t max_total_summaries = 1u << 20;
+  size_t max_unit_chains = 4096;
+  /// Maximum number of unit rules composed in one chain; 1 restricts the
+  /// test to Lemma 5.1 (one unit rule, plus the identity), larger values
+  /// give Lemma 5.3's closure. 0 = unlimited.
+  size_t max_chain_length = 0;
+};
+
+class SummaryAnalysis {
+ public:
+  /// Runs Algorithm 5.1 for `program` (which must have a query).
+  static Result<SummaryAnalysis> Build(
+      const Program& program,
+      const SummaryClosureOptions& options = SummaryClosureOptions());
+
+  /// One element of Lemma 5.3's S2: a unit-rule chain from the query
+  /// predicate, its summary, and the rules it uses.
+  struct UnitChain {
+    Summary summary;
+    std::vector<size_t> rules_used;  ///< Sorted rule indices.
+    size_t length = 0;               ///< Unit rules composed (0 = identity).
+  };
+
+  /// True if no closure cap was hit; when false, no deletion may be based
+  /// on this analysis.
+  bool complete() const { return complete_; }
+
+  /// Summaries of all composite projections from the query to `o` (empty
+  /// = unreachable).
+  const std::vector<Summary>& SummariesTo(const Occurrence& o) const;
+
+  const std::vector<UnitChain>& unit_chains() const { return unit_chains_; }
+
+  /// The Lemma 5.3 test for `o` (see file comment).
+  bool OccurrenceJustified(const Occurrence& o) const;
+
+  /// When `o` is justified: the union of the rules used by the chosen
+  /// subsuming unit chains (the rules the replacement derivations lean
+  /// on). nullopt when not justified.
+  std::optional<std::vector<size_t>> JustificationUses(
+      const Occurrence& o) const;
+
+  /// Rule indices containing at least one justified occurrence — the
+  /// candidates of Algorithm 5.2. (Deleting one invalidates the analysis;
+  /// the driver deletes one and rebuilds.)
+  std::vector<size_t> DeletableRules() const;
+
+  size_t total_summaries() const { return total_summaries_; }
+
+ private:
+  SummaryAnalysis() = default;
+
+  const Program* program_ = nullptr;
+  std::unordered_map<Occurrence, std::vector<Summary>, OccurrenceHash>
+      reach_;
+  std::unordered_map<Occurrence, std::unordered_set<Summary>, OccurrenceHash>
+      reach_set_;
+  std::vector<UnitChain> unit_chains_;
+  bool complete_ = true;
+  size_t total_summaries_ = 0;
+  std::vector<Summary> empty_;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_EQUIV_SUMMARY_CLOSURE_H_

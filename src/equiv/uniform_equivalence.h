@@ -1,0 +1,34 @@
+// Uniform containment / equivalence (Sagiv 1987; paper Section 3.3,
+// Example 4).
+//
+// Uniform equivalence compares least fixpoints over *arbitrary* inputs —
+// inputs may hold facts for derived predicates. It is decidable: P1's
+// fixpoint is contained in P2's on every input iff, for every rule of P1,
+// running P2 on the frozen body derives the frozen head. The standard
+// deletion test freezes the rule to delete and asks whether the remaining
+// program re-derives its head (Example 4's transitive-closure rule).
+
+#ifndef EXDL_EQUIV_UNIFORM_EQUIVALENCE_H_
+#define EXDL_EQUIV_UNIFORM_EQUIVALENCE_H_
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace exdl {
+
+/// True iff on every database instance, P1's least fixpoint is a subset of
+/// P2's (per predicate). Decidable (Sagiv's frozen-body criterion).
+Result<bool> UniformlyContains(const Program& p2, const Program& p1);
+
+/// Containment both ways.
+Result<bool> UniformlyEquivalent(const Program& p1, const Program& p2);
+
+/// Sagiv's deletion test: may `rule_index` be removed while preserving
+/// uniform equivalence? (Sufficient and necessary for UE; only sufficient
+/// for the weaker query equivalence the optimizer ultimately needs.)
+Result<bool> DeletableUnderUniformEquivalence(const Program& program,
+                                              size_t rule_index);
+
+}  // namespace exdl
+
+#endif  // EXDL_EQUIV_UNIFORM_EQUIVALENCE_H_

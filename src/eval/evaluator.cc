@@ -1,0 +1,548 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/stratification.h"
+
+namespace exdl {
+
+EvalStats& EvalStats::operator+=(const EvalStats& o) {
+  rounds += o.rounds;
+  rule_firings += o.rule_firings;
+  tuples_inserted += o.tuples_inserted;
+  duplicate_inserts += o.duplicate_inserts;
+  index_probes += o.index_probes;
+  rows_matched += o.rows_matched;
+  rules_retired += o.rules_retired;
+  return *this;
+}
+
+std::string EvalStats::ToString() const {
+  std::string out;
+  out += "rounds=" + std::to_string(rounds);
+  out += " firings=" + std::to_string(rule_firings);
+  out += " inserted=" + std::to_string(tuples_inserted);
+  out += " duplicates=" + std::to_string(duplicate_inserts);
+  out += " probes=" + std::to_string(index_probes);
+  out += " rows=" + std::to_string(rows_matched);
+  out += " retired=" + std::to_string(rules_retired);
+  return out;
+}
+
+namespace {
+
+struct RowRange {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  bool empty() const { return lo >= hi; }
+};
+
+/// A buffered derivation: head tuple awaiting end-of-round flush (so that
+/// index row-id lists are never mutated while being iterated).
+struct PendingFact {
+  PredId pred;
+  std::vector<Value> row;
+  Provenance prov;  ///< Only filled when recording provenance.
+};
+
+class Engine {
+ public:
+  Engine(const Program& program, const EvalOptions& options)
+      : program_(program), options_(options) {}
+
+  Result<EvalResult> Run(const Database& input) {
+    EXDL_RETURN_IF_ERROR(Compile());
+    EvalResult result;
+    result.db = input.Clone();
+    db_ = &result.db;
+    idb_preds_ = program_.IdbPredicates();
+
+    // Stratify when negation is present; otherwise one stratum.
+    std::vector<std::vector<size_t>> strata;
+    if (program_.HasNegation()) {
+      EXDL_ASSIGN_OR_RETURN(Stratification st, Stratify(program_));
+      strata.resize(static_cast<size_t>(st.num_strata));
+      for (size_t i = 0; i < rules_.size(); ++i) {
+        strata[static_cast<size_t>(
+                   st.StratumOf(rules_[i].plan.head_pred))]
+            .push_back(i);
+      }
+    } else {
+      strata.emplace_back();
+      for (size_t i = 0; i < rules_.size(); ++i) strata[0].push_back(i);
+    }
+
+    // Make sure head relations exist so sizes/deltas are well defined.
+    for (const CompiledRule& cr : rules_) {
+      db_->GetOrCreate(cr.plan.head_pred,
+                       static_cast<uint32_t>(cr.plan.head_args.size()));
+    }
+
+    bool stop = false;
+    for (const std::vector<size_t>& stratum : strata) {
+      if (stop) break;
+      EXDL_RETURN_IF_ERROR(RunFixpoint(stratum, &stop));
+    }
+
+    result.stats = stats_;
+    result.provenance = std::move(provenance_);
+    if (program_.query()) {
+      result.answers = ExtractAnswers(*program_.query(), result.db);
+      if (program_.query()->IsGround()) {
+        result.ground_query_true = !result.answers.empty() || GroundQueryIn();
+      }
+    }
+    return result;
+  }
+
+ private:
+  /// Semi-naive (or naive) fixpoint over one stratum's rules. Relations of
+  /// lower strata are fixed; only this stratum's head predicates grow.
+  Status RunFixpoint(const std::vector<size_t>& rule_indices, bool* stop) {
+    std::unordered_set<PredId> growing;
+    for (size_t i : rule_indices) {
+      growing.insert(rules_[i].plan.head_pred);
+    }
+    // Delta variants are only needed for body literals over predicates
+    // that can still grow.
+    auto delta_steps = [&](const CompiledRule& cr) {
+      std::vector<size_t> out;
+      for (size_t s : cr.idb_steps) {
+        if (growing.count(cr.plan.steps[s].pred) > 0) out.push_back(s);
+      }
+      return out;
+    };
+
+    // Round 0: fire every rule of the stratum over the full database.
+    std::vector<PendingFact> buffer;
+    std::unordered_map<PredId, uint32_t> start = Sizes();
+    for (size_t i : rule_indices) {
+      FireVariant(rules_[i], /*delta_step=*/kNoDelta, start, start, &buffer);
+    }
+    std::unordered_map<PredId, uint32_t> delta_lo = start;
+    Flush(&buffer);
+    ++stats_.rounds;
+    ApplyBooleanCut();
+
+    *stop = ShouldStopOnGroundQuery();
+    while (!*stop) {
+      std::unordered_map<PredId, uint32_t> new_start = Sizes();
+      bool any_delta = false;
+      for (const auto& [pred, sz] : new_start) {
+        if (growing.count(pred) > 0 && delta_lo[pred] < sz) {
+          any_delta = true;
+          break;
+        }
+      }
+      if (!any_delta) break;
+      if (options_.max_rounds != 0 && stats_.rounds >= options_.max_rounds) {
+        return Status::FailedPrecondition(
+            "fixpoint did not converge within max_rounds");
+      }
+      for (size_t i : rule_indices) {
+        const CompiledRule& cr = rules_[i];
+        if (retired_.count(cr.rule_index) > 0) continue;
+        if (options_.seminaive) {
+          // One variant per growing body literal: that literal reads the
+          // delta, the others read the pre-round database.
+          for (size_t step : delta_steps(cr)) {
+            PredId p = cr.plan.steps[step].pred;
+            if (delta_lo[p] >= new_start[p]) continue;  // empty delta
+            FireVariant(cr, step, new_start, delta_lo, &buffer);
+          }
+        } else if (!delta_steps(cr).empty()) {
+          // Naive: refire over full relations (rules with no growing body
+          // literal can produce nothing new after round 0).
+          FireVariant(cr, kNoDelta, new_start, new_start, &buffer);
+        }
+      }
+      for (auto& [pred, sz] : new_start) delta_lo[pred] = sz;
+      Flush(&buffer);
+      ++stats_.rounds;
+      ApplyBooleanCut();
+      *stop = ShouldStopOnGroundQuery();
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr size_t kNoDelta = static_cast<size_t>(-1);
+
+  struct CompiledRule {
+    RulePlan plan;
+    std::vector<size_t> idb_steps;  ///< Step indices over derived predicates.
+    size_t rule_index = 0;
+    /// Head has no registers (0-ary or all-constant): at most one tuple
+    /// can ever be derived, so the first witness suffices (Section 3.1's
+    /// cut) and the rule can retire once the tuple exists.
+    bool single_tuple_head = false;
+  };
+
+  Status Compile() {
+    std::unordered_set<PredId> idb = program_.IdbPredicates();
+    for (size_t i = 0; i < program_.rules().size(); ++i) {
+      EXDL_ASSIGN_OR_RETURN(RulePlan plan,
+                            CompileRule(program_.rules()[i], options_.plan));
+      CompiledRule cr;
+      cr.plan = std::move(plan);
+      cr.rule_index = i;
+      for (size_t s = 0; s < cr.plan.steps.size(); ++s) {
+        if (idb.count(cr.plan.steps[s].pred) > 0) cr.idb_steps.push_back(s);
+      }
+      cr.single_tuple_head = true;
+      for (const ArgSpec& a : cr.plan.head_args) {
+        if (a.kind == ArgSpec::Kind::kReg) cr.single_tuple_head = false;
+      }
+      rules_.push_back(std::move(cr));
+    }
+    return Status::Ok();
+  }
+
+  std::unordered_map<PredId, uint32_t> Sizes() const {
+    std::unordered_map<PredId, uint32_t> out;
+    for (const auto& [pred, rel] : db_->relations()) {
+      out[pred] = static_cast<uint32_t>(rel.size());
+    }
+    return out;
+  }
+
+  std::vector<Value> SingleHeadTuple(const CompiledRule& cr) const {
+    std::vector<Value> tuple;
+    tuple.reserve(cr.plan.head_args.size());
+    for (const ArgSpec& a : cr.plan.head_args) tuple.push_back(a.const_value);
+    return tuple;
+  }
+
+  /// Fires one rule variant. `delta_step` designates the step reading only
+  /// [delta_lo, start) of its relation (kNoDelta = none; all steps read
+  /// [0, start)).
+  void FireVariant(const CompiledRule& cr, size_t delta_step,
+                   const std::unordered_map<PredId, uint32_t>& start,
+                   const std::unordered_map<PredId, uint32_t>& delta_lo,
+                   std::vector<PendingFact>* buffer) {
+    const RulePlan& plan = cr.plan;
+    // Existence short-circuit (Section 3.1): a single-tuple head needs one
+    // witness ever; skip entirely once the tuple exists.
+    stop_after_first_ = options_.boolean_cut && cr.single_tuple_head;
+    if (stop_after_first_) {
+      const Relation* rel = db_->Find(plan.head_pred);
+      if (rel != nullptr && rel->Contains(SingleHeadTuple(cr))) return;
+    }
+    std::vector<RowRange> ranges(plan.steps.size());
+    for (size_t s = 0; s < plan.steps.size(); ++s) {
+      PredId p = plan.steps[s].pred;
+      auto it = start.find(p);
+      uint32_t hi = it == start.end() ? 0 : it->second;
+      uint32_t lo = 0;
+      if (s == delta_step) {
+        auto dit = delta_lo.find(p);
+        lo = dit == delta_lo.end() ? 0 : dit->second;
+      }
+      ranges[s] = RowRange{lo, hi};
+      // An empty range over a positive literal means the variant cannot
+      // match; an empty (or absent) relation under a negated literal is
+      // simply a succeeding anti-join.
+      if (ranges[s].empty() && !plan.steps[s].negated) return;
+    }
+    regs_.assign(plan.num_regs, 0);
+    reg_set_.assign(plan.num_regs, false);
+    current_rule_index_ = cr.rule_index;
+    current_path_.clear();
+    Descend(plan, ranges, 0, buffer);
+  }
+
+  /// Returns false when evaluation of this variant should stop (the
+  /// single-tuple head was emitted and one witness suffices).
+  bool Descend(const RulePlan& plan, const std::vector<RowRange>& ranges,
+               size_t step_idx, std::vector<PendingFact>* buffer) {
+    if (step_idx == plan.steps.size()) {
+      PendingFact fact;
+      fact.pred = plan.head_pred;
+      fact.row.reserve(plan.head_args.size());
+      for (const ArgSpec& a : plan.head_args) {
+        fact.row.push_back(a.kind == ArgSpec::Kind::kConst ? a.const_value
+                                                           : regs_[a.reg]);
+      }
+      if (options_.record_provenance) {
+        fact.prov.rule_index = static_cast<int>(current_rule_index_);
+        fact.prov.children = current_path_;
+      }
+      buffer->push_back(std::move(fact));
+      ++stats_.rule_firings;
+      return !stop_after_first_;
+    }
+    const LiteralStep& step = plan.steps[step_idx];
+    Relation* rel = db_->FindMutable(step.pred);
+    const RowRange& range = ranges[step_idx];
+
+    if (step.negated) {
+      // Anti-join: succeed iff no tuple matches the (fully bound) key.
+      bool exists = false;
+      if (rel != nullptr && range.hi > 0) {
+        if (step.args.empty()) {
+          exists = true;  // 0-ary relation holds the empty tuple
+        } else {
+          std::vector<Value> key;
+          key.reserve(step.args.size());
+          for (const ArgSpec& a : step.args) {
+            key.push_back(a.kind == ArgSpec::Kind::kConst ? a.const_value
+                                                          : regs_[a.reg]);
+          }
+          ++stats_.index_probes;
+          exists = rel->Contains(key);
+        }
+      }
+      if (exists) return true;  // this binding fails; keep enumerating
+      return Descend(plan, ranges, step_idx + 1, buffer);
+    }
+    if (rel == nullptr) return true;
+
+    auto process_row = [&](uint32_t row_id) -> bool {
+      std::span<const Value> row = rel->Row(row_id);
+      ++stats_.rows_matched;
+      // Bind/check arguments; remember which registers this row bound so we
+      // can release them before the next row.
+      size_t bound_here = 0;
+      bool ok = true;
+      for (size_t i = 0; i < step.args.size() && ok; ++i) {
+        const ArgSpec& a = step.args[i];
+        if (a.kind == ArgSpec::Kind::kConst) {
+          ok = row[i] == a.const_value;
+        } else if (reg_set_[a.reg]) {
+          ok = row[i] == regs_[a.reg];
+        } else {
+          regs_[a.reg] = row[i];
+          reg_set_[a.reg] = true;
+          ++bound_here;
+        }
+      }
+      bool keep_going = true;
+      if (ok) {
+        if (options_.record_provenance) {
+          current_path_.push_back(TupleRef{step.pred, row_id});
+        }
+        keep_going = Descend(plan, ranges, step_idx + 1, buffer);
+        if (options_.record_provenance) current_path_.pop_back();
+      }
+      // Unbind: the registers bound by this row are among step.binds
+      // (first occurrences); when !ok we may have bound a prefix only, so
+      // clear precisely what we set.
+      if (bound_here > 0) {
+        for (size_t i = 0; i < step.args.size() && bound_here > 0; ++i) {
+          const ArgSpec& a = step.args[i];
+          if (a.kind == ArgSpec::Kind::kReg && reg_set_[a.reg]) {
+            for (uint32_t b : step.binds) {
+              if (b == a.reg) {
+                reg_set_[a.reg] = false;
+                --bound_here;
+                break;
+              }
+            }
+          }
+        }
+      }
+      return keep_going;
+    };
+
+    if (step.index_columns.empty()) {
+      for (uint32_t row_id = range.lo; row_id < range.hi; ++row_id) {
+        if (!process_row(row_id)) return false;
+      }
+      return true;
+    }
+    std::vector<Value> key;
+    key.reserve(step.index_columns.size());
+    for (uint32_t c : step.index_columns) {
+      const ArgSpec& a = step.args[c];
+      key.push_back(a.kind == ArgSpec::Kind::kConst ? a.const_value
+                                                    : regs_[a.reg]);
+    }
+    const Relation::Index& index = rel->GetIndex(step.index_columns);
+    ++stats_.index_probes;
+    const Relation::RowIdList* ids = index.Lookup(key);
+    if (ids == nullptr) return true;
+    // Row ids are appended in increasing order; binary-search the range.
+    auto lo_it = std::lower_bound(ids->begin(), ids->end(), range.lo);
+    for (auto it = lo_it; it != ids->end() && *it < range.hi; ++it) {
+      if (!process_row(*it)) return false;
+    }
+    return true;
+  }
+
+  void Flush(std::vector<PendingFact>* buffer) {
+    for (PendingFact& f : *buffer) {
+      Relation& rel =
+          db_->GetOrCreate(f.pred, static_cast<uint32_t>(f.row.size()));
+      if (rel.Insert(f.row)) {
+        ++stats_.tuples_inserted;
+        if (options_.record_provenance) {
+          uint32_t row_id = static_cast<uint32_t>(rel.size() - 1);
+          provenance_.emplace(TupleRef{f.pred, row_id}, std::move(f.prov));
+        }
+      } else {
+        ++stats_.duplicate_inserts;
+      }
+    }
+    buffer->clear();
+  }
+
+  /// Retires rules whose single possible head tuple (0-ary or
+  /// all-constant heads) has been derived (Section 3.1's runtime cut).
+  void ApplyBooleanCut() {
+    if (!options_.boolean_cut) return;
+    for (const CompiledRule& cr : rules_) {
+      if (retired_.count(cr.rule_index) > 0) continue;
+      if (!cr.single_tuple_head) continue;
+      const Relation* rel = db_->Find(cr.plan.head_pred);
+      if (rel != nullptr && rel->Contains(SingleHeadTuple(cr))) {
+        retired_.insert(cr.rule_index);
+        ++stats_.rules_retired;
+      }
+    }
+  }
+
+  bool GroundQueryIn() const {
+    const Atom& q = *program_.query();
+    const Relation* rel = db_->Find(q.pred);
+    if (rel == nullptr) return false;
+    std::vector<Value> row;
+    row.reserve(q.args.size());
+    for (const Term& t : q.args) row.push_back(t.id());
+    return rel->Contains(row);
+  }
+
+  bool ShouldStopOnGroundQuery() const {
+    if (!options_.stop_on_ground_query) return false;
+    if (!program_.query() || !program_.query()->IsGround()) return false;
+    return GroundQueryIn();
+  }
+
+  const Program& program_;
+  const EvalOptions& options_;
+  Database* db_ = nullptr;
+  std::vector<CompiledRule> rules_;
+  std::unordered_set<PredId> idb_preds_;
+  std::unordered_set<size_t> retired_;
+  EvalStats stats_;
+  std::vector<Value> regs_;
+  std::vector<char> reg_set_;
+  bool stop_after_first_ = false;
+  size_t current_rule_index_ = 0;
+  std::vector<TupleRef> current_path_;
+  std::unordered_map<TupleRef, Provenance, TupleRefHash> provenance_;
+};
+
+}  // namespace
+
+Result<EvalResult> Evaluate(const Program& program, const Database& input,
+                            const EvalOptions& options) {
+  Engine engine(program, options);
+  return engine.Run(input);
+}
+
+std::vector<std::vector<Value>> ExtractAnswers(const Atom& query,
+                                               const Database& db) {
+  std::vector<std::vector<Value>> out;
+  const Relation* rel = db.Find(query.pred);
+  if (rel == nullptr) return out;
+  // Distinct variables in first-occurrence order are the answer columns.
+  std::vector<SymbolId> vars;
+  query.CollectVars(&vars);
+  std::unordered_map<SymbolId, size_t> var_col;
+  for (size_t i = 0; i < vars.size(); ++i) var_col[vars[i]] = i;
+
+  std::unordered_set<std::vector<Value>, ValueVecHash> seen;
+  for (size_t r = 0; r < rel->size(); ++r) {
+    std::span<const Value> row = rel->Row(r);
+    std::vector<Value> answer(vars.size(), 0);
+    std::vector<char> set(vars.size(), 0);
+    bool ok = true;
+    for (size_t i = 0; i < query.args.size() && ok; ++i) {
+      const Term& t = query.args[i];
+      if (t.IsConst()) {
+        ok = row[i] == t.id();
+      } else {
+        size_t col = var_col[t.id()];
+        if (set[col]) {
+          ok = row[i] == answer[col];
+        } else {
+          answer[col] = row[i];
+          set[col] = 1;
+        }
+      }
+    }
+    if (ok && seen.insert(answer).second) out.push_back(std::move(answer));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+
+namespace {
+
+/// Renders one stored tuple as "pred(a, b)".
+std::string RenderTuple(const Program& program, const Database& db,
+                        const TupleRef& ref) {
+  const Context& ctx = program.ctx();
+  std::string out = ctx.PredicateDisplayName(ref.pred);
+  const Relation* rel = db.Find(ref.pred);
+  if (rel == nullptr || ref.row >= rel->size()) return out + "(?)";
+  std::span<const Value> row = rel->Row(ref.row);
+  if (row.empty()) return out;
+  out += "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ctx.SymbolName(row[i]);
+  }
+  out += ")";
+  return out;
+}
+
+void ExplainRecursive(const Program& program, const EvalResult& result,
+                      const TupleRef& ref, int depth, std::string* out) {
+  for (int i = 0; i < depth; ++i) *out += "  ";
+  *out += RenderTuple(program, result.db, ref);
+  auto it = result.provenance.find(ref);
+  if (it == result.provenance.end() || it->second.rule_index < 0) {
+    *out += "   [input fact]\n";
+    return;
+  }
+  *out += "   [rule " + std::to_string(it->second.rule_index) + "]\n";
+  for (const TupleRef& child : it->second.children) {
+    ExplainRecursive(program, result, child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Result<std::string> ExplainTuple(const Program& program,
+                                 const EvalResult& result,
+                                 const TupleRef& tuple) {
+  const Relation* rel = result.db.Find(tuple.pred);
+  if (rel == nullptr || tuple.row >= rel->size()) {
+    return Status::NotFound("tuple reference out of range");
+  }
+  std::string out;
+  ExplainRecursive(program, result, tuple, 0, &out);
+  return out;
+}
+
+Result<std::string> ExplainFact(const Program& program,
+                                const EvalResult& result, PredId pred,
+                                std::span<const Value> row) {
+  const Relation* rel = result.db.Find(pred);
+  if (rel == nullptr) return Status::NotFound("no tuples for predicate");
+  for (uint32_t r = 0; r < rel->size(); ++r) {
+    std::span<const Value> stored = rel->Row(r);
+    if (std::equal(stored.begin(), stored.end(), row.begin(), row.end())) {
+      return ExplainTuple(program, result, TupleRef{pred, r});
+    }
+  }
+  return Status::NotFound("fact not present");
+}
+
+}  // namespace exdl
+

@@ -1,0 +1,118 @@
+// Bottom-up fixpoint evaluation (Section 1.1's model of execution).
+//
+// Two engines share one executor:
+//   * semi-naive (default): per-round deltas; a rule variant reads the
+//     delta at one body literal and the pre-round contents elsewhere;
+//   * naive: every rule re-fires over full relations each round (the
+//     baseline the paper's duplicate-cost remarks are measured against).
+//
+// Runtime existential optimizations from Section 3.1:
+//   * boolean cut — once a 0-ary derived predicate holds, the rules
+//     defining it are retired from the fixpoint ("a rule defining a boolean
+//     variable can be removed from the computation once the variable
+//     becomes true");
+//   * ground-query stop — if the query atom is ground, evaluation may stop
+//     as soon as it is derived (opt-in; changes stats, not answers).
+
+#ifndef EXDL_EVAL_EVALUATOR_H_
+#define EXDL_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "eval/plan.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct EvalOptions {
+  bool seminaive = true;
+  bool boolean_cut = true;
+  bool stop_on_ground_query = false;
+  PlanOptions plan;
+  /// Safety valve for property tests; 0 = unlimited.
+  uint64_t max_rounds = 0;
+  /// Record one derivation (rule + child tuples) per derived tuple —
+  /// the derivation trees of Section 1.1. Costs memory; see
+  /// EvalResult::provenance and ExplainTuple.
+  bool record_provenance = false;
+};
+
+/// Work counters. The paper's "duplicate elimination cost" is
+/// `duplicate_inserts`; total facts produced is `rule_firings`.
+struct EvalStats {
+  uint64_t rounds = 0;
+  uint64_t rule_firings = 0;       ///< Head tuples emitted (pre-dedup).
+  uint64_t tuples_inserted = 0;    ///< New tuples admitted.
+  uint64_t duplicate_inserts = 0;  ///< Emitted tuples that already existed.
+  uint64_t index_probes = 0;       ///< Hash-index lookups.
+  uint64_t rows_matched = 0;       ///< Rows enumerated from indexes/scans.
+  uint64_t rules_retired = 0;      ///< Boolean-cut retirements.
+
+  EvalStats& operator+=(const EvalStats& o);
+  std::string ToString() const;
+};
+
+/// Reference to one stored tuple.
+struct TupleRef {
+  PredId pred = kInvalidId;
+  uint32_t row = 0;
+  bool operator==(const TupleRef&) const = default;
+};
+struct TupleRefHash {
+  size_t operator()(const TupleRef& t) const {
+    return (static_cast<size_t>(t.pred) << 32) ^ t.row;
+  }
+};
+
+/// How one tuple was first derived: the rule instance and its body tuples
+/// (a node of the Section 1.1 derivation tree). Input facts have
+/// rule_index -1 and no children.
+struct Provenance {
+  int rule_index = -1;
+  std::vector<TupleRef> children;
+};
+
+struct EvalResult {
+  Database db;        ///< Input plus all derived tuples.
+  EvalStats stats;
+  /// Bindings of the query atom's distinct variables (first-occurrence
+  /// order), deduplicated and sorted. Empty when the program has no query.
+  std::vector<std::vector<Value>> answers;
+  /// For a ground query: whether it was derived.
+  bool ground_query_true = false;
+  /// One derivation per derived tuple (only with record_provenance).
+  std::unordered_map<TupleRef, Provenance, TupleRefHash> provenance;
+};
+
+/// Evaluates `program` bottom-up over `input`. `input` may contain facts
+/// for derived predicates (uniform semantics, Section 4); they are treated
+/// as already-derived tuples.
+Result<EvalResult> Evaluate(const Program& program, const Database& input,
+                            const EvalOptions& options = EvalOptions());
+
+/// Extracts query answers from an already-computed database (exposed for
+/// the equivalence testers).
+std::vector<std::vector<Value>> ExtractAnswers(const Atom& query,
+                                               const Database& db);
+
+/// Renders the recorded derivation tree of one tuple as an indented
+/// listing ("fact <- rule: child, child ..."). Requires the evaluation to
+/// have run with record_provenance; tuples without provenance render as
+/// input facts.
+Result<std::string> ExplainTuple(const Program& program,
+                                 const EvalResult& result,
+                                 const TupleRef& tuple);
+
+/// Convenience: explains the first stored tuple of `pred` matching `row`
+/// values exactly; NotFound when absent.
+Result<std::string> ExplainFact(const Program& program,
+                                const EvalResult& result, PredId pred,
+                                std::span<const Value> row);
+
+}  // namespace exdl
+
+#endif  // EXDL_EVAL_EVALUATOR_H_

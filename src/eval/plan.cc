@@ -1,0 +1,183 @@
+#include "eval/plan.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace exdl {
+namespace {
+
+/// Number of argument positions of `atom` that are constants or variables
+/// in `bound`.
+size_t BoundArgCount(const Atom& atom,
+                     const std::unordered_set<SymbolId>& bound) {
+  size_t n = 0;
+  for (const Term& t : atom.args) {
+    if (t.IsConst() || bound.count(t.id()) > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<RulePlan> CompileRule(const Rule& rule, const PlanOptions& options) {
+  RulePlan plan;
+  plan.head_pred = rule.head.pred;
+
+  std::unordered_map<SymbolId, uint32_t> reg_of;
+  auto reg_for = [&](SymbolId v) {
+    auto [it, inserted] =
+        reg_of.emplace(v, static_cast<uint32_t>(reg_of.size()));
+    return it->second;
+  };
+
+  // Choose a literal order. A negated literal is only eligible once every
+  // one of its variables is bound by earlier positive literals (safe
+  // negation); in no-reorder mode the written order must already satisfy
+  // this.
+  auto fully_bound = [](const Atom& atom,
+                        const std::unordered_set<SymbolId>& bound) {
+    for (const Term& t : atom.args) {
+      if (t.IsVar() && bound.count(t.id()) == 0) return false;
+    }
+    return true;
+  };
+  std::vector<size_t> order;
+  order.reserve(rule.body.size());
+  {
+    std::vector<bool> used(rule.body.size(), false);
+    std::unordered_set<SymbolId> bound;
+    for (size_t k = 0; k < rule.body.size(); ++k) {
+      size_t best = static_cast<size_t>(-1);
+      size_t best_score = 0;
+      bool have_best = false;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (used[i]) continue;
+        const Atom& atom = rule.body[i];
+        if (atom.negated && !fully_bound(atom, bound)) continue;
+        size_t score = BoundArgCount(atom, bound);
+        // Prefer eligible negated literals immediately (they only filter).
+        if (atom.negated) score += atom.args.size() + 1;
+        if (!have_best || (options.reorder && score > best_score)) {
+          best = i;
+          best_score = score;
+          have_best = true;
+          // No-reorder mode: first eligible literal in written order.
+          if (!options.reorder) break;
+        }
+      }
+      if (!have_best) {
+        return Status::InvalidArgument(
+            "unsafe negation: a negated literal's variable is never bound "
+            "by a positive literal");
+      }
+      used[best] = true;
+      order.push_back(best);
+      if (!rule.body[best].negated) {
+        for (const Term& t : rule.body[best].args) {
+          if (t.IsVar()) bound.insert(t.id());
+        }
+      }
+    }
+  }
+
+  // Compile literals in the chosen order.
+  std::unordered_set<uint32_t> bound_regs;
+  plan.step_of_body_position.assign(rule.body.size(), 0);
+  for (size_t step_idx = 0; step_idx < order.size(); ++step_idx) {
+    size_t body_pos = order[step_idx];
+    const Atom& atom = rule.body[body_pos];
+    LiteralStep step;
+    step.pred = atom.pred;
+    step.body_position = body_pos;
+    step.negated = atom.negated;
+    std::unordered_set<uint32_t> bound_in_step;  // regs first bound here
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& t = atom.args[i];
+      if (t.IsConst()) {
+        step.args.push_back(ArgSpec::Const(t.id()));
+        step.index_columns.push_back(static_cast<uint32_t>(i));
+        continue;
+      }
+      uint32_t reg = reg_for(t.id());
+      step.args.push_back(ArgSpec::Reg(reg));
+      if (bound_regs.count(reg) > 0) {
+        step.index_columns.push_back(static_cast<uint32_t>(i));
+      } else if (atom.negated) {
+        // The ordering above guarantees this cannot happen.
+        return Status::Internal("negated literal scheduled before binding");
+      } else if (bound_in_step.insert(reg).second) {
+        step.binds.push_back(reg);
+      }
+      // A repeated new variable within the literal is checked by the
+      // executor (first occurrence binds, later ones compare).
+    }
+    for (uint32_t r : step.binds) bound_regs.insert(r);
+    plan.step_of_body_position[body_pos] = step_idx;
+    plan.steps.push_back(std::move(step));
+  }
+
+  // Compile the head; every head variable must be bound by the body.
+  for (const Term& t : rule.head.args) {
+    if (t.IsConst()) {
+      plan.head_args.push_back(ArgSpec::Const(t.id()));
+      continue;
+    }
+    auto it = reg_of.find(t.id());
+    if (it == reg_of.end() || bound_regs.count(it->second) == 0) {
+      return Status::InvalidArgument(
+          "unsafe rule: head variable not bound by any body literal");
+    }
+    plan.head_args.push_back(ArgSpec::Reg(it->second));
+  }
+
+  plan.num_regs = static_cast<uint32_t>(reg_of.size());
+  return plan;
+}
+
+}  // namespace exdl
+
+namespace exdl {
+
+std::string PlanToString(const Context& ctx, const RulePlan& plan) {
+  auto render_args = [&](const std::vector<ArgSpec>& args) {
+    std::string out = "(";
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += ", ";
+      if (args[i].kind == ArgSpec::Kind::kConst) {
+        out += ctx.SymbolName(args[i].const_value);
+      } else {
+        out += "r" + std::to_string(args[i].reg);
+      }
+    }
+    out += ")";
+    return out;
+  };
+  std::string out;
+  for (size_t s = 0; s < plan.steps.size(); ++s) {
+    const LiteralStep& step = plan.steps[s];
+    out += "  step " + std::to_string(s) + ": ";
+    if (step.negated) out += "anti-join ";
+    out += ctx.PredicateDisplayName(step.pred) + render_args(step.args);
+    if (step.index_columns.empty()) {
+      out += "  [scan]";
+    } else {
+      out += "  [index on (";
+      for (size_t i = 0; i < step.index_columns.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(step.index_columns[i]);
+      }
+      out += ")]";
+    }
+    if (!step.binds.empty()) {
+      out += " binds";
+      for (uint32_t r : step.binds) out += " r" + std::to_string(r);
+    }
+    out += "\n";
+  }
+  out += "  emit " + ctx.PredicateDisplayName(plan.head_pred) +
+         render_args(plan.head_args) + "\n";
+  return out;
+}
+
+}  // namespace exdl

@@ -1,0 +1,150 @@
+#include "grammar/cfg.h"
+
+namespace exdl {
+
+uint32_t Cfg::AddNonterminal(std::string_view name) {
+  auto it = nonterminal_ids_.find(std::string(name));
+  if (it != nonterminal_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(nonterminal_names_.size());
+  nonterminal_names_.emplace_back(name);
+  nonterminal_ids_.emplace(nonterminal_names_.back(), id);
+  productions_of_.emplace_back();
+  return id;
+}
+
+uint32_t Cfg::AddTerminal(std::string_view name) {
+  auto it = terminal_ids_.find(std::string(name));
+  if (it != terminal_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(terminal_names_.size());
+  terminal_names_.emplace_back(name);
+  terminal_ids_.emplace(terminal_names_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> Cfg::FindNonterminal(std::string_view name) const {
+  auto it = nonterminal_ids_.find(std::string(name));
+  if (it == nonterminal_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<uint32_t> Cfg::FindTerminal(std::string_view name) const {
+  auto it = terminal_ids_.find(std::string(name));
+  if (it == terminal_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Cfg::AddProduction(uint32_t lhs, std::vector<GSym> rhs) {
+  productions_of_[lhs].push_back(productions_.size());
+  productions_.push_back(Production{lhs, std::move(rhs)});
+}
+
+const std::vector<size_t>& Cfg::ProductionsOf(uint32_t nt) const {
+  if (nt >= productions_of_.size()) return empty_;
+  return productions_of_[nt];
+}
+
+std::vector<bool> Cfg::ProductiveNonterminals() const {
+  std::vector<bool> productive(NumNonterminals(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Production& p : productions_) {
+      if (productive[p.lhs]) continue;
+      bool all = true;
+      for (const GSym& s : p.rhs) {
+        if (!s.terminal && !productive[s.id]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        productive[p.lhs] = true;
+        changed = true;
+      }
+    }
+  }
+  return productive;
+}
+
+std::vector<bool> Cfg::ReachableNonterminals() const {
+  std::vector<bool> reachable(NumNonterminals(), false);
+  if (NumNonterminals() == 0) return reachable;
+  std::vector<uint32_t> frontier = {start_};
+  reachable[start_] = true;
+  while (!frontier.empty()) {
+    uint32_t nt = frontier.back();
+    frontier.pop_back();
+    for (size_t pi : ProductionsOf(nt)) {
+      for (const GSym& s : productions_[pi].rhs) {
+        if (!s.terminal && !reachable[s.id]) {
+          reachable[s.id] = true;
+          frontier.push_back(s.id);
+        }
+      }
+    }
+  }
+  return reachable;
+}
+
+bool Cfg::HasEpsilonProductions() const {
+  std::vector<bool> reachable = ReachableNonterminals();
+  for (const Production& p : productions_) {
+    if (reachable[p.lhs] && p.rhs.empty()) return true;
+  }
+  return false;
+}
+
+Cfg Cfg::Trim() const {
+  std::vector<bool> productive = ProductiveNonterminals();
+  std::vector<bool> reachable = ReachableNonterminals();
+  Cfg out;
+  out.SetStart(out.AddNonterminal(NonterminalName(start_)));
+  for (const Production& p : productions_) {
+    if (!reachable[p.lhs] || !productive[p.lhs]) continue;
+    bool keep = true;
+    for (const GSym& s : p.rhs) {
+      if (!s.terminal && (!productive[s.id] || !reachable[s.id])) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    uint32_t lhs = out.AddNonterminal(NonterminalName(p.lhs));
+    std::vector<GSym> rhs;
+    for (const GSym& s : p.rhs) {
+      rhs.push_back(s.terminal
+                        ? GSym::T(out.AddTerminal(TerminalName(s.id)))
+                        : GSym::N(out.AddNonterminal(
+                              NonterminalName(s.id))));
+    }
+    out.AddProduction(lhs, std::move(rhs));
+  }
+  return out;
+}
+
+std::string Cfg::ToString() const {
+  std::string out;
+  for (uint32_t nt = 0; nt < NumNonterminals(); ++nt) {
+    // List the start symbol first by swapping indices 0 and start_.
+    uint32_t id = nt == 0 ? start_ : (nt == start_ ? 0 : nt);
+    if (ProductionsOf(id).empty()) continue;
+    out += NonterminalName(id);
+    out += " -> ";
+    bool first = true;
+    for (size_t pi : ProductionsOf(id)) {
+      if (!first) out += " | ";
+      first = false;
+      const Production& p = productions_[pi];
+      if (p.rhs.empty()) out += "ε";
+      for (size_t i = 0; i < p.rhs.size(); ++i) {
+        if (i > 0) out += " ";
+        out += p.rhs[i].terminal ? TerminalName(p.rhs[i].id)
+                                 : NonterminalName(p.rhs[i].id);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace exdl

@@ -1,0 +1,99 @@
+// Context-free grammars, as induced by chain programs (Section 1.1): drop
+// the arguments of a binary chain rule and its predicates become grammar
+// symbols — derived predicates are nonterminals, base predicates are
+// terminals, the query predicate is the start symbol.
+
+#ifndef EXDL_GRAMMAR_CFG_H_
+#define EXDL_GRAMMAR_CFG_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace exdl {
+
+/// A grammar symbol: terminal or nonterminal index.
+struct GSym {
+  bool terminal = false;
+  uint32_t id = 0;
+
+  static GSym T(uint32_t id) { return {true, id}; }
+  static GSym N(uint32_t id) { return {false, id}; }
+
+  bool operator==(const GSym&) const = default;
+  auto operator<=>(const GSym&) const = default;
+};
+
+struct Production {
+  uint32_t lhs = 0;       ///< Nonterminal index.
+  std::vector<GSym> rhs;  ///< May be empty (epsilon).
+};
+
+class Cfg {
+ public:
+  Cfg() = default;
+
+  uint32_t AddNonterminal(std::string_view name);
+  uint32_t AddTerminal(std::string_view name);
+  std::optional<uint32_t> FindNonterminal(std::string_view name) const;
+  std::optional<uint32_t> FindTerminal(std::string_view name) const;
+
+  void AddProduction(uint32_t lhs, std::vector<GSym> rhs);
+  void SetStart(uint32_t nt) { start_ = nt; }
+  uint32_t start() const { return start_; }
+
+  size_t NumNonterminals() const { return nonterminal_names_.size(); }
+  size_t NumTerminals() const { return terminal_names_.size(); }
+  const std::string& NonterminalName(uint32_t id) const {
+    return nonterminal_names_[id];
+  }
+  const std::string& TerminalName(uint32_t id) const {
+    return terminal_names_[id];
+  }
+  const std::vector<Production>& productions() const { return productions_; }
+  /// Indices into productions() with the given lhs.
+  const std::vector<size_t>& ProductionsOf(uint32_t nt) const;
+
+  /// Nonterminals that derive at least one terminal string.
+  std::vector<bool> ProductiveNonterminals() const;
+  /// Nonterminals reachable from the start symbol.
+  std::vector<bool> ReachableNonterminals() const;
+  /// True if some production of a reachable nonterminal has an empty rhs.
+  bool HasEpsilonProductions() const;
+
+  /// Copy without useless symbols: keeps only productions whose
+  /// nonterminals are both reachable from the start and productive.
+  /// Nonterminal/terminal ids are renumbered; the start symbol is kept
+  /// even when unproductive (it then has no productions).
+  Cfg Trim() const;
+
+  /// "S -> a B | c" style listing, start symbol first.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> nonterminal_names_;
+  std::vector<std::string> terminal_names_;
+  std::unordered_map<std::string, uint32_t> nonterminal_ids_;
+  std::unordered_map<std::string, uint32_t> terminal_ids_;
+  std::vector<Production> productions_;
+  std::vector<std::vector<size_t>> productions_of_;
+  uint32_t start_ = 0;
+  std::vector<size_t> empty_;
+};
+
+}  // namespace exdl
+
+template <>
+struct std::hash<exdl::GSym> {
+  size_t operator()(const exdl::GSym& s) const {
+    return (static_cast<size_t>(s.terminal) << 31) ^ s.id;
+  }
+};
+
+#endif  // EXDL_GRAMMAR_CFG_H_

@@ -1,0 +1,32 @@
+// Binary chain programs <-> context-free grammars (Section 1.1, Lemma 4.1).
+//
+// A binary chain rule has the form
+//     p(X, Y) :- q1(X, Z1), q2(Z1, Z2), ..., qn(Zn-1, Y).
+// with all chain variables distinct. Dropping arguments turns it into the
+// production P -> Q1 Q2 ... Qn; derived predicates are nonterminals, base
+// predicates terminals, the query predicate the start symbol.
+
+#ifndef EXDL_GRAMMAR_CHAIN_H_
+#define EXDL_GRAMMAR_CHAIN_H_
+
+#include "ast/program.h"
+#include "grammar/cfg.h"
+#include "util/status.h"
+
+namespace exdl {
+
+/// True if every rule of `program` is a binary chain rule.
+bool IsBinaryChainProgram(const Program& program);
+
+/// Extracts the grammar; the start symbol is the query predicate (which
+/// must be derived and binary). Fails on non-chain programs.
+Result<Cfg> ChainProgramToGrammar(const Program& program);
+
+/// Inverse direction: builds the binary chain program of `grammar` into a
+/// fresh Program using `ctx`, with query `<start>(X, Y)`. Epsilon
+/// productions are rejected (a chain rule needs at least one body literal).
+Result<Program> GrammarToChainProgram(const Cfg& grammar, ContextPtr ctx);
+
+}  // namespace exdl
+
+#endif  // EXDL_GRAMMAR_CHAIN_H_

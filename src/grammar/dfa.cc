@@ -1,0 +1,147 @@
+#include "grammar/dfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace exdl {
+namespace {
+
+std::set<uint32_t> EpsilonClosure(const Nfa& nfa,
+                                  const std::set<uint32_t>& states) {
+  std::set<uint32_t> closure = states;
+  std::deque<uint32_t> frontier(states.begin(), states.end());
+  while (!frontier.empty()) {
+    uint32_t s = frontier.front();
+    frontier.pop_front();
+    for (const Nfa::Edge& e : nfa.states[s]) {
+      if (e.symbol == kEpsilon && closure.insert(e.to).second) {
+        frontier.push_back(e.to);
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace
+
+Dfa Dfa::FromNfa(const Nfa& nfa, uint32_t alphabet_size) {
+  Dfa dfa(alphabet_size);
+  std::map<std::set<uint32_t>, uint32_t> ids;
+  std::deque<std::set<uint32_t>> worklist;
+  auto intern = [&](std::set<uint32_t> states) -> uint32_t {
+    auto it = ids.find(states);
+    if (it != ids.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(ids.size());
+    bool accepting = states.count(nfa.accept) > 0;
+    ids.emplace(states, id);
+    dfa.accepting_.push_back(accepting);
+    dfa.transitions_.resize(dfa.accepting_.size() * alphabet_size, 0);
+    worklist.push_back(std::move(states));
+    return id;
+  };
+  dfa.start_ = intern(EpsilonClosure(nfa, {nfa.start}));
+  while (!worklist.empty()) {
+    std::set<uint32_t> states = std::move(worklist.front());
+    worklist.pop_front();
+    uint32_t id = ids.at(states);
+    for (uint32_t a = 0; a < alphabet_size; ++a) {
+      std::set<uint32_t> next;
+      for (uint32_t s : states) {
+        for (const Nfa::Edge& e : nfa.states[s]) {
+          if (e.symbol == static_cast<int>(a)) next.insert(e.to);
+        }
+      }
+      uint32_t target = intern(EpsilonClosure(nfa, next));
+      dfa.transitions_[id * alphabet_size + a] = target;
+    }
+  }
+  return dfa;
+}
+
+Dfa Dfa::Minimized() const {
+  // Drop unreachable states first.
+  std::vector<uint32_t> order;
+  std::vector<int> reachable(NumStates(), -1);
+  order.push_back(start_);
+  reachable[start_] = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (uint32_t a = 0; a < alphabet_size_; ++a) {
+      uint32_t t = Next(order[i], a);
+      if (reachable[t] == -1) {
+        reachable[t] = static_cast<int>(order.size());
+        order.push_back(t);
+      }
+    }
+  }
+  size_t n = order.size();
+
+  // Moore refinement on the reachable part.
+  std::vector<int> block(n);
+  for (size_t i = 0; i < n; ++i) block[i] = accepting_[order[i]] ? 1 : 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::vector<int>, int> signature_block;
+    std::vector<int> new_block(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<int> signature;
+      signature.reserve(alphabet_size_ + 1);
+      signature.push_back(block[i]);
+      for (uint32_t a = 0; a < alphabet_size_; ++a) {
+        signature.push_back(
+            block[static_cast<size_t>(reachable[Next(order[i], a)])]);
+      }
+      auto [it, inserted] = signature_block.emplace(
+          std::move(signature), static_cast<int>(signature_block.size()));
+      new_block[i] = it->second;
+    }
+    int old_count = 1 + *std::max_element(block.begin(), block.end());
+    int new_count = static_cast<int>(signature_block.size());
+    if (new_count != old_count) changed = true;
+    block = std::move(new_block);
+  }
+
+  int num_blocks = 1 + *std::max_element(block.begin(), block.end());
+  Dfa out(alphabet_size_);
+  out.accepting_.assign(static_cast<size_t>(num_blocks), false);
+  out.transitions_.assign(
+      static_cast<size_t>(num_blocks) * alphabet_size_, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t b = static_cast<uint32_t>(block[i]);
+    if (accepting_[order[i]]) out.accepting_[b] = true;
+    for (uint32_t a = 0; a < alphabet_size_; ++a) {
+      out.transitions_[b * alphabet_size_ + a] = static_cast<uint32_t>(
+          block[static_cast<size_t>(reachable[Next(order[i], a)])]);
+    }
+  }
+  out.start_ = static_cast<uint32_t>(block[0]);  // order[0] == start_
+  return out;
+}
+
+bool Dfa::Accepts(std::span<const uint32_t> word) const {
+  uint32_t state = start_;
+  for (uint32_t a : word) state = Next(state, a);
+  return accepting_[state];
+}
+
+bool Dfa::Equivalent(const Dfa& a, const Dfa& b) {
+  if (a.alphabet_size_ != b.alphabet_size_) return false;
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  std::deque<std::pair<uint32_t, uint32_t>> worklist;
+  worklist.emplace_back(a.start_, b.start_);
+  seen.insert(worklist.front());
+  while (!worklist.empty()) {
+    auto [sa, sb] = worklist.front();
+    worklist.pop_front();
+    if (a.accepting_[sa] != b.accepting_[sb]) return false;
+    for (uint32_t x = 0; x < a.alphabet_size_; ++x) {
+      std::pair<uint32_t, uint32_t> next{a.Next(sa, x), b.Next(sb, x)};
+      if (seen.insert(next).second) worklist.push_back(next);
+    }
+  }
+  return true;
+}
+
+}  // namespace exdl

@@ -1,0 +1,51 @@
+// Deterministic finite automata: subset construction, Moore minimization,
+// and language-equivalence checking. Together with grammar/nfa.h this
+// gives the decidable fragment of Theorem 3.3 a full toolchain:
+// chain program -> CFG -> (strongly regular?) -> NFA -> DFA -> minimal DFA
+// -> monadic chain program (grammar/monadic.h).
+
+#ifndef EXDL_GRAMMAR_DFA_H_
+#define EXDL_GRAMMAR_DFA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grammar/nfa.h"
+
+namespace exdl {
+
+class Dfa {
+ public:
+  /// Subset construction over `alphabet_size` terminal symbols. A dead
+  /// (empty-set) state is materialized so transitions are total.
+  static Dfa FromNfa(const Nfa& nfa, uint32_t alphabet_size);
+
+  /// Moore partition refinement; also removes unreachable states.
+  Dfa Minimized() const;
+
+  uint32_t alphabet_size() const { return alphabet_size_; }
+  size_t NumStates() const { return accepting_.size(); }
+  uint32_t start() const { return start_; }
+  bool IsAccepting(uint32_t state) const { return accepting_[state]; }
+  uint32_t Next(uint32_t state, uint32_t symbol) const {
+    return transitions_[state * alphabet_size_ + symbol];
+  }
+
+  bool Accepts(std::span<const uint32_t> word) const;
+
+  /// Language equality via product-automaton reachability.
+  static bool Equivalent(const Dfa& a, const Dfa& b);
+
+ private:
+  Dfa(uint32_t alphabet_size) : alphabet_size_(alphabet_size) {}
+
+  uint32_t alphabet_size_;
+  uint32_t start_ = 0;
+  std::vector<uint32_t> transitions_;  ///< state * alphabet + symbol.
+  std::vector<bool> accepting_;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_GRAMMAR_DFA_H_

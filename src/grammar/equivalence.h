@@ -1,0 +1,72 @@
+// Executable Lemma 4.1: the four equivalence notions for binary chain
+// programs correspond to language equalities of their grammars.
+//
+//   (1) DB equivalence          <-> L(G1, S) = L(G2, S) for every S
+//   (2) query equivalence       <-> L(G1, Q1) = L(G2, Q2)
+//   (3) uniform equivalence     <-> L^ex equality for every nonterminal
+//   (4) uniform query equiv.    <-> L^ex(G1, Q1) = L^ex(G2, Q2)
+//
+// (2) is decidable when both grammars are strongly regular (DFA
+// equivalence); in general all four are undecidable (Lemma 4.2 /
+// Hopcroft & Ullman), so the general-purpose routines below are bounded
+// *refutation* procedures: they can prove inequivalence by exhibiting a
+// separating (extended) word and report "no difference up to length n"
+// otherwise.
+
+#ifndef EXDL_GRAMMAR_EQUIVALENCE_H_
+#define EXDL_GRAMMAR_EQUIVALENCE_H_
+
+#include <optional>
+#include <string>
+
+#include "ast/program.h"
+#include "grammar/cfg.h"
+#include "grammar/language.h"
+#include "util/status.h"
+
+namespace exdl {
+
+/// Result of a bounded comparison.
+struct BoundedComparison {
+  /// True when a separating word was found (the notions differ).
+  bool separated = false;
+  /// A witness, rendered with terminal/nonterminal names.
+  std::string witness;
+  /// The length bound that was exhausted when !separated.
+  size_t bound = 0;
+};
+
+/// Decides query equivalence of two *strongly regular* binary chain
+/// programs exactly (Lemma 4.1(2) + DFA equivalence). Fails when either
+/// grammar is outside the fragment. Terminal alphabets are matched by
+/// name; a terminal of one program missing from the other separates the
+/// languages unless it is unusable.
+Result<bool> ChainQueryEquivalent(const Program& p1, const Program& p2);
+
+/// Bounded refutation of query equivalence via L (Lemma 4.1(2)).
+Result<BoundedComparison> BoundedChainQueryEquivalence(
+    const Program& p1, const Program& p2,
+    const LanguageOptions& options = LanguageOptions());
+
+/// Bounded refutation of *uniform* query equivalence via L^ex
+/// (Lemma 4.1(4)).
+Result<BoundedComparison> BoundedChainUniformQueryEquivalence(
+    const Program& p1, const Program& p2,
+    const LanguageOptions& options = LanguageOptions());
+
+/// Bounded refutation of DB equivalence (Lemma 4.1(1)): L(G, S) compared
+/// for every nonterminal name the two grammars share; a nonterminal
+/// defined on one side only separates immediately.
+Result<BoundedComparison> BoundedChainDbEquivalence(
+    const Program& p1, const Program& p2,
+    const LanguageOptions& options = LanguageOptions());
+
+/// Bounded refutation of uniform equivalence (Lemma 4.1(3)): L^ex per
+/// shared nonterminal.
+Result<BoundedComparison> BoundedChainUniformEquivalence(
+    const Program& p1, const Program& p2,
+    const LanguageOptions& options = LanguageOptions());
+
+}  // namespace exdl
+
+#endif  // EXDL_GRAMMAR_EQUIVALENCE_H_

@@ -1,0 +1,93 @@
+#include "grammar/language.h"
+
+#include <deque>
+
+namespace exdl {
+
+Result<std::set<std::vector<GSym>>> EnumerateExtendedLanguage(
+    const Cfg& grammar, uint32_t start, const LanguageOptions& options) {
+  if (grammar.HasEpsilonProductions()) {
+    return Status::FailedPrecondition(
+        "bounded enumeration requires an epsilon-free grammar");
+  }
+  std::set<std::vector<GSym>> seen;
+  std::deque<std::vector<GSym>> frontier;
+  std::vector<GSym> initial = {GSym::N(start)};
+  seen.insert(initial);
+  frontier.push_back(std::move(initial));
+  size_t explored = 0;
+  while (!frontier.empty()) {
+    std::vector<GSym> form = std::move(frontier.front());
+    frontier.pop_front();
+    if (++explored > options.max_forms) {
+      return Status::FailedPrecondition(
+          "extended-language enumeration exceeded max_forms");
+    }
+    for (size_t i = 0; i < form.size(); ++i) {
+      if (form[i].terminal) continue;
+      for (size_t pi : grammar.ProductionsOf(form[i].id)) {
+        const Production& p = grammar.productions()[pi];
+        if (form.size() - 1 + p.rhs.size() > options.max_length) continue;
+        std::vector<GSym> next;
+        next.reserve(form.size() - 1 + p.rhs.size());
+        next.insert(next.end(), form.begin(), form.begin() + i);
+        next.insert(next.end(), p.rhs.begin(), p.rhs.end());
+        next.insert(next.end(), form.begin() + i + 1, form.end());
+        if (seen.insert(next).second) frontier.push_back(std::move(next));
+      }
+    }
+  }
+  return seen;
+}
+
+Result<std::set<std::vector<uint32_t>>> EnumerateLanguage(
+    const Cfg& grammar, uint32_t start, const LanguageOptions& options) {
+  if (grammar.HasEpsilonProductions()) {
+    return Status::FailedPrecondition(
+        "bounded enumeration requires an epsilon-free grammar");
+  }
+  // Leftmost-only expansion suffices for terminal sentences and explores
+  // far fewer forms than the extended enumeration.
+  std::set<std::vector<uint32_t>> sentences;
+  std::set<std::vector<GSym>> seen;
+  std::deque<std::vector<GSym>> frontier;
+  std::vector<GSym> initial = {GSym::N(start)};
+  seen.insert(initial);
+  frontier.push_back(std::move(initial));
+  size_t explored = 0;
+  while (!frontier.empty()) {
+    std::vector<GSym> form = std::move(frontier.front());
+    frontier.pop_front();
+    if (++explored > options.max_forms) {
+      return Status::FailedPrecondition(
+          "language enumeration exceeded max_forms");
+    }
+    size_t leftmost = form.size();
+    for (size_t i = 0; i < form.size(); ++i) {
+      if (!form[i].terminal) {
+        leftmost = i;
+        break;
+      }
+    }
+    if (leftmost == form.size()) {
+      std::vector<uint32_t> sentence;
+      sentence.reserve(form.size());
+      for (const GSym& s : form) sentence.push_back(s.id);
+      sentences.insert(std::move(sentence));
+      continue;
+    }
+    for (size_t pi : grammar.ProductionsOf(form[leftmost].id)) {
+      const Production& p = grammar.productions()[pi];
+      if (form.size() - 1 + p.rhs.size() > options.max_length) continue;
+      std::vector<GSym> next;
+      next.reserve(form.size() - 1 + p.rhs.size());
+      next.insert(next.end(), form.begin(), form.begin() + leftmost);
+      next.insert(next.end(), p.rhs.begin(), p.rhs.end());
+      next.insert(next.end(), form.begin() + leftmost + 1, form.end());
+      if (seen.insert(next).second) frontier.push_back(std::move(next));
+    }
+  }
+  return sentences;
+}
+
+}  // namespace exdl

@@ -1,0 +1,43 @@
+// Bounded enumeration of L(G, S) and of the extended language L^ex(G, S)
+// (Section 1.1). These power the executable form of Lemma 4.1: DB / query
+// equivalence of chain programs corresponds to L equalities, uniform (and
+// uniform query) equivalence to L^ex equalities. Exact language equality
+// is undecidable; length-bounded enumeration gives a sound refutation
+// procedure and a practical cross-check.
+
+#ifndef EXDL_GRAMMAR_LANGUAGE_H_
+#define EXDL_GRAMMAR_LANGUAGE_H_
+
+#include <set>
+#include <vector>
+
+#include "grammar/cfg.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct LanguageOptions {
+  size_t max_length = 8;       ///< Keep strings of at most this length.
+  size_t max_forms = 2000000;  ///< Abort threshold on explored forms.
+};
+
+/// All terminal strings of length <= max_length derivable from `start`.
+/// Requires the grammar to have no reachable epsilon productions (chain
+/// grammars never do); with none, sentential forms only grow, so the
+/// enumeration is complete up to the bound.
+Result<std::set<std::vector<uint32_t>>> EnumerateLanguage(
+    const Cfg& grammar, uint32_t start,
+    const LanguageOptions& options = LanguageOptions());
+
+/// All sentential forms (strings over terminals AND nonterminals) of
+/// length <= max_length derivable from `start`, including `start` itself.
+/// Note: every nonterminal position must be expandable, not just the
+/// leftmost one — leftmost derivations reach all sentences but not all
+/// sentential forms.
+Result<std::set<std::vector<GSym>>> EnumerateExtendedLanguage(
+    const Cfg& grammar, uint32_t start,
+    const LanguageOptions& options = LanguageOptions());
+
+}  // namespace exdl
+
+#endif  // EXDL_GRAMMAR_LANGUAGE_H_

@@ -1,0 +1,42 @@
+// Monadic chain-program synthesis — the constructive direction of
+// Theorem 3.3.
+//
+// For a binary chain program whose grammar G is (strongly) regular and a
+// query p^dn (the source argument existential, the target needed), the set
+// of answers is { Y : some node X reaches Y along a path whose edge-label
+// string is in L(G) }. Running the DFA of L(G) over the EDB graph needs
+// only unary predicates: one `state` predicate per DFA state.
+//
+//   st_q0(X)  :- a(X, _).            for every terminal a  (path starts)
+//   st_q'(Y)  :- st_q(X), a(X, Y).   for every transition q --a--> q'
+//   ans(Y)    :- st_qf(X), a(X, Y).  folded into the above: ans collects
+//                                    accepting states
+//   ans(Y)    :- st_qf(Y).           for accepting qf
+//
+// If the DFA accepts the empty word, every node is an answer:
+//   ans(Y) :- a(Y, _).   and   ans(Y) :- a(_, Y).   for every terminal a.
+
+#ifndef EXDL_GRAMMAR_MONADIC_H_
+#define EXDL_GRAMMAR_MONADIC_H_
+
+#include "ast/program.h"
+#include "grammar/dfa.h"
+#include "util/status.h"
+
+namespace exdl {
+
+/// Builds the monadic program. Terminal names of `grammar` are resolved to
+/// binary base predicates in `ctx` (the same names the chain program
+/// used). The query is `ans(Y)`.
+Result<Program> MonadicProgramFromDfa(const Dfa& dfa, const Cfg& grammar,
+                                      ContextPtr ctx);
+
+/// End-to-end convenience: chain program -> grammar -> strongly-regular
+/// check -> NFA -> minimal DFA -> monadic program. Fails when the grammar
+/// is not strongly regular (Theorem 3.3's undecidability means some
+/// regular-language chain programs will be rejected; that is inherent).
+Result<Program> MonadicEquivalent(const Program& chain_program);
+
+}  // namespace exdl
+
+#endif  // EXDL_GRAMMAR_MONADIC_H_

@@ -1,0 +1,164 @@
+#include "grammar/nfa.h"
+
+#include <functional>
+#include <optional>
+
+#include "grammar/regularity.h"
+
+namespace exdl {
+
+void Nfa::SpliceCopy(const Nfa& fragment, uint32_t from, uint32_t to) {
+  uint32_t offset = static_cast<uint32_t>(states.size());
+  for (const std::vector<Edge>& edges : fragment.states) {
+    uint32_t s = AddState();
+    for (const Edge& e : edges) {
+      states[s].push_back(Edge{e.symbol, e.to + offset});
+    }
+  }
+  AddEdge(from, kEpsilon, offset + fragment.start);
+  AddEdge(offset + fragment.accept, kEpsilon, to);
+}
+
+Nfa Nfa::Reversed() const {
+  Nfa out;
+  out.states.resize(states.size());
+  for (uint32_t s = 0; s < states.size(); ++s) {
+    for (const Edge& e : states[s]) {
+      out.states[e.to].push_back(Edge{e.symbol, s});
+    }
+  }
+  out.start = accept;
+  out.accept = start;
+  return out;
+}
+
+namespace {
+
+/// Builder resolving nonterminal fragments bottom-up over the SCC DAG.
+class NfaBuilder {
+ public:
+  explicit NfaBuilder(const Cfg& grammar) : grammar_(grammar) {
+    scc_ = NonterminalSccs(grammar, &num_sccs_);
+    members_.resize(static_cast<size_t>(num_sccs_));
+    for (uint32_t nt = 0; nt < grammar.NumNonterminals(); ++nt) {
+      members_[static_cast<size_t>(scc_[nt])].push_back(nt);
+    }
+    fragments_.resize(grammar.NumNonterminals());
+  }
+
+  Result<Nfa> Fragment(uint32_t nt) {
+    if (!fragments_[nt].has_value()) {
+      EXDL_RETURN_IF_ERROR(BuildScc(scc_[nt]));
+    }
+    return *fragments_[nt];
+  }
+
+ private:
+  /// Right-linear = 1, left-linear = 2, either = 0, conflict = error.
+  Result<int> SccKind(int scc_id) {
+    int kind = 0;
+    for (uint32_t member : members_[static_cast<size_t>(scc_id)]) {
+      for (size_t pi : grammar_.ProductionsOf(member)) {
+        const Production& p = grammar_.productions()[pi];
+        size_t internal_count = 0;
+        size_t internal_pos = 0;
+        for (size_t i = 0; i < p.rhs.size(); ++i) {
+          if (!p.rhs[i].terminal && scc_[p.rhs[i].id] == scc_id) {
+            ++internal_count;
+            internal_pos = i;
+          }
+        }
+        if (internal_count == 0) continue;
+        if (internal_count > 1) {
+          return Status::FailedPrecondition(
+              "grammar is not strongly regular: production of '" +
+              grammar_.NonterminalName(member) +
+              "' references its SCC more than once");
+        }
+        bool right = internal_pos + 1 == p.rhs.size();
+        bool left = internal_pos == 0;
+        if (right && left) continue;
+        int needed = right ? 1 : (left ? 2 : 3);
+        if (needed == 3 || (kind != 0 && kind != needed)) {
+          return Status::FailedPrecondition(
+              "grammar is not strongly regular: SCC of '" +
+              grammar_.NonterminalName(member) +
+              "' mixes left- and right-linear recursion");
+        }
+        kind = needed;
+      }
+    }
+    return kind;
+  }
+
+  Status BuildScc(int scc_id) {
+    EXDL_ASSIGN_OR_RETURN(int kind, SccKind(scc_id));
+    bool left_linear = kind == 2;
+    const std::vector<uint32_t>& members =
+        members_[static_cast<size_t>(scc_id)];
+
+    // One machine for the whole SCC: a state per member plus one final.
+    Nfa machine;
+    std::vector<uint32_t> state_of(grammar_.NumNonterminals(), 0);
+    for (uint32_t m : members) state_of[m] = machine.AddState();
+    uint32_t final_state = machine.AddState();
+    machine.accept = final_state;
+
+    for (uint32_t member : members) {
+      for (size_t pi : grammar_.ProductionsOf(member)) {
+        const Production& p = grammar_.productions()[pi];
+        // Normalize to right-linear orientation: for a left-linear SCC the
+        // production is processed reversed (and sub-fragments reversed);
+        // the machine is flipped back at the end.
+        std::vector<GSym> symbols(p.rhs);
+        if (left_linear) {
+          std::reverse(symbols.begin(), symbols.end());
+        }
+        std::optional<uint32_t> trailing_member;
+        if (!symbols.empty() && !symbols.back().terminal &&
+            scc_[symbols.back().id] == scc_id) {
+          trailing_member = symbols.back().id;
+          symbols.pop_back();
+        }
+        uint32_t cur = state_of[member];
+        for (const GSym& s : symbols) {
+          uint32_t next = machine.AddState();
+          if (s.terminal) {
+            machine.AddEdge(cur, static_cast<int>(s.id), next);
+          } else {
+            EXDL_ASSIGN_OR_RETURN(Nfa sub, Fragment(s.id));
+            machine.SpliceCopy(left_linear ? sub.Reversed() : sub, cur,
+                               next);
+          }
+          cur = next;
+        }
+        machine.AddEdge(cur, kEpsilon,
+                        trailing_member ? state_of[*trailing_member]
+                                        : final_state);
+      }
+    }
+
+    for (uint32_t member : members) {
+      Nfa fragment = machine;
+      fragment.start = state_of[member];
+      fragment.accept = final_state;
+      fragments_[member] = left_linear ? fragment.Reversed() : fragment;
+    }
+    return Status::Ok();
+  }
+
+  const Cfg& grammar_;
+  std::vector<int> scc_;
+  int num_sccs_ = 0;
+  std::vector<std::vector<uint32_t>> members_;
+  std::vector<std::optional<Nfa>> fragments_;
+};
+
+}  // namespace
+
+Result<Nfa> StronglyRegularToNfa(const Cfg& grammar, uint32_t start) {
+  NfaBuilder builder(grammar);
+  return builder.Fragment(start);
+}
+
+}  // namespace exdl

@@ -1,0 +1,65 @@
+// Nondeterministic finite automata over a grammar's terminal alphabet, and
+// the exact NFA construction for strongly regular grammars (in the spirit
+// of Mohri & Nederhof's transformation, applied exactly because strong
+// regularity is checked first).
+//
+// Construction sketch: nonterminal SCCs are processed bottom-up. For a
+// right-linear SCC one machine is built with a state per member and a
+// shared final state; a production B -> x1..xk C (C in the SCC) walks the
+// xi — terminals become labeled edges, out-of-SCC nonterminals splice a
+// copy of their (already built) fragment — and ends with an epsilon edge
+// to C's state (or to the final state when no trailing member). Left-linear
+// SCCs build the machine for the reversed productions (with reversed
+// sub-fragments) and reverse the result. Every fragment has one start and
+// one accept state, which keeps reversal trivial.
+
+#ifndef EXDL_GRAMMAR_NFA_H_
+#define EXDL_GRAMMAR_NFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "grammar/cfg.h"
+#include "util/status.h"
+
+namespace exdl {
+
+/// Epsilon label.
+inline constexpr int kEpsilon = -1;
+
+/// NFA with a single start and a single accept state (fragment form).
+struct Nfa {
+  struct Edge {
+    int symbol = kEpsilon;  ///< Terminal id, or kEpsilon.
+    uint32_t to = 0;
+  };
+
+  std::vector<std::vector<Edge>> states;  ///< Adjacency per state.
+  uint32_t start = 0;
+  uint32_t accept = 0;
+
+  uint32_t AddState() {
+    states.emplace_back();
+    return static_cast<uint32_t>(states.size() - 1);
+  }
+  void AddEdge(uint32_t from, int symbol, uint32_t to) {
+    states[from].push_back(Edge{symbol, to});
+  }
+
+  /// Splices a copy of `fragment` between `from` and `to` (fresh states,
+  /// epsilon stitches).
+  void SpliceCopy(const Nfa& fragment, uint32_t from, uint32_t to);
+
+  /// The reversal (accepts the mirror language).
+  Nfa Reversed() const;
+
+  size_t NumStates() const { return states.size(); }
+};
+
+/// Exact NFA for L(grammar, start). Fails unless the grammar is strongly
+/// regular (grammar/regularity.h).
+Result<Nfa> StronglyRegularToNfa(const Cfg& grammar, uint32_t start);
+
+}  // namespace exdl
+
+#endif  // EXDL_GRAMMAR_NFA_H_

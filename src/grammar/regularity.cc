@@ -1,0 +1,183 @@
+#include "grammar/regularity.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace exdl {
+namespace {
+
+/// Nonterminals deriving the empty string.
+std::vector<bool> NullableNonterminals(const Cfg& grammar) {
+  std::vector<bool> nullable(grammar.NumNonterminals(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Production& p : grammar.productions()) {
+      if (nullable[p.lhs]) continue;
+      bool all = true;
+      for (const GSym& s : p.rhs) {
+        if (s.terminal || !nullable[s.id]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        nullable[p.lhs] = true;
+        changed = true;
+      }
+    }
+  }
+  return nullable;
+}
+
+}  // namespace
+
+bool IsSelfEmbedding(const Cfg& grammar) {
+  size_t n = grammar.NumNonterminals();
+  std::vector<bool> nullable = NullableNonterminals(grammar);
+  // Conservative "derives some nonempty string" (unproductive symbols are
+  // treated as solid, which can only over-report self-embedding — the safe
+  // direction, since only non-self-embedding implies regularity).
+  auto solid = [&](const GSym& s) { return s.terminal || !nullable[s.id]; };
+  // state[(A*n+B)*4 + flags] reached, flags = l | (r<<1).
+  std::vector<bool> reached(n * n * 4, false);
+  std::deque<std::pair<size_t, int>> worklist;  // (A*n+B, flags)
+  auto add = [&](uint32_t a, uint32_t b, int flags) {
+    size_t key = (static_cast<size_t>(a) * n + b) * 4 +
+                 static_cast<size_t>(flags);
+    if (reached[key]) return;
+    reached[key] = true;
+    worklist.emplace_back(static_cast<size_t>(a) * n + b, flags);
+  };
+  for (const Production& p : grammar.productions()) {
+    for (size_t i = 0; i < p.rhs.size(); ++i) {
+      if (p.rhs[i].terminal) continue;
+      bool l = false;
+      bool r = false;
+      for (size_t j = 0; j < i; ++j) l = l || solid(p.rhs[j]);
+      for (size_t j = i + 1; j < p.rhs.size(); ++j) r = r || solid(p.rhs[j]);
+      add(p.lhs, p.rhs[i].id, (l ? 1 : 0) | (r ? 2 : 0));
+    }
+  }
+  while (!worklist.empty()) {
+    auto [ab, flags] = worklist.front();
+    worklist.pop_front();
+    uint32_t a = static_cast<uint32_t>(ab / n);
+    uint32_t b = static_cast<uint32_t>(ab % n);
+    if (a == b && flags == 3) return true;
+    // Extend on the right (a,b)∘(b,c) and on the left (x,a)∘(a,b); doing
+    // both keeps the closure complete regardless of discovery order.
+    for (int f2 = 0; f2 < 4; ++f2) {
+      for (uint32_t c = 0; c < n; ++c) {
+        size_t right_key = (static_cast<size_t>(b) * n + c) * 4 +
+                           static_cast<size_t>(f2);
+        if (reached[right_key]) add(a, c, flags | f2);
+        size_t left_key = (static_cast<size_t>(c) * n + a) * 4 +
+                          static_cast<size_t>(f2);
+        if (reached[left_key]) add(c, b, flags | f2);
+      }
+    }
+  }
+  for (uint32_t a = 0; a < n; ++a) {
+    if (reached[(static_cast<size_t>(a) * n + a) * 4 + 3]) return true;
+  }
+  return false;
+}
+
+std::vector<int> NonterminalSccs(const Cfg& grammar, int* num_sccs) {
+  size_t n = grammar.NumNonterminals();
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const Production& p : grammar.productions()) {
+    for (const GSym& s : p.rhs) {
+      if (!s.terminal) adj[p.lhs].push_back(s.id);
+    }
+  }
+  // Iterative Tarjan.
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  std::vector<int> scc(n, -1);
+  int next_index = 0;
+  int next_scc = 0;
+  struct Frame {
+    uint32_t node;
+    size_t edge;
+  };
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.node].size()) {
+        uint32_t w = adj[f.node][f.edge++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+        continue;
+      }
+      uint32_t node = f.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[node]);
+      }
+      if (lowlink[node] == index[node]) {
+        for (;;) {
+          uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc[w] = next_scc;
+          if (w == node) break;
+        }
+        ++next_scc;
+      }
+    }
+  }
+  if (num_sccs != nullptr) *num_sccs = next_scc;
+  return scc;
+}
+
+bool IsStronglyRegular(const Cfg& grammar) {
+  int num_sccs = 0;
+  std::vector<int> scc = NonterminalSccs(grammar, &num_sccs);
+  // 0 = unconstrained, 1 = right-linear, 2 = left-linear, 3 = conflict.
+  std::vector<int> kind(static_cast<size_t>(num_sccs), 0);
+  for (const Production& p : grammar.productions()) {
+    int my_scc = scc[p.lhs];
+    std::vector<size_t> internal;
+    for (size_t i = 0; i < p.rhs.size(); ++i) {
+      if (!p.rhs[i].terminal && scc[p.rhs[i].id] == my_scc) {
+        internal.push_back(i);
+      }
+    }
+    if (internal.empty()) continue;
+    if (internal.size() > 1) return false;
+    size_t pos = internal[0];
+    bool can_right = pos + 1 == p.rhs.size();
+    bool can_left = pos == 0;
+    int& k = kind[static_cast<size_t>(my_scc)];
+    if (can_right && can_left) continue;  // single-symbol rhs fits either
+    if (can_right) {
+      if (k == 2) return false;
+      k = 1;
+    } else if (can_left) {
+      if (k == 1) return false;
+      k = 2;
+    } else {
+      return false;  // internal nonterminal in the middle
+    }
+  }
+  return true;
+}
+
+}  // namespace exdl

@@ -1,0 +1,40 @@
+// Regularity analyses behind Theorem 3.3.
+//
+// Theorem 3.3: a binary chain program with a p^dn query has an equivalent
+// monadic chain program iff the corresponding CFG's language is regular —
+// which is undecidable. Two decidable sufficient conditions are
+// implemented:
+//
+//  * non-self-embedding: if no nonterminal A derives αAβ with α, β both
+//    nonempty, the language is regular (Chomsky 1959);
+//  * strong regularity (Mohri–Nederhof): every SCC of the nonterminal
+//    reference graph is uniformly right-linear or uniformly left-linear
+//    with respect to its own members. Strongly regular grammars convert
+//    *exactly* to finite automata (grammar/nfa.h).
+
+#ifndef EXDL_GRAMMAR_REGULARITY_H_
+#define EXDL_GRAMMAR_REGULARITY_H_
+
+#include <vector>
+
+#include "grammar/cfg.h"
+
+namespace exdl {
+
+/// True if some nonterminal A satisfies A =>+ αAβ with α and β nonempty.
+/// (Grammars where this is false generate regular languages; the converse
+/// fails, so this is a sufficient regularity test only.)
+bool IsSelfEmbedding(const Cfg& grammar);
+
+/// SCC decomposition of the nonterminal reference graph; SCC ids are in
+/// reverse topological order (callees first), matching DependencyGraph.
+std::vector<int> NonterminalSccs(const Cfg& grammar, int* num_sccs);
+
+/// True if each SCC's internal productions are all right-linear or all
+/// left-linear w.r.t. SCC members (at most one member occurrence, at the
+/// last resp. first position, with every other symbol outside the SCC).
+bool IsStronglyRegular(const Cfg& grammar);
+
+}  // namespace exdl
+
+#endif  // EXDL_GRAMMAR_REGULARITY_H_

@@ -1,0 +1,111 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace exdl {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
+}
+
+}  // namespace
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kImplies: return "':-'";
+    case TokenKind::kQuery: return "'?-'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> out;
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text) {
+    out.push_back(Token{kind, std::move(text), line, col});
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++col;
+      ++i;
+      continue;
+    }
+    if (c == '%' || c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '(') { push(TokenKind::kLParen, "("); ++i; ++col; continue; }
+    if (c == ')') { push(TokenKind::kRParen, ")"); ++i; ++col; continue; }
+    if (c == ',') { push(TokenKind::kComma, ","); ++i; ++col; continue; }
+    if (c == '.') { push(TokenKind::kDot, "."); ++i; ++col; continue; }
+    if (c == '@') { push(TokenKind::kAt, "@"); ++i; ++col; continue; }
+    if (c == ':') {
+      if (i + 1 < source.size() && source[i + 1] == '-') {
+        push(TokenKind::kImplies, ":-");
+        i += 2;
+        col += 2;
+        continue;
+      }
+      return Status::InvalidArgument("line " + std::to_string(line) +
+                                     ": expected ':-' after ':'");
+    }
+    if (c == '?') {
+      if (i + 1 < source.size() && source[i + 1] == '-') {
+        push(TokenKind::kQuery, "?-");
+        i += 2;
+        col += 2;
+        continue;
+      }
+      return Status::InvalidArgument("line " + std::to_string(line) +
+                                     ": expected '?-' after '?'");
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      std::string text(source.substr(start, i - start));
+      col += static_cast<int>(i - start);
+      push(TokenKind::kIdent, std::move(text));  // integer constants
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < source.size() && IsIdentChar(source[i])) ++i;
+      std::string text(source.substr(start, i - start));
+      col += static_cast<int>(i - start);
+      bool is_var = std::isupper(static_cast<unsigned char>(c)) || c == '_';
+      push(is_var ? TokenKind::kVariable : TokenKind::kIdent, std::move(text));
+      continue;
+    }
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": unexpected character '" +
+                                   std::string(1, c) + "'");
+  }
+  out.push_back(Token{TokenKind::kEof, "", line, col});
+  return out;
+}
+
+}  // namespace exdl

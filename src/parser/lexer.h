@@ -1,0 +1,53 @@
+// Lexer for the concrete Datalog syntax.
+//
+//   program   := clause*
+//   clause    := atom ( ":-" atom ("," atom)* )? "."
+//              | "?-" atom "."
+//   atom      := pred ( "(" term ("," term)* ")" )?
+//   pred      := ident ( "@" ident )?          -- optional adornment
+//   term      := VARIABLE | ident | INTEGER | "_"
+//
+// Identifiers starting with a lower-case letter (or digits) are constants /
+// predicate names; identifiers starting with an upper-case letter or "_"
+// are variables (Prolog convention). "%" and "#" start line comments.
+
+#ifndef EXDL_PARSER_LEXER_H_
+#define EXDL_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace exdl {
+
+enum class TokenKind {
+  kIdent,      ///< lower-case identifier or integer literal (a constant name)
+  kVariable,   ///< upper-case / underscore identifier
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kImplies,    ///< ":-"
+  kQuery,      ///< "?-"
+  kAt,         ///< "@"
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `source` in one pass; the final token is always kEof.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+/// Debug name of a token kind.
+std::string_view TokenKindName(TokenKind kind);
+
+}  // namespace exdl
+
+#endif  // EXDL_PARSER_LEXER_H_

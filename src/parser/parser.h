@@ -1,0 +1,38 @@
+// Recursive-descent parser producing a Program (rules + query) and the
+// ground facts found in the input.
+//
+// Following the paper (Section 1.1), facts are not part of the IDB: every
+// ground, body-less clause is returned separately in `facts` so callers can
+// load them into a Database. A non-ground body-less clause is an error.
+
+#ifndef EXDL_PARSER_PARSER_H_
+#define EXDL_PARSER_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace exdl {
+
+/// Result of parsing one source text.
+struct ParsedUnit {
+  Program program;          ///< Rules and (optional) query.
+  std::vector<Atom> facts;  ///< Ground facts destined for the EDB.
+
+  explicit ParsedUnit(ContextPtr ctx) : program(std::move(ctx)) {}
+};
+
+/// Parses a whole program. Interns into `ctx` (shared with the result).
+Result<ParsedUnit> ParseProgram(std::string_view source, ContextPtr ctx);
+
+/// Parses a single atom, e.g. "a@nd(X, 7)". Convenience for tests/tools.
+Result<Atom> ParseAtom(std::string_view source, Context* ctx);
+
+/// Parses a single rule (with trailing '.' optional).
+Result<Rule> ParseRule(std::string_view source, Context* ctx);
+
+}  // namespace exdl
+
+#endif  // EXDL_PARSER_PARSER_H_

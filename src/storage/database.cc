@@ -1,0 +1,71 @@
+#include "storage/database.h"
+
+namespace exdl {
+
+Relation& Database::GetOrCreate(PredId pred, uint32_t arity) {
+  auto it = relations_.find(pred);
+  if (it != relations_.end()) return it->second;
+  return relations_.emplace(pred, Relation(arity)).first->second;
+}
+
+const Relation* Database::Find(PredId pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::FindMutable(PredId pred) {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Status Database::AddFact(const Atom& atom) {
+  if (!atom.IsGround()) {
+    return Status::InvalidArgument("AddFact requires a ground atom");
+  }
+  std::vector<Value> row;
+  row.reserve(atom.args.size());
+  for (const Term& t : atom.args) row.push_back(t.id());
+  GetOrCreate(atom.pred, static_cast<uint32_t>(atom.args.size()))
+      .Insert(row);
+  return Status::Ok();
+}
+
+bool Database::AddTuple(PredId pred, std::span<const Value> row) {
+  return GetOrCreate(pred, static_cast<uint32_t>(row.size())).Insert(row);
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [pred, rel] : relations_) n += rel.size();
+  return n;
+}
+
+size_t Database::Count(PredId pred) const {
+  const Relation* rel = Find(pred);
+  return rel == nullptr ? 0 : rel->size();
+}
+
+std::vector<Atom> Database::FactsOf(PredId pred) const {
+  std::vector<Atom> out;
+  const Relation* rel = Find(pred);
+  if (rel == nullptr) return out;
+  for (size_t i = 0; i < rel->size(); ++i) {
+    std::span<const Value> row = rel->Row(i);
+    std::vector<Term> args;
+    args.reserve(row.size());
+    for (Value v : row) args.push_back(Term::Const(v));
+    out.emplace_back(pred, std::move(args));
+  }
+  return out;
+}
+
+Database Database::Clone() const {
+  Database copy;
+  for (const auto& [pred, rel] : relations_) {
+    Relation& dst = copy.GetOrCreate(pred, rel.arity());
+    for (size_t i = 0; i < rel.size(); ++i) dst.Insert(rel.Row(i));
+  }
+  return copy;
+}
+
+}  // namespace exdl

@@ -1,0 +1,58 @@
+// Database: predicate id -> Relation. Holds the EDB; during evaluation it
+// also holds the growing derived relations. For *uniform* equivalence tests
+// (Section 4) the input database may contain facts for IDB predicates too —
+// nothing here distinguishes the two.
+
+#ifndef EXDL_STORAGE_DATABASE_H_
+#define EXDL_STORAGE_DATABASE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ast/atom.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace exdl {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// The relation for `pred`, creating an empty one of the predicate's
+  /// arity on first use.
+  Relation& GetOrCreate(PredId pred, uint32_t arity);
+
+  /// The relation for `pred`, or nullptr if no tuple was ever stored.
+  const Relation* Find(PredId pred) const;
+  Relation* FindMutable(PredId pred);
+
+  /// Inserts a ground atom as a fact. Fails on non-ground atoms.
+  Status AddFact(const Atom& atom);
+
+  /// Inserts a tuple for `pred`.
+  bool AddTuple(PredId pred, std::span<const Value> row);
+
+  /// Sum of all relation sizes.
+  size_t TotalTuples() const;
+
+  /// Number of tuples for `pred` (0 if absent).
+  size_t Count(PredId pred) const;
+
+  /// All tuples of `pred` as ground atoms (testing/debug convenience).
+  std::vector<Atom> FactsOf(PredId pred) const;
+
+  /// Deep copy.
+  Database Clone() const;
+
+  const std::unordered_map<PredId, Relation>& relations() const {
+    return relations_;
+  }
+
+ private:
+  std::unordered_map<PredId, Relation> relations_;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_STORAGE_DATABASE_H_

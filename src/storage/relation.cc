@@ -1,0 +1,52 @@
+#include "storage/relation.h"
+
+#include <cassert>
+
+namespace exdl {
+
+bool Relation::Insert(std::span<const Value> row) {
+  assert(row.size() == arity_);
+  ++insert_attempts_;
+  std::vector<Value> key(row.begin(), row.end());
+  auto [it, inserted] =
+      set_.emplace(std::move(key), static_cast<uint32_t>(rows_.size()));
+  if (!inserted) return false;
+  rows_.push_back(&it->first);
+  uint32_t row_id = it->second;
+  for (auto& [cols, index] : indexes_) {
+    std::vector<Value> proj;
+    proj.reserve(index.columns.size());
+    for (uint32_t c : index.columns) proj.push_back(it->first[c]);
+    index.map[std::move(proj)].push_back(row_id);
+  }
+  return true;
+}
+
+bool Relation::Contains(std::span<const Value> row) const {
+  std::vector<Value> key(row.begin(), row.end());
+  return set_.find(key) != set_.end();
+}
+
+const Relation::Index& Relation::GetIndex(
+    const std::vector<uint32_t>& columns) {
+  auto it = indexes_.find(columns);
+  if (it != indexes_.end()) return it->second;
+  Index& index = indexes_[columns];
+  index.columns = columns;
+  for (uint32_t row_id = 0; row_id < rows_.size(); ++row_id) {
+    const std::vector<Value>& row = *rows_[row_id];
+    std::vector<Value> proj;
+    proj.reserve(columns.size());
+    for (uint32_t c : columns) proj.push_back(row[c]);
+    index.map[std::move(proj)].push_back(row_id);
+  }
+  return index;
+}
+
+void Relation::Clear() {
+  set_.clear();
+  rows_.clear();
+  indexes_.clear();
+}
+
+}  // namespace exdl

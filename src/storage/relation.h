@@ -1,0 +1,98 @@
+// Relation: a deduplicated set of fixed-arity tuples of interned values,
+// with insertion-ordered row ids and lazily built, incrementally maintained
+// hash indexes on column subsets.
+//
+// Insertion order is stable, which lets the semi-naive evaluator treat a
+// suffix of row ids [watermark, size) as the delta without copying tuples.
+
+#ifndef EXDL_STORAGE_RELATION_H_
+#define EXDL_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/context.h"
+
+namespace exdl {
+
+/// A tuple component: an interned constant symbol.
+using Value = SymbolId;
+
+/// Hash for value vectors (FNV-1a over 32-bit lanes).
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (Value x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+class Relation {
+ public:
+  /// Row ids matching one index key.
+  using RowIdList = std::vector<uint32_t>;
+
+  /// Hash index on a fixed column subset. Key = projected values in column
+  /// order; value = insertion-ordered row ids.
+  struct Index {
+    std::vector<uint32_t> columns;
+    std::unordered_map<std::vector<Value>, RowIdList, ValueVecHash> map;
+
+    /// Rows whose projection equals `key`, or nullptr.
+    const RowIdList* Lookup(const std::vector<Value>& key) const {
+      auto it = map.find(key);
+      return it == map.end() ? nullptr : &it->second;
+    }
+  };
+
+  explicit Relation(uint32_t arity) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts `row` (must have length == arity). Returns true if the tuple
+  /// was new. Duplicate inserts are counted in `insert_attempts`.
+  bool Insert(std::span<const Value> row);
+
+  /// The `row_id`-th tuple in insertion order.
+  std::span<const Value> Row(size_t row_id) const {
+    return std::span<const Value>(*rows_[row_id]);
+  }
+
+  /// True if the exact tuple is present.
+  bool Contains(std::span<const Value> row) const;
+
+  /// Returns the index on `columns` (sorted, distinct, each < arity),
+  /// building it on first use. The reference stays valid and up to date
+  /// across subsequent Inserts.
+  const Index& GetIndex(const std::vector<uint32_t>& columns);
+
+  /// Total Insert calls, including duplicates — the paper's "duplicate
+  /// elimination cost" is insert_attempts() - size().
+  uint64_t insert_attempts() const { return insert_attempts_; }
+
+  /// Drops all tuples and indexes.
+  void Clear();
+
+ private:
+  uint32_t arity_;
+  // Tuples are owned by the dedup map; rows_ holds stable pointers to the
+  // map keys in insertion order (unordered_map keys do not move on rehash).
+  std::unordered_map<std::vector<Value>, uint32_t, ValueVecHash> set_;
+  std::vector<const std::vector<Value>*> rows_;
+  // Keyed by column list so GetIndex can find existing indexes. std::map:
+  // few indexes per relation, iteration order irrelevant but stable.
+  std::map<std::vector<uint32_t>, Index> indexes_;
+  uint64_t insert_attempts_ = 0;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_STORAGE_RELATION_H_

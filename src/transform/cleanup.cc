@@ -1,0 +1,71 @@
+#include "transform/cleanup.h"
+
+#include "analysis/reachability.h"
+
+namespace exdl {
+
+Result<CleanupResult> CleanupProgram(
+    const Program& program, const std::unordered_set<PredId>& input_preds) {
+  if (!program.query()) {
+    return Status::FailedPrecondition("cleanup requires a query");
+  }
+  CleanupResult result{program.Clone(), 0};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    Program& p = result.program;
+    std::unordered_set<PredId> reachable = ReachableFromQuery(p);
+
+    // Productive predicates can hold at least one tuple on some input:
+    // input predicates always; an internal predicate when some rule's
+    // derived body literals are all productive. An internal predicate with
+    // no exit path (Example 8's "no exit rule defining p.1") is empty on
+    // every instance of the input schema.
+    std::unordered_set<PredId> productive = input_preds;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const Rule& r : p.rules()) {
+        if (productive.count(r.head.pred) > 0) continue;
+        bool all = true;
+        for (const Atom& lit : r.body) {
+          // A negated literal is satisfiable regardless of the relation.
+          if (!lit.negated && productive.count(lit.pred) == 0) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          productive.insert(r.head.pred);
+          grew = true;
+        }
+      }
+    }
+
+    std::vector<Rule> kept;
+    kept.reserve(p.rules().size());
+    for (const Rule& r : p.rules()) {
+      bool drop = false;
+      if (reachable.count(r.head.pred) == 0) {
+        drop = true;  // never contributes to the query
+      } else {
+        for (const Atom& lit : r.body) {
+          if (!lit.negated && productive.count(lit.pred) == 0) {
+            drop = true;  // mentions a provably empty internal predicate
+            break;
+          }
+        }
+      }
+      if (drop) {
+        ++result.rules_removed;
+        changed = true;
+      } else {
+        kept.push_back(r);
+      }
+    }
+    p.mutable_rules() = std::move(kept);
+  }
+  return result;
+}
+
+}  // namespace exdl

@@ -1,0 +1,34 @@
+// Cascade cleanup after rule deletion (used in Examples 6, 7 and 8):
+//   (1) a derived-only predicate (not an input relation) with no defining
+//       rules is empty, so rules whose bodies mention it can never fire;
+//   (2) rules whose head predicate is unreachable from the query never
+//       contribute to an answer.
+// Both removals preserve query equivalence over instances of the *input*
+// schema; iterated to a fixpoint. (They do not preserve uniform
+// equivalence — internal predicates such as adorned versions and boolean
+// components are not part of the input vocabulary, which is exactly the
+// paper's reading in Example 6.)
+
+#ifndef EXDL_TRANSFORM_CLEANUP_H_
+#define EXDL_TRANSFORM_CLEANUP_H_
+
+#include <unordered_set>
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct CleanupResult {
+  Program program;
+  size_t rules_removed = 0;
+};
+
+/// `input_preds`: the predicates an input database may populate (the
+/// original EDB schema). Every other predicate is internal.
+Result<CleanupResult> CleanupProgram(
+    const Program& program, const std::unordered_set<PredId>& input_preds);
+
+}  // namespace exdl
+
+#endif  // EXDL_TRANSFORM_CLEANUP_H_

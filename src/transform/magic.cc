@@ -1,0 +1,233 @@
+#include "transform/magic.h"
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+namespace exdl {
+namespace {
+
+struct VersionKey {
+  PredId original;
+  std::string bf;
+  bool operator==(const VersionKey&) const = default;
+};
+struct VersionKeyHash {
+  size_t operator()(const VersionKey& k) const {
+    return k.original ^ (std::hash<std::string>()(k.bf) << 1);
+  }
+};
+
+}  // namespace
+
+Database WithSeed(const Database& edb, const Atom& seed_fact) {
+  Database out = edb.Clone();
+  (void)out.AddFact(seed_fact);
+  return out;
+}
+
+Result<MagicResult> MagicRewrite(const Program& program,
+                                 const MagicOptions& options) {
+  if (!program.query()) {
+    return Status::FailedPrecondition("magic rewriting requires a query");
+  }
+  Context& ctx = program.ctx();
+  const Atom& query = *program.query();
+  std::unordered_set<PredId> idb = program.IdbPredicates();
+  if (idb.count(query.pred) == 0) {
+    return Status::FailedPrecondition(
+        "magic rewriting requires a derived query predicate");
+  }
+  if (program.HasNegation()) {
+    return Status::FailedPrecondition(
+        "magic rewriting of stratified programs is not supported");
+  }
+
+  // b/f pattern of the query: constants are bound.
+  Adornment query_bf = Adornment::AllFree(query.args.size());
+  for (size_t i = 0; i < query.args.size(); ++i) {
+    if (query.args[i].IsConst()) query_bf.set(i, Adornment::kBound);
+  }
+
+  // Adorned (b/f) versions and their magic predicates.
+  std::unordered_map<VersionKey, PredId, VersionKeyHash> adorned;
+  std::unordered_map<VersionKey, PredId, VersionKeyHash> magic;
+  std::deque<std::pair<PredId, Adornment>> worklist;
+
+  auto version_of = [&](PredId original, const Adornment& bf) -> PredId {
+    VersionKey key{original, bf.str()};
+    auto it = adorned.find(key);
+    if (it != adorned.end()) return it->second;
+    const PredicateInfo& info = ctx.predicate(original);
+    // An n/d-adorned (possibly projected) predicate cannot carry a second
+    // adornment string; mangle its display name into a fresh base name.
+    SymbolId name = info.adornment.empty()
+                        ? info.name
+                        : ctx.InternSymbol(ctx.PredicateDisplayName(original));
+    PredId v = ctx.InternPredicate(name, info.arity, bf);
+    adorned.emplace(key, v);
+    magic.emplace(key,
+                  ctx.InternPredicate(
+                      "magic_" + ctx.PredicateDisplayName(original) + "_" +
+                          bf.str(),
+                      static_cast<uint32_t>(bf.CountBound())));
+    worklist.emplace_back(original, bf);
+    return v;
+  };
+  auto magic_of = [&](PredId original, const Adornment& bf) -> PredId {
+    version_of(original, bf);
+    return magic.at(VersionKey{original, bf.str()});
+  };
+  auto bound_args = [](const Atom& atom, const Adornment& bf) {
+    std::vector<Term> out;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (bf.bound(i)) out.push_back(atom.args[i]);
+    }
+    return out;
+  };
+
+  MagicResult result{Program(program.context()),
+                     Atom(magic_of(query.pred, query_bf),
+                          bound_args(query, query_bf))};
+  PredId query_version = version_of(query.pred, query_bf);
+
+  while (!worklist.empty()) {
+    auto [original, bf] = worklist.front();
+    worklist.pop_front();
+    PredId head_version = adorned.at(VersionKey{original, bf.str()});
+    PredId head_magic = magic.at(VersionKey{original, bf.str()});
+    size_t rule_counter = 0;
+    for (const Rule& rule : program.rules()) {
+      if (rule.head.pred != original) continue;
+      size_t rule_idx = rule_counter++;
+      Atom magic_head_lit(head_magic, bound_args(rule.head, bf));
+
+      std::unordered_set<SymbolId> bound;
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        if (bf.bound(i) && rule.head.args[i].IsVar()) {
+          bound.insert(rule.head.args[i].id());
+        }
+      }
+
+      // For supplementary magic: needed[i] = vars used by literals
+      // l_{i+1..n} or the head (what must survive past position i).
+      std::vector<std::unordered_set<SymbolId>> needed(rule.body.size() + 1);
+      for (const Term& t : rule.head.args) {
+        if (t.IsVar()) needed[rule.body.size()].insert(t.id());
+      }
+      for (size_t i = rule.body.size(); i-- > 0;) {
+        needed[i] = needed[i + 1];
+        for (const Term& t : rule.body[i].args) {
+          if (t.IsVar()) needed[i].insert(t.id());
+        }
+      }
+
+      auto adorn_literal = [&](const Atom& lit,
+                               std::unordered_set<SymbolId>* bound_vars)
+          -> std::pair<Atom, std::optional<Adornment>> {
+        if (idb.count(lit.pred) == 0) return {lit, std::nullopt};
+        Adornment lit_bf = Adornment::AllFree(lit.args.size());
+        for (size_t i = 0; i < lit.args.size(); ++i) {
+          const Term& t = lit.args[i];
+          if (t.IsConst() || bound_vars->count(t.id()) > 0) {
+            lit_bf.set(i, Adornment::kBound);
+          }
+        }
+        Atom adorned_lit = lit;
+        adorned_lit.pred = version_of(lit.pred, lit_bf);
+        return {adorned_lit, lit_bf};
+      };
+
+      if (!options.supplementary) {
+        std::vector<Atom> rewritten_body;
+        rewritten_body.push_back(magic_head_lit);
+        for (const Atom& lit : rule.body) {
+          auto [adorned_lit, lit_bf] = adorn_literal(lit, &bound);
+          if (lit_bf) {
+            Rule magic_rule;
+            magic_rule.head =
+                Atom(magic_of(lit.pred, *lit_bf), bound_args(lit, *lit_bf));
+            magic_rule.body = rewritten_body;  // magic head + prefix
+            result.program.AddRule(std::move(magic_rule));
+          }
+          rewritten_body.push_back(std::move(adorned_lit));
+          for (const Term& t : lit.args) {
+            if (t.IsVar()) bound.insert(t.id());
+          }
+        }
+        Rule modified;
+        modified.head = rule.head;
+        modified.head.pred = head_version;
+        modified.body = std::move(rewritten_body);
+        result.program.AddRule(std::move(modified));
+        continue;
+      }
+
+      // Supplementary variant: sup_{r,i} carries exactly the bound vars
+      // still needed after position i.
+      std::string base = "sup_" + ctx.PredicateDisplayName(original) + "_" +
+                         bf.str() + "_" + std::to_string(rule_idx) + "_";
+      auto kept_vars = [&](const std::unordered_set<SymbolId>& bound_vars,
+                           size_t i) {
+        // Deterministic order: first occurrence in the rule.
+        std::vector<SymbolId> out;
+        for (SymbolId v : rule.Vars()) {
+          if (bound_vars.count(v) > 0 && needed[i].count(v) > 0) {
+            out.push_back(v);
+          }
+        }
+        return out;
+      };
+      auto sup_atom = [&](size_t i, const std::vector<SymbolId>& vars) {
+        PredId pred = ctx.InternPredicate(
+            base + std::to_string(i), static_cast<uint32_t>(vars.size()));
+        Atom atom;
+        atom.pred = pred;
+        for (SymbolId v : vars) atom.args.push_back(Term::Var(v));
+        return atom;
+      };
+      std::vector<SymbolId> kept = kept_vars(bound, 0);
+      Atom prev_sup = sup_atom(0, kept);
+      {
+        Rule sup0;
+        sup0.head = prev_sup;
+        sup0.body.push_back(magic_head_lit);
+        result.program.AddRule(std::move(sup0));
+      }
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        const Atom& lit = rule.body[i];
+        auto [adorned_lit, lit_bf] = adorn_literal(lit, &bound);
+        if (lit_bf) {
+          Rule magic_rule;
+          magic_rule.head =
+              Atom(magic_of(lit.pred, *lit_bf), bound_args(lit, *lit_bf));
+          magic_rule.body.push_back(prev_sup);
+          result.program.AddRule(std::move(magic_rule));
+        }
+        for (const Term& t : lit.args) {
+          if (t.IsVar()) bound.insert(t.id());
+        }
+        std::vector<SymbolId> next_kept = kept_vars(bound, i + 1);
+        Atom next_sup = sup_atom(i + 1, next_kept);
+        Rule step;
+        step.head = next_sup;
+        step.body.push_back(prev_sup);
+        step.body.push_back(std::move(adorned_lit));
+        result.program.AddRule(std::move(step));
+        prev_sup = std::move(next_sup);
+      }
+      Rule modified;
+      modified.head = rule.head;
+      modified.head.pred = head_version;
+      modified.body.push_back(prev_sup);
+      result.program.AddRule(std::move(modified));
+    }
+  }
+
+  Atom new_query = query;
+  new_query.pred = query_version;
+  result.program.SetQuery(std::move(new_query));
+  return result;
+}
+
+}  // namespace exdl

@@ -1,0 +1,51 @@
+// Magic-set rewriting (selection pushing), with bound/free adornments and a
+// left-to-right sideways information passing strategy.
+//
+// The paper treats magic sets as orthogonal to its projection-pushing
+// optimizations ("these rewritings are orthogonal to the optimizations
+// discussed in this paper", Section 1); this module exists to run that
+// composition experiment (bench E8). The implementation is the classic
+// generalized-magic-sets rewriting: one b/f-adorned version of each derived
+// predicate reachable from the query, a magic predicate per adorned
+// version holding the relevant bindings, magic rules derived from rule
+// prefixes, and a seed fact from the query constants.
+
+#ifndef EXDL_TRANSFORM_MAGIC_H_
+#define EXDL_TRANSFORM_MAGIC_H_
+
+#include "ast/program.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct MagicOptions {
+  /// Generalized supplementary magic sets: rule prefixes are materialized
+  /// once in sup_{r,i} predicates instead of being re-joined by each magic
+  /// rule. Same answers; usually less work on rules with several derived
+  /// body literals.
+  bool supplementary = false;
+};
+
+struct MagicResult {
+  Program program;   ///< Rewritten rules; query retargeted at the b/f
+                     ///< version of the query predicate.
+  Atom seed_fact;    ///< magic_q(constants...) — insert before evaluating.
+};
+
+/// Rewrites `program` for its query. Constant query arguments become `b`,
+/// variables `f`. With no constants the rewriting still guards evaluation
+/// by reachability (the seed fact is 0-ary).
+///
+/// Requires a query over a derived predicate; derived predicates may
+/// already carry n/d adornments (magic predicates then mangle the display
+/// name, e.g. "a@nd/1" -> magic version named from the display form).
+Result<MagicResult> MagicRewrite(const Program& program,
+                                 const MagicOptions& options = MagicOptions());
+
+/// Convenience: clones `edb` and inserts the seed fact.
+Database WithSeed(const Database& edb, const Atom& seed_fact);
+
+}  // namespace exdl
+
+#endif  // EXDL_TRANSFORM_MAGIC_H_

@@ -1,0 +1,60 @@
+#include "transform/projection.h"
+
+#include <unordered_map>
+
+namespace exdl {
+namespace {
+
+/// Drops the arguments of `atom` sitting in 'd' positions and retargets it
+/// at the projected predicate version.
+Atom ProjectAtom(const Atom& atom, PredId projected,
+                 const Adornment& adornment) {
+  Atom out;
+  out.pred = projected;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (adornment.needed(i)) out.args.push_back(atom.args[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ProjectionResult> PushProjections(const Program& program) {
+  Context& ctx = program.ctx();
+  std::unordered_set<PredId> idb = program.IdbPredicates();
+  if (program.query()) idb.insert(program.query()->pred);
+
+  // Plan the replacement for every projectable predicate version.
+  std::unordered_map<PredId, PredId> replacement;
+  size_t positions_dropped = 0;
+  for (PredId p : idb) {
+    const PredicateInfo& info = ctx.predicate(p);
+    if (info.adornment.empty() || info.IsProjected()) continue;
+    if (!info.adornment.HasExistential()) continue;
+    uint32_t new_arity =
+        static_cast<uint32_t>(info.adornment.CountNeeded());
+    PredId projected =
+        ctx.InternPredicate(info.name, new_arity, info.adornment);
+    replacement.emplace(p, projected);
+    positions_dropped += info.arity - new_arity;
+  }
+
+  ProjectionResult result{Program(program.context()), replacement.size(),
+                          positions_dropped};
+  auto rewrite = [&](const Atom& atom) -> Atom {
+    auto it = replacement.find(atom.pred);
+    if (it == replacement.end()) return atom;
+    return ProjectAtom(atom, it->second,
+                       ctx.predicate(atom.pred).adornment);
+  };
+  for (const Rule& rule : program.rules()) {
+    Rule new_rule;
+    new_rule.head = rewrite(rule.head);
+    for (const Atom& lit : rule.body) new_rule.body.push_back(rewrite(lit));
+    result.program.AddRule(std::move(new_rule));
+  }
+  if (program.query()) result.program.SetQuery(rewrite(*program.query()));
+  return result;
+}
+
+}  // namespace exdl

@@ -1,0 +1,30 @@
+// Projection pushing (Section 3.2, Lemma 3.2).
+//
+// Every occurrence of an adorned derived literal p^a(r̄) — in rule heads,
+// rule bodies and the query — is consistently replaced by p^a(r̄1), where
+// r̄1 drops the arguments in existential ('d') positions. The projected
+// version keeps the full adornment string but stores only the needed
+// arguments (PredicateInfo::IsProjected()). This is where binary
+// transitive closure becomes unary (Example 3).
+
+#ifndef EXDL_TRANSFORM_PROJECTION_H_
+#define EXDL_TRANSFORM_PROJECTION_H_
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct ProjectionResult {
+  Program program;
+  size_t predicates_projected = 0;  ///< Adorned versions that lost columns.
+  size_t positions_dropped = 0;     ///< Total argument positions removed.
+};
+
+/// Applies Lemma 3.2 to an adorned program. Predicates without a 'd' in
+/// their adornment (and base predicates) are untouched. Idempotent.
+Result<ProjectionResult> PushProjections(const Program& program);
+
+}  // namespace exdl
+
+#endif  // EXDL_TRANSFORM_PROJECTION_H_

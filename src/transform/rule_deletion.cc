@@ -1,0 +1,168 @@
+#include "transform/rule_deletion.h"
+
+#include "ast/printer.h"
+#include "equiv/uniform_equivalence.h"
+#include "transform/cleanup.h"
+#include "transform/subsumption.h"
+
+namespace exdl {
+namespace {
+
+Program WithoutRule(const Program& p, size_t index) {
+  Program out(p.context());
+  for (size_t i = 0; i < p.rules().size(); ++i) {
+    if (i != index) out.AddRule(p.rules()[i]);
+  }
+  if (p.query()) out.SetQuery(*p.query());
+  return out;
+}
+
+}  // namespace
+
+Result<DeletionResult> DeleteRedundantRules(const Program& program,
+                                            const DeletionOptions& options) {
+  if (!program.query()) {
+    return Status::FailedPrecondition("rule deletion requires a query");
+  }
+  if (program.HasNegation()) {
+    // The frozen-instance and summary tests argue by replacing
+    // derivations, which is unsound under (stratified) negation: removing
+    // a rule can *add* query facts through a negated literal. Clause
+    // subsumption is still sound (the subsumed rule derives a subset of
+    // the subsuming rule's facts under any interpretation, so each
+    // stratum's fixpoint is unchanged) — run only that.
+    DeletionResult only_subsumption(program.Clone());
+    if (options.use_subsumption) {
+      EXDL_ASSIGN_OR_RETURN(SubsumptionResult subsumed,
+                            RemoveSubsumedRules(only_subsumption.program));
+      only_subsumption.deleted_by_subsumption = subsumed.rules_removed;
+      for (std::string& line : subsumed.log) {
+        only_subsumption.log.push_back(std::move(line));
+      }
+      only_subsumption.program = std::move(subsumed.program);
+    }
+    only_subsumption.log.push_back(
+        "frozen-instance/summary deletion skipped: program uses negation "
+        "(non-monotone)");
+    return only_subsumption;
+  }
+  const Context& ctx = program.ctx();
+  std::unordered_set<PredId> input_preds = options.input_preds;
+  if (input_preds.empty()) input_preds = program.EdbPredicates();
+
+  DeletionResult result(program.Clone());
+
+  size_t deletions = 0;
+  bool changed = true;
+  while (changed && deletions < options.max_deletions) {
+    changed = false;
+    if (options.cleanup) {
+      EXDL_ASSIGN_OR_RETURN(CleanupResult cleaned,
+                            CleanupProgram(result.program, input_preds));
+      if (cleaned.rules_removed > 0) {
+        result.removed_by_cleanup += cleaned.rules_removed;
+        result.log.push_back("cleanup removed " +
+                             std::to_string(cleaned.rules_removed) +
+                             " dead rule(s)");
+        result.program = std::move(cleaned.program);
+        changed = true;
+      }
+    }
+
+    if (options.use_subsumption) {
+      EXDL_ASSIGN_OR_RETURN(SubsumptionResult subsumed,
+                            RemoveSubsumedRules(result.program));
+      if (subsumed.rules_removed > 0) {
+        result.deleted_by_subsumption += subsumed.rules_removed;
+        deletions += subsumed.rules_removed;
+        for (std::string& line : subsumed.log) {
+          result.log.push_back(std::move(line));
+        }
+        result.program = std::move(subsumed.program);
+        changed = true;
+        continue;
+      }
+    }
+
+    if (options.use_summaries) {
+      EXDL_ASSIGN_OR_RETURN(
+          SummaryAnalysis analysis,
+          SummaryAnalysis::Build(result.program, options.closure));
+      std::vector<size_t> deletable = analysis.DeletableRules();
+      if (!deletable.empty()) {
+        // Prefer removing a non-unit rule: unit rules are the enablers of
+        // further deletions.
+        size_t victim = deletable.front();
+        for (size_t r : deletable) {
+          if (!result.program.rules()[r].IsUnitRule()) {
+            victim = r;
+            break;
+          }
+        }
+        // Record which rules the replacement derivations depend on.
+        const Rule& victim_rule = result.program.rules()[victim];
+        for (size_t pos = 0; pos < victim_rule.body.size(); ++pos) {
+          std::optional<std::vector<size_t>> uses =
+              analysis.JustificationUses(Occurrence{victim, pos});
+          if (!uses) continue;
+          for (size_t u : *uses) {
+            result.justification_rules.push_back(result.program.rules()[u]);
+          }
+          break;
+        }
+        result.log.push_back(
+            "summary test (Lemma 5.1/5.3) deleted: " +
+            ToString(ctx, result.program.rules()[victim]));
+        result.program = WithoutRule(result.program, victim);
+        ++result.deleted_by_summary;
+        ++deletions;
+        changed = true;
+        continue;
+      }
+    }
+
+    if (options.use_sagiv) {
+      bool deleted = false;
+      for (size_t r = 0; r < result.program.rules().size() && !deleted;
+           ++r) {
+        EXDL_ASSIGN_OR_RETURN(
+            bool ok, DeletableUnderUniformEquivalence(result.program, r));
+        if (ok) {
+          result.log.push_back(
+              "Sagiv uniform-equivalence test deleted: " +
+              ToString(ctx, result.program.rules()[r]));
+          result.program = WithoutRule(result.program, r);
+          ++result.deleted_by_sagiv;
+          ++deletions;
+          changed = true;
+          deleted = true;
+        }
+      }
+      if (deleted) continue;
+    }
+
+    if (options.use_optimistic) {
+      bool deleted = false;
+      for (size_t r = 0; r < result.program.rules().size() && !deleted;
+           ++r) {
+        Result<bool> ok = DeletableUnderOptimisticUqe(result.program, r,
+                                                      options.optimistic);
+        if (!ok.ok()) continue;  // fixpoint cap: treat as not deletable
+        if (*ok) {
+          result.log.push_back(
+              "optimistic test (Theorem 5.2) deleted: " +
+              ToString(ctx, result.program.rules()[r]));
+          result.program = WithoutRule(result.program, r);
+          ++result.deleted_by_optimistic;
+          ++deletions;
+          changed = true;
+          deleted = true;
+        }
+      }
+      if (deleted) continue;
+    }
+  }
+  return result;
+}
+
+}  // namespace exdl

@@ -1,0 +1,65 @@
+// Algorithm 5.2: the rule-deletion driver.
+//
+// Repeatedly (a) cleans up dead rules, (b) runs the chosen deletion tests
+// and removes one justified rule, until a fixpoint. Three tests of
+// increasing power and cost are available, matching the paper's hierarchy:
+//
+//   Sagiv (uniform equivalence, Example 4)  — cheapest, weakest;
+//   summaries (Lemmas 5.1 / 5.3)            — the paper's contribution;
+//   optimistic (Theorem 5.2)                — semantic umbrella, priciest.
+//
+// Each deleted rule's justification is recorded in the log. Every deletion
+// preserves uniform query equivalence (hence query equivalence); cleanup
+// preserves query equivalence over the input schema.
+
+#ifndef EXDL_TRANSFORM_RULE_DELETION_H_
+#define EXDL_TRANSFORM_RULE_DELETION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/program.h"
+#include "equiv/optimistic.h"
+#include "equiv/summary_closure.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct DeletionOptions {
+  /// Classical clause subsumption (sound under uniform equivalence; the
+  /// cheapest test, run first). Catches Example 7's "second rule".
+  bool use_subsumption = true;
+  bool use_summaries = true;
+  bool use_sagiv = false;
+  bool use_optimistic = false;
+  bool cleanup = true;
+  /// The input (EDB) schema for cleanup; when empty it is computed as the
+  /// program's base predicates.
+  std::unordered_set<PredId> input_preds;
+  SummaryClosureOptions closure;
+  OptimisticOptions optimistic;
+  size_t max_deletions = 10000;
+};
+
+struct DeletionResult {
+  explicit DeletionResult(Program p) : program(std::move(p)) {}
+
+  Program program;
+  size_t deleted_by_subsumption = 0;
+  size_t deleted_by_summary = 0;
+  size_t deleted_by_sagiv = 0;
+  size_t deleted_by_optimistic = 0;
+  size_t removed_by_cleanup = 0;
+  std::vector<std::string> log;
+  /// Rules (by value) that some summary justification leaned on; the
+  /// optimizer must not retract these (see core/optimizer.cc).
+  std::vector<Rule> justification_rules;
+};
+
+Result<DeletionResult> DeleteRedundantRules(const Program& program,
+                                            const DeletionOptions& options);
+
+}  // namespace exdl
+
+#endif  // EXDL_TRANSFORM_RULE_DELETION_H_

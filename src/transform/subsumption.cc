@@ -1,0 +1,80 @@
+#include "transform/subsumption.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "ast/printer.h"
+
+namespace exdl {
+namespace {
+
+/// Tries to extend the substitution so that θ(from) == to.
+bool UnifyOneWay(const Atom& from, const Atom& to,
+                 std::unordered_map<SymbolId, Term>* theta) {
+  if (from.pred != to.pred || from.negated != to.negated) return false;
+  for (size_t i = 0; i < from.args.size(); ++i) {
+    const Term& f = from.args[i];
+    const Term& t = to.args[i];
+    if (f.IsConst()) {
+      if (!(t.IsConst() && t.id() == f.id())) return false;
+      continue;
+    }
+    auto [it, inserted] = theta->emplace(f.id(), t);
+    if (!inserted && !(it->second == t)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Subsumes(const Rule& general, const Rule& specific) {
+  if (general.head.pred != specific.head.pred) return false;
+  if (&general == &specific) return false;
+  std::unordered_map<SymbolId, Term> theta;
+  if (!UnifyOneWay(general.head, specific.head, &theta)) return false;
+  // Match every body literal of the general rule onto some literal of the
+  // specific rule (literals may share targets: subsumption is a set
+  // inclusion, not a multiset one).
+  std::function<bool(size_t)> search =
+      [&](size_t k) -> bool {
+    if (k == general.body.size()) return true;
+    for (const Atom& target : specific.body) {
+      std::unordered_map<SymbolId, Term> saved = theta;
+      if (UnifyOneWay(general.body[k], target, &theta)) {
+        if (search(k + 1)) return true;
+      }
+      theta = std::move(saved);
+    }
+    return false;
+  };
+  return search(0);
+}
+
+Result<SubsumptionResult> RemoveSubsumedRules(const Program& program) {
+  SubsumptionResult result{Program(program.context()), 0, {}};
+  const Context& ctx = program.ctx();
+  const std::vector<Rule>& rules = program.rules();
+  std::vector<bool> removed(rules.size(), false);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (removed[i]) continue;
+    for (size_t j = 0; j < rules.size(); ++j) {
+      if (i == j || removed[j] || removed[i]) continue;
+      if (Subsumes(rules[j], rules[i])) {
+        // Identical rules subsume each other; keep the earlier one.
+        if (j > i && Subsumes(rules[i], rules[j])) continue;
+        removed[i] = true;
+        result.log.push_back("subsumption deleted: " +
+                             ToString(ctx, rules[i]) + "  (by: " +
+                             ToString(ctx, rules[j]) + ")");
+        ++result.rules_removed;
+      }
+    }
+  }
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (!removed[i]) result.program.AddRule(rules[i]);
+  }
+  if (program.query()) result.program.SetQuery(*program.query());
+  return result;
+}
+
+}  // namespace exdl

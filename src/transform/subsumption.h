@@ -1,0 +1,39 @@
+// Clause subsumption — the classical deletion the paper's Example 7 points
+// at: "note that even though the second rule can be discarded, the above
+// procedure [summaries] is incapable of doing this."
+//
+// Rule r is subsumed by rule r' (same head predicate) when some
+// substitution θ maps r' onto r: θ(head(r')) = head(r) and θ(body(r')) ⊆
+// body(r) as a set of literals. Every fact r derives on any database is
+// then also derived by r', so deleting r preserves *uniform* equivalence
+// (and hence every weaker notion). Sound for positive literals; negated
+// literals must match exactly in the subset direction reversed — we keep
+// it simple and require subsumed-rule negative literals to be a superset:
+// a rule with FEWER negative literals derives more, so θ(neg(r')) ⊆ neg(r)
+// is the safe direction there too (more negative conditions on r only
+// restrict it further).
+
+#ifndef EXDL_TRANSFORM_SUBSUMPTION_H_
+#define EXDL_TRANSFORM_SUBSUMPTION_H_
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace exdl {
+
+/// True when `general` subsumes `specific` (see file comment).
+bool Subsumes(const Rule& general, const Rule& specific);
+
+struct SubsumptionResult {
+  Program program;
+  size_t rules_removed = 0;
+  std::vector<std::string> log;
+};
+
+/// Removes every rule subsumed by another rule of the program (keeping
+/// the subsuming one; ties broken by keeping the earlier rule).
+Result<SubsumptionResult> RemoveSubsumedRules(const Program& program);
+
+}  // namespace exdl
+
+#endif  // EXDL_TRANSFORM_SUBSUMPTION_H_

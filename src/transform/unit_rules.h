@@ -1,0 +1,34 @@
+// Unit-rule addition via the *covers* relation (Section 5).
+//
+// q^a1 covers q^a when both adorn the same base predicate at the same
+// original arity and every needed position of a is needed in a1. Any tuple
+// of the covering version is then a tuple of the covered one, so the unit
+// rule q^a(t) :- q^a1(t1) may always be added. The paper adds such rules
+// for existential queries before running the deletion algorithm ("with the
+// addition of such rules, the algorithm often captures the essence of
+// pushing projections").
+
+#ifndef EXDL_TRANSFORM_UNIT_RULES_H_
+#define EXDL_TRANSFORM_UNIT_RULES_H_
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct UnitRuleResult {
+  Program program;
+  size_t rules_added = 0;
+  /// The rules that were added (so the optimizer can retract survivors
+  /// that turned out not to enable any deletion).
+  std::vector<Rule> added;
+};
+
+/// Adds q^a(t) :- q^a1(t1) for every pair of predicate versions present in
+/// the program where a1 strictly covers a. Already-present rules are not
+/// duplicated. Works on projected programs (stored args = needed args).
+Result<UnitRuleResult> AddCoveringUnitRules(const Program& program);
+
+}  // namespace exdl
+
+#endif  // EXDL_TRANSFORM_UNIT_RULES_H_

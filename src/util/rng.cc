@@ -1,0 +1,38 @@
+#include "util/rng.h"
+
+namespace exdl {
+
+uint64_t Rng::Next64() {
+  // SplitMix64 (Steele, Lea, Flood 2014). Public domain reference constants.
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  // Debiased modulo: rejection sampling on the top of the range.
+  uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    uint64_t r = Next64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::Between(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace exdl

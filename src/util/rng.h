@@ -1,0 +1,39 @@
+// Deterministic pseudo-random number generator for workload generation and
+// property tests. A thin wrapper over SplitMix64 so that benchmarks and
+// tests are reproducible across platforms and standard-library versions
+// (std::mt19937 distributions are not portable across implementations).
+
+#ifndef EXDL_UTIL_RNG_H_
+#define EXDL_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace exdl {
+
+/// SplitMix64-based PRNG. Deterministic for a given seed on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Between(int64_t lo, int64_t hi);
+
+  /// Bernoulli with probability `p` (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_UTIL_RNG_H_

@@ -1,0 +1,131 @@
+// Lightweight Status / Result<T> error-handling primitives.
+//
+// The library does not use exceptions (following the Google C++ style this
+// codebase is written against). Fallible operations return `Status` or
+// `Result<T>`; callers are expected to check `ok()` before using a value.
+
+#ifndef EXDL_UTIL_STATUS_H_
+#define EXDL_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace exdl {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (e.g. parse error, arity mismatch).
+  kNotFound,          ///< A named entity does not exist.
+  kFailedPrecondition,///< Operation not applicable to this input.
+  kUnimplemented,     ///< Feature intentionally not supported.
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// Returns a short stable name for `code` ("InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status.
+///
+/// `Result` is move- and copy-friendly whenever T is. Accessing the value of
+/// an errored result aborts in debug builds (assert) and is undefined
+/// otherwise, mirroring absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return MakeThing();`.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit from error status: allows `return Status::NotFound(...);`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status from an expression producing a Status.
+#define EXDL_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::exdl::Status _exdl_status = (expr);         \
+    if (!_exdl_status.ok()) return _exdl_status;  \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error. Usable only in functions returning Status or Result<U>.
+#define EXDL_ASSIGN_OR_RETURN(lhs, expr)          \
+  EXDL_ASSIGN_OR_RETURN_IMPL_(                    \
+      EXDL_STATUS_CONCAT_(_exdl_result, __LINE__), lhs, expr)
+
+#define EXDL_STATUS_CONCAT_INNER_(a, b) a##b
+#define EXDL_STATUS_CONCAT_(a, b) EXDL_STATUS_CONCAT_INNER_(a, b)
+#define EXDL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace exdl
+
+#endif  // EXDL_UTIL_STATUS_H_

@@ -1,0 +1,27 @@
+// Small string helpers shared across modules.
+
+#ifndef EXDL_UTIL_STRING_UTIL_H_
+#define EXDL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exdl {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, trimming ASCII whitespace from each piece; empty
+/// pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace exdl
+
+#endif  // EXDL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "adorn/adorn.h"
+#include "ast/printer.h"
+#include "testing/test_util.h"
+
+namespace exdl {
+namespace {
+
+using ::exdl::testing::MustParse;
+
+std::optional<PredId> FindAdorned(const Context& ctx, const std::string& name,
+                                  uint32_t arity, const std::string& adorn) {
+  auto sym = ctx.FindSymbol(name);
+  if (!sym) return std::nullopt;
+  return ctx.FindPredicate(*sym, arity, *Adornment::Parse(adorn));
+}
+
+TEST(AdornTest, PaperExample1) {
+  // query(X) :- a(X,Y).   a(X,Y) :- p(X,Z), a(Z,Y).   a(X,Y) :- p(X,Y).
+  auto parsed = MustParse(
+      "query(X) :- a(X, Y).\n"
+      "a(X, Y) :- p(X, Z), a(Z, Y).\n"
+      "a(X, Y) :- p(X, Y).\n"
+      "?- query(X).\n");
+  Result<Program> adorned = AdornExistential(parsed.program);
+  ASSERT_TRUE(adorned.ok()) << adorned.status().ToString();
+  const Context& ctx = *parsed.ctx;
+  // a^nd must exist and be the only adorned version of a.
+  std::optional<PredId> a_nd = FindAdorned(ctx, "a", 2, "nd");
+  ASSERT_TRUE(a_nd.has_value());
+  EXPECT_FALSE(FindAdorned(ctx, "a", 2, "nn").has_value());
+  // Three rules: query wrapper + two rules for a^nd; p stays unadorned.
+  EXPECT_EQ(adorned->NumRules(), 3u);
+  for (const Rule& r : adorned->rules()) {
+    for (const Atom& lit : r.body) {
+      const PredicateInfo& info = ctx.predicate(lit.pred);
+      if (ctx.SymbolName(info.name) == "p") {
+        EXPECT_TRUE(info.adornment.empty());
+      }
+    }
+  }
+}
+
+TEST(AdornTest, PaperExample5TwoVersions) {
+  // a(X,Y) :- a(X,Z), p(Z,Y).   a(X,Y) :- p(X,Y).   query projects Y out.
+  auto parsed = MustParse(
+      "query(X) :- a(X, Y).\n"
+      "a(X, Y) :- a(X, Z), p(Z, Y).\n"
+      "a(X, Y) :- p(X, Y).\n"
+      "?- query(X).\n");
+  Result<Program> adorned = AdornExistential(parsed.program);
+  ASSERT_TRUE(adorned.ok());
+  const Context& ctx = *parsed.ctx;
+  // In a^nd's recursive rule the body occurrence a(X,Z) has Z needed (it
+  // feeds p), so a^nn is also generated — exactly Example 5's program.
+  EXPECT_TRUE(FindAdorned(ctx, "a", 2, "nd").has_value());
+  EXPECT_TRUE(FindAdorned(ctx, "a", 2, "nn").has_value());
+  // 1 wrapper + 2 rules for a^nd + 2 rules for a^nn.
+  EXPECT_EQ(adorned->NumRules(), 5u);
+}
+
+TEST(AdornTest, OccurrenceExistentialCriterion) {
+  auto parsed = MustParse("h(X, W) :- p(X, Y), q(Y, Z), r(U).\n");
+  const Rule& rule = parsed.program.rules()[0];
+  Adornment head_nd = *Adornment::Parse("nd");
+  Adornment head_nn = *Adornment::Parse("nn");
+  // p's Y occurs in q too: needed.
+  EXPECT_FALSE(OccurrenceIsExistential(rule, 0, 1, head_nn));
+  // q's Z occurs nowhere else: existential.
+  EXPECT_TRUE(OccurrenceIsExistential(rule, 1, 1, head_nn));
+  // r's U occurs nowhere else: existential.
+  EXPECT_TRUE(OccurrenceIsExistential(rule, 2, 0, head_nn));
+  // X in p occurs in a needed head position: needed.
+  EXPECT_FALSE(OccurrenceIsExistential(rule, 0, 0, head_nd));
+}
+
+TEST(AdornTest, HeadExistentialPositionAllowsBodyExistential) {
+  // W occurs in the body once and in the head at position 1. With head
+  // adornment nd, that position is existential, so the body occurrence is
+  // too; with nn it is needed.
+  auto parsed = MustParse("h(X, W) :- p(X), q(W).\n");
+  const Rule& rule = parsed.program.rules()[0];
+  EXPECT_TRUE(
+      OccurrenceIsExistential(rule, 1, 0, *Adornment::Parse("nd")));
+  EXPECT_FALSE(
+      OccurrenceIsExistential(rule, 1, 0, *Adornment::Parse("nn")));
+}
+
+TEST(AdornTest, RepeatedVariableInSameLiteralIsNeeded) {
+  auto parsed = MustParse("h(X) :- p(X, Y, Y).\n");
+  const Rule& rule = parsed.program.rules()[0];
+  EXPECT_FALSE(OccurrenceIsExistential(rule, 0, 1, *Adornment::Parse("n")));
+  EXPECT_FALSE(OccurrenceIsExistential(rule, 0, 2, *Adornment::Parse("n")));
+}
+
+TEST(AdornTest, ConstantsAreNeverExistential) {
+  auto parsed = MustParse("h(X) :- p(X, c).\n");
+  const Rule& rule = parsed.program.rules()[0];
+  EXPECT_FALSE(OccurrenceIsExistential(rule, 0, 1, *Adornment::Parse("n")));
+}
+
+TEST(AdornTest, QueryOnBasePredicateIsNoop) {
+  auto parsed = MustParse("?- e(X, Y).\n");
+  Result<Program> adorned = AdornExistential(parsed.program);
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_EQ(adorned->query()->pred, parsed.program.query()->pred);
+}
+
+TEST(AdornTest, RequiresQuery) {
+  auto parsed = MustParse("p(X) :- e(X).\n");
+  EXPECT_FALSE(AdornExistential(parsed.program).ok());
+}
+
+TEST(AdornTest, RejectsAlreadyAdornedProgram) {
+  auto parsed = MustParse(
+      "a@nd(X, Y) :- p(X, Y).\n"
+      "query(X) :- a@nd(X, Y).\n"
+      "?- query(X).\n");
+  EXPECT_FALSE(AdornExistential(parsed.program).ok());
+}
+
+TEST(AdornTest, AdornedProgramPreservesAnswers) {
+  auto parsed = MustParse(
+      "p(n1, n2). p(n2, n3). p(n3, n4).\n"
+      "query(X) :- a(X, Y).\n"
+      "a(X, Y) :- p(X, Z), a(Z, Y).\n"
+      "a(X, Y) :- p(X, Y).\n"
+      "?- query(X).\n");
+  Result<Program> adorned = AdornExistential(parsed.program);
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_EQ(testing::EvalAnswers(parsed.program, parsed.edb),
+            testing::EvalAnswers(*adorned, parsed.edb));
+}
+
+TEST(AdornTest, MultipleQueryArguments) {
+  // Both query args needed -> body occurrence of a is nn; nothing
+  // existential anywhere.
+  auto parsed = MustParse(
+      "query(X, Y) :- a(X, Y).\n"
+      "a(X, Y) :- p(X, Y).\n"
+      "?- query(X, Y).\n");
+  Result<Program> adorned = AdornExistential(parsed.program);
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_TRUE(FindAdorned(*parsed.ctx, "a", 2, "nn").has_value());
+  EXPECT_FALSE(FindAdorned(*parsed.ctx, "a", 2, "nd").has_value());
+}
+
+TEST(AdornTest, UnreachableRulesDropped) {
+  auto parsed = MustParse(
+      "query(X) :- a(X, Y).\n"
+      "a(X, Y) :- p(X, Y).\n"
+      "orphan(X) :- p(X, X).\n"
+      "?- query(X).\n");
+  Result<Program> adorned = AdornExistential(parsed.program);
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_EQ(adorned->NumRules(), 2u);  // orphan's rule not emitted
+}
+
+}  // namespace
+}  // namespace exdl

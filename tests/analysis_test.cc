@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "analysis/connectivity.h"
+#include "analysis/dependency_graph.h"
+#include "analysis/reachability.h"
+#include "testing/test_util.h"
+
+namespace exdl {
+namespace {
+
+PredId FindPred(const testing::ParsedProgram& p, const std::string& name,
+                uint32_t arity) {
+  return *p.ctx->FindPredicate(*p.ctx->FindSymbol(name), arity, Adornment());
+}
+
+TEST(DependencyGraphTest, SelfRecursionDetected) {
+  auto parsed = testing::MustParse(
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+      "?- tc(X,Y).");
+  DependencyGraph dg(parsed.program);
+  PredId tc = FindPred(parsed, "tc", 2);
+  PredId e = FindPred(parsed, "e", 2);
+  EXPECT_TRUE(dg.IsRecursive(tc));
+  EXPECT_FALSE(dg.IsRecursive(e));
+  EXPECT_TRUE(dg.HasRecursion());
+}
+
+TEST(DependencyGraphTest, MutualRecursionSameScc) {
+  auto parsed = testing::MustParse(
+      "even(X) :- zero(X).\n"
+      "even(X) :- succ(Y,X), odd(Y).\n"
+      "odd(X) :- succ(Y,X), even(Y).\n"
+      "?- even(X).");
+  DependencyGraph dg(parsed.program);
+  PredId even = FindPred(parsed, "even", 1);
+  PredId odd = FindPred(parsed, "odd", 1);
+  EXPECT_TRUE(dg.SameScc(even, odd));
+  EXPECT_TRUE(dg.IsRecursive(even));
+  EXPECT_TRUE(dg.IsRecursive(odd));
+}
+
+TEST(DependencyGraphTest, NonRecursiveProgram) {
+  auto parsed = testing::MustParse(
+      "q(X) :- p(X).\n"
+      "p(X) :- e(X).\n"
+      "?- q(X).");
+  DependencyGraph dg(parsed.program);
+  EXPECT_FALSE(dg.HasRecursion());
+  PredId q = FindPred(parsed, "q", 1);
+  PredId p = FindPred(parsed, "p", 1);
+  EXPECT_FALSE(dg.SameScc(q, p));
+  // Reverse topological numbering: dependencies first.
+  EXPECT_LT(dg.ComponentOf(p), dg.ComponentOf(q));
+}
+
+TEST(DependencyGraphTest, DependsOnDeduplicated) {
+  auto parsed = testing::MustParse("p(X) :- e(X), e(X), f(X).\n?- p(X).");
+  DependencyGraph dg(parsed.program);
+  EXPECT_EQ(dg.DependsOn(FindPred(parsed, "p", 1)).size(), 2u);
+}
+
+TEST(ConnectivityTest, SingleComponentWithHead) {
+  auto parsed = testing::MustParse("p(X,Y) :- q(X,Z), r(Z,Y).\n");
+  BodyComponents parts =
+      ComputeBodyComponents(*parsed.ctx, parsed.program.rules()[0]);
+  EXPECT_EQ(parts.components.size(), 1u);
+  EXPECT_EQ(parts.head_component, 0u);
+}
+
+TEST(ConnectivityTest, DisconnectedComponentDetected) {
+  // c(W) shares no variable with the head component (paper Section 1.2).
+  auto parsed = testing::MustParse("q(X,Y) :- a(X,Z), q2(Z,Y), c(W).\n");
+  BodyComponents parts =
+      ComputeBodyComponents(*parsed.ctx, parsed.program.rules()[0]);
+  EXPECT_EQ(parts.components.size(), 2u);
+  ASSERT_NE(parts.head_component, kNoHeadComponent);
+  EXPECT_EQ(parts.components[parts.head_component].size(), 2u);
+}
+
+TEST(ConnectivityTest, HeadConnectsItsNeededVariables) {
+  // Without the head, {a(X,..)} and {b(Y,..)} are disconnected; the head
+  // p(X, Y) (all needed) connects them into one component.
+  auto parsed = testing::MustParse("p(X,Y) :- a(X,U), b(Y,V).\n");
+  BodyComponents parts =
+      ComputeBodyComponents(*parsed.ctx, parsed.program.rules()[0]);
+  EXPECT_EQ(parts.components.size(), 1u);
+  EXPECT_EQ(parts.head_component, 0u);
+}
+
+TEST(ConnectivityTest, ExistentialHeadPositionDoesNotConnect) {
+  // With adornment nd, the head's second position is existential, so
+  // b(Y,V) forms its own component (Example 2's shape).
+  auto parsed = testing::MustParse("p@nd(X,Y) :- a(X,U), b(Y,V).\n");
+  BodyComponents parts =
+      ComputeBodyComponents(*parsed.ctx, parsed.program.rules()[0]);
+  EXPECT_EQ(parts.components.size(), 2u);
+  ASSERT_NE(parts.head_component, kNoHeadComponent);
+  EXPECT_EQ(parts.components[parts.head_component].size(), 1u);
+}
+
+TEST(ConnectivityTest, GroundAtomIsItsOwnComponent) {
+  auto parsed = testing::MustParse("p(X) :- q(X), r(c).\n");
+  BodyComponents parts =
+      ComputeBodyComponents(*parsed.ctx, parsed.program.rules()[0]);
+  EXPECT_EQ(parts.components.size(), 2u);
+}
+
+TEST(ConnectivityTest, BooleanHeadHasNoHeadComponent) {
+  auto parsed = testing::MustParse("b :- q(X), r(X).\n");
+  BodyComponents parts =
+      ComputeBodyComponents(*parsed.ctx, parsed.program.rules()[0]);
+  EXPECT_EQ(parts.components.size(), 1u);
+  EXPECT_EQ(parts.head_component, kNoHeadComponent);
+}
+
+TEST(ReachabilityTest, FromQuery) {
+  auto parsed = testing::MustParse(
+      "q(X) :- p(X).\n"
+      "p(X) :- e(X).\n"
+      "orphan(X) :- f(X).\n"
+      "?- q(X).");
+  std::unordered_set<PredId> reach = ReachableFromQuery(parsed.program);
+  EXPECT_TRUE(reach.count(FindPred(parsed, "p", 1)) > 0);
+  EXPECT_TRUE(reach.count(FindPred(parsed, "e", 1)) > 0);
+  EXPECT_EQ(reach.count(FindPred(parsed, "orphan", 1)), 0u);
+}
+
+TEST(ReachabilityTest, NoQueryMeansNothingReachable) {
+  auto parsed = testing::MustParse("p(X) :- e(X).\n");
+  EXPECT_TRUE(ReachableFromQuery(parsed.program).empty());
+}
+
+TEST(ReachabilityTest, UndefinedIdbRules) {
+  auto parsed = testing::MustParse(
+      "q(X) :- ghost(X).\n"
+      "p(X) :- e(X).\n"
+      "?- q(X).");
+  // 'ghost' and 'e' are both underived; with only 'e' declared as input,
+  // the rule using 'ghost' is flagged.
+  std::unordered_set<PredId> inputs = {FindPred(parsed, "e", 1)};
+  std::vector<size_t> flagged = RulesWithUndefinedIdb(parsed.program, inputs);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 0u);
+}
+
+}  // namespace
+}  // namespace exdl

@@ -1,0 +1,388 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "grammar/chain.h"
+#include "grammar/dfa.h"
+#include "grammar/language.h"
+#include "grammar/monadic.h"
+#include "grammar/nfa.h"
+#include "grammar/regularity.h"
+#include "testing/test_util.h"
+
+namespace exdl {
+namespace {
+
+using ::exdl::testing::EvalAnswers;
+using ::exdl::testing::MustParse;
+
+const char kChainTc[] =
+    "tc(X,Y) :- e(X,Y).\n"
+    "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+    "?- tc(X,Y).\n";
+
+// ------------------------------------------------------------- chain <-> CFG
+
+TEST(ChainTest, RecognizesChainPrograms) {
+  auto parsed = MustParse(kChainTc);
+  EXPECT_TRUE(IsBinaryChainProgram(parsed.program));
+}
+
+TEST(ChainTest, RejectsNonChainShapes) {
+  EXPECT_FALSE(IsBinaryChainProgram(
+      MustParse("p(X,Y) :- e(Y,X).\n").program));  // reversed
+  EXPECT_FALSE(IsBinaryChainProgram(
+      MustParse("p(X,Y) :- e(X,Z), f(Z,W).\n").program));  // broken chain
+  EXPECT_FALSE(IsBinaryChainProgram(
+      MustParse("p(X,X) :- e(X,X).\n").program));  // repeated var
+  EXPECT_FALSE(IsBinaryChainProgram(
+      MustParse("p(X) :- e(X).\n").program));  // unary
+  EXPECT_FALSE(
+      IsBinaryChainProgram(MustParse("p(X,Y) :- e(X,Z), f(Z,Z).\n").program));
+}
+
+TEST(ChainTest, GrammarExtraction) {
+  auto parsed = MustParse(kChainTc);
+  Result<Cfg> grammar = ChainProgramToGrammar(parsed.program);
+  ASSERT_TRUE(grammar.ok());
+  EXPECT_EQ(grammar->NumNonterminals(), 1u);
+  EXPECT_EQ(grammar->NumTerminals(), 1u);
+  EXPECT_EQ(grammar->productions().size(), 2u);
+  EXPECT_EQ(grammar->NonterminalName(grammar->start()), "tc");
+}
+
+TEST(ChainTest, RoundTripThroughProgram) {
+  auto parsed = MustParse(kChainTc);
+  Result<Cfg> grammar = ChainProgramToGrammar(parsed.program);
+  ASSERT_TRUE(grammar.ok());
+  Result<Program> back = GrammarToChainProgram(*grammar, parsed.ctx);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(IsBinaryChainProgram(*back));
+  Result<Cfg> again = ChainProgramToGrammar(*back);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->productions().size(), grammar->productions().size());
+}
+
+// ---------------------------------------------------------- language bounds
+
+TEST(LanguageTest, TransitiveClosureLanguageIsEPlus) {
+  auto parsed = MustParse(kChainTc);
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  LanguageOptions options;
+  options.max_length = 5;
+  auto lang = EnumerateLanguage(grammar, grammar.start(), options);
+  ASSERT_TRUE(lang.ok());
+  EXPECT_EQ(lang->size(), 5u);  // e, ee, eee, eeee, eeeee
+}
+
+TEST(LanguageTest, ExtendedLanguageContainsSententialForms) {
+  auto parsed = MustParse(kChainTc);
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  LanguageOptions options;
+  options.max_length = 3;
+  auto ext = EnumerateExtendedLanguage(grammar, grammar.start(), options);
+  ASSERT_TRUE(ext.ok());
+  // {TC, e, eTC, ee, eeTC, eee} for length <= 3.
+  EXPECT_EQ(ext->size(), 6u);
+}
+
+TEST(LanguageTest, Lemma41QueryEquivalenceViaLanguages) {
+  // Two chain programs for e+ with different rule shapes have the same
+  // language (query equivalence by Lemma 4.1(2)) but different extended
+  // languages (not uniformly equivalent, Lemma 4.1(3)).
+  auto right = MustParse(kChainTc);
+  auto left = MustParse(
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- tc(X,Z), e(Z,Y).\n"
+      "?- tc(X,Y).\n");
+  Cfg g_right = *ChainProgramToGrammar(right.program);
+  Cfg g_left = *ChainProgramToGrammar(left.program);
+  LanguageOptions options;
+  options.max_length = 6;
+  EXPECT_EQ(*EnumerateLanguage(g_right, g_right.start(), options),
+            *EnumerateLanguage(g_left, g_left.start(), options));
+  EXPECT_NE(*EnumerateExtendedLanguage(g_right, g_right.start(), options),
+            *EnumerateExtendedLanguage(g_left, g_left.start(), options));
+}
+
+TEST(LanguageTest, RejectsEpsilonGrammar) {
+  Cfg grammar;
+  uint32_t s = grammar.AddNonterminal("S");
+  grammar.AddProduction(s, {});
+  grammar.SetStart(s);
+  EXPECT_FALSE(EnumerateLanguage(grammar, s, LanguageOptions()).ok());
+}
+
+// -------------------------------------------------------------- regularity
+
+TEST(RegularityTest, TcIsNotSelfEmbeddingAndStronglyRegular) {
+  auto parsed = MustParse(kChainTc);
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  EXPECT_FALSE(IsSelfEmbedding(grammar));
+  EXPECT_TRUE(IsStronglyRegular(grammar));
+}
+
+TEST(RegularityTest, PalindromeLikeGrammarIsSelfEmbedding) {
+  // s -> up s dn | mid : the classic non-regular a^n b^n shape.
+  auto parsed = MustParse(
+      "s(X,Y) :- up(X,U), s(U,V), dn(V,Y).\n"
+      "s(X,Y) :- mid(X,Y).\n"
+      "?- s(X,Y).\n");
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  EXPECT_TRUE(IsSelfEmbedding(grammar));
+  EXPECT_FALSE(IsStronglyRegular(grammar));
+}
+
+TEST(RegularityTest, LeftLinearIsStronglyRegular) {
+  auto parsed = MustParse(
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- tc(X,Z), e(Z,Y).\n"
+      "?- tc(X,Y).\n");
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  EXPECT_TRUE(IsStronglyRegular(grammar));
+  EXPECT_FALSE(IsSelfEmbedding(grammar));
+}
+
+TEST(RegularityTest, MixedLinearSccNotStronglyRegular) {
+  // One SCC using both left and right recursion.
+  auto parsed = MustParse(
+      "s(X,Y) :- a(X,Z), s(Z,Y).\n"
+      "s(X,Y) :- s(X,Z), b(Z,Y).\n"
+      "s(X,Y) :- c(X,Y).\n"
+      "?- s(X,Y).\n");
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  EXPECT_FALSE(IsStronglyRegular(grammar));
+  // (Mixed linear grammars can still be non-self-embedding in general, but
+  // this one embeds: a s b surrounds s.)
+  EXPECT_TRUE(IsSelfEmbedding(grammar));
+}
+
+TEST(RegularityTest, SccsComputed) {
+  Cfg grammar;
+  uint32_t p = grammar.AddNonterminal("p");
+  uint32_t q = grammar.AddNonterminal("q");
+  uint32_t r = grammar.AddNonterminal("r");
+  uint32_t e = grammar.AddTerminal("e");
+  grammar.AddProduction(p, {GSym::N(q)});
+  grammar.AddProduction(q, {GSym::N(p)});
+  grammar.AddProduction(q, {GSym::N(r)});
+  grammar.AddProduction(r, {GSym::T(e)});
+  grammar.SetStart(p);
+  int num_sccs = 0;
+  std::vector<int> scc = NonterminalSccs(grammar, &num_sccs);
+  EXPECT_EQ(num_sccs, 2);
+  EXPECT_EQ(scc[p], scc[q]);
+  EXPECT_NE(scc[p], scc[r]);
+  EXPECT_LT(scc[r], scc[p]);  // callees first
+}
+
+// ------------------------------------------------------------- NFA and DFA
+
+std::set<std::vector<uint32_t>> AcceptedUpTo(const Dfa& dfa,
+                                             uint32_t alphabet,
+                                             size_t max_len) {
+  std::set<std::vector<uint32_t>> out;
+  std::vector<std::vector<uint32_t>> frontier = {{}};
+  while (!frontier.empty()) {
+    std::vector<uint32_t> word = frontier.back();
+    frontier.pop_back();
+    if (dfa.Accepts(word)) out.insert(word);
+    if (word.size() == max_len) continue;
+    for (uint32_t a = 0; a < alphabet; ++a) {
+      std::vector<uint32_t> next = word;
+      next.push_back(a);
+      frontier.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+TEST(NfaTest, RightLinearTcLanguage) {
+  auto parsed = MustParse(kChainTc);
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  Result<Nfa> nfa = StronglyRegularToNfa(grammar, grammar.start());
+  ASSERT_TRUE(nfa.ok());
+  Dfa dfa = Dfa::FromNfa(*nfa, 1);
+  LanguageOptions options;
+  options.max_length = 6;
+  auto lang = EnumerateLanguage(grammar, grammar.start(), options);
+  ASSERT_TRUE(lang.ok());
+  EXPECT_EQ(AcceptedUpTo(dfa, 1, 6), *lang);
+}
+
+TEST(NfaTest, LeftLinearGrammarHandledViaReversal) {
+  auto parsed = MustParse(
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- tc(X,Z), f(Z,Y).\n"  // L = e f*
+      "?- tc(X,Y).\n");
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  Result<Nfa> nfa = StronglyRegularToNfa(grammar, grammar.start());
+  ASSERT_TRUE(nfa.ok()) << nfa.status().ToString();
+  Dfa dfa = Dfa::FromNfa(*nfa, 2);
+  LanguageOptions options;
+  options.max_length = 5;
+  auto lang = EnumerateLanguage(grammar, grammar.start(), options);
+  ASSERT_TRUE(lang.ok());
+  EXPECT_EQ(AcceptedUpTo(dfa, 2, 5), *lang);
+}
+
+TEST(NfaTest, MultiSccGrammar) {
+  // s -> a m, m -> b m | b  (L = a b+): two SCCs spliced.
+  auto parsed = MustParse(
+      "s(X,Y) :- a(X,Z), m(Z,Y).\n"
+      "m(X,Y) :- b(X,Z), m(Z,Y).\n"
+      "m(X,Y) :- b(X,Y).\n"
+      "?- s(X,Y).\n");
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  Result<Nfa> nfa = StronglyRegularToNfa(grammar, grammar.start());
+  ASSERT_TRUE(nfa.ok());
+  Dfa dfa = Dfa::FromNfa(*nfa, 2);
+  LanguageOptions options;
+  options.max_length = 5;
+  auto lang = EnumerateLanguage(grammar, grammar.start(), options);
+  ASSERT_TRUE(lang.ok());
+  EXPECT_EQ(AcceptedUpTo(dfa, 2, 5), *lang);
+}
+
+TEST(NfaTest, RejectsNonStronglyRegular) {
+  auto parsed = MustParse(
+      "s(X,Y) :- up(X,U), s(U,V), dn(V,Y).\n"
+      "s(X,Y) :- mid(X,Y).\n"
+      "?- s(X,Y).\n");
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  EXPECT_FALSE(StronglyRegularToNfa(grammar, grammar.start()).ok());
+}
+
+TEST(DfaTest, MinimizationPreservesLanguage) {
+  auto parsed = MustParse(kChainTc);
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  Nfa nfa = *StronglyRegularToNfa(grammar, grammar.start());
+  Dfa dfa = Dfa::FromNfa(nfa, 1);
+  Dfa minimal = dfa.Minimized();
+  EXPECT_LE(minimal.NumStates(), dfa.NumStates());
+  EXPECT_TRUE(Dfa::Equivalent(dfa, minimal));
+  // e+ needs exactly 2 states (plus none dead: from the accepting state
+  // every e stays accepting).
+  EXPECT_EQ(minimal.NumStates(), 2u);
+}
+
+TEST(DfaTest, EquivalenceDetectsDifference) {
+  // e+ vs ee+ differ on the word "e".
+  auto p1 = MustParse(kChainTc);
+  auto p2 = MustParse(
+      "tc(X,Y) :- e(X,Z), e(Z,Y).\n"
+      "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+      "?- tc(X,Y).\n");
+  Cfg g1 = *ChainProgramToGrammar(p1.program);
+  Cfg g2 = *ChainProgramToGrammar(p2.program);
+  Dfa d1 = Dfa::FromNfa(*StronglyRegularToNfa(g1, g1.start()), 1);
+  Dfa d2 = Dfa::FromNfa(*StronglyRegularToNfa(g2, g2.start()), 1);
+  EXPECT_FALSE(Dfa::Equivalent(d1, d2));
+}
+
+// -------------------------------------------------- Theorem 3.3 constructive
+
+TEST(MonadicTest, TcMonadicEquivalentMatchesBinaryAnswers) {
+  auto parsed = MustParse(
+      "e(n0, n1). e(n1, n2). e(n2, n3). e(n7, n8).\n"
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+      "?- tc(X,Y).\n");
+  Result<Program> monadic = MonadicEquivalent(parsed.program);
+  ASSERT_TRUE(monadic.ok()) << monadic.status().ToString();
+  // The monadic program answers the p^dn query: nodes reachable from some
+  // node by a nonempty path.
+  std::vector<std::string> monadic_answers =
+      EvalAnswers(*monadic, parsed.edb);
+  // From the binary answers, project the second column.
+  EvalResult binary = testing::MustEval(parsed.program, parsed.edb);
+  std::set<std::string> expected;
+  for (const auto& row : binary.answers) {
+    expected.insert(parsed.ctx->SymbolName(row[1]));
+  }
+  std::set<std::string> actual(monadic_answers.begin(),
+                               monadic_answers.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(MonadicTest, LabeledLanguageRestrictsAnswers) {
+  // L = a b: only nodes at the end of an a-then-b path answer.
+  auto parsed = MustParse(
+      "a(n0, n1). b(n1, n2). a(n2, n3). a(n3, n4). b(n4, n5). b(n5, n6).\n"
+      "s(X,Y) :- a(X,Z), m(Z,Y).\n"
+      "m(X,Y) :- b(X,Y).\n"
+      "?- s(X,Y).\n");
+  Result<Program> monadic = MonadicEquivalent(parsed.program);
+  ASSERT_TRUE(monadic.ok());
+  EXPECT_EQ(EvalAnswers(*monadic, parsed.edb),
+            (std::vector<std::string>{"n2", "n5"}));
+}
+
+TEST(MonadicTest, MonadicProgramIsActuallyMonadic) {
+  auto parsed = MustParse(kChainTc);
+  Result<Program> monadic = MonadicEquivalent(parsed.program);
+  ASSERT_TRUE(monadic.ok());
+  for (const Rule& r : monadic->rules()) {
+    const PredicateInfo& info = parsed.ctx->predicate(r.head.pred);
+    EXPECT_EQ(info.arity, 1u);  // derived predicates are all unary
+  }
+}
+
+TEST(MonadicTest, FailsOnNonRegularGrammar) {
+  auto parsed = MustParse(
+      "s(X,Y) :- up(X,U), s(U,V), dn(V,Y).\n"
+      "s(X,Y) :- mid(X,Y).\n"
+      "?- s(X,Y).\n");
+  EXPECT_FALSE(MonadicEquivalent(parsed.program).ok());
+}
+
+}  // namespace
+}  // namespace exdl
+
+namespace exdl {
+namespace {
+
+TEST(CfgTrimTest, RemovesUselessSymbols) {
+  Cfg grammar;
+  uint32_t s = grammar.AddNonterminal("S");
+  uint32_t useful = grammar.AddNonterminal("A");
+  uint32_t unproductive = grammar.AddNonterminal("U");  // no terminal exit
+  uint32_t unreachable = grammar.AddNonterminal("W");
+  uint32_t a = grammar.AddTerminal("a");
+  grammar.AddProduction(s, {GSym::N(useful)});
+  grammar.AddProduction(s, {GSym::N(unproductive)});
+  grammar.AddProduction(useful, {GSym::T(a)});
+  grammar.AddProduction(unproductive, {GSym::N(unproductive), GSym::T(a)});
+  grammar.AddProduction(unreachable, {GSym::T(a)});
+  grammar.SetStart(s);
+
+  Cfg trimmed = grammar.Trim();
+  EXPECT_EQ(trimmed.NumNonterminals(), 2u);  // S and A
+  EXPECT_EQ(trimmed.productions().size(), 2u);
+  // Languages agree.
+  LanguageOptions options;
+  options.max_length = 4;
+  EXPECT_EQ(*EnumerateLanguage(grammar, grammar.start(), options),
+            *EnumerateLanguage(trimmed, trimmed.start(), options));
+}
+
+TEST(CfgTrimTest, EmptyLanguageKeepsBareStart) {
+  Cfg grammar;
+  uint32_t s = grammar.AddNonterminal("S");
+  grammar.AddProduction(s, {GSym::N(s)});  // S -> S only: empty language
+  grammar.SetStart(s);
+  Cfg trimmed = grammar.Trim();
+  EXPECT_EQ(trimmed.productions().size(), 0u);
+  EXPECT_EQ(trimmed.NonterminalName(trimmed.start()), "S");
+}
+
+TEST(CfgTrimTest, TrimOfCleanGrammarIsIdentityShaped) {
+  auto parsed = testing::MustParse(kChainTc);
+  Cfg grammar = *ChainProgramToGrammar(parsed.program);
+  Cfg trimmed = grammar.Trim();
+  EXPECT_EQ(trimmed.productions().size(), grammar.productions().size());
+  EXPECT_EQ(trimmed.NumNonterminals(), grammar.NumNonterminals());
+}
+
+}  // namespace
+}  // namespace exdl

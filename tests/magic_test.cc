@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "testing/test_util.h"
+#include "transform/magic.h"
+
+namespace exdl {
+namespace {
+
+using ::exdl::testing::EvalAnswers;
+using ::exdl::testing::MustParse;
+
+const char kBoundTc[] =
+    "e(n0, n1). e(n1, n2). e(n2, n3). e(n5, n6). e(n6, n7). e(n7, n8).\n"
+    "tc(X,Y) :- e(X,Y).\n"
+    "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+    "?- tc(n0, Y).\n";
+
+TEST(MagicTest, BoundQueryAnswersPreserved) {
+  auto parsed = MustParse(kBoundTc);
+  Result<MagicResult> magic = MagicRewrite(parsed.program);
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  Database seeded = WithSeed(parsed.edb, magic->seed_fact);
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            EvalAnswers(magic->program, seeded));
+}
+
+TEST(MagicTest, RestrictsComputationToRelevantFacts) {
+  auto parsed = MustParse(kBoundTc);
+  Result<MagicResult> magic = MagicRewrite(parsed.program);
+  ASSERT_TRUE(magic.ok());
+  Database seeded = WithSeed(parsed.edb, magic->seed_fact);
+  EvalResult plain = testing::MustEval(parsed.program, parsed.edb);
+  EvalResult rewritten = testing::MustEval(magic->program, seeded);
+  // The n5..n8 island is unreachable from n0: the magic program must not
+  // derive tc-facts for it. Plain bottom-up computes the full closure (12
+  // tuples); magic computes only the closure of nodes reachable from n0
+  // (6 tuples) plus magic-set bookkeeping.
+  PredId tc_bf = magic->program.query()->pred;
+  EXPECT_EQ(rewritten.db.Count(tc_bf), 6u);
+  PredId tc = parsed.program.query()->pred;
+  EXPECT_EQ(plain.db.Count(tc), 12u);
+}
+
+TEST(MagicTest, SeedFactMatchesQueryConstants) {
+  auto parsed = MustParse(kBoundTc);
+  Result<MagicResult> magic = MagicRewrite(parsed.program);
+  ASSERT_TRUE(magic.ok());
+  ASSERT_EQ(magic->seed_fact.args.size(), 1u);
+  EXPECT_EQ(parsed.ctx->SymbolName(magic->seed_fact.args[0].id()), "n0");
+}
+
+TEST(MagicTest, FreeQueryStillCorrect) {
+  auto parsed = MustParse(
+      "e(n0, n1). e(n1, n2).\n"
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+      "?- tc(X, Y).\n");
+  Result<MagicResult> magic = MagicRewrite(parsed.program);
+  ASSERT_TRUE(magic.ok());
+  Database seeded = WithSeed(parsed.edb, magic->seed_fact);
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            EvalAnswers(magic->program, seeded));
+}
+
+TEST(MagicTest, SecondArgumentBound) {
+  auto parsed = MustParse(
+      "e(n0, n1). e(n1, n2). e(n3, n2).\n"
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+      "?- tc(X, n2).\n");
+  Result<MagicResult> magic = MagicRewrite(parsed.program);
+  ASSERT_TRUE(magic.ok());
+  Database seeded = WithSeed(parsed.edb, magic->seed_fact);
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            EvalAnswers(magic->program, seeded));
+}
+
+TEST(MagicTest, NonRecursiveProgram) {
+  auto parsed = MustParse(
+      "f(a1, b1). g(b1, c1). f(a2, b2). g(b2, c2).\n"
+      "join(X, Z) :- f(X, Y), g(Y, Z).\n"
+      "?- join(a1, Z).\n");
+  Result<MagicResult> magic = MagicRewrite(parsed.program);
+  ASSERT_TRUE(magic.ok());
+  Database seeded = WithSeed(parsed.edb, magic->seed_fact);
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            (std::vector<std::string>{"c1"}));
+  EXPECT_EQ(EvalAnswers(magic->program, seeded),
+            (std::vector<std::string>{"c1"}));
+}
+
+TEST(MagicTest, MutualRecursion) {
+  auto parsed = MustParse(
+      "zero(n0). succ(n0, n1). succ(n1, n2). succ(n2, n3). succ(n3, n4).\n"
+      "even(X) :- zero(X).\n"
+      "even(X) :- succ(Y, X), odd(Y).\n"
+      "odd(X) :- succ(Y, X), even(Y).\n"
+      "?- even(n4).\n");
+  Result<MagicResult> magic = MagicRewrite(parsed.program);
+  ASSERT_TRUE(magic.ok());
+  Database seeded = WithSeed(parsed.edb, magic->seed_fact);
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            EvalAnswers(magic->program, seeded));
+}
+
+TEST(MagicTest, RequiresDerivedQuery) {
+  auto parsed = MustParse("?- e(n0, X).\n");
+  EXPECT_FALSE(MagicRewrite(parsed.program).ok());
+}
+
+TEST(MagicTest, RequiresQuery) {
+  auto parsed = MustParse("p(X) :- e(X).\n");
+  EXPECT_FALSE(MagicRewrite(parsed.program).ok());
+}
+
+TEST(MagicTest, WorksOnAdornedProjectedPrograms) {
+  // Magic after the existential pipeline (orthogonality, bench E8): the
+  // program below is the projected Example 3 with a constant query.
+  auto parsed = MustParse(
+      "p(n0, n1). p(n1, n2). p(n3, n4).\n"
+      "a@nd(X) :- p(X, Z), a@nd(Z).\n"
+      "a@nd(X) :- p(X, Z).\n"
+      "?- a@nd(n0).\n");
+  Result<MagicResult> magic = MagicRewrite(parsed.program);
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  Database seeded = WithSeed(parsed.edb, magic->seed_fact);
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            EvalAnswers(magic->program, seeded));
+  EvalResult rewritten = testing::MustEval(magic->program, seeded);
+  // n3/n4 are irrelevant to the bound query.
+  bool derived_for_n3 = false;
+  for (const auto& [pred, rel] : rewritten.db.relations()) {
+    const PredicateInfo& info = parsed.ctx->predicate(pred);
+    if (info.adornment.empty() ||
+        parsed.ctx->SymbolName(info.name).find("a@") == std::string::npos) {
+      continue;
+    }
+    for (size_t r = 0; r < rel.size(); ++r) {
+      if (parsed.ctx->SymbolName(rel.Row(r)[0]) == "n3") {
+        derived_for_n3 = true;
+      }
+    }
+  }
+  EXPECT_FALSE(derived_for_n3);
+}
+
+}  // namespace
+}  // namespace exdl
+
+namespace exdl {
+namespace {
+
+TEST(SupplementaryMagicTest, BoundQueryAnswersPreserved) {
+  auto parsed = testing::MustParse(kBoundTc);
+  MagicOptions options;
+  options.supplementary = true;
+  Result<MagicResult> magic = MagicRewrite(parsed.program, options);
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  Database seeded = WithSeed(parsed.edb, magic->seed_fact);
+  EXPECT_EQ(testing::EvalAnswers(parsed.program, parsed.edb),
+            testing::EvalAnswers(magic->program, seeded));
+}
+
+TEST(SupplementaryMagicTest, AgreesWithPlainMagic) {
+  auto parsed = testing::MustParse(
+      "zero(n0). succ(n0, n1). succ(n1, n2). succ(n2, n3). succ(n3, n4).\n"
+      "even(X) :- zero(X).\n"
+      "even(X) :- succ(Y, X), odd(Y).\n"
+      "odd(X) :- succ(Y, X), even(Y).\n"
+      "?- even(n4).\n");
+  Result<MagicResult> plain = MagicRewrite(parsed.program);
+  MagicOptions options;
+  options.supplementary = true;
+  Result<MagicResult> sup = MagicRewrite(parsed.program, options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(sup.ok());
+  EXPECT_EQ(
+      testing::EvalAnswers(plain->program,
+                           WithSeed(parsed.edb, plain->seed_fact)),
+      testing::EvalAnswers(sup->program, WithSeed(parsed.edb, sup->seed_fact)));
+}
+
+TEST(SupplementaryMagicTest, IntroducesSupPredicates) {
+  auto parsed = testing::MustParse(kBoundTc);
+  MagicOptions options;
+  options.supplementary = true;
+  Result<MagicResult> magic = MagicRewrite(parsed.program, options);
+  ASSERT_TRUE(magic.ok());
+  bool has_sup = false;
+  for (const Rule& r : magic->program.rules()) {
+    const std::string name = parsed.ctx->PredicateDisplayName(r.head.pred);
+    if (name.rfind("sup_", 0) == 0) has_sup = true;
+  }
+  EXPECT_TRUE(has_sup);
+}
+
+TEST(SupplementaryMagicTest, SharedPrefixComputedOnce) {
+  // Rule with two derived literals: plain magic re-joins the prefix for
+  // the second magic rule; supplementary reuses sup_1.
+  auto parsed = testing::MustParse(
+      "base(n0, n1). base(n1, n2). base(n2, n3).\n"
+      "d1(X, Y) :- base(X, Y).\n"
+      "d2(X, Y) :- base(X, Y).\n"
+      "pair(X, Z) :- d1(X, Y), d2(Y, Z).\n"
+      "?- pair(n0, Z).\n");
+  Result<MagicResult> plain = MagicRewrite(parsed.program);
+  MagicOptions options;
+  options.supplementary = true;
+  Result<MagicResult> sup = MagicRewrite(parsed.program, options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(sup.ok());
+  auto plain_answers = testing::EvalAnswers(
+      plain->program, WithSeed(parsed.edb, plain->seed_fact));
+  auto sup_answers = testing::EvalAnswers(
+      sup->program, WithSeed(parsed.edb, sup->seed_fact));
+  EXPECT_EQ(plain_answers, sup_answers);
+  EXPECT_EQ(sup_answers, (std::vector<std::string>{"n2"}));
+}
+
+}  // namespace
+}  // namespace exdl

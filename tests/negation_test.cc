@@ -1,0 +1,252 @@
+// Stratified negation — the "generalize to negation" direction Section 6
+// of the paper points to. Parser syntax, stratification analysis,
+// anti-join evaluation, and the conservative behavior of the optimizer on
+// non-monotone programs.
+
+#include <gtest/gtest.h>
+
+#include "analysis/stratification.h"
+#include "ast/printer.h"
+#include "core/optimizer.h"
+#include "equiv/random_check.h"
+#include "equiv/uniform_equivalence.h"
+#include "testing/test_util.h"
+#include "transform/magic.h"
+
+namespace exdl {
+namespace {
+
+using ::exdl::testing::EvalAnswers;
+using ::exdl::testing::MustParse;
+
+TEST(NegationParserTest, NotPrefixParses) {
+  auto parsed = MustParse("safe(X) :- node(X), not bad(X).\n");
+  const Rule& rule = parsed.program.rules()[0];
+  ASSERT_EQ(rule.body.size(), 2u);
+  EXPECT_FALSE(rule.body[0].negated);
+  EXPECT_TRUE(rule.body[1].negated);
+  EXPECT_TRUE(parsed.program.HasNegation());
+}
+
+TEST(NegationParserTest, PrinterRoundTrip) {
+  auto parsed = MustParse("safe(X) :- node(X), not bad(X).\n");
+  std::string printed = ToString(parsed.program);
+  EXPECT_NE(printed.find("not bad(X)"), std::string::npos);
+  auto reparsed = testing::MustParseWith(parsed.ctx, printed);
+  EXPECT_EQ(ToString(reparsed.program), printed);
+}
+
+TEST(NegationParserTest, NotAsPredicateNameStillWorks) {
+  // "not" negates only when another identifier follows.
+  auto parsed = MustParse("p(X) :- q(X), not.\nnot :- r(Y).\n");
+  EXPECT_FALSE(parsed.program.rules()[0].body[1].negated);
+  EXPECT_EQ(parsed.program.rules()[0].body[1].args.size(), 0u);
+}
+
+TEST(StratificationTest, PositiveProgramIsOneStratum) {
+  auto parsed = MustParse(
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+      "?- tc(X,Y).\n");
+  Result<Stratification> st = Stratify(parsed.program);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->num_strata, 1);
+}
+
+TEST(StratificationTest, NegationRaisesStratum) {
+  auto parsed = MustParse(
+      "reach(X) :- src(X).\n"
+      "reach(Y) :- reach(X), e(X, Y).\n"
+      "unreached(X) :- node(X), not reach(X).\n"
+      "?- unreached(X).\n");
+  Result<Stratification> st = Stratify(parsed.program);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->num_strata, 2);
+  PredId reach = parsed.program.rules()[0].head.pred;
+  PredId unreached = parsed.program.rules()[2].head.pred;
+  EXPECT_EQ(st->StratumOf(reach), 0);
+  EXPECT_EQ(st->StratumOf(unreached), 1);
+}
+
+TEST(StratificationTest, NegativeCycleRejected) {
+  auto parsed = MustParse(
+      "p(X) :- n(X), not q(X).\n"
+      "q(X) :- n(X), not p(X).\n"
+      "?- p(X).\n");
+  EXPECT_FALSE(Stratify(parsed.program).ok());
+}
+
+TEST(StratificationTest, PositiveCycleWithSideNegationOk) {
+  auto parsed = MustParse(
+      "a(X) :- b(X).\n"
+      "b(X) :- a(X), not c(X).\n"
+      "c(X) :- base(X).\n"
+      "?- a(X).\n");
+  Result<Stratification> st = Stratify(parsed.program);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->num_strata, 2);
+}
+
+TEST(NegationEvalTest, UnreachableNodes) {
+  auto parsed = MustParse(
+      "node(n0). node(n1). node(n2). node(n3).\n"
+      "e(n0, n1). e(n1, n2).\n"
+      "src(n0).\n"
+      "reach(X) :- src(X).\n"
+      "reach(Y) :- reach(X), e(X, Y).\n"
+      "unreached(X) :- node(X), not reach(X).\n"
+      "?- unreached(X).\n");
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            (std::vector<std::string>{"n3"}));
+}
+
+TEST(NegationEvalTest, SetDifference) {
+  auto parsed = MustParse(
+      "a(n1). a(n2). a(n3). b(n2).\n"
+      "diff(X) :- a(X), not b(X).\n"
+      "?- diff(X).\n");
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            (std::vector<std::string>{"n1", "n3"}));
+}
+
+TEST(NegationEvalTest, NegatedLiteralWithConstant) {
+  auto parsed = MustParse(
+      "a(n1). a(n2). blocked(n1).\n"
+      "ok(X) :- a(X), not blocked(n1).\n"
+      "always(X) :- a(X), not blocked(n9).\n"
+      "?- always(X).\n");
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb).size(), 2u);
+  Program blocked_q = parsed.program.Clone();
+  Atom q = parsed.program.rules()[0].head;  // ok(X)
+  blocked_q.SetQuery(Atom(q.pred, q.args));
+  EXPECT_TRUE(testing::EvalAnswers(blocked_q, parsed.edb).empty());
+}
+
+TEST(NegationEvalTest, NegatedZeroAryLiteral) {
+  auto parsed = MustParse(
+      "a(n1).\n"
+      "flag :- trigger(X).\n"
+      "quiet(X) :- a(X), not flag.\n"
+      "?- quiet(X).\n");
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb).size(), 1u);
+  auto triggered = MustParse(
+      "a(n1). trigger(t).\n"
+      "flag :- trigger(X).\n"
+      "quiet(X) :- a(X), not flag.\n"
+      "?- quiet(X).\n");
+  EXPECT_TRUE(EvalAnswers(triggered.program, triggered.edb).empty());
+}
+
+TEST(NegationEvalTest, ThreeStrataWinMove) {
+  // Game positions: a position is won if some move leads to a lost one;
+  // lost if not won (two-stratum classic on an acyclic move graph).
+  auto parsed = MustParse(
+      "pos(p0). pos(p1). pos(p2). pos(p3).\n"
+      "move(p0, p1). move(p1, p2). move(p2, p3).\n"
+      "has_move(X) :- move(X, Y).\n"
+      "terminal(X) :- pos(X), not has_move(X).\n"
+      "won(X) :- move(X, Y), lost(Y).\n"
+      "lost(X) :- terminal(X).\n"
+      "lost(X) :- pos(X), not won(X), not terminal(X).\n"
+      "?- won(X).\n");
+  Result<Stratification> st = Stratify(parsed.program);
+  // won/lost are mutually recursive with a negative edge: not stratified.
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(Evaluate(parsed.program, parsed.edb).ok());
+}
+
+TEST(NegationEvalTest, AcyclicGameViaStrata) {
+  // Stratified alternative: compute reachability-to-terminal parity with
+  // explicit per-stratum predicates.
+  auto parsed = MustParse(
+      "pos(p0). pos(p1). pos(p2). pos(p3).\n"
+      "move(p0, p1). move(p1, p2). move(p2, p3).\n"
+      "has_move(X) :- move(X, Y).\n"
+      "terminal(X) :- pos(X), not has_move(X).\n"
+      "win1(X) :- move(X, Y), terminal(Y).\n"
+      "?- win1(X).\n");
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            (std::vector<std::string>{"p2"}));
+}
+
+TEST(NegationEvalTest, SemiNaiveMatchesNaive) {
+  auto parsed = MustParse(
+      "node(n0). node(n1). node(n2). node(n3). node(n4).\n"
+      "e(n0, n1). e(n1, n2). e(n3, n4).\n"
+      "src(n0).\n"
+      "reach(X) :- src(X).\n"
+      "reach(Y) :- reach(X), e(X, Y).\n"
+      "island(X) :- node(X), not reach(X).\n"
+      "pair(X, Y) :- island(X), island(Y), not e(X, Y).\n"
+      "?- pair(X, Y).\n");
+  EvalOptions naive;
+  naive.seminaive = false;
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            EvalAnswers(parsed.program, parsed.edb, naive));
+}
+
+TEST(NegationEvalTest, UnsafeNegationRejected) {
+  auto parsed = MustParse(
+      "p(X) :- a(X), not b(Y).\n"  // Y never bound positively
+      "?- p(X).\n");
+  EXPECT_FALSE(Evaluate(parsed.program, Database()).ok());
+}
+
+TEST(NegationOptimizerTest, PipelineStillSoundAndConservative) {
+  auto parsed = MustParse(
+      "safe_reach(X) :- reach(X, Y), not quarantined(Y).\n"
+      "reach(X, Y) :- e(X, Y).\n"
+      "reach(X, Y) :- e(X, Z), reach(Z, Y).\n"
+      "query(X) :- safe_reach(X).\n"
+      "?- query(X).\n");
+  Result<OptimizedProgram> optimized = OptimizeExistential(parsed.program);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  // Deletion was skipped (non-monotone), but adornment/projection still
+  // ran; answers must be preserved.
+  EXPECT_EQ(optimized->report.deleted_by_summary, 0u);
+  Result<RandomCheckReport> check =
+      CheckQueryEquivalentOnEdb(parsed.program, optimized->program);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->equivalent) << check->counterexample;
+}
+
+TEST(NegationOptimizerTest, ProjectionStillAppliesAroundNegation) {
+  // The existential argument Y of reach sits in a *positive* literal; the
+  // negated literal over a base predicate does not block projection.
+  auto parsed = MustParse(
+      "query(X) :- reach(X, Y).\n"
+      "reach(X, Y) :- e(X, Y), not blocked(X).\n"
+      "reach(X, Y) :- e(X, Z), reach(Z, Y).\n"
+      "?- query(X).\n");
+  Result<OptimizedProgram> optimized = OptimizeExistential(parsed.program);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(optimized->report.predicates_projected, 1u);
+  Result<RandomCheckReport> check =
+      CheckQueryEquivalentOnEdb(parsed.program, optimized->program);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->equivalent) << check->counterexample;
+}
+
+TEST(NegationGuardsTest, NonMonotoneMachineryRefuses) {
+  auto parsed = MustParse(
+      "p(X) :- a(X), not b(X).\n"
+      "?- p(X).\n");
+  EXPECT_FALSE(DeletableUnderUniformEquivalence(parsed.program, 0).ok());
+  EXPECT_FALSE(MagicRewrite(parsed.program).ok());
+}
+
+TEST(NegationEvalTest, DoubleNegationThroughStrata) {
+  // present = not absent; absent = not listed. Two negations, three
+  // strata; the final answers equal the listed set.
+  auto parsed = MustParse(
+      "universe(n1). universe(n2). universe(n3).\n"
+      "listed(n1). listed(n3).\n"
+      "absent(X) :- universe(X), not listed(X).\n"
+      "present(X) :- universe(X), not absent(X).\n"
+      "?- present(X).\n");
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            (std::vector<std::string>{"n1", "n3"}));
+}
+
+}  // namespace
+}  // namespace exdl

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "analysis/dependency_graph.h"
+#include "core/optimizer.h"
+#include "equiv/random_check.h"
+#include "testing/test_util.h"
+#include "transform/magic.h"
+
+namespace exdl {
+namespace {
+
+using ::exdl::testing::EvalAnswers;
+using ::exdl::testing::MustParse;
+
+const char kExample1[] =
+    "query(X) :- a(X, Y).\n"
+    "a(X, Y) :- p(X, Z), a(Z, Y).\n"
+    "a(X, Y) :- p(X, Y).\n"
+    "?- query(X).\n";
+
+const char kExample1WithFacts[] =
+    "p(n0, n1). p(n1, n2). p(n2, n3). p(n5, n5).\n"
+    "query(X) :- a(X, Y).\n"
+    "a(X, Y) :- p(X, Z), a(Z, Y).\n"
+    "a(X, Y) :- p(X, Y).\n"
+    "?- query(X).\n";
+
+TEST(OptimizerTest, Example1PipelineProducesUnaryRecursion) {
+  auto parsed = MustParse(kExample1);
+  Result<OptimizedProgram> optimized = OptimizeExistential(parsed.program);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  const OptimizationReport& report = optimized->report;
+  EXPECT_TRUE(report.adorned);
+  EXPECT_EQ(report.predicates_projected, 1u);
+  EXPECT_EQ(report.positions_dropped, 1u);
+  // Every remaining derived predicate is unary.
+  for (const Rule& r : optimized->program.rules()) {
+    EXPECT_LE(parsed.ctx->predicate(r.head.pred).arity, 1u);
+  }
+}
+
+TEST(OptimizerTest, Example1AnswersPreserved) {
+  auto parsed = MustParse(kExample1WithFacts);
+  Result<OptimizedProgram> optimized = OptimizeExistential(parsed.program);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            EvalAnswers(optimized->program, parsed.edb));
+}
+
+TEST(OptimizerTest, Example1RandomizedEquivalence) {
+  auto parsed = MustParse(kExample1);
+  Result<OptimizedProgram> optimized = OptimizeExistential(parsed.program);
+  ASSERT_TRUE(optimized.ok());
+  Result<RandomCheckReport> check =
+      CheckQueryEquivalentOnEdb(parsed.program, optimized->program);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->equivalent) << check->counterexample;
+}
+
+TEST(OptimizerTest, Examples5And6EndToEnd) {
+  // The paper's Example 5 program; Examples 6 shows UQE deletion turning
+  // it non-recursive. Our summary-based pass plus cleanup should reach a
+  // program without recursion; with the optimistic pass enabled it must.
+  auto parsed = MustParse(
+      "query(X) :- a(X, Y).\n"
+      "a(X, Y) :- a(X, Z), p(Z, Y).\n"
+      "a(X, Y) :- p(X, Y).\n"
+      "?- query(X).\n");
+  OptimizerOptions options;
+  options.deletion.use_optimistic = true;
+  options.deletion.use_sagiv = true;
+  Result<OptimizedProgram> optimized =
+      OptimizeExistential(parsed.program, options);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  // Non-recursive result: no rule's body mentions its own head predicate
+  // transitively. Cheap check: total rules shrink and answers survive.
+  Result<RandomCheckReport> check =
+      CheckQueryEquivalentOnEdb(parsed.program, optimized->program);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->equivalent) << check->counterexample;
+  size_t deleted = optimized->report.deleted_by_summary +
+                   optimized->report.deleted_by_sagiv +
+                   optimized->report.deleted_by_optimistic;
+  EXPECT_GT(deleted, 0u);
+  // The optimized program of Example 6 has no recursion left.
+  DependencyGraph dg(optimized->program);
+  EXPECT_FALSE(dg.HasRecursion());
+}
+
+TEST(OptimizerTest, BooleanComponentExtraction) {
+  auto parsed = MustParse(
+      "query(X) :- q1(X, Y), q3(U, V), q4(V).\n"
+      "q4(V) :- q6(V).\n"
+      "?- query(X).\n");
+  Result<OptimizedProgram> optimized = OptimizeExistential(parsed.program);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_GE(optimized->report.booleans_created, 1u);
+  Result<RandomCheckReport> check =
+      CheckQueryEquivalentOnEdb(parsed.program, optimized->program);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->equivalent) << check->counterexample;
+}
+
+TEST(OptimizerTest, UnusedUnitRulesRetracted) {
+  // Nothing deletable here, so added covering unit rules must be retracted
+  // and the program restored to its pre-unit-rule shape.
+  auto parsed = MustParse(kExample1);
+  Result<OptimizedProgram> optimized = OptimizeExistential(parsed.program);
+  ASSERT_TRUE(optimized.ok());
+  // No unit rule should survive unless a deletion leaned on it.
+  if (optimized->report.deleted_by_summary == 0) {
+    EXPECT_EQ(optimized->report.unit_rules_added,
+              optimized->report.unit_rules_retracted);
+  }
+}
+
+TEST(OptimizerTest, PhasesCanBeDisabled) {
+  auto parsed = MustParse(kExample1WithFacts);
+  OptimizerOptions off;
+  off.adorn = false;
+  off.push_projections = false;
+  off.extract_components = false;
+  off.add_unit_rules = false;
+  off.delete_rules = false;
+  Result<OptimizedProgram> optimized =
+      OptimizeExistential(parsed.program, off);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(ToString(optimized->program), ToString(parsed.program));
+}
+
+TEST(OptimizerTest, MagicComposesWithExistentialPipeline) {
+  auto parsed = MustParse(
+      "p(n0, n1). p(n1, n2). p(n5, n6).\n"
+      "query(X) :- a(X, Y).\n"
+      "a(X, Y) :- p(X, Z), a(Z, Y).\n"
+      "a(X, Y) :- p(X, Y).\n"
+      "?- query(n0).\n");
+  OptimizerOptions options;
+  options.apply_magic = true;
+  Result<OptimizedProgram> optimized =
+      OptimizeExistential(parsed.program, options);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  ASSERT_TRUE(optimized->magic_seed.has_value());
+  Database seeded = WithSeed(parsed.edb, *optimized->magic_seed);
+  EXPECT_EQ(EvalAnswers(parsed.program, parsed.edb),
+            EvalAnswers(optimized->program, seeded));
+  EXPECT_TRUE(optimized->report.magic_applied);
+}
+
+TEST(OptimizerTest, ReportToStringMentionsPhases) {
+  auto parsed = MustParse(kExample1);
+  Result<OptimizedProgram> optimized = OptimizeExistential(parsed.program);
+  ASSERT_TRUE(optimized.ok());
+  std::string report = optimized->report.ToString();
+  EXPECT_NE(report.find("rules:"), std::string::npos);
+  EXPECT_NE(report.find("projection pushing"), std::string::npos);
+}
+
+TEST(OptimizerTest, RequiresQuery) {
+  auto parsed = MustParse("p(X) :- e(X).\n");
+  EXPECT_FALSE(OptimizeExistential(parsed.program).ok());
+}
+
+TEST(OptimizerTest, QueryOverBasePredicate) {
+  auto parsed = MustParse("e(n1, n2).\n?- e(X, Y).\n");
+  Result<OptimizedProgram> optimized = OptimizeExistential(parsed.program);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(EvalAnswers(optimized->program, parsed.edb),
+            (std::vector<std::string>{"n1,n2"}));
+}
+
+TEST(OptimizerTest, OptimizedRunsFasterOnChain) {
+  std::string facts;
+  for (int i = 0; i < 60; ++i) {
+    facts += "p(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+             "). ";
+  }
+  auto parsed = MustParse(facts + "\n" + kExample1);
+  Result<OptimizedProgram> optimized = OptimizeExistential(parsed.program);
+  ASSERT_TRUE(optimized.ok());
+  EvalResult before = testing::MustEval(parsed.program, parsed.edb);
+  EvalResult after = testing::MustEval(optimized->program, parsed.edb);
+  EXPECT_EQ(before.answers, after.answers);
+  // Binary closure derives ~n^2/2 tuples, unary ~n.
+  EXPECT_LT(after.stats.tuples_inserted,
+            before.stats.tuples_inserted / 4);
+}
+
+}  // namespace
+}  // namespace exdl

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "testing/test_util.h"
+
+namespace exdl {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  Result<std::vector<Token>> tokens = Tokenize("p(X, c) :- q. ?- r.");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kIdent,   TokenKind::kLParen, TokenKind::kVariable,
+      TokenKind::kComma,   TokenKind::kIdent,  TokenKind::kRParen,
+      TokenKind::kImplies, TokenKind::kIdent,  TokenKind::kDot,
+      TokenKind::kQuery,   TokenKind::kIdent,  TokenKind::kDot,
+      TokenKind::kEof};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, CommentsAndWhitespace) {
+  Result<std::vector<Token>> tokens =
+      Tokenize("% a comment\np(X).  # another\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 6u);  // p ( X ) . eof
+}
+
+TEST(LexerTest, IntegerLiteralsAreConstants) {
+  Result<std::vector<Token>> tokens = Tokenize("42");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "42");
+}
+
+TEST(LexerTest, RejectsLoneColon) {
+  EXPECT_FALSE(Tokenize("p : q").ok());
+}
+
+TEST(LexerTest, RejectsLoneQuestionMark) {
+  EXPECT_FALSE(Tokenize("? p").ok());
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("p(X) & q(X)").ok());
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  Result<std::vector<Token>> tokens = Tokenize("p.\nq.\nr.");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].line, 2);  // 'q'
+}
+
+TEST(ParserTest, RulesFactsAndQuery) {
+  auto parsed = testing::MustParse(
+      "edge(n1, n2).\n"
+      "edge(n2, n3).\n"
+      "tc(X,Y) :- edge(X,Y).\n"
+      "tc(X,Y) :- edge(X,Z), tc(Z,Y).\n"
+      "?- tc(X,Y).\n");
+  EXPECT_EQ(parsed.program.NumRules(), 2u);
+  EXPECT_TRUE(parsed.program.query().has_value());
+  EXPECT_EQ(parsed.edb.TotalTuples(), 2u);
+}
+
+TEST(ParserTest, ZeroAryPredicates) {
+  auto parsed = testing::MustParse("b :- p(X), q(X).\nr(Y) :- s(Y), b.\n");
+  EXPECT_EQ(parsed.program.rules()[0].head.args.size(), 0u);
+  EXPECT_EQ(parsed.program.rules()[1].body[1].args.size(), 0u);
+}
+
+TEST(ParserTest, AdornedPredicateSyntax) {
+  auto parsed = testing::MustParse("a@nd(X,Y) :- p(X,Y).\n");
+  const PredicateInfo& info =
+      parsed.ctx->predicate(parsed.program.rules()[0].head.pred);
+  EXPECT_EQ(info.adornment.str(), "nd");
+  EXPECT_EQ(info.arity, 2u);
+}
+
+TEST(ParserTest, AnonymousVariablesAreFreshPerOccurrence) {
+  auto parsed = testing::MustParse("p(X) :- q(X, _), r(_, X).\n");
+  const Rule& rule = parsed.program.rules()[0];
+  SymbolId a = rule.body[0].args[1].id();
+  SymbolId b = rule.body[1].args[0].id();
+  EXPECT_NE(a, b);
+}
+
+TEST(ParserTest, RejectsNonGroundFact) {
+  ContextPtr ctx = std::make_shared<Context>();
+  Result<ParsedUnit> r = ParseProgram("p(X).\n", ctx);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, RejectsMultipleQueries) {
+  ContextPtr ctx = std::make_shared<Context>();
+  Result<ParsedUnit> r = ParseProgram("?- p(X).\n?- q(X).\n", ctx);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, RejectsAdornmentShorterThanArgs) {
+  ContextPtr ctx = std::make_shared<Context>();
+  Result<ParsedUnit> r = ParseProgram("a@n(X,Y) :- p(X,Y).\n", ctx);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, AdornmentLongerThanArgsIsProjectedVersion) {
+  // a@nd with a single stored argument = the projected version (Lemma 3.2).
+  auto parsed = testing::MustParse("a@nd(X) :- p(X, Y).\n");
+  const PredicateInfo& info =
+      parsed.ctx->predicate(parsed.program.rules()[0].head.pred);
+  EXPECT_TRUE(info.IsProjected());
+  EXPECT_EQ(info.arity, 1u);
+  EXPECT_EQ(info.adornment.size(), 2u);
+}
+
+TEST(ParserTest, MissingDotFails) {
+  ContextPtr ctx = std::make_shared<Context>();
+  EXPECT_FALSE(ParseProgram("p(X) :- q(X)", ctx).ok());
+}
+
+TEST(ParserTest, EmptyInputIsEmptyProgram) {
+  auto parsed = testing::MustParse("");
+  EXPECT_EQ(parsed.program.NumRules(), 0u);
+  EXPECT_FALSE(parsed.program.query().has_value());
+}
+
+TEST(ParserTest, ParseAtomHelper) {
+  Context ctx;
+  Result<Atom> atom = ParseAtom("p(X, 7)", &ctx);
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->args.size(), 2u);
+  EXPECT_TRUE(atom->args[0].IsVar());
+  EXPECT_TRUE(atom->args[1].IsConst());
+  EXPECT_FALSE(ParseAtom("p(X) q", &ctx).ok());
+}
+
+TEST(ParserTest, ParseRuleHelper) {
+  Context ctx;
+  Result<Rule> rule = ParseRule("p(X) :- q(X, Y)", &ctx);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->body.size(), 1u);
+  Result<Rule> fact_like = ParseRule("p(X)", &ctx);
+  ASSERT_TRUE(fact_like.ok());
+  EXPECT_TRUE(fact_like->body.empty());
+}
+
+TEST(ParserTest, ConstantsShareInterning) {
+  auto parsed = testing::MustParse(
+      "p(c1, c2).\n"
+      "q(X) :- r(X, c1).\n");
+  SymbolId c1 = *parsed.ctx->FindSymbol("c1");
+  EXPECT_EQ(parsed.program.rules()[0].body[0].args[1].id(), c1);
+}
+
+}  // namespace
+}  // namespace exdl

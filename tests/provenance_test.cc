@@ -1,0 +1,137 @@
+// Derivation trees (Section 1.1): "For each fact that belongs to the
+// answer, there exists a finite derivation tree ... the leaves are base
+// facts, and each internal node is labeled by a fact, and by a rule which
+// generates this fact from the facts labeling its children."
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "testing/test_util.h"
+
+namespace exdl {
+namespace {
+
+using ::exdl::testing::MustParse;
+
+TEST(ProvenanceTest, RecordsRuleAndChildren) {
+  auto parsed = MustParse(
+      "e(n0, n1). e(n1, n2).\n"
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+      "?- tc(X,Y).\n");
+  EvalOptions options;
+  options.record_provenance = true;
+  EvalResult result = testing::MustEval(parsed.program, parsed.edb, options);
+  PredId tc = parsed.program.query()->pred;
+  // Every derived tc tuple has provenance.
+  const Relation* rel = result.db.Find(tc);
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->size(), 3u);
+  for (uint32_t r = 0; r < rel->size(); ++r) {
+    auto it = result.provenance.find(TupleRef{tc, r});
+    ASSERT_NE(it, result.provenance.end());
+    EXPECT_GE(it->second.rule_index, 0);
+    EXPECT_FALSE(it->second.children.empty());
+  }
+}
+
+TEST(ProvenanceTest, InputFactsHaveNoProvenance) {
+  auto parsed = MustParse(
+      "e(n0, n1).\n"
+      "tc(X,Y) :- e(X,Y).\n"
+      "?- tc(X,Y).\n");
+  EvalOptions options;
+  options.record_provenance = true;
+  EvalResult result = testing::MustEval(parsed.program, parsed.edb, options);
+  PredId e = parsed.program.rules()[0].body[0].pred;
+  EXPECT_EQ(result.provenance.count(TupleRef{e, 0}), 0u);
+}
+
+TEST(ProvenanceTest, ExplainRendersFullTree) {
+  auto parsed = MustParse(
+      "e(n0, n1). e(n1, n2). e(n2, n3).\n"
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+      "?- tc(X,Y).\n");
+  EvalOptions options;
+  options.record_provenance = true;
+  EvalResult result = testing::MustEval(parsed.program, parsed.edb, options);
+  PredId tc = parsed.program.query()->pred;
+  Context& ctx = *parsed.ctx;
+  std::vector<Value> target = {ctx.InternSymbol("n0"),
+                               ctx.InternSymbol("n3")};
+  Result<std::string> explained =
+      ExplainFact(parsed.program, result, tc, target);
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  // The tree bottoms out in the three input edges.
+  EXPECT_NE(explained->find("tc(n0, n3)"), std::string::npos);
+  EXPECT_NE(explained->find("e(n0, n1)   [input fact]"), std::string::npos);
+  EXPECT_NE(explained->find("e(n2, n3)   [input fact]"), std::string::npos);
+  // Derivation depth: the recursive rule applied twice, exit rule once.
+  EXPECT_NE(explained->find("[rule 1]"), std::string::npos);
+  EXPECT_NE(explained->find("[rule 0]"), std::string::npos);
+}
+
+TEST(ProvenanceTest, ExplainMissingFactIsNotFound) {
+  auto parsed = MustParse(
+      "e(n0, n1).\n"
+      "tc(X,Y) :- e(X,Y).\n"
+      "?- tc(X,Y).\n");
+  EvalOptions options;
+  options.record_provenance = true;
+  EvalResult result = testing::MustEval(parsed.program, parsed.edb, options);
+  PredId tc = parsed.program.query()->pred;
+  Context& ctx = *parsed.ctx;
+  std::vector<Value> absent = {ctx.InternSymbol("n1"),
+                               ctx.InternSymbol("n0")};
+  EXPECT_FALSE(ExplainFact(parsed.program, result, tc, absent).ok());
+}
+
+TEST(ProvenanceTest, OffByDefault) {
+  auto parsed = MustParse(
+      "e(n0, n1).\n"
+      "tc(X,Y) :- e(X,Y).\n"
+      "?- tc(X,Y).\n");
+  EvalResult result = testing::MustEval(parsed.program, parsed.edb);
+  EXPECT_TRUE(result.provenance.empty());
+}
+
+TEST(ProvenanceTest, NegationChildrenAreOnlyPositive) {
+  auto parsed = MustParse(
+      "a(n1). a(n2). b(n2).\n"
+      "diff(X) :- a(X), not b(X).\n"
+      "?- diff(X).\n");
+  EvalOptions options;
+  options.record_provenance = true;
+  EvalResult result = testing::MustEval(parsed.program, parsed.edb, options);
+  PredId diff = parsed.program.query()->pred;
+  auto it = result.provenance.find(TupleRef{diff, 0});
+  ASSERT_NE(it, result.provenance.end());
+  // Only the positive a-literal contributes a child.
+  EXPECT_EQ(it->second.children.size(), 1u);
+}
+
+TEST(ProvenanceTest, DerivationTreeIsWellFounded) {
+  // Children always point at earlier-inserted tuples; rendering cannot
+  // loop even on cyclic data.
+  auto parsed = MustParse(
+      "e(n0, n1). e(n1, n0).\n"
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+      "?- tc(X,Y).\n");
+  EvalOptions options;
+  options.record_provenance = true;
+  EvalResult result = testing::MustEval(parsed.program, parsed.edb, options);
+  PredId tc = parsed.program.query()->pred;
+  const Relation* rel = result.db.Find(tc);
+  ASSERT_NE(rel, nullptr);
+  for (uint32_t r = 0; r < rel->size(); ++r) {
+    Result<std::string> explained =
+        ExplainTuple(parsed.program, result, TupleRef{tc, r});
+    ASSERT_TRUE(explained.ok());
+    EXPECT_NE(explained->find("[input fact]"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace exdl

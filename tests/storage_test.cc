@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/relation.h"
+#include "testing/test_util.h"
+
+namespace exdl {
+namespace {
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel(2);
+  EXPECT_TRUE(rel.Insert(std::vector<Value>{1, 2}));
+  EXPECT_TRUE(rel.Insert(std::vector<Value>{1, 3}));
+  EXPECT_FALSE(rel.Insert(std::vector<Value>{1, 2}));
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.insert_attempts(), 3u);
+}
+
+TEST(RelationTest, RowsKeepInsertionOrder) {
+  Relation rel(1);
+  for (Value v : {5u, 3u, 9u}) rel.Insert(std::vector<Value>{v});
+  EXPECT_EQ(rel.Row(0)[0], 5u);
+  EXPECT_EQ(rel.Row(1)[0], 3u);
+  EXPECT_EQ(rel.Row(2)[0], 9u);
+}
+
+TEST(RelationTest, Contains) {
+  Relation rel(2);
+  rel.Insert(std::vector<Value>{1, 2});
+  EXPECT_TRUE(rel.Contains(std::vector<Value>{1, 2}));
+  EXPECT_FALSE(rel.Contains(std::vector<Value>{2, 1}));
+}
+
+TEST(RelationTest, IndexLookup) {
+  Relation rel(2);
+  rel.Insert(std::vector<Value>{1, 10});
+  rel.Insert(std::vector<Value>{1, 11});
+  rel.Insert(std::vector<Value>{2, 12});
+  const Relation::Index& index = rel.GetIndex({0});
+  const Relation::RowIdList* ids = index.Lookup({1});
+  ASSERT_NE(ids, nullptr);
+  EXPECT_EQ(ids->size(), 2u);
+  EXPECT_EQ(index.Lookup({3}), nullptr);
+}
+
+TEST(RelationTest, IndexMaintainedAcrossInserts) {
+  Relation rel(2);
+  rel.Insert(std::vector<Value>{1, 10});
+  const Relation::Index& index = rel.GetIndex({0});
+  EXPECT_EQ(index.Lookup({1})->size(), 1u);
+  rel.Insert(std::vector<Value>{1, 11});
+  EXPECT_EQ(index.Lookup({1})->size(), 2u);  // same reference, updated
+}
+
+TEST(RelationTest, MultiColumnIndex) {
+  Relation rel(3);
+  rel.Insert(std::vector<Value>{1, 2, 3});
+  rel.Insert(std::vector<Value>{1, 2, 4});
+  rel.Insert(std::vector<Value>{1, 5, 3});
+  const Relation::Index& index = rel.GetIndex({0, 2});
+  EXPECT_EQ(index.Lookup({1, 3})->size(), 2u);
+}
+
+TEST(RelationTest, RowIdsInIndexAreAscending) {
+  Relation rel(1);
+  for (Value v = 0; v < 100; ++v) rel.Insert(std::vector<Value>{v % 10});
+  const Relation::Index& index = rel.GetIndex({0});
+  const Relation::RowIdList* ids = index.Lookup({3});
+  ASSERT_NE(ids, nullptr);
+  for (size_t i = 1; i < ids->size(); ++i) {
+    EXPECT_LT((*ids)[i - 1], (*ids)[i]);
+  }
+}
+
+TEST(RelationTest, ZeroArityRelation) {
+  Relation rel(0);
+  EXPECT_TRUE(rel.empty());
+  EXPECT_TRUE(rel.Insert(std::vector<Value>{}));
+  EXPECT_FALSE(rel.Insert(std::vector<Value>{}));
+  EXPECT_EQ(rel.size(), 1u);  // the empty tuple, at most once
+}
+
+TEST(RelationTest, Clear) {
+  Relation rel(1);
+  rel.Insert(std::vector<Value>{1});
+  rel.GetIndex({0});
+  rel.Clear();
+  EXPECT_TRUE(rel.empty());
+  EXPECT_TRUE(rel.Insert(std::vector<Value>{1}));
+}
+
+TEST(DatabaseTest, GetOrCreateIsStable) {
+  Database db;
+  Relation& a = db.GetOrCreate(7, 2);
+  a.Insert(std::vector<Value>{1, 2});
+  Relation& b = db.GetOrCreate(7, 2);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(db.Count(7), 1u);
+}
+
+TEST(DatabaseTest, FindAbsentReturnsNull) {
+  Database db;
+  EXPECT_EQ(db.Find(3), nullptr);
+  EXPECT_EQ(db.Count(3), 0u);
+}
+
+TEST(DatabaseTest, AddFactRequiresGround) {
+  auto parsed = testing::MustParse("");
+  Context& ctx = *parsed.ctx;
+  PredId p = ctx.InternPredicate("p", 1);
+  Atom open(p, {Term::Var(ctx.InternSymbol("X"))});
+  EXPECT_FALSE(Database().AddFact(open).ok());
+  Database db;
+  Atom ground(p, {Term::Const(ctx.InternSymbol("c"))});
+  EXPECT_TRUE(db.AddFact(ground).ok());
+  EXPECT_EQ(db.Count(p), 1u);
+}
+
+TEST(DatabaseTest, CloneIsDeep) {
+  Database db;
+  db.AddTuple(1, std::vector<Value>{4});
+  Database copy = db.Clone();
+  copy.AddTuple(1, std::vector<Value>{5});
+  EXPECT_EQ(db.Count(1), 1u);
+  EXPECT_EQ(copy.Count(1), 2u);
+}
+
+TEST(DatabaseTest, FactsOfRoundTrip) {
+  auto parsed = testing::MustParse("p(a, b).\np(b, c).\n");
+  PredId p = *parsed.ctx->FindPredicate(*parsed.ctx->FindSymbol("p"), 2,
+                                        Adornment());
+  std::vector<Atom> facts = parsed.edb.FactsOf(p);
+  EXPECT_EQ(facts.size(), 2u);
+  for (const Atom& f : facts) EXPECT_TRUE(f.IsGround());
+}
+
+TEST(DatabaseTest, TotalTuples) {
+  Database db;
+  db.AddTuple(1, std::vector<Value>{1});
+  db.AddTuple(2, std::vector<Value>{1, 2});
+  db.AddTuple(2, std::vector<Value>{1, 2});  // dup
+  EXPECT_EQ(db.TotalTuples(), 2u);
+}
+
+}  // namespace
+}  // namespace exdl

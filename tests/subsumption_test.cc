@@ -1,0 +1,144 @@
+// Clause subsumption — the deletion the paper notes its summary procedure
+// misses (end of Example 7).
+
+#include <gtest/gtest.h>
+
+#include "equiv/random_check.h"
+#include "testing/test_util.h"
+#include "transform/rule_deletion.h"
+#include "transform/subsumption.h"
+
+namespace exdl {
+namespace {
+
+using ::exdl::testing::MustParse;
+
+TEST(SubsumptionTest, BasicVariantSubsumption) {
+  auto parsed = MustParse(
+      "q(X) :- a(X, Y).\n"
+      "q(X) :- a(X, Z), b2(Z, W, V).\n");
+  const Rule& general = parsed.program.rules()[0];
+  const Rule& specific = parsed.program.rules()[1];
+  EXPECT_TRUE(Subsumes(general, specific));
+  EXPECT_FALSE(Subsumes(specific, general));
+}
+
+TEST(SubsumptionTest, HeadMustMatch) {
+  auto parsed = MustParse(
+      "q(X) :- a(X, Y).\n"
+      "q(c) :- a(c, Z), b(Z).\n"  // subsumed: theta = {X -> c, Y -> Z}
+      "r(X) :- a(X, Z), b(Z).\n");
+  const std::vector<Rule>& rules = parsed.program.rules();
+  EXPECT_TRUE(Subsumes(rules[0], rules[1]));
+  EXPECT_FALSE(Subsumes(rules[0], rules[2]));  // different head predicate
+}
+
+TEST(SubsumptionTest, ConstantsOnlyMapForward) {
+  auto parsed = MustParse(
+      "q(X) :- a(X, c).\n"   // general has a constant
+      "q(X) :- a(X, Y).\n");
+  const std::vector<Rule>& rules = parsed.program.rules();
+  // a(X, c) does not map onto a(X, Y): constants cannot become variables.
+  EXPECT_FALSE(Subsumes(rules[0], rules[1]));
+  // But the variable rule maps onto the constant one.
+  EXPECT_TRUE(Subsumes(rules[1], rules[0]));
+}
+
+TEST(SubsumptionTest, RepeatedVariablesRestrict) {
+  auto parsed = MustParse(
+      "q(X) :- a(X, X).\n"   // diagonal only
+      "q(X) :- a(X, Y).\n");
+  const std::vector<Rule>& rules = parsed.program.rules();
+  EXPECT_FALSE(Subsumes(rules[0], rules[1]));
+  EXPECT_TRUE(Subsumes(rules[1], rules[0]));
+}
+
+TEST(SubsumptionTest, SetSemanticsAllowsSharedTargets) {
+  // Both general literals map onto the single specific literal.
+  auto parsed = MustParse(
+      "q(X) :- a(X, Y), a(X, Z).\n"
+      "q(X) :- a(X, W).\n");
+  const std::vector<Rule>& rules = parsed.program.rules();
+  EXPECT_TRUE(Subsumes(rules[0], rules[1]));
+}
+
+TEST(SubsumptionTest, NegationMustMatchExactly) {
+  auto parsed = MustParse(
+      "q(X) :- a(X, Y).\n"
+      "q(X) :- a(X, Y), not b(Y).\n");
+  const std::vector<Rule>& rules = parsed.program.rules();
+  // The positive-only rule derives a superset: it subsumes the negated one.
+  EXPECT_TRUE(Subsumes(rules[0], rules[1]));
+  EXPECT_FALSE(Subsumes(rules[1], rules[0]));
+}
+
+TEST(SubsumptionTest, PaperExample7SecondRule) {
+  // The rule the summary procedure cannot delete.
+  auto parsed = MustParse(
+      "q(X) :- a1(X, Y).\n"
+      "q(X) :- a1(X, Z), b2(Z, W, V).\n"
+      "a1(X, Y) :- b1(X, Y).\n"
+      "?- q(X).\n");
+  Result<SubsumptionResult> result = RemoveSubsumedRules(parsed.program);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rules_removed, 1u);
+  EXPECT_EQ(result->program.NumRules(), 2u);
+  Result<RandomCheckReport> check =
+      CheckQueryEquivalentOnEdb(parsed.program, result->program);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->equivalent) << check->counterexample;
+}
+
+TEST(SubsumptionTest, DuplicateRulesKeepOne) {
+  auto parsed = MustParse(
+      "q(X) :- a(X).\n"
+      "q(Y) :- a(Y).\n"  // alphabetic variant
+      "?- q(X).\n");
+  Result<SubsumptionResult> result = RemoveSubsumedRules(parsed.program);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->program.NumRules(), 1u);
+}
+
+TEST(SubsumptionTest, RecursiveRuleNotSubsumedByExit) {
+  auto parsed = MustParse(
+      "tc(X,Y) :- e(X,Y).\n"
+      "tc(X,Y) :- e(X,Z), tc(Z,Y).\n"
+      "?- tc(X,Y).\n");
+  Result<SubsumptionResult> result = RemoveSubsumedRules(parsed.program);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rules_removed, 0u);
+}
+
+TEST(SubsumptionTest, DriverRunsSubsumptionFirst) {
+  auto parsed = MustParse(
+      "q(X) :- a1(X, Y).\n"
+      "q(X) :- a1(X, Z), b2(Z, W, V).\n"
+      "a1(X, Y) :- b1(X, Y).\n"
+      "?- q(X).\n");
+  DeletionOptions options;
+  Result<DeletionResult> result =
+      DeleteRedundantRules(parsed.program, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->deleted_by_subsumption, 1u);
+}
+
+TEST(SubsumptionTest, PreservesUniformEquivalence) {
+  // Subsumption is UE-sound: check on instances with derived facts too.
+  auto parsed = MustParse(
+      "q(X) :- a(X, Y).\n"
+      "q(X) :- a(X, Z), a(Z, W).\n"
+      "a(X, Y) :- e(X, Y).\n"
+      "?- q(X).\n");
+  Result<SubsumptionResult> result = RemoveSubsumedRules(parsed.program);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rules_removed, 1u);
+  RandomCheckOptions options;
+  options.populate_derived = true;
+  Result<RandomCheckReport> check = CheckQueryEquivalentOnEdb(
+      parsed.program, result->program, options);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->equivalent) << check->counterexample;
+}
+
+}  // namespace
+}  // namespace exdl

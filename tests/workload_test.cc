@@ -1,0 +1,143 @@
+// Workload generators and optimizer-report coverage.
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/workload.h"
+#include "testing/test_util.h"
+
+namespace exdl {
+namespace {
+
+TEST(WorkloadTest, ChainGraphShape) {
+  Context ctx;
+  Database db;
+  PredId e = ctx.InternPredicate("e", 2);
+  GraphSpec spec;
+  spec.kind = GraphSpec::Kind::kChain;
+  spec.nodes = 10;
+  std::vector<Value> nodes = MakeGraph(&ctx, &db, e, spec);
+  EXPECT_EQ(nodes.size(), 10u);
+  EXPECT_EQ(db.Count(e), 9u);
+}
+
+TEST(WorkloadTest, CycleClosesTheLoop) {
+  Context ctx;
+  Database db;
+  PredId e = ctx.InternPredicate("e", 2);
+  GraphSpec spec;
+  spec.kind = GraphSpec::Kind::kCycle;
+  spec.nodes = 10;
+  MakeGraph(&ctx, &db, e, spec);
+  EXPECT_EQ(db.Count(e), 10u);
+}
+
+TEST(WorkloadTest, TreeHasOneParentPerNonRoot) {
+  Context ctx;
+  Database db;
+  PredId e = ctx.InternPredicate("e", 2);
+  GraphSpec spec;
+  spec.kind = GraphSpec::Kind::kTree;
+  spec.nodes = 50;
+  spec.seed = 5;
+  MakeGraph(&ctx, &db, e, spec);
+  EXPECT_EQ(db.Count(e), 49u);
+}
+
+TEST(WorkloadTest, GridEdgeCount) {
+  Context ctx;
+  Database db;
+  PredId e = ctx.InternPredicate("e", 2);
+  GraphSpec spec;
+  spec.kind = GraphSpec::Kind::kGrid;
+  spec.nodes = 16;  // 4x4
+  MakeGraph(&ctx, &db, e, spec);
+  EXPECT_EQ(db.Count(e), 24u);  // 2 * 4 * 3
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  Context ctx1, ctx2;
+  Database db1, db2;
+  GraphSpec spec;
+  spec.kind = GraphSpec::Kind::kPreferential;
+  spec.nodes = 100;
+  spec.seed = 77;
+  MakeGraph(&ctx1, &db1, ctx1.InternPredicate("e", 2), spec);
+  MakeGraph(&ctx2, &db2, ctx2.InternPredicate("e", 2), spec);
+  EXPECT_EQ(db1.TotalTuples(), db2.TotalTuples());
+}
+
+TEST(WorkloadTest, LabeledGraphSplitsEdges) {
+  Context ctx;
+  Database db;
+  std::vector<PredId> labels = {ctx.InternPredicate("a", 2),
+                                ctx.InternPredicate("b", 2)};
+  GraphSpec spec;
+  spec.kind = GraphSpec::Kind::kChain;
+  spec.nodes = 101;
+  MakeLabeledGraph(&ctx, &db, labels, spec);
+  EXPECT_EQ(db.Count(labels[0]) + db.Count(labels[1]), 100u);
+  EXPECT_GT(db.Count(labels[0]), 0u);
+  EXPECT_GT(db.Count(labels[1]), 0u);
+}
+
+TEST(WorkloadTest, RandomTuplesRespectArity) {
+  Context ctx;
+  Database db;
+  PredId p = ctx.InternPredicate("p", 3);
+  MakeRandomTuples(&ctx, &db, p, 50, 10, 9);
+  const Relation* rel = db.Find(p);
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->arity(), 3u);
+  EXPECT_LE(rel->size(), 50u);  // duplicates collapse
+  EXPECT_GT(rel->size(), 10u);
+}
+
+TEST(ReportTest, ToStringCoversAllPhases) {
+  auto parsed = testing::MustParse(
+      "query(X) :- a(X, Y).\n"
+      "a(X, Y) :- a(X, Z), p(Z, Y).\n"
+      "a(X, Y) :- p(X, Y).\n"
+      "?- query(X).\n");
+  OptimizerOptions options;
+  options.deletion.use_sagiv = true;
+  options.deletion.use_optimistic = true;
+  options.enable_folding = true;
+  Result<OptimizedProgram> optimized =
+      OptimizeExistential(parsed.program, options);
+  ASSERT_TRUE(optimized.ok());
+  std::string report = optimized->report.ToString();
+  EXPECT_NE(report.find("rules:"), std::string::npos);
+  EXPECT_NE(report.find("rule deletion:"), std::string::npos);
+  EXPECT_NE(report.find("by subsumption"), std::string::npos);
+}
+
+TEST(OptimizerMatrixTest, EveryOptionSubsetIsSound) {
+  // All 16 on/off combinations of the four main phases preserve answers
+  // on the Example 5 program.
+  auto parsed = testing::MustParse(
+      "p(n0, n1). p(n1, n2). p(n2, n0). p(n3, n4).\n"
+      "query(X) :- a(X, Y).\n"
+      "a(X, Y) :- a(X, Z), p(Z, Y).\n"
+      "a(X, Y) :- p(X, Y).\n"
+      "?- query(X).\n");
+  std::vector<std::string> expected =
+      testing::EvalAnswers(parsed.program, parsed.edb);
+  for (int mask = 0; mask < 16; ++mask) {
+    OptimizerOptions options;
+    options.adorn = (mask & 1) != 0;
+    options.push_projections = (mask & 2) != 0;
+    options.extract_components = (mask & 4) != 0;
+    options.delete_rules = (mask & 8) != 0;
+    options.deletion.use_sagiv = true;
+    options.deletion.use_optimistic = true;
+    Result<OptimizedProgram> optimized =
+        OptimizeExistential(parsed.program, options);
+    ASSERT_TRUE(optimized.ok()) << "mask " << mask;
+    EXPECT_EQ(testing::EvalAnswers(optimized->program, parsed.edb), expected)
+        << "mask " << mask;
+  }
+}
+
+}  // namespace
+}  // namespace exdl

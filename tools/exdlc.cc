@@ -1,0 +1,305 @@
+// exdlc — command-line front end to the ExDatalog optimizer and engine.
+//
+//   exdlc optimize <file> [--sagiv] [--optimistic] [--magic]
+//                          [--no-adorn] [--no-project] [--no-components]
+//                          [--no-delete]
+//       Print the optimized program and the per-phase report.
+//
+//   exdlc run <file> [--naive] [--no-cut] [--optimize]
+//       Evaluate the program over the facts in the same file and print
+//       the query answers plus engine statistics.
+//
+//   exdlc grammar <file>
+//       For a binary chain program: print the grammar, regularity
+//       analysis, and (when possible) the Theorem 3.3 monadic program.
+//
+//   exdlc plan <file>
+//       Print the compiled join plan of every rule.
+//
+//   exdlc explain <file> "<fact>"
+//       Evaluate with provenance recording and print the derivation tree
+//       of the given ground fact (e.g. exdlc explain tc.dl "tc(n0, n2)").
+//
+//   exdlc check <file1> <file2> [--trials N]
+//       Randomized query-equivalence check of two programs (shared
+//       predicate vocabulary; facts in the files are ignored).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ast/printer.h"
+#include "core/optimizer.h"
+#include "equiv/random_check.h"
+#include "eval/evaluator.h"
+#include "eval/plan.h"
+#include "grammar/chain.h"
+#include "grammar/monadic.h"
+#include "grammar/regularity.h"
+#include "parser/parser.h"
+#include "transform/magic.h"
+
+namespace exdl {
+namespace {
+
+int Usage() {
+  std::cerr << "usage: exdlc optimize|run|grammar|check <file> [flags]\n"
+               "       see the header of tools/exdlc.cc for details\n";
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool HasFlag(const std::vector<std::string>& args, const std::string& flag) {
+  for (const std::string& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+int CmdOptimize(const std::string& path,
+                const std::vector<std::string>& flags) {
+  Result<std::string> source = ReadFile(path);
+  if (!source.ok()) {
+    std::cerr << source.status().ToString() << "\n";
+    return 1;
+  }
+  ContextPtr ctx = std::make_shared<Context>();
+  Result<ParsedUnit> parsed = ParseProgram(*source, ctx);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  OptimizerOptions options;
+  options.adorn = !HasFlag(flags, "--no-adorn");
+  options.push_projections = !HasFlag(flags, "--no-project");
+  options.extract_components = !HasFlag(flags, "--no-components");
+  options.delete_rules = !HasFlag(flags, "--no-delete");
+  options.deletion.use_sagiv = HasFlag(flags, "--sagiv");
+  options.deletion.use_optimistic = HasFlag(flags, "--optimistic");
+  options.apply_magic = HasFlag(flags, "--magic");
+  Result<OptimizedProgram> optimized =
+      OptimizeExistential(parsed->program, options);
+  if (!optimized.ok()) {
+    std::cerr << optimized.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << ToString(optimized->program);
+  if (optimized->magic_seed) {
+    std::cout << "% seed fact: " << ToString(*ctx, *optimized->magic_seed)
+              << ".\n";
+  }
+  std::cerr << "\n" << optimized->report.ToString();
+  return 0;
+}
+
+int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
+  Result<std::string> source = ReadFile(path);
+  if (!source.ok()) {
+    std::cerr << source.status().ToString() << "\n";
+    return 1;
+  }
+  ContextPtr ctx = std::make_shared<Context>();
+  Result<ParsedUnit> parsed = ParseProgram(*source, ctx);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  Database edb;
+  for (const Atom& fact : parsed->facts) (void)edb.AddFact(fact);
+  Program program = parsed->program.Clone();
+  if (HasFlag(flags, "--optimize")) {
+    Result<OptimizedProgram> optimized = OptimizeExistential(program);
+    if (!optimized.ok()) {
+      std::cerr << optimized.status().ToString() << "\n";
+      return 1;
+    }
+    program = std::move(optimized->program);
+  }
+  EvalOptions options;
+  options.seminaive = !HasFlag(flags, "--naive");
+  options.boolean_cut = !HasFlag(flags, "--no-cut");
+  Result<EvalResult> result = Evaluate(program, edb, options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  for (const auto& row : result->answers) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) std::cout << "\t";
+      std::cout << ctx->SymbolName(row[i]);
+    }
+    std::cout << "\n";
+  }
+  std::cerr << result->answers.size() << " answer(s)   ["
+            << result->stats.ToString() << "]\n";
+  return 0;
+}
+
+int CmdGrammar(const std::string& path) {
+  Result<std::string> source = ReadFile(path);
+  if (!source.ok()) {
+    std::cerr << source.status().ToString() << "\n";
+    return 1;
+  }
+  ContextPtr ctx = std::make_shared<Context>();
+  Result<ParsedUnit> parsed = ParseProgram(*source, ctx);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  Result<Cfg> grammar = ChainProgramToGrammar(parsed->program);
+  if (!grammar.ok()) {
+    std::cerr << grammar.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << grammar->ToString();
+  std::cout << "% self-embedding:   "
+            << (IsSelfEmbedding(*grammar) ? "yes" : "no") << "\n";
+  std::cout << "% strongly regular: "
+            << (IsStronglyRegular(*grammar) ? "yes" : "no") << "\n";
+  Result<Program> monadic = MonadicEquivalent(parsed->program);
+  if (monadic.ok()) {
+    std::cout << "% Theorem 3.3 monadic program:\n" << ToString(*monadic);
+  } else {
+    std::cout << "% no monadic conversion: " << monadic.status().ToString()
+              << "\n";
+  }
+  return 0;
+}
+
+int CmdCheck(const std::string& path1, const std::string& path2,
+             const std::vector<std::string>& flags) {
+  Result<std::string> s1 = ReadFile(path1);
+  Result<std::string> s2 = ReadFile(path2);
+  if (!s1.ok() || !s2.ok()) {
+    std::cerr << "cannot read inputs\n";
+    return 1;
+  }
+  ContextPtr ctx = std::make_shared<Context>();
+  Result<ParsedUnit> p1 = ParseProgram(*s1, ctx);
+  Result<ParsedUnit> p2 = ParseProgram(*s2, ctx);
+  if (!p1.ok() || !p2.ok()) {
+    std::cerr << (p1.ok() ? p2.status() : p1.status()).ToString() << "\n";
+    return 1;
+  }
+  RandomCheckOptions options;
+  for (size_t i = 0; i + 1 < flags.size(); ++i) {
+    if (flags[i] == "--trials") options.trials = std::stoi(flags[i + 1]);
+  }
+  Result<RandomCheckReport> report =
+      CheckQueryEquivalentOnEdb(p1->program, p2->program, options);
+  if (!report.ok()) {
+    std::cerr << report.status().ToString() << "\n";
+    return 1;
+  }
+  if (report->equivalent) {
+    std::cout << "no difference found in " << report->trials_run
+              << " random trials\n";
+    return 0;
+  }
+  std::cout << "NOT equivalent:\n" << report->counterexample << "\n";
+  return 3;
+}
+
+int CmdPlan(const std::string& path) {
+  Result<std::string> source = ReadFile(path);
+  if (!source.ok()) {
+    std::cerr << source.status().ToString() << "\n";
+    return 1;
+  }
+  ContextPtr ctx = std::make_shared<Context>();
+  Result<ParsedUnit> parsed = ParseProgram(*source, ctx);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  for (const Rule& rule : parsed->program.rules()) {
+    std::cout << ToString(*ctx, rule) << "\n";
+    Result<RulePlan> plan = CompileRule(rule, PlanOptions());
+    if (!plan.ok()) {
+      std::cout << "  (uncompilable: " << plan.status().ToString() << ")\n";
+      continue;
+    }
+    std::cout << PlanToString(*ctx, *plan);
+  }
+  return 0;
+}
+
+int CmdExplain(const std::string& path, const std::string& fact_text) {
+  Result<std::string> source = ReadFile(path);
+  if (!source.ok()) {
+    std::cerr << source.status().ToString() << "\n";
+    return 1;
+  }
+  ContextPtr ctx = std::make_shared<Context>();
+  Result<ParsedUnit> parsed = ParseProgram(*source, ctx);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  Result<Atom> fact = ParseAtom(fact_text, ctx.get());
+  if (!fact.ok() || !fact->IsGround()) {
+    std::cerr << "explain needs a ground fact, e.g. \"tc(n0, n2)\"\n";
+    return 1;
+  }
+  Database edb;
+  for (const Atom& f : parsed->facts) (void)edb.AddFact(f);
+  EvalOptions options;
+  options.record_provenance = true;
+  Result<EvalResult> result = Evaluate(parsed->program, edb, options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<Value> row;
+  for (const Term& t : fact->args) row.push_back(t.id());
+  Result<std::string> explained =
+      ExplainFact(parsed->program, *result, fact->pred, row);
+  if (!explained.ok()) {
+    std::cerr << explained.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << *explained;
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
+  if (command == "optimize") {
+    return CmdOptimize(rest[0], rest);
+  }
+  if (command == "run") {
+    return CmdRun(rest[0], rest);
+  }
+  if (command == "grammar") {
+    return CmdGrammar(rest[0]);
+  }
+  if (command == "plan") {
+    return CmdPlan(rest[0]);
+  }
+  if (command == "explain") {
+    if (rest.size() < 2) return Usage();
+    return CmdExplain(rest[0], rest[1]);
+  }
+  if (command == "check") {
+    if (rest.size() < 2) return Usage();
+    return CmdCheck(rest[0], rest[1], rest);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace exdl
+
+int main(int argc, char** argv) { return exdl::Main(argc, argv); }
