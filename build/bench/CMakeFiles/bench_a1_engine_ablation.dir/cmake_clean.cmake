@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_engine_ablation.dir/bench_a1_engine_ablation.cc.o"
+  "CMakeFiles/bench_a1_engine_ablation.dir/bench_a1_engine_ablation.cc.o.d"
+  "bench_a1_engine_ablation"
+  "bench_a1_engine_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_engine_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_summary_closure.dir/bench_e10_summary_closure.cc.o"
+  "CMakeFiles/bench_e10_summary_closure.dir/bench_e10_summary_closure.cc.o.d"
+  "bench_e10_summary_closure"
+  "bench_e10_summary_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_summary_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

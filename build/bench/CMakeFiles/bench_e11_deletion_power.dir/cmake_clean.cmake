@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_deletion_power.dir/bench_e11_deletion_power.cc.o"
+  "CMakeFiles/bench_e11_deletion_power.dir/bench_e11_deletion_power.cc.o.d"
+  "bench_e11_deletion_power"
+  "bench_e11_deletion_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_deletion_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_folding.dir/bench_e12_folding.cc.o"
+  "CMakeFiles/bench_e12_folding.dir/bench_e12_folding.cc.o.d"
+  "bench_e12_folding"
+  "bench_e12_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

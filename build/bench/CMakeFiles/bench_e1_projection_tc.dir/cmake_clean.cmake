@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_projection_tc.dir/bench_e1_projection_tc.cc.o"
+  "CMakeFiles/bench_e1_projection_tc.dir/bench_e1_projection_tc.cc.o.d"
+  "bench_e1_projection_tc"
+  "bench_e1_projection_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_projection_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_boolean_cut.dir/bench_e2_boolean_cut.cc.o"
+  "CMakeFiles/bench_e2_boolean_cut.dir/bench_e2_boolean_cut.cc.o.d"
+  "bench_e2_boolean_cut"
+  "bench_e2_boolean_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_boolean_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

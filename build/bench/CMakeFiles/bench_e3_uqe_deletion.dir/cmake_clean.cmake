@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_uqe_deletion.dir/bench_e3_uqe_deletion.cc.o"
+  "CMakeFiles/bench_e3_uqe_deletion.dir/bench_e3_uqe_deletion.cc.o.d"
+  "bench_e3_uqe_deletion"
+  "bench_e3_uqe_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_uqe_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_cascade.dir/bench_e4_cascade.cc.o"
+  "CMakeFiles/bench_e4_cascade.dir/bench_e4_cascade.cc.o.d"
+  "bench_e4_cascade"
+  "bench_e4_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_empty_answer.dir/bench_e5_empty_answer.cc.o"
+  "CMakeFiles/bench_e5_empty_answer.dir/bench_e5_empty_answer.cc.o.d"
+  "bench_e5_empty_answer"
+  "bench_e5_empty_answer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_empty_answer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e5_empty_answer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_lemma53.dir/bench_e6_lemma53.cc.o"
+  "CMakeFiles/bench_e6_lemma53.dir/bench_e6_lemma53.cc.o.d"
+  "bench_e6_lemma53"
+  "bench_e6_lemma53.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_lemma53.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

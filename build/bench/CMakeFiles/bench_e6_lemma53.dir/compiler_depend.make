@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e6_lemma53.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_example12.dir/bench_e7_example12.cc.o"
+  "CMakeFiles/bench_e7_example12.dir/bench_e7_example12.cc.o.d"
+  "bench_e7_example12"
+  "bench_e7_example12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_example12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_magic_orthogonal.dir/bench_e8_magic_orthogonal.cc.o"
+  "CMakeFiles/bench_e8_magic_orthogonal.dir/bench_e8_magic_orthogonal.cc.o.d"
+  "bench_e8_magic_orthogonal"
+  "bench_e8_magic_orthogonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_magic_orthogonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

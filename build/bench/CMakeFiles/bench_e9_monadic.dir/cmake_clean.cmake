@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_monadic.dir/bench_e9_monadic.cc.o"
+  "CMakeFiles/bench_e9_monadic.dir/bench_e9_monadic.cc.o.d"
+  "bench_e9_monadic"
+  "bench_e9_monadic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_monadic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/exdl_bench_util.dir/bench_util.cc.o.d"
+  "libexdl_bench_util.a"
+  "libexdl_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

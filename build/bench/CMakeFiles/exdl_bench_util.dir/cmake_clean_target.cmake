@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexdl_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bill_of_materials.dir/bill_of_materials.cc.o"
+  "CMakeFiles/bill_of_materials.dir/bill_of_materials.cc.o.d"
+  "bill_of_materials"
+  "bill_of_materials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bill_of_materials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bill_of_materials.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_tool.dir/grammar_tool.cc.o"
+  "CMakeFiles/grammar_tool.dir/grammar_tool.cc.o.d"
+  "grammar_tool"
+  "grammar_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_reachability.dir/social_reachability.cc.o"
+  "CMakeFiles/social_reachability.dir/social_reachability.cc.o.d"
+  "social_reachability"
+  "social_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratified_policies.dir/stratified_policies.cc.o"
+  "CMakeFiles/stratified_policies.dir/stratified_policies.cc.o.d"
+  "stratified_policies"
+  "stratified_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratified_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_adorn.dir/adorn/adorn.cc.o"
+  "CMakeFiles/exdl_adorn.dir/adorn/adorn.cc.o.d"
+  "libexdl_adorn.a"
+  "libexdl_adorn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_adorn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/connectivity.cc" "src/CMakeFiles/exdl_analysis.dir/analysis/connectivity.cc.o" "gcc" "src/CMakeFiles/exdl_analysis.dir/analysis/connectivity.cc.o.d"
+  "/root/repo/src/analysis/dependency_graph.cc" "src/CMakeFiles/exdl_analysis.dir/analysis/dependency_graph.cc.o" "gcc" "src/CMakeFiles/exdl_analysis.dir/analysis/dependency_graph.cc.o.d"
+  "/root/repo/src/analysis/reachability.cc" "src/CMakeFiles/exdl_analysis.dir/analysis/reachability.cc.o" "gcc" "src/CMakeFiles/exdl_analysis.dir/analysis/reachability.cc.o.d"
+  "/root/repo/src/analysis/stratification.cc" "src/CMakeFiles/exdl_analysis.dir/analysis/stratification.cc.o" "gcc" "src/CMakeFiles/exdl_analysis.dir/analysis/stratification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exdl_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_analysis.dir/analysis/connectivity.cc.o"
+  "CMakeFiles/exdl_analysis.dir/analysis/connectivity.cc.o.d"
+  "CMakeFiles/exdl_analysis.dir/analysis/dependency_graph.cc.o"
+  "CMakeFiles/exdl_analysis.dir/analysis/dependency_graph.cc.o.d"
+  "CMakeFiles/exdl_analysis.dir/analysis/reachability.cc.o"
+  "CMakeFiles/exdl_analysis.dir/analysis/reachability.cc.o.d"
+  "CMakeFiles/exdl_analysis.dir/analysis/stratification.cc.o"
+  "CMakeFiles/exdl_analysis.dir/analysis/stratification.cc.o.d"
+  "libexdl_analysis.a"
+  "libexdl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/adornment.cc" "src/CMakeFiles/exdl_ast.dir/ast/adornment.cc.o" "gcc" "src/CMakeFiles/exdl_ast.dir/ast/adornment.cc.o.d"
+  "/root/repo/src/ast/atom.cc" "src/CMakeFiles/exdl_ast.dir/ast/atom.cc.o" "gcc" "src/CMakeFiles/exdl_ast.dir/ast/atom.cc.o.d"
+  "/root/repo/src/ast/context.cc" "src/CMakeFiles/exdl_ast.dir/ast/context.cc.o" "gcc" "src/CMakeFiles/exdl_ast.dir/ast/context.cc.o.d"
+  "/root/repo/src/ast/printer.cc" "src/CMakeFiles/exdl_ast.dir/ast/printer.cc.o" "gcc" "src/CMakeFiles/exdl_ast.dir/ast/printer.cc.o.d"
+  "/root/repo/src/ast/program.cc" "src/CMakeFiles/exdl_ast.dir/ast/program.cc.o" "gcc" "src/CMakeFiles/exdl_ast.dir/ast/program.cc.o.d"
+  "/root/repo/src/ast/rule.cc" "src/CMakeFiles/exdl_ast.dir/ast/rule.cc.o" "gcc" "src/CMakeFiles/exdl_ast.dir/ast/rule.cc.o.d"
+  "/root/repo/src/ast/term.cc" "src/CMakeFiles/exdl_ast.dir/ast/term.cc.o" "gcc" "src/CMakeFiles/exdl_ast.dir/ast/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_ast.dir/ast/adornment.cc.o"
+  "CMakeFiles/exdl_ast.dir/ast/adornment.cc.o.d"
+  "CMakeFiles/exdl_ast.dir/ast/atom.cc.o"
+  "CMakeFiles/exdl_ast.dir/ast/atom.cc.o.d"
+  "CMakeFiles/exdl_ast.dir/ast/context.cc.o"
+  "CMakeFiles/exdl_ast.dir/ast/context.cc.o.d"
+  "CMakeFiles/exdl_ast.dir/ast/printer.cc.o"
+  "CMakeFiles/exdl_ast.dir/ast/printer.cc.o.d"
+  "CMakeFiles/exdl_ast.dir/ast/program.cc.o"
+  "CMakeFiles/exdl_ast.dir/ast/program.cc.o.d"
+  "CMakeFiles/exdl_ast.dir/ast/rule.cc.o"
+  "CMakeFiles/exdl_ast.dir/ast/rule.cc.o.d"
+  "CMakeFiles/exdl_ast.dir/ast/term.cc.o"
+  "CMakeFiles/exdl_ast.dir/ast/term.cc.o.d"
+  "libexdl_ast.a"
+  "libexdl_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_core.dir/core/optimizer.cc.o"
+  "CMakeFiles/exdl_core.dir/core/optimizer.cc.o.d"
+  "CMakeFiles/exdl_core.dir/core/report.cc.o"
+  "CMakeFiles/exdl_core.dir/core/report.cc.o.d"
+  "CMakeFiles/exdl_core.dir/core/workload.cc.o"
+  "CMakeFiles/exdl_core.dir/core/workload.cc.o.d"
+  "libexdl_core.a"
+  "libexdl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

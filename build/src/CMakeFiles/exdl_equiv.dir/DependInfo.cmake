@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/equiv/argument_projection.cc" "src/CMakeFiles/exdl_equiv.dir/equiv/argument_projection.cc.o" "gcc" "src/CMakeFiles/exdl_equiv.dir/equiv/argument_projection.cc.o.d"
+  "/root/repo/src/equiv/freeze.cc" "src/CMakeFiles/exdl_equiv.dir/equiv/freeze.cc.o" "gcc" "src/CMakeFiles/exdl_equiv.dir/equiv/freeze.cc.o.d"
+  "/root/repo/src/equiv/optimistic.cc" "src/CMakeFiles/exdl_equiv.dir/equiv/optimistic.cc.o" "gcc" "src/CMakeFiles/exdl_equiv.dir/equiv/optimistic.cc.o.d"
+  "/root/repo/src/equiv/random_check.cc" "src/CMakeFiles/exdl_equiv.dir/equiv/random_check.cc.o" "gcc" "src/CMakeFiles/exdl_equiv.dir/equiv/random_check.cc.o.d"
+  "/root/repo/src/equiv/summary_closure.cc" "src/CMakeFiles/exdl_equiv.dir/equiv/summary_closure.cc.o" "gcc" "src/CMakeFiles/exdl_equiv.dir/equiv/summary_closure.cc.o.d"
+  "/root/repo/src/equiv/uniform_equivalence.cc" "src/CMakeFiles/exdl_equiv.dir/equiv/uniform_equivalence.cc.o" "gcc" "src/CMakeFiles/exdl_equiv.dir/equiv/uniform_equivalence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exdl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_adorn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

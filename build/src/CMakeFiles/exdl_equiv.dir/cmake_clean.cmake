@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_equiv.dir/equiv/argument_projection.cc.o"
+  "CMakeFiles/exdl_equiv.dir/equiv/argument_projection.cc.o.d"
+  "CMakeFiles/exdl_equiv.dir/equiv/freeze.cc.o"
+  "CMakeFiles/exdl_equiv.dir/equiv/freeze.cc.o.d"
+  "CMakeFiles/exdl_equiv.dir/equiv/optimistic.cc.o"
+  "CMakeFiles/exdl_equiv.dir/equiv/optimistic.cc.o.d"
+  "CMakeFiles/exdl_equiv.dir/equiv/random_check.cc.o"
+  "CMakeFiles/exdl_equiv.dir/equiv/random_check.cc.o.d"
+  "CMakeFiles/exdl_equiv.dir/equiv/summary_closure.cc.o"
+  "CMakeFiles/exdl_equiv.dir/equiv/summary_closure.cc.o.d"
+  "CMakeFiles/exdl_equiv.dir/equiv/uniform_equivalence.cc.o"
+  "CMakeFiles/exdl_equiv.dir/equiv/uniform_equivalence.cc.o.d"
+  "libexdl_equiv.a"
+  "libexdl_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

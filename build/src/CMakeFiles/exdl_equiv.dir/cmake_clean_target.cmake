@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexdl_equiv.a"
+)

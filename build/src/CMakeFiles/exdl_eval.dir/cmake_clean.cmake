@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_eval.dir/eval/evaluator.cc.o"
+  "CMakeFiles/exdl_eval.dir/eval/evaluator.cc.o.d"
+  "CMakeFiles/exdl_eval.dir/eval/plan.cc.o"
+  "CMakeFiles/exdl_eval.dir/eval/plan.cc.o.d"
+  "libexdl_eval.a"
+  "libexdl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

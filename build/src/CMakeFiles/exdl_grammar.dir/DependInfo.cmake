@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grammar/cfg.cc" "src/CMakeFiles/exdl_grammar.dir/grammar/cfg.cc.o" "gcc" "src/CMakeFiles/exdl_grammar.dir/grammar/cfg.cc.o.d"
+  "/root/repo/src/grammar/chain.cc" "src/CMakeFiles/exdl_grammar.dir/grammar/chain.cc.o" "gcc" "src/CMakeFiles/exdl_grammar.dir/grammar/chain.cc.o.d"
+  "/root/repo/src/grammar/dfa.cc" "src/CMakeFiles/exdl_grammar.dir/grammar/dfa.cc.o" "gcc" "src/CMakeFiles/exdl_grammar.dir/grammar/dfa.cc.o.d"
+  "/root/repo/src/grammar/equivalence.cc" "src/CMakeFiles/exdl_grammar.dir/grammar/equivalence.cc.o" "gcc" "src/CMakeFiles/exdl_grammar.dir/grammar/equivalence.cc.o.d"
+  "/root/repo/src/grammar/language.cc" "src/CMakeFiles/exdl_grammar.dir/grammar/language.cc.o" "gcc" "src/CMakeFiles/exdl_grammar.dir/grammar/language.cc.o.d"
+  "/root/repo/src/grammar/monadic.cc" "src/CMakeFiles/exdl_grammar.dir/grammar/monadic.cc.o" "gcc" "src/CMakeFiles/exdl_grammar.dir/grammar/monadic.cc.o.d"
+  "/root/repo/src/grammar/nfa.cc" "src/CMakeFiles/exdl_grammar.dir/grammar/nfa.cc.o" "gcc" "src/CMakeFiles/exdl_grammar.dir/grammar/nfa.cc.o.d"
+  "/root/repo/src/grammar/regularity.cc" "src/CMakeFiles/exdl_grammar.dir/grammar/regularity.cc.o" "gcc" "src/CMakeFiles/exdl_grammar.dir/grammar/regularity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exdl_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

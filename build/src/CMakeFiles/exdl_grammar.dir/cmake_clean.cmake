@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_grammar.dir/grammar/cfg.cc.o"
+  "CMakeFiles/exdl_grammar.dir/grammar/cfg.cc.o.d"
+  "CMakeFiles/exdl_grammar.dir/grammar/chain.cc.o"
+  "CMakeFiles/exdl_grammar.dir/grammar/chain.cc.o.d"
+  "CMakeFiles/exdl_grammar.dir/grammar/dfa.cc.o"
+  "CMakeFiles/exdl_grammar.dir/grammar/dfa.cc.o.d"
+  "CMakeFiles/exdl_grammar.dir/grammar/equivalence.cc.o"
+  "CMakeFiles/exdl_grammar.dir/grammar/equivalence.cc.o.d"
+  "CMakeFiles/exdl_grammar.dir/grammar/language.cc.o"
+  "CMakeFiles/exdl_grammar.dir/grammar/language.cc.o.d"
+  "CMakeFiles/exdl_grammar.dir/grammar/monadic.cc.o"
+  "CMakeFiles/exdl_grammar.dir/grammar/monadic.cc.o.d"
+  "CMakeFiles/exdl_grammar.dir/grammar/nfa.cc.o"
+  "CMakeFiles/exdl_grammar.dir/grammar/nfa.cc.o.d"
+  "CMakeFiles/exdl_grammar.dir/grammar/regularity.cc.o"
+  "CMakeFiles/exdl_grammar.dir/grammar/regularity.cc.o.d"
+  "libexdl_grammar.a"
+  "libexdl_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_parser.dir/parser/lexer.cc.o"
+  "CMakeFiles/exdl_parser.dir/parser/lexer.cc.o.d"
+  "CMakeFiles/exdl_parser.dir/parser/parser.cc.o"
+  "CMakeFiles/exdl_parser.dir/parser/parser.cc.o.d"
+  "libexdl_parser.a"
+  "libexdl_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

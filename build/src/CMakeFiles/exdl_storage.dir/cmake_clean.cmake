@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_storage.dir/storage/database.cc.o"
+  "CMakeFiles/exdl_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/exdl_storage.dir/storage/relation.cc.o"
+  "CMakeFiles/exdl_storage.dir/storage/relation.cc.o.d"
+  "libexdl_storage.a"
+  "libexdl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/cleanup.cc" "src/CMakeFiles/exdl_transform.dir/transform/cleanup.cc.o" "gcc" "src/CMakeFiles/exdl_transform.dir/transform/cleanup.cc.o.d"
+  "/root/repo/src/transform/components.cc" "src/CMakeFiles/exdl_transform.dir/transform/components.cc.o" "gcc" "src/CMakeFiles/exdl_transform.dir/transform/components.cc.o.d"
+  "/root/repo/src/transform/folding.cc" "src/CMakeFiles/exdl_transform.dir/transform/folding.cc.o" "gcc" "src/CMakeFiles/exdl_transform.dir/transform/folding.cc.o.d"
+  "/root/repo/src/transform/magic.cc" "src/CMakeFiles/exdl_transform.dir/transform/magic.cc.o" "gcc" "src/CMakeFiles/exdl_transform.dir/transform/magic.cc.o.d"
+  "/root/repo/src/transform/projection.cc" "src/CMakeFiles/exdl_transform.dir/transform/projection.cc.o" "gcc" "src/CMakeFiles/exdl_transform.dir/transform/projection.cc.o.d"
+  "/root/repo/src/transform/rule_deletion.cc" "src/CMakeFiles/exdl_transform.dir/transform/rule_deletion.cc.o" "gcc" "src/CMakeFiles/exdl_transform.dir/transform/rule_deletion.cc.o.d"
+  "/root/repo/src/transform/subsumption.cc" "src/CMakeFiles/exdl_transform.dir/transform/subsumption.cc.o" "gcc" "src/CMakeFiles/exdl_transform.dir/transform/subsumption.cc.o.d"
+  "/root/repo/src/transform/unit_rules.cc" "src/CMakeFiles/exdl_transform.dir/transform/unit_rules.cc.o" "gcc" "src/CMakeFiles/exdl_transform.dir/transform/unit_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exdl_equiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_adorn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_transform.dir/transform/cleanup.cc.o"
+  "CMakeFiles/exdl_transform.dir/transform/cleanup.cc.o.d"
+  "CMakeFiles/exdl_transform.dir/transform/components.cc.o"
+  "CMakeFiles/exdl_transform.dir/transform/components.cc.o.d"
+  "CMakeFiles/exdl_transform.dir/transform/folding.cc.o"
+  "CMakeFiles/exdl_transform.dir/transform/folding.cc.o.d"
+  "CMakeFiles/exdl_transform.dir/transform/magic.cc.o"
+  "CMakeFiles/exdl_transform.dir/transform/magic.cc.o.d"
+  "CMakeFiles/exdl_transform.dir/transform/projection.cc.o"
+  "CMakeFiles/exdl_transform.dir/transform/projection.cc.o.d"
+  "CMakeFiles/exdl_transform.dir/transform/rule_deletion.cc.o"
+  "CMakeFiles/exdl_transform.dir/transform/rule_deletion.cc.o.d"
+  "CMakeFiles/exdl_transform.dir/transform/subsumption.cc.o"
+  "CMakeFiles/exdl_transform.dir/transform/subsumption.cc.o.d"
+  "CMakeFiles/exdl_transform.dir/transform/unit_rules.cc.o"
+  "CMakeFiles/exdl_transform.dir/transform/unit_rules.cc.o.d"
+  "libexdl_transform.a"
+  "libexdl_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexdl_transform.a"
+)

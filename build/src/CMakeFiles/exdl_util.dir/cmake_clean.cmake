@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_util.dir/util/rng.cc.o"
+  "CMakeFiles/exdl_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/exdl_util.dir/util/status.cc.o"
+  "CMakeFiles/exdl_util.dir/util/status.cc.o.d"
+  "CMakeFiles/exdl_util.dir/util/string_util.cc.o"
+  "CMakeFiles/exdl_util.dir/util/string_util.cc.o.d"
+  "libexdl_util.a"
+  "libexdl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

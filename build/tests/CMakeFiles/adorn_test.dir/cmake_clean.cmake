@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adorn_test.dir/adorn_test.cc.o"
+  "CMakeFiles/adorn_test.dir/adorn_test.cc.o.d"
+  "adorn_test"
+  "adorn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adorn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_surface_test.dir/api_surface_test.cc.o"
+  "CMakeFiles/api_surface_test.dir/api_surface_test.cc.o.d"
+  "api_surface_test"
+  "api_surface_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_surface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_equivalence_test.dir/chain_equivalence_test.cc.o"
+  "CMakeFiles/chain_equivalence_test.dir/chain_equivalence_test.cc.o.d"
+  "chain_equivalence_test"
+  "chain_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

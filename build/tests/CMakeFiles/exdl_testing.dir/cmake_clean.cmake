@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdl_testing.dir/testing/test_util.cc.o"
+  "CMakeFiles/exdl_testing.dir/testing/test_util.cc.o.d"
+  "libexdl_testing.a"
+  "libexdl_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdl_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

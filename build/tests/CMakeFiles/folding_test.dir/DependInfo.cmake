@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/folding_test.cc" "tests/CMakeFiles/folding_test.dir/folding_test.cc.o" "gcc" "tests/CMakeFiles/folding_test.dir/folding_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/exdl_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_equiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_adorn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

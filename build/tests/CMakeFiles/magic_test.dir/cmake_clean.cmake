@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_test.dir/magic_test.cc.o"
+  "CMakeFiles/magic_test.dir/magic_test.cc.o.d"
+  "magic_test"
+  "magic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_test.dir/summary_test.cc.o"
+  "CMakeFiles/summary_test.dir/summary_test.cc.o.d"
+  "summary_test"
+  "summary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniform_equivalence_test.dir/uniform_equivalence_test.cc.o"
+  "CMakeFiles/uniform_equivalence_test.dir/uniform_equivalence_test.cc.o.d"
+  "uniform_equivalence_test"
+  "uniform_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniform_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

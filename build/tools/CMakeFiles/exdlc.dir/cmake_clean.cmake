@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exdlc.dir/exdlc.cc.o"
+  "CMakeFiles/exdlc.dir/exdlc.cc.o.d"
+  "exdlc"
+  "exdlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exdlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
