@@ -33,8 +33,16 @@ Database MakeEdb(Context* ctx, GraphSpec::Kind kind, int nodes) {
   return edb;
 }
 
-void RunCase(benchmark::State& state, bool optimized,
-             GraphSpec::Kind kind) {
+std::string CaseName(bool optimized, GraphSpec::Kind kind,
+                     uint32_t num_threads, int64_t nodes) {
+  std::string name = optimized ? "Unary_" : "Binary_";
+  name += kind == GraphSpec::Kind::kChain ? "Chain" : "Random";
+  if (num_threads > 1) name += "_T" + std::to_string(num_threads);
+  return name + "/" + std::to_string(nodes);
+}
+
+void RunCase(benchmark::State& state, bool optimized, GraphSpec::Kind kind,
+             uint32_t num_threads = 1) {
   Setup setup = ParseOrDie(kProgram);
   // E1 isolates Phase 2 (projection pushing): rule deletion is disabled
   // here, otherwise subsumption also removes the unary recursive rule
@@ -45,15 +53,14 @@ void RunCase(benchmark::State& state, bool optimized,
                               : setup.program.Clone();
   Database edb =
       MakeEdb(setup.ctx.get(), kind, static_cast<int>(state.range(0)));
-  EvalStats last;
-  size_t answers = 0;
+  EvalOptions eval_options;
+  eval_options.num_threads = num_threads;
+  EvalResult last;
   for (auto _ : state) {
-    EvalResult result = EvalOrDie(program, edb);
-    last = result.stats;
-    answers = result.answers.size();
+    last = EvalOrDie(program, edb, eval_options);
   }
-  ReportStats(state, last);
-  state.counters["answers"] = static_cast<double>(answers);
+  ReportResult(state, CaseName(optimized, kind, num_threads, state.range(0)),
+               last);
 }
 
 void BM_Binary_Chain(benchmark::State& state) {
@@ -68,6 +75,13 @@ void BM_Binary_Random(benchmark::State& state) {
 void BM_Unary_Random(benchmark::State& state) {
   RunCase(state, true, GraphSpec::Kind::kRandomSparse);
 }
+// Parallel fixpoint rounds (4 workers) over the same workloads.
+void BM_Binary_Chain_T4(benchmark::State& state) {
+  RunCase(state, false, GraphSpec::Kind::kChain, 4);
+}
+void BM_Binary_Random_T4(benchmark::State& state) {
+  RunCase(state, false, GraphSpec::Kind::kRandomSparse, 4);
+}
 
 BENCHMARK(BM_Binary_Chain)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
     ->Unit(benchmark::kMillisecond);
@@ -76,6 +90,10 @@ BENCHMARK(BM_Unary_Chain)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
 BENCHMARK(BM_Binary_Random)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Unary_Random)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Binary_Chain_T4)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Binary_Random_T4)->Arg(256)->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,9 +1,91 @@
 #include "bench_util.h"
 
+#include <errno.h>  // program_invocation_short_name (GNU)
+
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <mutex>
 
 namespace exdl::bench {
+
+namespace {
+
+/// One JSON row per benchmark case (last iteration wins — benches report
+/// the stats of their final evaluation, which all iterations repeat).
+struct BenchRecord {
+  EvalStats stats;
+  bool has_result = false;
+  size_t answers = 0;
+  size_t peak_relation_rows = 0;
+  size_t total_rows = 0;
+};
+
+std::map<std::string, BenchRecord>& Records() {
+  static auto* records = new std::map<std::string, BenchRecord>();
+  return *records;
+}
+
+std::mutex g_records_mutex;
+
+void WriteBenchJson() {
+  const std::map<std::string, BenchRecord>& records = Records();
+  if (records.empty()) return;
+#ifdef __GLIBC__
+  const char* exe = program_invocation_short_name;
+#else
+  const char* exe = "bench";
+#endif
+  std::string path = std::string("BENCH_") + exe + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [", exe);
+  bool first = true;
+  for (const auto& [name, rec] : records) {
+    const double secs = rec.stats.eval_seconds;
+    const double tps =
+        secs > 0 ? static_cast<double>(rec.stats.tuples_inserted) / secs : 0;
+    std::fprintf(f, "%s\n    {\"name\": \"%s\"", first ? "" : ",",
+                 name.c_str());
+    std::fprintf(f, ", \"eval_seconds\": %.6f", secs);
+    std::fprintf(f, ", \"max_round_seconds\": %.6f",
+                 rec.stats.max_round_seconds);
+    std::fprintf(f, ", \"tuples_per_sec\": %.1f", tps);
+    std::fprintf(f, ", \"tuples_inserted\": %llu",
+                 static_cast<unsigned long long>(rec.stats.tuples_inserted));
+    std::fprintf(f, ", \"duplicate_inserts\": %llu",
+                 static_cast<unsigned long long>(rec.stats.duplicate_inserts));
+    std::fprintf(f, ", \"rule_firings\": %llu",
+                 static_cast<unsigned long long>(rec.stats.rule_firings));
+    std::fprintf(f, ", \"rounds\": %llu",
+                 static_cast<unsigned long long>(rec.stats.rounds));
+    std::fprintf(f, ", \"index_probes\": %llu",
+                 static_cast<unsigned long long>(rec.stats.index_probes));
+    if (rec.has_result) {
+      std::fprintf(f, ", \"answers\": %zu", rec.answers);
+      std::fprintf(f, ", \"peak_relation_rows\": %zu",
+                   rec.peak_relation_rows);
+      std::fprintf(f, ", \"total_rows\": %zu", rec.total_rows);
+    }
+    std::fprintf(f, "}");
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+BenchRecord& RecordFor(const std::string& name) {
+  static bool registered = [] {
+    std::atexit(WriteBenchJson);
+    return true;
+  }();
+  (void)registered;
+  return Records()[name];
+}
+
+}  // namespace
 
 Setup ParseOrDie(const std::string& source) {
   ContextPtr ctx = std::make_shared<Context>();
@@ -44,6 +126,25 @@ void ReportStats(benchmark::State& state, const EvalStats& stats) {
   state.counters["firings"] = static_cast<double>(stats.rule_firings);
   state.counters["rounds"] = static_cast<double>(stats.rounds);
   state.counters["probes"] = static_cast<double>(stats.index_probes);
+}
+
+void ReportResult(benchmark::State& state, const std::string& name,
+                  const EvalResult& result) {
+  ReportStats(state, result.stats);
+  size_t peak = 0;
+  size_t total = 0;
+  for (const auto& [pred, rel] : result.db.relations()) {
+    peak = std::max(peak, rel.size());
+    total += rel.size();
+  }
+  state.counters["answers"] = static_cast<double>(result.answers.size());
+  std::lock_guard<std::mutex> lock(g_records_mutex);
+  BenchRecord& rec = RecordFor(name);
+  rec.stats = result.stats;
+  rec.has_result = true;
+  rec.answers = result.answers.size();
+  rec.peak_relation_rows = peak;
+  rec.total_rows = total;
 }
 
 }  // namespace exdl::bench

@@ -1,5 +1,11 @@
 // Shared helpers for the experiment benches (see DESIGN.md section 4 for
 // the experiment index E1..E11 and EXPERIMENTS.md for results).
+//
+// Every ReportStats/ReportResult call also records a machine-readable row;
+// at process exit the accumulated rows are written to
+// `BENCH_<executable>.json` in the working directory (tuples/sec, work
+// counters, and — via ReportResult — peak relation sizes and answer
+// counts), so successive PRs have a perf trajectory to diff against.
 
 #ifndef EXDL_BENCH_BENCH_UTIL_H_
 #define EXDL_BENCH_BENCH_UTIL_H_
@@ -33,6 +39,13 @@ EvalResult EvalOrDie(const Program& program, const Database& edb,
 
 /// Publishes the standard counters on `state`.
 void ReportStats(benchmark::State& state, const EvalStats& stats);
+
+/// Like ReportStats, but also publishes the answer count and records a
+/// JSON row under `name` (the installed benchmark library predates
+/// State::name(), so cases label themselves) with eval timing, tuples/sec,
+/// and peak / total relation sizes from the full evaluation result.
+void ReportResult(benchmark::State& state, const std::string& name,
+                  const EvalResult& result);
 
 }  // namespace exdl::bench
 

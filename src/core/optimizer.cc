@@ -1,6 +1,7 @@
 #include "core/optimizer.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "adorn/adorn.h"
 #include "transform/cleanup.h"
@@ -17,6 +18,7 @@ Result<OptimizedProgram> OptimizeExistential(const Program& program,
   if (!program.query()) {
     return Status::FailedPrecondition("optimizer requires a query");
   }
+  const auto optimize_begin = std::chrono::steady_clock::now();
   OptimizedProgram out{program.Clone(), std::nullopt, {}};
   out.report.original_rules = program.NumRules();
   std::unordered_set<PredId> input_preds = program.EdbPredicates();
@@ -128,6 +130,10 @@ Result<OptimizedProgram> OptimizeExistential(const Program& program,
   }
 
   out.report.final_rules = out.program.NumRules();
+  out.report.optimize_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    optimize_begin)
+          .count();
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "core/report.h"
 
+#include <cstdio>
+
 namespace exdl {
 
 std::string OptimizationReport::ToString() const {
@@ -42,6 +44,12 @@ std::string OptimizationReport::ToString() const {
            " additional deletion(s)\n";
   }
   if (magic_applied) out += "magic-set rewriting applied\n";
+  if (optimize_seconds > 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "optimizer wall time: %.3f ms\n",
+                  optimize_seconds * 1e3);
+    out += buf;
+  }
   for (const std::string& line : log) {
     out += "  " + line + "\n";
   }

@@ -43,6 +43,9 @@ struct OptimizationReport {
 
   bool magic_applied = false;
 
+  /// Wall-clock time spent inside OptimizeExistential.
+  double optimize_seconds = 0;
+
   /// Per-deletion justifications and other notes, in order.
   std::vector<std::string> log;
 

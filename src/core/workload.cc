@@ -1,5 +1,6 @@
 #include "core/workload.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/rng.h"
@@ -87,6 +88,10 @@ std::vector<Value> MakeNodes(Context* ctx, int count) {
 
 std::vector<Value> MakeGraph(Context* ctx, Database* db, PredId edge_pred,
                              const GraphSpec& spec) {
+  // Pre-size the edge arena: every generator emits at most ~avg_degree * n
+  // (plus one for the cycle-closing edge).
+  db->GetOrCreate(edge_pred, 2).Reserve(static_cast<size_t>(
+      std::max(spec.avg_degree, 1.0) * spec.nodes + 1));
   return GenerateGraph(ctx, spec, [&](Value from, Value to) {
     AddEdge(db, edge_pred, from, to);
   });
@@ -106,8 +111,9 @@ void MakeRandomTuples(Context* ctx, Database* db, PredId pred, int count,
   Rng rng(seed);
   std::vector<Value> domain = MakeNodes(ctx, domain_size);
   uint32_t arity = ctx->predicate(pred).arity;
+  db->GetOrCreate(pred, arity).Reserve(static_cast<size_t>(count));
+  std::vector<Value> row(arity);
   for (int i = 0; i < count; ++i) {
-    std::vector<Value> row(arity);
     for (uint32_t j = 0; j < arity; ++j) {
       row[j] = domain[rng.Below(domain.size())];
     }

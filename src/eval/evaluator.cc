@@ -1,13 +1,31 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "analysis/stratification.h"
 
 namespace exdl {
+
+namespace {
+
+std::string FormatMillis(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
 
 EvalStats& EvalStats::operator+=(const EvalStats& o) {
   rounds += o.rounds;
@@ -17,6 +35,8 @@ EvalStats& EvalStats::operator+=(const EvalStats& o) {
   index_probes += o.index_probes;
   rows_matched += o.rows_matched;
   rules_retired += o.rules_retired;
+  eval_seconds += o.eval_seconds;
+  max_round_seconds = std::max(max_round_seconds, o.max_round_seconds);
   return *this;
 }
 
@@ -29,10 +49,19 @@ std::string EvalStats::ToString() const {
   out += " probes=" + std::to_string(index_probes);
   out += " rows=" + std::to_string(rows_matched);
   out += " retired=" + std::to_string(rules_retired);
+  out += " eval_ms=" + FormatMillis(eval_seconds);
+  out += " max_round_ms=" + FormatMillis(max_round_seconds);
   return out;
 }
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+using SizeMap = std::unordered_map<PredId, uint32_t>;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 struct RowRange {
   uint32_t lo = 0;
@@ -41,11 +70,137 @@ struct RowRange {
 };
 
 /// A buffered derivation: head tuple awaiting end-of-round flush (so that
-/// index row-id lists are never mutated while being iterated).
+/// index row-id lists are never mutated while being iterated). The tuple's
+/// values live in the owning buffer's flat value arena — emitting a fact
+/// allocates nothing beyond amortized vector growth.
 struct PendingFact {
   PredId pred;
-  std::vector<Value> row;
+  size_t begin;     ///< Offset of the tuple in the owner's value arena.
+  uint32_t len;     ///< Tuple arity.
   Provenance prov;  ///< Only filled when recording provenance.
+};
+
+/// Key view over a literal's index columns resolved against a register
+/// file (see HashKeyView): constants come from the plan, the rest from
+/// `regs`. Lets index probes and anti-join membership tests hash directly
+/// from the evaluator's registers with no key materialization.
+struct RegKey {
+  const LiteralStep* step;
+  const Value* regs;
+  size_t size() const { return step->index_columns.size(); }
+  Value operator[](size_t i) const {
+    const ArgSpec& a = step->args[step->index_columns[i]];
+    return a.kind == ArgSpec::Kind::kConst ? a.const_value : regs[a.reg];
+  }
+};
+
+/// Key view over an all-constant argument list (single-tuple heads).
+struct ConstArgsKey {
+  const std::vector<ArgSpec>* args;
+  size_t size() const { return args->size(); }
+  Value operator[](size_t i) const { return (*args)[i].const_value; }
+};
+
+/// A persistent pool of workers, spawned once per evaluation and reused
+/// for every parallelized rule variant (spawning threads per variant per
+/// round would dominate small rounds). Run(parts, fn) executes fn(0),
+/// fn(1), ..., fn(parts-1) across the pool threads plus the caller and
+/// blocks until all parts finish.
+class WorkerPool {
+ public:
+  explicit WorkerPool(uint32_t extra_threads) {
+    threads_.reserve(extra_threads);
+    for (uint32_t i = 0; i < extra_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    start_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void Run(uint32_t parts, const std::function<void(uint32_t)>& fn) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &fn;
+      parts_ = parts;
+      next_part_.store(0, std::memory_order_relaxed);
+      // Every pool thread plus the caller checks in once per generation,
+      // so Run cannot return (and fn cannot be destroyed) while any
+      // worker is still inside the part loop.
+      working_ = static_cast<uint32_t>(threads_.size()) + 1;
+      ++generation_;
+    }
+    start_.notify_all();
+    RunParts(fn);
+    std::unique_lock<std::mutex> lock(mutex_);
+    CheckIn(lock);
+    done_.wait(lock, [this] { return working_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void RunParts(const std::function<void(uint32_t)>& fn) {
+    uint32_t part;
+    while ((part = next_part_.fetch_add(1, std::memory_order_relaxed)) <
+           parts_) {
+      fn(part);
+    }
+  }
+
+  /// Marks this participant done with the current generation. Requires
+  /// `lock` held on mutex_.
+  void CheckIn(std::unique_lock<std::mutex>& lock) {
+    (void)lock;
+    if (--working_ == 0) done_.notify_all();
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    while (true) {
+      const std::function<void(uint32_t)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        start_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        job = job_;
+      }
+      if (job != nullptr) RunParts(*job);
+      std::unique_lock<std::mutex> lock(mutex_);
+      CheckIn(lock);
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_;
+  std::condition_variable done_;
+  const std::function<void(uint32_t)>* job_ = nullptr;
+  uint32_t parts_ = 0;
+  std::atomic<uint32_t> next_part_{0};
+  uint32_t working_ = 0;  ///< Participants not yet checked in this generation.
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Per-worker evaluation state. Serial evaluation uses one of these;
+/// parallel variants give each worker its own, then merge buffers in
+/// partition order (so the flushed insertion order — and therefore every
+/// row id, relation, and answer — matches serial evaluation exactly).
+struct DescentState {
+  std::vector<Value> regs;
+  std::vector<char> reg_set;
+  std::vector<TupleRef> path;  ///< Provenance spine (serial only).
+  EvalStats stats;
+  std::vector<PendingFact> buffer;
+  std::vector<Value> values;  ///< Flat arena backing buffer's tuples.
 };
 
 class Engine {
@@ -54,6 +209,7 @@ class Engine {
       : program_(program), options_(options) {}
 
   Result<EvalResult> Run(const Database& input) {
+    const Clock::time_point eval_begin = Clock::now();
     EXDL_RETURN_IF_ERROR(Compile());
     EvalResult result;
     result.db = input.Clone();
@@ -80,6 +236,11 @@ class Engine {
       db_->GetOrCreate(cr.plan.head_pred,
                        static_cast<uint32_t>(cr.plan.head_args.size()));
     }
+    // Size snapshot, maintained incrementally by Flush from here on.
+    sizes_.clear();
+    for (const auto& [pred, rel] : db_->relations()) {
+      sizes_[pred] = static_cast<uint32_t>(rel.size());
+    }
 
     bool stop = false;
     for (const std::vector<size_t>& stratum : strata) {
@@ -87,6 +248,7 @@ class Engine {
       EXDL_RETURN_IF_ERROR(RunFixpoint(stratum, &stop));
     }
 
+    stats_.eval_seconds = SecondsSince(eval_begin);
     result.stats = stats_;
     result.provenance = std::move(provenance_);
     if (program_.query()) {
@@ -117,19 +279,21 @@ class Engine {
     };
 
     // Round 0: fire every rule of the stratum over the full database.
-    std::vector<PendingFact> buffer;
-    std::unordered_map<PredId, uint32_t> start = Sizes();
+    Clock::time_point round_begin = Clock::now();
+    SizeMap start = sizes_;
     for (size_t i : rule_indices) {
-      FireVariant(rules_[i], /*delta_step=*/kNoDelta, start, start, &buffer);
+      FireVariant(rules_[i], /*delta_step=*/kNoDelta, start, start);
     }
-    std::unordered_map<PredId, uint32_t> delta_lo = start;
-    Flush(&buffer);
+    SizeMap delta_lo = start;
+    Flush();
     ++stats_.rounds;
+    stats_.max_round_seconds =
+        std::max(stats_.max_round_seconds, SecondsSince(round_begin));
     ApplyBooleanCut();
 
     *stop = ShouldStopOnGroundQuery();
     while (!*stop) {
-      std::unordered_map<PredId, uint32_t> new_start = Sizes();
+      SizeMap new_start = sizes_;
       bool any_delta = false;
       for (const auto& [pred, sz] : new_start) {
         if (growing.count(pred) > 0 && delta_lo[pred] < sz) {
@@ -142,6 +306,7 @@ class Engine {
         return Status::FailedPrecondition(
             "fixpoint did not converge within max_rounds");
       }
+      round_begin = Clock::now();
       for (size_t i : rule_indices) {
         const CompiledRule& cr = rules_[i];
         if (retired_.count(cr.rule_index) > 0) continue;
@@ -151,17 +316,19 @@ class Engine {
           for (size_t step : delta_steps(cr)) {
             PredId p = cr.plan.steps[step].pred;
             if (delta_lo[p] >= new_start[p]) continue;  // empty delta
-            FireVariant(cr, step, new_start, delta_lo, &buffer);
+            FireVariant(cr, step, new_start, delta_lo);
           }
         } else if (!delta_steps(cr).empty()) {
           // Naive: refire over full relations (rules with no growing body
           // literal can produce nothing new after round 0).
-          FireVariant(cr, kNoDelta, new_start, new_start, &buffer);
+          FireVariant(cr, kNoDelta, new_start, new_start);
         }
       }
       for (auto& [pred, sz] : new_start) delta_lo[pred] = sz;
-      Flush(&buffer);
+      Flush();
       ++stats_.rounds;
+      stats_.max_round_seconds =
+          std::max(stats_.max_round_seconds, SecondsSince(round_begin));
       ApplyBooleanCut();
       *stop = ShouldStopOnGroundQuery();
     }
@@ -170,6 +337,8 @@ class Engine {
 
  private:
   static constexpr size_t kNoDelta = static_cast<size_t>(-1);
+  /// Minimum outer rows per worker before a variant is worth splitting.
+  static constexpr uint32_t kMinRowsPerWorker = 64;
 
   struct CompiledRule {
     RulePlan plan;
@@ -201,35 +370,36 @@ class Engine {
     return Status::Ok();
   }
 
-  std::unordered_map<PredId, uint32_t> Sizes() const {
-    std::unordered_map<PredId, uint32_t> out;
-    for (const auto& [pred, rel] : db_->relations()) {
-      out[pred] = static_cast<uint32_t>(rel.size());
-    }
-    return out;
-  }
-
-  std::vector<Value> SingleHeadTuple(const CompiledRule& cr) const {
-    std::vector<Value> tuple;
-    tuple.reserve(cr.plan.head_args.size());
-    for (const ArgSpec& a : cr.plan.head_args) tuple.push_back(a.const_value);
-    return tuple;
+  /// How many workers a variant should use: 1 (serial) unless threading is
+  /// on, provenance is off, the variant has a partitionable positive
+  /// outermost step, and the outer range is big enough to amortize the
+  /// spawn. Single-tuple heads stay serial (they stop at one witness).
+  uint32_t NumWorkers(const RulePlan& plan,
+                      const std::vector<RowRange>& ranges) const {
+    if (options_.num_threads <= 1 || options_.record_provenance) return 1;
+    if (stop_after_first_) return 1;
+    if (plan.steps.empty() || plan.steps[0].negated) return 1;
+    const uint32_t rows = ranges[0].hi - ranges[0].lo;
+    return std::min(options_.num_threads,
+                    std::max(1u, rows / kMinRowsPerWorker));
   }
 
   /// Fires one rule variant. `delta_step` designates the step reading only
   /// [delta_lo, start) of its relation (kNoDelta = none; all steps read
-  /// [0, start)).
+  /// [0, start)). Derivations land in per-worker buffers and are appended
+  /// to round_buffer_ in deterministic (partition) order.
   void FireVariant(const CompiledRule& cr, size_t delta_step,
-                   const std::unordered_map<PredId, uint32_t>& start,
-                   const std::unordered_map<PredId, uint32_t>& delta_lo,
-                   std::vector<PendingFact>* buffer) {
+                   const SizeMap& start, const SizeMap& delta_lo) {
     const RulePlan& plan = cr.plan;
     // Existence short-circuit (Section 3.1): a single-tuple head needs one
     // witness ever; skip entirely once the tuple exists.
     stop_after_first_ = options_.boolean_cut && cr.single_tuple_head;
     if (stop_after_first_) {
       const Relation* rel = db_->Find(plan.head_pred);
-      if (rel != nullptr && rel->Contains(SingleHeadTuple(cr))) return;
+      if (rel != nullptr &&
+          rel->ContainsKey(ConstArgsKey{&plan.head_args})) {
+        return;
+      }
     }
     std::vector<RowRange> ranges(plan.steps.size());
     for (size_t s = 0; s < plan.steps.size(); ++s) {
@@ -247,31 +417,85 @@ class Engine {
       // simply a succeeding anti-join.
       if (ranges[s].empty() && !plan.steps[s].negated) return;
     }
-    regs_.assign(plan.num_regs, 0);
-    reg_set_.assign(plan.num_regs, false);
     current_rule_index_ = cr.rule_index;
-    current_path_.clear();
-    Descend(plan, ranges, 0, buffer);
+
+    const uint32_t workers = NumWorkers(plan, ranges);
+    if (workers <= 1) {
+      serial_.regs.assign(plan.num_regs, 0);
+      serial_.reg_set.assign(plan.num_regs, false);
+      serial_.path.clear();
+      Descend(plan, ranges, 0, serial_);
+      Drain(serial_);
+      return;
+    }
+
+    // Lazily built indexes must exist before workers share them.
+    for (const LiteralStep& step : plan.steps) {
+      if (step.negated || step.index_columns.empty()) continue;
+      Relation* rel = db_->FindMutable(step.pred);
+      if (rel != nullptr) rel->GetIndex(step.index_columns);
+    }
+
+    // Partition the outermost row range into contiguous chunks, one per
+    // worker. Chunk order == serial scan order, so appending the worker
+    // buffers in chunk order reproduces the serial derivation sequence.
+    const uint32_t lo = ranges[0].lo;
+    const uint32_t total = ranges[0].hi - lo;
+    if (worker_states_.size() < workers) worker_states_.resize(workers);
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<WorkerPool>(options_.num_threads - 1);
+    }
+    pool_->Run(workers, [this, &plan, &ranges, lo, total, workers](uint32_t w) {
+      DescentState& ws = worker_states_[w];
+      ws.regs.assign(plan.num_regs, 0);
+      ws.reg_set.assign(plan.num_regs, false);
+      std::vector<RowRange> my_ranges = ranges;
+      my_ranges[0] = RowRange{lo + w * total / workers,
+                              lo + (w + 1) * total / workers};
+      if (my_ranges[0].empty()) return;
+      Descend(plan, my_ranges, 0, ws);
+    });
+    for (uint32_t w = 0; w < workers; ++w) Drain(worker_states_[w]);
+  }
+
+  /// Folds one worker's stats into the engine's and appends its buffered
+  /// derivations to the round buffer. Called in variant/partition order so
+  /// the flushed insertion order matches serial evaluation.
+  void Drain(DescentState& ws) {
+    stats_ += ws.stats;
+    ws.stats = EvalStats();
+    const size_t base = round_values_.size();
+    round_values_.insert(round_values_.end(), ws.values.begin(),
+                         ws.values.end());
+    for (PendingFact& f : ws.buffer) {
+      f.begin += base;
+      round_buffer_.push_back(std::move(f));
+    }
+    ws.values.clear();
+    ws.buffer.clear();
   }
 
   /// Returns false when evaluation of this variant should stop (the
-  /// single-tuple head was emitted and one witness suffices).
+  /// single-tuple head was emitted and one witness suffices). `ws` is this
+  /// worker's private state; when serial it aliases serial_, whose stats
+  /// and buffer are folded into the engine-wide ones by Flush.
   bool Descend(const RulePlan& plan, const std::vector<RowRange>& ranges,
-               size_t step_idx, std::vector<PendingFact>* buffer) {
+               size_t step_idx, DescentState& ws) {
     if (step_idx == plan.steps.size()) {
       PendingFact fact;
       fact.pred = plan.head_pred;
-      fact.row.reserve(plan.head_args.size());
+      fact.begin = ws.values.size();
+      fact.len = static_cast<uint32_t>(plan.head_args.size());
       for (const ArgSpec& a : plan.head_args) {
-        fact.row.push_back(a.kind == ArgSpec::Kind::kConst ? a.const_value
-                                                           : regs_[a.reg]);
+        ws.values.push_back(a.kind == ArgSpec::Kind::kConst ? a.const_value
+                                                            : ws.regs[a.reg]);
       }
       if (options_.record_provenance) {
         fact.prov.rule_index = static_cast<int>(current_rule_index_);
-        fact.prov.children = current_path_;
+        fact.prov.children = ws.path;
       }
-      buffer->push_back(std::move(fact));
-      ++stats_.rule_firings;
+      ws.buffer.push_back(std::move(fact));
+      ++ws.stats.rule_firings;
       return !stop_after_first_;
     }
     const LiteralStep& step = plan.steps[step_idx];
@@ -280,29 +504,26 @@ class Engine {
 
     if (step.negated) {
       // Anti-join: succeed iff no tuple matches the (fully bound) key.
+      // index_columns covers every position for negated steps, so RegKey
+      // is the whole tuple — membership is tested straight off the
+      // registers, no key vector.
       bool exists = false;
       if (rel != nullptr && range.hi > 0) {
         if (step.args.empty()) {
           exists = true;  // 0-ary relation holds the empty tuple
         } else {
-          std::vector<Value> key;
-          key.reserve(step.args.size());
-          for (const ArgSpec& a : step.args) {
-            key.push_back(a.kind == ArgSpec::Kind::kConst ? a.const_value
-                                                          : regs_[a.reg]);
-          }
-          ++stats_.index_probes;
-          exists = rel->Contains(key);
+          ++ws.stats.index_probes;
+          exists = rel->ContainsKey(RegKey{&step, ws.regs.data()});
         }
       }
       if (exists) return true;  // this binding fails; keep enumerating
-      return Descend(plan, ranges, step_idx + 1, buffer);
+      return Descend(plan, ranges, step_idx + 1, ws);
     }
     if (rel == nullptr) return true;
 
     auto process_row = [&](uint32_t row_id) -> bool {
       std::span<const Value> row = rel->Row(row_id);
-      ++stats_.rows_matched;
+      ++ws.stats.rows_matched;
       // Bind/check arguments; remember which registers this row bound so we
       // can release them before the next row.
       size_t bound_here = 0;
@@ -311,21 +532,21 @@ class Engine {
         const ArgSpec& a = step.args[i];
         if (a.kind == ArgSpec::Kind::kConst) {
           ok = row[i] == a.const_value;
-        } else if (reg_set_[a.reg]) {
-          ok = row[i] == regs_[a.reg];
+        } else if (ws.reg_set[a.reg]) {
+          ok = row[i] == ws.regs[a.reg];
         } else {
-          regs_[a.reg] = row[i];
-          reg_set_[a.reg] = true;
+          ws.regs[a.reg] = row[i];
+          ws.reg_set[a.reg] = true;
           ++bound_here;
         }
       }
       bool keep_going = true;
       if (ok) {
         if (options_.record_provenance) {
-          current_path_.push_back(TupleRef{step.pred, row_id});
+          ws.path.push_back(TupleRef{step.pred, row_id});
         }
-        keep_going = Descend(plan, ranges, step_idx + 1, buffer);
-        if (options_.record_provenance) current_path_.pop_back();
+        keep_going = Descend(plan, ranges, step_idx + 1, ws);
+        if (options_.record_provenance) ws.path.pop_back();
       }
       // Unbind: the registers bound by this row are among step.binds
       // (first occurrences); when !ok we may have bound a prefix only, so
@@ -333,10 +554,10 @@ class Engine {
       if (bound_here > 0) {
         for (size_t i = 0; i < step.args.size() && bound_here > 0; ++i) {
           const ArgSpec& a = step.args[i];
-          if (a.kind == ArgSpec::Kind::kReg && reg_set_[a.reg]) {
+          if (a.kind == ArgSpec::Kind::kReg && ws.reg_set[a.reg]) {
             for (uint32_t b : step.binds) {
               if (b == a.reg) {
-                reg_set_[a.reg] = false;
+                ws.reg_set[a.reg] = false;
                 --bound_here;
                 break;
               }
@@ -353,16 +574,10 @@ class Engine {
       }
       return true;
     }
-    std::vector<Value> key;
-    key.reserve(step.index_columns.size());
-    for (uint32_t c : step.index_columns) {
-      const ArgSpec& a = step.args[c];
-      key.push_back(a.kind == ArgSpec::Kind::kConst ? a.const_value
-                                                    : regs_[a.reg]);
-    }
     const Relation::Index& index = rel->GetIndex(step.index_columns);
-    ++stats_.index_probes;
-    const Relation::RowIdList* ids = index.Lookup(key);
+    ++ws.stats.index_probes;
+    const Relation::RowIdList* ids =
+        index.LookupKey(RegKey{&step, ws.regs.data()});
     if (ids == nullptr) return true;
     // Row ids are appended in increasing order; binary-search the range.
     auto lo_it = std::lower_bound(ids->begin(), ids->end(), range.lo);
@@ -372,12 +587,13 @@ class Engine {
     return true;
   }
 
-  void Flush(std::vector<PendingFact>* buffer) {
-    for (PendingFact& f : *buffer) {
-      Relation& rel =
-          db_->GetOrCreate(f.pred, static_cast<uint32_t>(f.row.size()));
-      if (rel.Insert(f.row)) {
+  void Flush() {
+    for (PendingFact& f : round_buffer_) {
+      std::span<const Value> row(round_values_.data() + f.begin, f.len);
+      Relation& rel = db_->GetOrCreate(f.pred, f.len);
+      if (rel.Insert(row)) {
         ++stats_.tuples_inserted;
+        sizes_[f.pred] = static_cast<uint32_t>(rel.size());
         if (options_.record_provenance) {
           uint32_t row_id = static_cast<uint32_t>(rel.size() - 1);
           provenance_.emplace(TupleRef{f.pred, row_id}, std::move(f.prov));
@@ -386,7 +602,8 @@ class Engine {
         ++stats_.duplicate_inserts;
       }
     }
-    buffer->clear();
+    round_buffer_.clear();
+    round_values_.clear();
   }
 
   /// Retires rules whose single possible head tuple (0-ary or
@@ -397,7 +614,8 @@ class Engine {
       if (retired_.count(cr.rule_index) > 0) continue;
       if (!cr.single_tuple_head) continue;
       const Relation* rel = db_->Find(cr.plan.head_pred);
-      if (rel != nullptr && rel->Contains(SingleHeadTuple(cr))) {
+      if (rel != nullptr &&
+          rel->ContainsKey(ConstArgsKey{&cr.plan.head_args})) {
         retired_.insert(cr.rule_index);
         ++stats_.rules_retired;
       }
@@ -427,11 +645,16 @@ class Engine {
   std::unordered_set<PredId> idb_preds_;
   std::unordered_set<size_t> retired_;
   EvalStats stats_;
-  std::vector<Value> regs_;
-  std::vector<char> reg_set_;
+  SizeMap sizes_;  ///< Relation sizes, kept current by Flush.
+  DescentState serial_;
+  /// Pool + per-worker states, created on first parallel variant and
+  /// reused across rounds (thread spawns would dominate small rounds).
+  std::unique_ptr<WorkerPool> pool_;
+  std::vector<DescentState> worker_states_;
+  std::vector<PendingFact> round_buffer_;
+  std::vector<Value> round_values_;  ///< Arena backing round_buffer_.
   bool stop_after_first_ = false;
   size_t current_rule_index_ = 0;
-  std::vector<TupleRef> current_path_;
   std::unordered_map<TupleRef, Provenance, TupleRefHash> provenance_;
 };
 
@@ -455,10 +678,15 @@ std::vector<std::vector<Value>> ExtractAnswers(const Atom& query,
   for (size_t i = 0; i < vars.size(); ++i) var_col[vars[i]] = i;
 
   std::unordered_set<std::vector<Value>, ValueVecHash> seen;
+  seen.reserve(rel->size());
+  out.reserve(rel->size());
+  // One scratch answer reused across rows; only kept answers are copied.
+  std::vector<Value> answer(vars.size(), 0);
+  std::vector<char> set(vars.size(), 0);
   for (size_t r = 0; r < rel->size(); ++r) {
     std::span<const Value> row = rel->Row(r);
-    std::vector<Value> answer(vars.size(), 0);
-    std::vector<char> set(vars.size(), 0);
+    std::fill(answer.begin(), answer.end(), 0);
+    std::fill(set.begin(), set.end(), 0);
     bool ok = true;
     for (size_t i = 0; i < query.args.size() && ok; ++i) {
       const Term& t = query.args[i];
@@ -474,7 +702,7 @@ std::vector<std::vector<Value>> ExtractAnswers(const Atom& query,
         }
       }
     }
-    if (ok && seen.insert(answer).second) out.push_back(std::move(answer));
+    if (ok && seen.insert(answer).second) out.push_back(answer);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -545,4 +773,3 @@ Result<std::string> ExplainFact(const Program& program,
 }
 
 }  // namespace exdl
-

@@ -39,6 +39,12 @@ struct EvalOptions {
   /// the derivation trees of Section 1.1. Costs memory; see
   /// EvalResult::provenance and ExplainTuple.
   bool record_provenance = false;
+  /// Worker threads used to partition each rule variant's outermost row
+  /// range. Derivations are buffered per worker and merged in partition
+  /// order before the flush, so results (relations, row order, answers)
+  /// are byte-identical to serial evaluation. <= 1 — or record_provenance —
+  /// evaluates serially.
+  uint32_t num_threads = 1;
 };
 
 /// Work counters. The paper's "duplicate elimination cost" is
@@ -51,6 +57,8 @@ struct EvalStats {
   uint64_t index_probes = 0;       ///< Hash-index lookups.
   uint64_t rows_matched = 0;       ///< Rows enumerated from indexes/scans.
   uint64_t rules_retired = 0;      ///< Boolean-cut retirements.
+  double eval_seconds = 0;         ///< Wall-clock time inside Evaluate().
+  double max_round_seconds = 0;    ///< Longest single fixpoint round.
 
   EvalStats& operator+=(const EvalStats& o);
   std::string ToString() const;

@@ -63,6 +63,7 @@ Database Database::Clone() const {
   Database copy;
   for (const auto& [pred, rel] : relations_) {
     Relation& dst = copy.GetOrCreate(pred, rel.arity());
+    dst.Reserve(rel.size());
     for (size_t i = 0; i < rel.size(); ++i) dst.Insert(rel.Row(i));
   }
   return copy;

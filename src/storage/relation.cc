@@ -1,30 +1,110 @@
 #include "storage/relation.h"
 
-#include <cassert>
+#include <algorithm>
 
 namespace exdl {
+
+namespace {
+
+// Open-addressing tables rehash at 7/8 load and start small; relations
+// routinely hold a handful of tuples (boolean predicates, magic seeds).
+constexpr size_t kMinSlots = 16;
+
+size_t NextPow2(size_t n) {
+  size_t p = kMinSlots;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool NeedsGrow(size_t entries, size_t slot_count) {
+  return (entries + 1) * 8 >= slot_count * 7;
+}
+
+}  // namespace
+
+void Relation::Index::Add(const Value* key, uint32_t row_id) {
+  if (slots_.empty()) slots_.assign(kMinSlots, 0);
+  const size_t mask = slots_.size() - 1;
+  size_t slot = HashValueSpan(key, width_) & mask;
+  while (true) {
+    const uint32_t g = slots_[slot];
+    if (g == 0) break;
+    if (KeyEquals(g - 1, std::span<const Value>(key, width_))) {
+      groups_[g - 1].push_back(row_id);
+      return;
+    }
+    slot = (slot + 1) & mask;
+  }
+  keys_.insert(keys_.end(), key, key + width_);
+  groups_.emplace_back().push_back(row_id);
+  slots_[slot] = static_cast<uint32_t>(groups_.size());
+  if (NeedsGrow(groups_.size(), slots_.size())) Rehash(slots_.size() * 2);
+}
+
+void Relation::Index::Rehash(size_t new_slot_count) {
+  slots_.assign(new_slot_count, 0);
+  const size_t mask = new_slot_count - 1;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    size_t slot = HashValueSpan(keys_.data() + g * width_, width_) & mask;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<uint32_t>(g + 1);
+  }
+}
 
 bool Relation::Insert(std::span<const Value> row) {
   assert(row.size() == arity_);
   ++insert_attempts_;
-  std::vector<Value> key(row.begin(), row.end());
-  auto [it, inserted] =
-      set_.emplace(std::move(key), static_cast<uint32_t>(rows_.size()));
-  if (!inserted) return false;
-  rows_.push_back(&it->first);
-  uint32_t row_id = it->second;
-  for (auto& [cols, index] : indexes_) {
-    std::vector<Value> proj;
-    proj.reserve(index.columns.size());
-    for (uint32_t c : index.columns) proj.push_back(it->first[c]);
-    index.map[std::move(proj)].push_back(row_id);
+  const size_t hash = HashValueSpan(row.data(), row.size());
+  if (FindRow(hash, row) != kNoRow) return false;
+
+  // `row` may alias our own arena (e.g. copying a relation into itself);
+  // appending can reallocate data_, so detach the view first if so.
+  if (!data_.empty() && row.data() >= data_.data() &&
+      row.data() < data_.data() + data_.size() &&
+      data_.size() + arity_ > data_.capacity()) {
+    proj_scratch_.assign(row.begin(), row.end());
+    row = std::span<const Value>(proj_scratch_);
   }
+
+  const uint32_t row_id = static_cast<uint32_t>(num_rows_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++num_rows_;
+
+  if (slots_.empty()) slots_.assign(kMinSlots, 0);
+  const size_t mask = slots_.size() - 1;
+  size_t slot = hash & mask;
+  while (slots_[slot] != 0) slot = (slot + 1) & mask;
+  slots_[slot] = row_id + 1;
+  if (NeedsGrow(num_rows_, slots_.size())) RehashSlots(slots_.size() * 2);
+
+  UpdateIndexes(row_id);
   return true;
 }
 
-bool Relation::Contains(std::span<const Value> row) const {
-  std::vector<Value> key(row.begin(), row.end());
-  return set_.find(key) != set_.end();
+void Relation::Reserve(size_t rows) {
+  data_.reserve(rows * arity_);
+  const size_t want = NextPow2(rows + rows / 4);
+  if (want > slots_.size()) RehashSlots(want);
+}
+
+void Relation::RehashSlots(size_t new_slot_count) {
+  slots_.assign(new_slot_count, 0);
+  const size_t mask = new_slot_count - 1;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    size_t slot = HashValueSpan(data_.data() + r * arity_, arity_) & mask;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<uint32_t>(r + 1);
+  }
+}
+
+void Relation::UpdateIndexes(uint32_t row_id) {
+  if (indexes_.empty()) return;
+  const Value* row = data_.data() + static_cast<size_t>(row_id) * arity_;
+  for (auto& [cols, index] : indexes_) {
+    proj_scratch_.clear();
+    for (uint32_t c : index.columns_) proj_scratch_.push_back(row[c]);
+    index.Add(proj_scratch_.data(), row_id);
+  }
 }
 
 const Relation::Index& Relation::GetIndex(
@@ -32,20 +112,21 @@ const Relation::Index& Relation::GetIndex(
   auto it = indexes_.find(columns);
   if (it != indexes_.end()) return it->second;
   Index& index = indexes_[columns];
-  index.columns = columns;
-  for (uint32_t row_id = 0; row_id < rows_.size(); ++row_id) {
-    const std::vector<Value>& row = *rows_[row_id];
-    std::vector<Value> proj;
-    proj.reserve(columns.size());
-    for (uint32_t c : columns) proj.push_back(row[c]);
-    index.map[std::move(proj)].push_back(row_id);
+  index.columns_ = columns;
+  index.width_ = columns.size();
+  for (uint32_t row_id = 0; row_id < num_rows_; ++row_id) {
+    const Value* row = data_.data() + static_cast<size_t>(row_id) * arity_;
+    proj_scratch_.clear();
+    for (uint32_t c : columns) proj_scratch_.push_back(row[c]);
+    index.Add(proj_scratch_.data(), row_id);
   }
   return index;
 }
 
 void Relation::Clear() {
-  set_.clear();
-  rows_.clear();
+  data_.clear();
+  num_rows_ = 0;
+  slots_.clear();
   indexes_.clear();
 }
 

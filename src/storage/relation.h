@@ -2,16 +2,26 @@
 // with insertion-ordered row ids and lazily built, incrementally maintained
 // hash indexes on column subsets.
 //
+// Storage layout (see DESIGN.md §5a): tuples live in one contiguous,
+// arity-strided arena (`data_`); row id r occupies
+// data_[r*arity, (r+1)*arity). Deduplication is an open-addressing table
+// of row ids that hashes the arena rows directly — no per-tuple heap node,
+// no pointer chase in Row(). Indexes store their group keys in the same
+// flat, width-strided style.
+//
 // Insertion order is stable, which lets the semi-naive evaluator treat a
 // suffix of row ids [watermark, size) as the delta without copying tuples.
+// Spans returned by Row() are views into the arena and are invalidated by
+// the next Insert/Reserve/Clear (the evaluator never grows a relation
+// while iterating it: derivations are buffered and flushed between rounds).
 
 #ifndef EXDL_STORAGE_RELATION_H_
 #define EXDL_STORAGE_RELATION_H_
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "ast/context.h"
@@ -21,15 +31,43 @@ namespace exdl {
 /// A tuple component: an interned constant symbol.
 using Value = SymbolId;
 
-/// Hash for value vectors (FNV-1a over 32-bit lanes).
+/// FNV-1a over 32-bit lanes with a splitmix64-style finalizer (open
+/// addressing takes the low bits, so they must be well mixed).
+inline size_t HashValueSpan(const Value* data, size_t n) {
+  size_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Hashes any key view — anything with `size()` and `operator[](size_t)`
+/// returning Value — identically to HashValueSpan over the same values.
+/// Lets callers hash virtual keys (e.g. registers projected through a
+/// plan's argument specs) without materializing them.
+template <typename KeyView>
+size_t HashKeyView(const KeyView& key) {
+  size_t h = 1469598103934665603ULL;
+  const size_t n = key.size();
+  for (size_t i = 0; i < n; ++i) {
+    h ^= key[i];
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Hash for value vectors (used by callers that key containers on whole
+/// tuples, e.g. answer deduplication).
 struct ValueVecHash {
   size_t operator()(const std::vector<Value>& v) const {
-    size_t h = 1469598103934665603ULL;
-    for (Value x : v) {
-      h ^= x;
-      h *= 1099511628211ULL;
-    }
-    return h;
+    return HashValueSpan(v.data(), v.size());
   }
 };
 
@@ -38,36 +76,90 @@ class Relation {
   /// Row ids matching one index key.
   using RowIdList = std::vector<uint32_t>;
 
-  /// Hash index on a fixed column subset. Key = projected values in column
-  /// order; value = insertion-ordered row ids.
-  struct Index {
-    std::vector<uint32_t> columns;
-    std::unordered_map<std::vector<Value>, RowIdList, ValueVecHash> map;
-
-    /// Rows whose projection equals `key`, or nullptr.
-    const RowIdList* Lookup(const std::vector<Value>& key) const {
-      auto it = map.find(key);
-      return it == map.end() ? nullptr : &it->second;
+  /// Hash index on a fixed column subset. Groups rows by their projection
+  /// onto `columns`; group keys live in a flat width-strided array and are
+  /// found by open addressing, so probes allocate nothing.
+  class Index {
+   public:
+    /// Rows whose projection equals `key` (any key view), or nullptr.
+    template <typename KeyView>
+    const RowIdList* LookupKey(const KeyView& key) const {
+      assert(key.size() == width_);
+      if (slots_.empty()) return nullptr;
+      const size_t mask = slots_.size() - 1;
+      size_t slot = HashKeyView(key) & mask;
+      while (true) {
+        const uint32_t g = slots_[slot];
+        if (g == 0) return nullptr;
+        if (KeyEquals(g - 1, key)) return &groups_[g - 1];
+        slot = (slot + 1) & mask;
+      }
     }
+
+    const RowIdList* Lookup(const std::vector<Value>& key) const {
+      return LookupKey(std::span<const Value>(key));
+    }
+    const RowIdList* Lookup(std::span<const Value> key) const {
+      return LookupKey(key);
+    }
+
+    const std::vector<uint32_t>& columns() const { return columns_; }
+    size_t num_groups() const { return groups_.size(); }
+
+   private:
+    friend class Relation;
+
+    template <typename KeyView>
+    bool KeyEquals(size_t group, const KeyView& key) const {
+      const Value* stored = keys_.data() + group * width_;
+      for (size_t i = 0; i < width_; ++i) {
+        if (stored[i] != key[i]) return false;
+      }
+      return true;
+    }
+
+    /// Adds `row_id` under the projection stored at `key` (width_ values).
+    void Add(const Value* key, uint32_t row_id);
+    void Rehash(size_t new_slot_count);
+
+    std::vector<uint32_t> columns_;
+    size_t width_ = 0;               ///< columns_.size()
+    std::vector<Value> keys_;        ///< group keys, width_-strided
+    std::vector<RowIdList> groups_;  ///< row ids per key, insertion order
+    std::vector<uint32_t> slots_;    ///< group id + 1; 0 = empty; pow2 size
   };
 
   explicit Relation(uint32_t arity) : arity_(arity) {}
 
   uint32_t arity() const { return arity_; }
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
   /// Inserts `row` (must have length == arity). Returns true if the tuple
-  /// was new. Duplicate inserts are counted in `insert_attempts`.
+  /// was new. Duplicate inserts are counted in `insert_attempts`. `row`
+  /// may alias this relation's own arena (self-copy is handled).
   bool Insert(std::span<const Value> row);
 
-  /// The `row_id`-th tuple in insertion order.
+  /// Pre-sizes the arena and dedup table for `rows` tuples.
+  void Reserve(size_t rows);
+
+  /// The `row_id`-th tuple in insertion order. The span points into the
+  /// arena; it is invalidated by the next Insert/Reserve/Clear.
   std::span<const Value> Row(size_t row_id) const {
-    return std::span<const Value>(*rows_[row_id]);
+    return std::span<const Value>(data_.data() + row_id * arity_, arity_);
   }
 
-  /// True if the exact tuple is present.
-  bool Contains(std::span<const Value> row) const;
+  /// True if the exact tuple is present — `key` is any key view of arity
+  /// values (see HashKeyView). Allocation-free.
+  template <typename KeyView>
+  bool ContainsKey(const KeyView& key) const {
+    assert(key.size() == arity_);
+    return FindRow(HashKeyView(key), key) != kNoRow;
+  }
+
+  bool Contains(std::span<const Value> row) const {
+    return ContainsKey(row);
+  }
 
   /// Returns the index on `columns` (sorted, distinct, each < arity),
   /// building it on first use. The reference stays valid and up to date
@@ -82,15 +174,49 @@ class Relation {
   void Clear();
 
  private:
+  static constexpr size_t kNoRow = static_cast<size_t>(-1);
+
+  /// Probes the dedup table for a row equal to `key`; returns its row id
+  /// or kNoRow. `hash` must be HashKeyView(key).
+  template <typename KeyView>
+  size_t FindRow(size_t hash, const KeyView& key) const {
+    if (slots_.empty()) return kNoRow;
+    const size_t mask = slots_.size() - 1;
+    size_t slot = hash & mask;
+    while (true) {
+      const uint32_t r = slots_[slot];
+      if (r == 0) return kNoRow;
+      if (RowEquals(r - 1, key)) return r - 1;
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  template <typename KeyView>
+  bool RowEquals(size_t row_id, const KeyView& key) const {
+    const Value* stored = data_.data() + row_id * arity_;
+    for (size_t i = 0; i < arity_; ++i) {
+      if (stored[i] != key[i]) return false;
+    }
+    return true;
+  }
+
+  /// Grows the dedup table to `new_slot_count` (pow2) and reinserts every
+  /// row id by rehashing the arena.
+  void RehashSlots(size_t new_slot_count);
+
+  /// Appends row `row_id` (already in the arena) to every index.
+  void UpdateIndexes(uint32_t row_id);
+
   uint32_t arity_;
-  // Tuples are owned by the dedup map; rows_ holds stable pointers to the
-  // map keys in insertion order (unordered_map keys do not move on rehash).
-  std::unordered_map<std::vector<Value>, uint32_t, ValueVecHash> set_;
-  std::vector<const std::vector<Value>*> rows_;
+  std::vector<Value> data_;  ///< Arity-strided tuple arena.
+  size_t num_rows_ = 0;
+  std::vector<uint32_t> slots_;  ///< Dedup: row id + 1; 0 = empty; pow2.
   // Keyed by column list so GetIndex can find existing indexes. std::map:
-  // few indexes per relation, iteration order irrelevant but stable.
+  // few indexes per relation, node stability keeps GetIndex references
+  // valid across later GetIndex calls.
   std::map<std::vector<uint32_t>, Index> indexes_;
   uint64_t insert_attempts_ = 0;
+  std::vector<Value> proj_scratch_;  ///< Reused for index maintenance.
 };
 
 }  // namespace exdl

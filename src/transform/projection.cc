@@ -28,7 +28,9 @@ Result<ProjectionResult> PushProjections(const Program& program) {
   std::unordered_map<PredId, PredId> replacement;
   size_t positions_dropped = 0;
   for (PredId p : idb) {
-    const PredicateInfo& info = ctx.predicate(p);
+    // Copy: InternPredicate below may grow the predicate table and
+    // invalidate references into it.
+    const PredicateInfo info = ctx.predicate(p);
     if (info.adornment.empty() || info.IsProjected()) continue;
     if (!info.adornment.HasExistential()) continue;
     uint32_t new_arity =

@@ -89,6 +89,109 @@ TEST(RelationTest, Clear) {
   EXPECT_TRUE(rel.Insert(std::vector<Value>{1}));
 }
 
+// Key view over a strided backing array — exercises the heterogeneous
+// (non-vector, non-span) lookup path the evaluator uses for register keys.
+struct StridedKey {
+  const Value* base;
+  size_t stride;
+  size_t n;
+  size_t size() const { return n; }
+  Value operator[](size_t i) const { return base[i * stride]; }
+};
+
+TEST(RelationTest, StressInsertsAcrossRehashBoundaries) {
+  Relation rel(2);
+  // Build an index early so it is maintained through many rehashes of
+  // both the dedup table and the index's own slot array.
+  const Relation::Index& index = rel.GetIndex({0});
+  constexpr uint32_t kRows = 20000;
+  for (uint32_t i = 0; i < kRows; ++i) {
+    ASSERT_TRUE(rel.Insert(std::vector<Value>{i % 512, i}));
+  }
+  EXPECT_EQ(rel.size(), kRows);
+  // Every tuple findable; near-misses absent.
+  for (uint32_t i = 0; i < kRows; i += 97) {
+    EXPECT_TRUE(rel.Contains(std::vector<Value>{i % 512, i}));
+    EXPECT_FALSE(rel.Contains(std::vector<Value>{i % 512, i + kRows}));
+  }
+  // Re-inserting anything is a duplicate.
+  for (uint32_t i = 0; i < kRows; i += 1031) {
+    EXPECT_FALSE(rel.Insert(std::vector<Value>{i % 512, i}));
+  }
+  // Index groups match a brute-force scan.
+  for (Value k : {0u, 17u, 511u}) {
+    const Relation::RowIdList* ids = index.Lookup({k});
+    ASSERT_NE(ids, nullptr);
+    Relation::RowIdList expected;
+    for (uint32_t r = 0; r < rel.size(); ++r) {
+      if (rel.Row(r)[0] == k) expected.push_back(r);
+    }
+    EXPECT_EQ(*ids, expected);
+  }
+  EXPECT_EQ(index.Lookup({512}), nullptr);
+}
+
+TEST(RelationTest, IndexConsistentAfterClear) {
+  Relation rel(2);
+  rel.Insert(std::vector<Value>{1, 2});
+  rel.GetIndex({1});
+  rel.Clear();
+  EXPECT_FALSE(rel.Contains(std::vector<Value>{1, 2}));
+  rel.Insert(std::vector<Value>{3, 4});
+  const Relation::Index& index = rel.GetIndex({1});
+  EXPECT_EQ(index.Lookup({2}), nullptr);  // old tuples gone
+  ASSERT_NE(index.Lookup({4}), nullptr);
+  EXPECT_EQ(index.Lookup({4})->size(), 1u);
+}
+
+TEST(RelationTest, HeterogeneousLookupAgreesWithVectorKeys) {
+  Relation rel(3);
+  for (Value a = 0; a < 20; ++a) {
+    for (Value b = 0; b < 20; ++b) {
+      rel.Insert(std::vector<Value>{a, b, a + b});
+    }
+  }
+  const Relation::Index& index = rel.GetIndex({0, 2});
+  // Backing array laid out with stride 2 so the view is genuinely not a
+  // contiguous span.
+  for (Value a = 0; a < 25; ++a) {
+    Value strided[4] = {a, 999, static_cast<Value>(a + 3), 999};
+    StridedKey view{strided, 2, 2};
+    const Relation::RowIdList* via_view = index.LookupKey(view);
+    const Relation::RowIdList* via_vec =
+        index.Lookup(std::vector<Value>{a, a + 3});
+    EXPECT_EQ(via_view, via_vec);
+
+    Value full[6] = {a, 999, 3, 999, static_cast<Value>(a + 3), 999};
+    StridedKey row_view{full, 2, 3};
+    EXPECT_EQ(rel.ContainsKey(row_view),
+              rel.Contains(std::vector<Value>{a, 3, a + 3}));
+  }
+}
+
+TEST(RelationTest, ReserveKeepsContentsAndDedup) {
+  Relation rel(2);
+  for (Value v = 0; v < 100; ++v) rel.Insert(std::vector<Value>{v, v + 1});
+  rel.Reserve(50000);
+  EXPECT_EQ(rel.size(), 100u);
+  for (Value v = 0; v < 100; ++v) {
+    EXPECT_TRUE(rel.Contains(std::vector<Value>{v, v + 1}));
+    EXPECT_FALSE(rel.Insert(std::vector<Value>{v, v + 1}));
+  }
+  EXPECT_TRUE(rel.Insert(std::vector<Value>{200, 201}));
+}
+
+TEST(RelationTest, SelfAliasedRowInsertIsSafe) {
+  Relation rel(2);
+  for (Value v = 0; v < 300; ++v) rel.Insert(std::vector<Value>{v, v});
+  // A span into the relation's own arena is always a duplicate here; the
+  // probe must not be confused by potential arena growth.
+  for (size_t r = 0; r < rel.size(); r += 7) {
+    EXPECT_FALSE(rel.Insert(rel.Row(r)));
+  }
+  EXPECT_EQ(rel.size(), 300u);
+}
+
 TEST(DatabaseTest, GetOrCreateIsStable) {
   Database db;
   Relation& a = db.GetOrCreate(7, 2);

@@ -5,7 +5,7 @@
 //                          [--no-delete]
 //       Print the optimized program and the per-phase report.
 //
-//   exdlc run <file> [--naive] [--no-cut] [--optimize]
+//   exdlc run <file> [--naive] [--no-cut] [--optimize] [--threads N]
 //       Evaluate the program over the facts in the same file and print
 //       the query answers plus engine statistics.
 //
@@ -24,9 +24,11 @@
 //       Randomized query-equivalence check of two programs (shared
 //       predicate vocabulary; facts in the files are ignored).
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -63,6 +65,29 @@ bool HasFlag(const std::vector<std::string>& args, const std::string& flag) {
     if (a == flag) return true;
   }
   return false;
+}
+
+/// Returns the value following `flag` (e.g. "--threads 4"), or
+/// `fallback` when absent. Exits with usage on a missing/bad value.
+uint32_t FlagValue(const std::vector<std::string>& args,
+                   const std::string& flag, uint32_t fallback) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    if (i + 1 >= args.size()) {
+      std::cerr << flag << " requires a value\n";
+      std::exit(2);
+    }
+    try {
+      unsigned long v = std::stoul(args[i + 1]);
+      if (v == 0 || v > 1024) throw std::out_of_range("range");
+      return static_cast<uint32_t>(v);
+    } catch (...) {
+      std::cerr << flag << " requires a positive integer, got '"
+                << args[i + 1] << "'\n";
+      std::exit(2);
+    }
+  }
+  return fallback;
 }
 
 int CmdOptimize(const std::string& path,
@@ -127,6 +152,7 @@ int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
   EvalOptions options;
   options.seminaive = !HasFlag(flags, "--naive");
   options.boolean_cut = !HasFlag(flags, "--no-cut");
+  options.num_threads = FlagValue(flags, "--threads", 1);
   Result<EvalResult> result = Evaluate(program, edb, options);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
