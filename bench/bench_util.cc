@@ -63,6 +63,9 @@ void WriteBenchJson() {
                  static_cast<unsigned long long>(rec.stats.rounds));
     std::fprintf(f, ", \"index_probes\": %llu",
                  static_cast<unsigned long long>(rec.stats.index_probes));
+    std::fprintf(f, ", \"budget_tripped\": \"%s\"",
+                 std::string(BudgetKindName(rec.stats.budget_tripped))
+                     .c_str());
     if (rec.has_result) {
       std::fprintf(f, ", \"answers\": %zu", rec.answers);
       std::fprintf(f, ", \"peak_relation_rows\": %zu",
@@ -110,12 +113,37 @@ Program OptimizeOrDie(const Program& program,
   return std::move(optimized->program);
 }
 
+/// Budget overrides from the environment, so long-running experiment
+/// sweeps can be bounded without recompiling:
+///   EXDL_BENCH_DEADLINE_MS, EXDL_BENCH_MAX_TUPLES, EXDL_BENCH_MAX_BYTES.
+/// A tripped budget is recorded in the JSON row (`budget_tripped`), not
+/// fatal — the partial-result stats are still a valid data point.
+uint64_t EnvBudget(const char* var) {
+  const char* value = std::getenv(var);
+  if (value == nullptr || *value == '\0') return 0;
+  return std::strtoull(value, nullptr, 10);
+}
+
 EvalResult EvalOrDie(const Program& program, const Database& edb,
                      const EvalOptions& options) {
-  Result<EvalResult> result = Evaluate(program, edb, options);
+  EvalOptions governed = options;
+  if (governed.budget.deadline_ms == 0) {
+    governed.budget.deadline_ms = EnvBudget("EXDL_BENCH_DEADLINE_MS");
+  }
+  if (governed.budget.max_tuples == 0) {
+    governed.budget.max_tuples = EnvBudget("EXDL_BENCH_MAX_TUPLES");
+  }
+  if (governed.budget.max_arena_bytes == 0) {
+    governed.budget.max_arena_bytes = EnvBudget("EXDL_BENCH_MAX_BYTES");
+  }
+  Result<EvalResult> result = Evaluate(program, edb, governed);
   if (!result.ok()) {
     std::cerr << "bench eval error: " << result.status().ToString() << "\n";
     std::abort();
+  }
+  if (!result->termination.ok()) {
+    std::cerr << "bench budget tripped: " << result->termination.ToString()
+              << "\n";
   }
   return std::move(result).value();
 }

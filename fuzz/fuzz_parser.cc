@@ -1,0 +1,60 @@
+// libFuzzer harness for the lexer + parser.
+//
+// Feeds arbitrary bytes through ParseProgram and, when parsing succeeds,
+// round-trips the printed program through the parser again. The parser must
+// never crash, hang, or allocate unboundedly: the governance limits
+// (kMaxSourceBytes, kMaxIdentifierLength, kMaxAtomArgs, kMaxBodyLiterals,
+// kMaxClauses) turn adversarial input into kInvalidArgument instead.
+//
+// Build with -DEXDL_FUZZ=ON. Under Clang this links libFuzzer; elsewhere
+// EXDL_FUZZ_STANDALONE provides a main() that replays files given on the
+// command line (used by the CI fuzz smoke job).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "ast/printer.h"
+#include "parser/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view source(reinterpret_cast<const char*>(data), size);
+  exdl::ContextPtr ctx = std::make_shared<exdl::Context>();
+  exdl::Result<exdl::ParsedUnit> parsed = exdl::ParseProgram(source, ctx);
+  if (!parsed.ok()) return 0;
+
+  // Round-trip: printing a successfully parsed program must re-parse.
+  std::string printed = exdl::ToString(parsed->program);
+  for (const exdl::Atom& fact : parsed->facts) {
+    printed += exdl::ToString(*ctx, fact) + ".\n";
+  }
+  exdl::ContextPtr ctx2 = std::make_shared<exdl::Context>();
+  exdl::Result<exdl::ParsedUnit> reparsed = exdl::ParseProgram(printed, ctx2);
+  if (!reparsed.ok()) __builtin_trap();
+  return 0;
+}
+
+#ifdef EXDL_FUZZ_STANDALONE
+// Minimal replay driver for compilers without -fsanitize=fuzzer.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << argv[i] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string bytes = buffer.str();
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    std::cout << argv[i] << ": ok\n";
+  }
+  return 0;
+}
+#endif  // EXDL_FUZZ_STANDALONE

@@ -19,16 +19,39 @@ Result<OptimizedProgram> OptimizeExistential(const Program& program,
     return Status::FailedPrecondition("optimizer requires a query");
   }
   const auto optimize_begin = std::chrono::steady_clock::now();
-  OptimizedProgram out{program.Clone(), std::nullopt, {}};
+  OptimizedProgram out{program.Clone(), std::nullopt, {}, Status::Ok()};
   out.report.original_rules = program.NumRules();
   std::unordered_set<PredId> input_preds = program.EdbPredicates();
 
+  // Phase-boundary cancellation. Every phase preserves equivalence, so the
+  // prefix completed so far is a valid optimization result; finalize the
+  // report and hand it back with termination = kCancelled.
+  auto finalize = [&out, optimize_begin] {
+    out.report.final_rules = out.program.NumRules();
+    out.report.optimize_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      optimize_begin)
+            .count();
+  };
+  auto cancelled_before = [&](const char* phase) {
+    if (options.cancellation == nullptr || !options.cancellation->cancelled()) {
+      return false;
+    }
+    out.report.interrupted_before = phase;
+    out.termination = Status::Cancelled(
+        std::string("optimizer cancelled before phase: ") + phase);
+    finalize();
+    return true;
+  };
+
+  if (cancelled_before("adorn")) return out;
   if (options.adorn && program.IsIdb(program.query()->pred)) {
     EXDL_ASSIGN_OR_RETURN(out.program, AdornExistential(out.program));
     out.report.adorned = true;
     out.report.adorned_rules = out.program.NumRules();
   }
 
+  if (cancelled_before("push_projections")) return out;
   if (options.push_projections) {
     EXDL_ASSIGN_OR_RETURN(ProjectionResult projected,
                           PushProjections(out.program));
@@ -37,6 +60,7 @@ Result<OptimizedProgram> OptimizeExistential(const Program& program,
     out.program = std::move(projected.program);
   }
 
+  if (cancelled_before("extract_components")) return out;
   if (options.extract_components) {
     EXDL_ASSIGN_OR_RETURN(ComponentResult components,
                           ExtractComponents(out.program));
@@ -45,6 +69,7 @@ Result<OptimizedProgram> OptimizeExistential(const Program& program,
     out.program = std::move(components.program);
   }
 
+  if (cancelled_before("add_unit_rules")) return out;
   const bool has_negation = out.program.HasNegation();
   std::vector<Rule> added_unit_rules;
   if (options.add_unit_rules && options.delete_rules && !has_negation) {
@@ -55,6 +80,7 @@ Result<OptimizedProgram> OptimizeExistential(const Program& program,
     out.program = std::move(units.program);
   }
 
+  if (cancelled_before("delete_rules")) return out;
   std::vector<Rule> justification_rules;
   bool retraction_safe = true;
   if (options.delete_rules) {
@@ -93,6 +119,7 @@ Result<OptimizedProgram> OptimizeExistential(const Program& program,
     rules.erase(it);
     ++out.report.unit_rules_retracted;
   }
+  if (cancelled_before("folding")) return out;
   if (options.enable_folding && options.delete_rules && !has_negation) {
     EXDL_ASSIGN_OR_RETURN(FoldingResult folded,
                           FoldAlmostUnitRules(out.program));
@@ -115,6 +142,7 @@ Result<OptimizedProgram> OptimizeExistential(const Program& program,
           UnfoldAuxiliaries(deleted.program, folded.aux_preds));
     }
   }
+  if (cancelled_before("cleanup")) return out;
   if (options.delete_rules && options.deletion.cleanup && !has_negation) {
     EXDL_ASSIGN_OR_RETURN(CleanupResult cleaned,
                           CleanupProgram(out.program, input_preds));
@@ -122,6 +150,7 @@ Result<OptimizedProgram> OptimizeExistential(const Program& program,
     out.program = std::move(cleaned.program);
   }
 
+  if (cancelled_before("magic")) return out;
   if (options.apply_magic) {
     EXDL_ASSIGN_OR_RETURN(MagicResult magic, MagicRewrite(out.program));
     out.program = std::move(magic.program);
@@ -129,11 +158,7 @@ Result<OptimizedProgram> OptimizeExistential(const Program& program,
     out.report.magic_applied = true;
   }
 
-  out.report.final_rules = out.program.NumRules();
-  out.report.optimize_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    optimize_begin)
-          .count();
+  finalize();
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include "ast/program.h"
 #include "core/report.h"
 #include "transform/rule_deletion.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace exdl {
@@ -41,6 +42,11 @@ struct OptimizerOptions {
   /// away. Off by default (the paper calls the fold "essentially a
   /// guess").
   bool enable_folding = false;
+  /// External cancellation, polled between phases. Every phase preserves
+  /// query equivalence, so cancelling returns the program as optimized by
+  /// the completed prefix of phases — still a correct program — with
+  /// OptimizedProgram::termination set to kCancelled. Not owned.
+  const CancellationToken* cancellation = nullptr;
 };
 
 struct OptimizedProgram {
@@ -48,6 +54,10 @@ struct OptimizedProgram {
   /// Set when magic was applied: insert into the EDB before evaluating.
   std::optional<Atom> magic_seed;
   OptimizationReport report;
+  /// OK when the full pipeline ran; kCancelled when it stopped early at a
+  /// phase boundary (program holds the completed-prefix result and
+  /// report.interrupted_before names the phase that did not run).
+  Status termination;
 };
 
 /// Runs the pipeline. `program` must have a query; base predicates form

@@ -44,6 +44,10 @@ std::string OptimizationReport::ToString() const {
            " additional deletion(s)\n";
   }
   if (magic_applied) out += "magic-set rewriting applied\n";
+  if (!interrupted_before.empty()) {
+    out += "pipeline cancelled before phase: " + interrupted_before +
+           " (program reflects the completed phases)\n";
+  }
   if (optimize_seconds > 0) {
     char buf[48];
     std::snprintf(buf, sizeof(buf), "optimizer wall time: %.3f ms\n",

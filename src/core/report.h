@@ -46,6 +46,10 @@ struct OptimizationReport {
   /// Wall-clock time spent inside OptimizeExistential.
   double optimize_seconds = 0;
 
+  /// Non-empty when the pipeline was cancelled: names the first phase
+  /// that did NOT run (everything before it completed normally).
+  std::string interrupted_before;
+
   /// Per-deletion justifications and other notes, in order.
   std::vector<std::string> log;
 

@@ -27,6 +27,18 @@ std::string FormatMillis(double seconds) {
 
 }  // namespace
 
+std::string_view BudgetKindName(BudgetKind kind) {
+  switch (kind) {
+    case BudgetKind::kNone: return "none";
+    case BudgetKind::kDeadline: return "deadline";
+    case BudgetKind::kTuples: return "tuples";
+    case BudgetKind::kArenaBytes: return "arena_bytes";
+    case BudgetKind::kRoundDerivations: return "round_derivations";
+    case BudgetKind::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 EvalStats& EvalStats::operator+=(const EvalStats& o) {
   rounds += o.rounds;
   rule_firings += o.rule_firings;
@@ -37,6 +49,7 @@ EvalStats& EvalStats::operator+=(const EvalStats& o) {
   rules_retired += o.rules_retired;
   eval_seconds += o.eval_seconds;
   max_round_seconds = std::max(max_round_seconds, o.max_round_seconds);
+  if (o.budget_tripped != BudgetKind::kNone) budget_tripped = o.budget_tripped;
   return *this;
 }
 
@@ -51,6 +64,10 @@ std::string EvalStats::ToString() const {
   out += " retired=" + std::to_string(rules_retired);
   out += " eval_ms=" + FormatMillis(eval_seconds);
   out += " max_round_ms=" + FormatMillis(max_round_seconds);
+  if (budget_tripped != BudgetKind::kNone) {
+    out += " budget_tripped=";
+    out += BudgetKindName(budget_tripped);
+  }
   return out;
 }
 
@@ -201,6 +218,9 @@ struct DescentState {
   EvalStats stats;
   std::vector<PendingFact> buffer;
   std::vector<Value> values;  ///< Flat arena backing buffer's tuples.
+  /// Rows processed since the last cooperative budget check (governed
+  /// evaluation only; see Engine::kBudgetCheckStride).
+  uint32_t rows_since_check = 0;
 };
 
 class Engine {
@@ -215,6 +235,12 @@ class Engine {
     result.db = input.Clone();
     db_ = &result.db;
     idb_preds_ = program_.IdbPredicates();
+
+    governed_ = options_.budget.any();
+    if (options_.budget.deadline_ms != 0) {
+      deadline_ = eval_begin +
+                  std::chrono::milliseconds(options_.budget.deadline_ms);
+    }
 
     // Stratify when negation is present; otherwise one stratum.
     std::vector<std::vector<size_t>> strata;
@@ -238,17 +264,30 @@ class Engine {
     }
     // Size snapshot, maintained incrementally by Flush from here on.
     sizes_.clear();
+    total_tuples_ = 0;
+    arena_bytes_ = 0;
     for (const auto& [pred, rel] : db_->relations()) {
       sizes_[pred] = static_cast<uint32_t>(rel.size());
+      total_tuples_ += rel.size();
+      arena_bytes_ += rel.arena_bytes();
     }
+    // The input alone may already bust a budget (or the token may be
+    // pre-cancelled): stop before deriving anything.
+    if (governed_) CheckRoundBudgets();
 
     bool stop = false;
     for (const std::vector<size_t>& stratum : strata) {
-      if (stop) break;
+      if (stop || Tripped()) break;
       EXDL_RETURN_IF_ERROR(RunFixpoint(stratum, &stop));
     }
 
     stats_.eval_seconds = SecondsSince(eval_begin);
+    const BudgetKind trip = static_cast<BudgetKind>(
+        trip_.load(std::memory_order_relaxed));
+    if (trip != BudgetKind::kNone) {
+      stats_.budget_tripped = trip;
+      result.termination = TripStatus(trip);
+    }
     result.stats = stats_;
     result.provenance = std::move(provenance_);
     if (program_.query()) {
@@ -280,9 +319,14 @@ class Engine {
 
     // Round 0: fire every rule of the stratum over the full database.
     Clock::time_point round_begin = Clock::now();
+    round_derivations_.store(0, std::memory_order_relaxed);
     SizeMap start = sizes_;
     for (size_t i : rule_indices) {
       FireVariant(rules_[i], /*delta_step=*/kNoDelta, start, start);
+    }
+    if (Tripped()) {
+      DiscardRound();
+      return Status::Ok();
     }
     SizeMap delta_lo = start;
     Flush();
@@ -290,6 +334,7 @@ class Engine {
     stats_.max_round_seconds =
         std::max(stats_.max_round_seconds, SecondsSince(round_begin));
     ApplyBooleanCut();
+    if (governed_ && CheckRoundBudgets()) return Status::Ok();
 
     *stop = ShouldStopOnGroundQuery();
     while (!*stop) {
@@ -307,6 +352,7 @@ class Engine {
             "fixpoint did not converge within max_rounds");
       }
       round_begin = Clock::now();
+      round_derivations_.store(0, std::memory_order_relaxed);
       for (size_t i : rule_indices) {
         const CompiledRule& cr = rules_[i];
         if (retired_.count(cr.rule_index) > 0) continue;
@@ -324,12 +370,19 @@ class Engine {
           FireVariant(cr, kNoDelta, new_start, new_start);
         }
       }
+      if (Tripped()) {
+        // Mid-round trip: drop the partial round so the database stays at
+        // the last round boundary (a consistent prefix of the fixpoint).
+        DiscardRound();
+        return Status::Ok();
+      }
       for (auto& [pred, sz] : new_start) delta_lo[pred] = sz;
       Flush();
       ++stats_.rounds;
       stats_.max_round_seconds =
           std::max(stats_.max_round_seconds, SecondsSince(round_begin));
       ApplyBooleanCut();
+      if (governed_ && CheckRoundBudgets()) return Status::Ok();
       *stop = ShouldStopOnGroundQuery();
     }
     return Status::Ok();
@@ -339,6 +392,91 @@ class Engine {
   static constexpr size_t kNoDelta = static_cast<size_t>(-1);
   /// Minimum outer rows per worker before a variant is worth splitting.
   static constexpr uint32_t kMinRowsPerWorker = 64;
+  /// Rows between cooperative deadline/cancellation checks inside a round
+  /// (per descent state, so each pool worker checks independently).
+  static constexpr uint32_t kBudgetCheckStride = 1024;
+
+  bool Tripped() const {
+    return trip_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Records the first budget trip; later trips lose the race and keep
+  /// the original reason. Safe from any worker thread.
+  void Trip(BudgetKind kind) {
+    uint32_t expected = 0;
+    trip_.compare_exchange_strong(expected, static_cast<uint32_t>(kind),
+                                  std::memory_order_relaxed);
+  }
+
+  /// Round-boundary check of every budget. The database was just flushed,
+  /// so tripping here leaves a consistent state. Returns true if tripped.
+  bool CheckRoundBudgets() {
+    const EvalBudget& b = options_.budget;
+    if (b.cancellation != nullptr && b.cancellation->cancelled()) {
+      Trip(BudgetKind::kCancelled);
+    } else if (b.deadline_ms != 0 && Clock::now() >= deadline_) {
+      Trip(BudgetKind::kDeadline);
+    } else if (b.max_tuples != 0 && total_tuples_ > b.max_tuples) {
+      Trip(BudgetKind::kTuples);
+    } else if (b.max_arena_bytes != 0 && arena_bytes_ > b.max_arena_bytes) {
+      Trip(BudgetKind::kArenaBytes);
+    }
+    return Tripped();
+  }
+
+  /// Mid-round check (every kBudgetCheckStride rows): only the budgets
+  /// that can trip between round boundaries — cancellation and the
+  /// deadline; tuple/byte totals move at flush time only. Returns true if
+  /// this descent should stop enumerating.
+  bool CheckMidRound() {
+    if (Tripped()) return true;
+    const EvalBudget& b = options_.budget;
+    if (b.cancellation != nullptr && b.cancellation->cancelled()) {
+      Trip(BudgetKind::kCancelled);
+    } else if (b.deadline_ms != 0 && Clock::now() >= deadline_) {
+      Trip(BudgetKind::kDeadline);
+    }
+    return Tripped();
+  }
+
+  /// Drops the buffered (partial) round after a mid-round trip.
+  void DiscardRound() {
+    round_buffer_.clear();
+    round_values_.clear();
+  }
+
+  /// The structured error describing a trip, with progress attached.
+  Status TripStatus(BudgetKind kind) const {
+    std::string progress = " after " + std::to_string(stats_.rounds) +
+                           " round(s), " +
+                           std::to_string(stats_.tuples_inserted) +
+                           " tuple(s) inserted";
+    switch (kind) {
+      case BudgetKind::kCancelled:
+        return Status::Cancelled("evaluation cancelled" + progress);
+      case BudgetKind::kDeadline:
+        return Status::DeadlineExceeded(
+            "deadline of " + std::to_string(options_.budget.deadline_ms) +
+            " ms exceeded" + progress);
+      case BudgetKind::kTuples:
+        return Status::ResourceExhausted(
+            "tuple budget of " + std::to_string(options_.budget.max_tuples) +
+            " exceeded" + progress);
+      case BudgetKind::kArenaBytes:
+        return Status::ResourceExhausted(
+            "arena byte budget of " +
+            std::to_string(options_.budget.max_arena_bytes) + " exceeded" +
+            progress);
+      case BudgetKind::kRoundDerivations:
+        return Status::ResourceExhausted(
+            "per-round derivation budget of " +
+            std::to_string(options_.budget.max_derivations_per_round) +
+            " exceeded" + progress);
+      case BudgetKind::kNone:
+        break;
+    }
+    return Status::Ok();
+  }
 
   struct CompiledRule {
     RulePlan plan;
@@ -390,6 +528,7 @@ class Engine {
   /// to round_buffer_ in deterministic (partition) order.
   void FireVariant(const CompiledRule& cr, size_t delta_step,
                    const SizeMap& start, const SizeMap& delta_lo) {
+    if (Tripped()) return;  // budget already blown; finish the round fast
     const RulePlan& plan = cr.plan;
     // Existence short-circuit (Section 3.1): a single-tuple head needs one
     // witness ever; skip entirely once the tuple exists.
@@ -482,6 +621,12 @@ class Engine {
   bool Descend(const RulePlan& plan, const std::vector<RowRange>& ranges,
                size_t step_idx, DescentState& ws) {
     if (step_idx == plan.steps.size()) {
+      if (options_.budget.max_derivations_per_round != 0 &&
+          round_derivations_.fetch_add(1, std::memory_order_relaxed) >=
+              options_.budget.max_derivations_per_round) {
+        Trip(BudgetKind::kRoundDerivations);
+        return false;
+      }
       PendingFact fact;
       fact.pred = plan.head_pred;
       fact.begin = ws.values.size();
@@ -522,6 +667,10 @@ class Engine {
     if (rel == nullptr) return true;
 
     auto process_row = [&](uint32_t row_id) -> bool {
+      if (governed_ && ++ws.rows_since_check >= kBudgetCheckStride) {
+        ws.rows_since_check = 0;
+        if (CheckMidRound()) return false;
+      }
       std::span<const Value> row = rel->Row(row_id);
       ++ws.stats.rows_matched;
       // Bind/check arguments; remember which registers this row bound so we
@@ -594,6 +743,8 @@ class Engine {
       if (rel.Insert(row)) {
         ++stats_.tuples_inserted;
         sizes_[f.pred] = static_cast<uint32_t>(rel.size());
+        ++total_tuples_;
+        arena_bytes_ += static_cast<uint64_t>(f.len) * sizeof(Value);
         if (options_.record_provenance) {
           uint32_t row_id = static_cast<uint32_t>(rel.size() - 1);
           provenance_.emplace(TupleRef{f.pred, row_id}, std::move(f.prov));
@@ -646,6 +797,17 @@ class Engine {
   std::unordered_set<size_t> retired_;
   EvalStats stats_;
   SizeMap sizes_;  ///< Relation sizes, kept current by Flush.
+  /// Budget state. total_tuples_/arena_bytes_ mirror the database and are
+  /// maintained by Flush; trip_ holds the first BudgetKind that fired
+  /// (0 = none) and is shared with the pool workers; round_derivations_
+  /// counts head tuples buffered in the current round (used only when
+  /// max_derivations_per_round is set).
+  bool governed_ = false;
+  Clock::time_point deadline_;
+  uint64_t total_tuples_ = 0;
+  uint64_t arena_bytes_ = 0;
+  std::atomic<uint32_t> trip_{0};
+  std::atomic<uint64_t> round_derivations_{0};
   DescentState serial_;
   /// Pool + per-worker states, created on first parallel variant and
   /// reused across rounds (thread spawns would dominate small rounds).

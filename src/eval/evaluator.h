@@ -24,9 +24,55 @@
 #include "ast/program.h"
 #include "eval/plan.h"
 #include "storage/database.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace exdl {
+
+/// Which EvalBudget limit stopped an evaluation early.
+enum class BudgetKind : uint8_t {
+  kNone = 0,
+  kDeadline,          ///< deadline_ms expired.
+  kTuples,            ///< max_tuples exceeded.
+  kArenaBytes,        ///< max_arena_bytes exceeded.
+  kRoundDerivations,  ///< max_derivations_per_round exceeded.
+  kCancelled,         ///< the CancellationToken was raised.
+};
+
+/// Short stable name ("deadline", "tuples", ...); "none" for kNone.
+std::string_view BudgetKindName(BudgetKind kind);
+
+/// Run-time resource budget, enforced cooperatively: at round boundaries
+/// and, within a round, every few thousand rows in both the serial loop
+/// and the worker pool. All limits are 0 (= unlimited) by default.
+///
+/// Exceeding a budget does not tear down state: evaluation stops at a
+/// round boundary (a partially derived round is discarded), Evaluate
+/// returns OK, and EvalResult::termination carries the structured error
+/// (kDeadlineExceeded / kResourceExhausted / kCancelled) while db/answers/
+/// stats describe the consistent prefix computed so far — every returned
+/// tuple is derivable. When no limit trips, results are byte-identical to
+/// an ungoverned run (the checks are read-only).
+struct EvalBudget {
+  /// Wall-clock deadline measured from entry to Evaluate(), milliseconds.
+  uint64_t deadline_ms = 0;
+  /// Cap on total stored tuples (input + derived) across all relations.
+  uint64_t max_tuples = 0;
+  /// Cap on total tuple-arena payload bytes (Database::TotalArenaBytes).
+  uint64_t max_arena_bytes = 0;
+  /// Cap on head tuples buffered within one fixpoint round (pre-dedup);
+  /// guards a single exploding cross product between round boundaries.
+  uint64_t max_derivations_per_round = 0;
+  /// External cancellation (e.g. the CLI's SIGINT token). Not owned; must
+  /// outlive the evaluation.
+  const CancellationToken* cancellation = nullptr;
+
+  /// True if any limit or token is set (evaluation runs governed).
+  bool any() const {
+    return deadline_ms != 0 || max_tuples != 0 || max_arena_bytes != 0 ||
+           max_derivations_per_round != 0 || cancellation != nullptr;
+  }
+};
 
 struct EvalOptions {
   bool seminaive = true;
@@ -45,6 +91,8 @@ struct EvalOptions {
   /// are byte-identical to serial evaluation. <= 1 — or record_provenance —
   /// evaluates serially.
   uint32_t num_threads = 1;
+  /// Resource governance (deadline, memory, cancellation); see EvalBudget.
+  EvalBudget budget;
 };
 
 /// Work counters. The paper's "duplicate elimination cost" is
@@ -59,6 +107,9 @@ struct EvalStats {
   uint64_t rules_retired = 0;      ///< Boolean-cut retirements.
   double eval_seconds = 0;         ///< Wall-clock time inside Evaluate().
   double max_round_seconds = 0;    ///< Longest single fixpoint round.
+  /// Which budget stopped evaluation early (kNone after convergence).
+  /// `rounds` and `tuples_inserted` then say how far evaluation got.
+  BudgetKind budget_tripped = BudgetKind::kNone;
 
   EvalStats& operator+=(const EvalStats& o);
   std::string ToString() const;
@@ -87,6 +138,10 @@ struct Provenance {
 struct EvalResult {
   Database db;        ///< Input plus all derived tuples.
   EvalStats stats;
+  /// OK after full convergence. After a budget trip: kDeadlineExceeded /
+  /// kResourceExhausted / kCancelled, and db/answers/stats hold the
+  /// consistent prefix as of the last completed round (see EvalBudget).
+  Status termination;
   /// Bindings of the query atom's distinct variables (first-occurrence
   /// order), deduplicated and sorted. Empty when the program has no query.
   std::vector<std::vector<Value>> answers;

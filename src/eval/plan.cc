@@ -21,6 +21,13 @@ size_t BoundArgCount(const Atom& atom,
 }  // namespace
 
 Result<RulePlan> CompileRule(const Rule& rule, const PlanOptions& options) {
+  if (options.max_body_literals != 0 &&
+      rule.body.size() > options.max_body_literals) {
+    return Status::InvalidArgument(
+        "rule body has " + std::to_string(rule.body.size()) +
+        " literals, above the plan limit of " +
+        std::to_string(options.max_body_literals));
+  }
   RulePlan plan;
   plan.head_pred = rule.head.pred;
 

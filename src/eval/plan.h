@@ -67,6 +67,12 @@ struct PlanOptions {
   /// already-planned ones come first (most bound arguments wins, ties by
   /// original position). Off = execute in written order.
   bool reorder = true;
+  /// Governance backstop: refuse (kInvalidArgument) rules whose body
+  /// exceeds this many literals. The parser caps its own input, but
+  /// programs built through the API reach the evaluator directly — an
+  /// adversarial rule would otherwise cost O(n^2) in reordering and an
+  /// n-deep join descent. 0 = unlimited.
+  uint32_t max_body_literals = 4096;
 };
 
 /// Compiles `rule`. Fails if the rule is unsafe (a head variable that no

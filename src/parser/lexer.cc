@@ -31,6 +31,12 @@ std::string_view TokenKindName(TokenKind kind) {
 }
 
 Result<std::vector<Token>> Tokenize(std::string_view source) {
+  if (source.size() > kMaxSourceBytes) {
+    return Status::InvalidArgument(
+        "source is " + std::to_string(source.size()) +
+        " bytes, above the input limit of " +
+        std::to_string(kMaxSourceBytes));
+  }
   std::vector<Token> out;
   int line = 1;
   int col = 1;
@@ -86,6 +92,11 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
              std::isdigit(static_cast<unsigned char>(source[i]))) {
         ++i;
       }
+      if (i - start > kMaxIdentifierLength) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line) + ": integer literal longer than " +
+            std::to_string(kMaxIdentifierLength) + " characters");
+      }
       std::string text(source.substr(start, i - start));
       col += static_cast<int>(i - start);
       push(TokenKind::kIdent, std::move(text));  // integer constants
@@ -94,6 +105,11 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
     if (IsIdentStart(c)) {
       size_t start = i;
       while (i < source.size() && IsIdentChar(source[i])) ++i;
+      if (i - start > kMaxIdentifierLength) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line) + ": identifier longer than " +
+            std::to_string(kMaxIdentifierLength) + " characters");
+      }
       std::string text(source.substr(start, i - start));
       col += static_cast<int>(i - start);
       bool is_var = std::isupper(static_cast<unsigned char>(c)) || c == '_';

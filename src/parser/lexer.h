@@ -22,6 +22,12 @@
 
 namespace exdl {
 
+/// Input-governance limits. Tokenize rejects (kInvalidArgument) anything
+/// beyond them so that adversarial input cannot drive memory or token
+/// counts unboundedly before the parser ever sees it.
+inline constexpr size_t kMaxSourceBytes = 64u << 20;  ///< 64 MiB of source.
+inline constexpr size_t kMaxIdentifierLength = 4096;  ///< Bytes per token.
+
 enum class TokenKind {
   kIdent,      ///< lower-case identifier or integer literal (a constant name)
   kVariable,   ///< upper-case / underscore identifier

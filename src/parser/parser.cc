@@ -67,6 +67,12 @@ class ParserImpl {
     if (At(TokenKind::kLParen)) {
       Advance();
       for (;;) {
+        if (args.size() >= kMaxAtomArgs) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(Peek().line) + ": atom '" + name +
+              "' has more than " + std::to_string(kMaxAtomArgs) +
+              " arguments");
+        }
         EXDL_ASSIGN_OR_RETURN(Term t, ParseTermNode());
         args.push_back(t);
         if (At(TokenKind::kComma)) {
@@ -125,6 +131,12 @@ class ParserImpl {
       Advance();
       std::vector<Atom> body;
       for (;;) {
+        if (body.size() >= kMaxBodyLiterals) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(Peek().line) +
+              ": rule body has more than " +
+              std::to_string(kMaxBodyLiterals) + " literals");
+        }
         EXDL_ASSIGN_OR_RETURN(Atom a, ParseBodyLiteral());
         body.push_back(std::move(a));
         if (At(TokenKind::kComma)) {
@@ -162,7 +174,13 @@ Result<ParsedUnit> ParseProgram(std::string_view source, ContextPtr ctx) {
   EXDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   ParsedUnit unit(ctx);
   ParserImpl impl(std::move(tokens), ctx.get());
+  size_t clauses = 0;
   while (!impl.AtEof()) {
+    if (++clauses > kMaxClauses) {
+      return Status::InvalidArgument("program has more than " +
+                                     std::to_string(kMaxClauses) +
+                                     " clauses");
+    }
     EXDL_RETURN_IF_ERROR(impl.ParseClause(&unit));
   }
   return unit;
@@ -187,6 +205,11 @@ Result<Rule> ParseRule(std::string_view source, Context* ctx) {
   if (impl.At(TokenKind::kImplies)) {
     impl.Advance();
     for (;;) {
+      if (body.size() >= kMaxBodyLiterals) {
+        return Status::InvalidArgument("rule body has more than " +
+                                       std::to_string(kMaxBodyLiterals) +
+                                       " literals");
+      }
       EXDL_ASSIGN_OR_RETURN(Atom a, impl.ParseBodyLiteral());
       body.push_back(std::move(a));
       if (impl.At(TokenKind::kComma)) {

@@ -16,6 +16,15 @@
 
 namespace exdl {
 
+/// Structural governance limits, enforced with kInvalidArgument. Together
+/// with the lexer's kMaxSourceBytes / kMaxIdentifierLength they bound every
+/// dimension an adversarial input could grow (the grammar is flat, so there
+/// is no recursion depth to bound). PlanOptions::max_body_literals is the
+/// matching backstop for programs built through the API.
+inline constexpr size_t kMaxAtomArgs = 1024;      ///< Arguments per atom.
+inline constexpr size_t kMaxBodyLiterals = 4096;  ///< Literals per rule body.
+inline constexpr size_t kMaxClauses = 1u << 20;   ///< Clauses per program.
+
 /// Result of parsing one source text.
 struct ParsedUnit {
   Program program;          ///< Rules and (optional) query.

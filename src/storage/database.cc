@@ -40,6 +40,12 @@ size_t Database::TotalTuples() const {
   return n;
 }
 
+size_t Database::TotalArenaBytes() const {
+  size_t n = 0;
+  for (const auto& [pred, rel] : relations_) n += rel.arena_bytes();
+  return n;
+}
+
 size_t Database::Count(PredId pred) const {
   const Relation* rel = Find(pred);
   return rel == nullptr ? 0 : rel->size();

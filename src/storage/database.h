@@ -36,6 +36,10 @@ class Database {
   /// Sum of all relation sizes.
   size_t TotalTuples() const;
 
+  /// Sum of all relation arena payload bytes (Relation::arena_bytes) —
+  /// the quantity EvalBudget::max_arena_bytes is measured against.
+  size_t TotalArenaBytes() const;
+
   /// Number of tuples for `pred` (0 if absent).
   size_t Count(PredId pred) const;
 

@@ -170,6 +170,12 @@ class Relation {
   /// elimination cost" is insert_attempts() - size().
   uint64_t insert_attempts() const { return insert_attempts_; }
 
+  /// Bytes of tuple payload in the arena (size * arity * sizeof(Value)).
+  /// This is the deterministic quantity EvalBudget::max_arena_bytes
+  /// governs; dedup-slot and index overhead are excluded so the limit does
+  /// not depend on growth policy or which indexes were lazily built.
+  size_t arena_bytes() const { return data_.size() * sizeof(Value); }
+
   /// Drops all tuples and indexes.
   void Clear();
 

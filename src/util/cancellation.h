@@ -1,0 +1,41 @@
+// CancellationToken: a one-way flag an external party raises to ask a
+// long-running computation to stop at its next cooperative check point.
+//
+// The evaluator and the optimizer pipeline poll a token supplied through
+// their options (EvalBudget::cancellation, OptimizerOptions::cancellation)
+// and stop gracefully with StatusCode::kCancelled, keeping all state
+// computed so far consistent. Cancel() is a lock-free atomic store, so it
+// is safe to call from another thread or — as tools/exdlc does for
+// SIGINT — from a signal handler.
+
+#ifndef EXDL_UTIL_CANCELLATION_H_
+#define EXDL_UTIL_CANCELLATION_H_
+
+#include <atomic>
+
+namespace exdl {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Idempotent; async-signal-safe.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once Cancel() has been called.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arms the token (e.g. between CLI commands in one process).
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_UTIL_CANCELLATION_H_

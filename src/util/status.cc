@@ -1,5 +1,8 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace exdl {
 
 std::string_view StatusCodeName(StatusCode code) {
@@ -16,9 +19,25 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
+
+namespace internal {
+
+void DieBadResult(const char* what, const Status& status) {
+  std::fprintf(stderr, "exdl: %s: %s\n", what, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

@@ -7,7 +7,6 @@
 #ifndef EXDL_UTIL_STATUS_H_
 #define EXDL_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -23,6 +22,9 @@ enum class StatusCode {
   kFailedPrecondition,///< Operation not applicable to this input.
   kUnimplemented,     ///< Feature intentionally not supported.
   kInternal,          ///< Invariant violation inside the library.
+  kDeadlineExceeded,  ///< A wall-clock budget expired (EvalBudget).
+  kResourceExhausted, ///< A tuple/byte/derivation budget was exceeded.
+  kCancelled,         ///< Stopped via an external CancellationToken.
 };
 
 /// Returns a short stable name for `code` ("InvalidArgument", ...).
@@ -52,6 +54,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -65,11 +76,18 @@ class Status {
   std::string message_;
 };
 
+namespace internal {
+/// Prints `what` plus the status to stderr and aborts. Out of line so the
+/// cold path costs one call in Result's accessors.
+[[noreturn]] void DieBadResult(const char* what, const Status& status);
+}  // namespace internal
+
 /// A value of type T or an error Status.
 ///
-/// `Result` is move- and copy-friendly whenever T is. Accessing the value of
-/// an errored result aborts in debug builds (assert) and is undefined
-/// otherwise, mirroring absl::StatusOr.
+/// `Result` is move- and copy-friendly whenever T is. Accessing the value
+/// of an errored result aborts with the status message in every build mode
+/// (unlike absl::StatusOr, whose release-mode access is undefined; an
+/// unchecked error must never silently read garbage).
 template <typename T>
 class Result {
  public:
@@ -77,22 +95,25 @@ class Result {
   Result(T value) : value_(std::move(value)) {}
   /// Implicit from error status: allows `return Status::NotFound(...);`.
   Result(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      internal::DieBadResult("Result constructed from OK status without value",
+                             status_);
+    }
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckOk();
     return std::move(*value_);
   }
 
@@ -102,6 +123,10 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
+  void CheckOk() const {
+    if (!ok()) internal::DieBadResult("Result::value() on error", status_);
+  }
+
   Status status_;
   std::optional<T> value_;
 };

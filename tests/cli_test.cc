@@ -1,6 +1,8 @@
 // Integration test driving the exdlc binary end to end (path injected by
 // CMake as EXDLC_PATH).
 
+#include <sys/wait.h>
+
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -9,6 +11,12 @@
 #include <gtest/gtest.h>
 
 namespace {
+
+/// Decodes a pclose()/wait() status into the child's exit code (-1 when it
+/// did not exit normally).
+int DecodeExitCode(int status) {
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
 
 std::string RunCommand(const std::string& command, int* exit_code) {
   std::string output;
@@ -113,6 +121,96 @@ TEST_F(CliTest, BadUsageExitsNonZero) {
   EXPECT_NE(code, 0);
   RunCommand(Exdlc() + " run /nonexistent/file.dl", &code);
   EXPECT_NE(code, 0);
+}
+
+class CliBudgetTest : public CliTest {
+ protected:
+  /// Writes an n-edge transitive-closure program (n rounds, O(n^2) tuples).
+  std::string WriteChain(int n) {
+    std::string path = ::testing::TempDir() + "/cli_test_budget_chain.dl";
+    std::ofstream out(path);
+    out << "tc(X, Y) :- e(X, Y).\n"
+           "tc(X, Z) :- e(X, Y), tc(Y, Z).\n"
+           "?- tc(n0, X).\n";
+    for (int i = 0; i < n; ++i) {
+      out << "e(n" << i << ", n" << i + 1 << ").\n";
+    }
+    return path;
+  }
+};
+
+TEST_F(CliBudgetTest, MaxTuplesTripExitsFive) {
+  std::string chain = WriteChain(200);
+  int status = 0;
+  std::string out = RunCommand(
+      Exdlc() + " run " + chain + " --max-tuples 1000", &status);
+  EXPECT_EQ(DecodeExitCode(status), 5) << out;
+  EXPECT_NE(out.find("budget tripped (tuples)"), std::string::npos) << out;
+  EXPECT_NE(out.find("consistent partial database"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("budget_tripped=tuples"), std::string::npos) << out;
+}
+
+TEST_F(CliBudgetTest, MaxBytesTripExitsFive) {
+  std::string chain = WriteChain(200);
+  int status = 0;
+  std::string out =
+      RunCommand(Exdlc() + " run " + chain + " --max-bytes 8192", &status);
+  EXPECT_EQ(DecodeExitCode(status), 5) << out;
+  EXPECT_NE(out.find("budget tripped (arena_bytes)"), std::string::npos)
+      << out;
+}
+
+TEST_F(CliBudgetTest, DeadlineTripExitsFour) {
+  std::string chain = WriteChain(900);
+  int status = 0;
+  std::string out = RunCommand(
+      Exdlc() + " run " + chain + " --deadline-ms 1", &status);
+  EXPECT_EQ(DecodeExitCode(status), 4) << out;
+  EXPECT_NE(out.find("budget tripped (deadline)"), std::string::npos) << out;
+}
+
+TEST_F(CliBudgetTest, BudgetedRunWithoutTripMatchesUngoverned) {
+  std::string chain = WriteChain(40);
+  int status = 0;
+  // Compare stdout only: the stderr stats line carries wall-clock timings.
+  // (RunCommand appends its own 2>&1, so discard stderr inside a subshell.)
+  std::string plain = RunCommand(
+      "( " + Exdlc() + " run " + chain + " 2>/dev/null )", &status);
+  EXPECT_EQ(DecodeExitCode(status), 0);
+  std::string governed = RunCommand(
+      "( " + Exdlc() + " run " + chain +
+          " --deadline-ms 60000 --max-tuples 1000000 2>/dev/null )",
+      &status);
+  EXPECT_EQ(DecodeExitCode(status), 0);
+  EXPECT_EQ(plain, governed);
+}
+
+TEST_F(CliBudgetTest, SigintCancelsWithExitSix) {
+  std::string chain = WriteChain(3000);
+  int status = 0;
+  // Background the run, interrupt it, and report its exit code. The child
+  // stops at a round boundary and exits 6 (cancelled). SIGINT is re-sent
+  // until the process exits: background shells spawn children with SIGINT
+  // ignored, so a signal landing before exdlc installs its handler (e.g.
+  // while a sanitizer runtime boots) would otherwise be silently dropped.
+  std::string out = RunCommand(
+      Exdlc() + " run " + chain + " > /dev/null 2> /dev/null & pid=$!; " +
+          "( sleep 0.3; i=0; while [ $i -lt 300 ]; do "
+          "kill -INT $pid 2>/dev/null || break; i=$((i+1)); sleep 0.2; "
+          "done ) & wait $pid; echo EXIT_CODE=$?",
+      &status);
+  EXPECT_NE(out.find("EXIT_CODE=6"), std::string::npos) << out;
+}
+
+TEST_F(CliBudgetTest, BadBudgetValueIsUsageError) {
+  int status = 0;
+  std::string out = RunCommand(
+      Exdlc() + " run " + program_path_ + " --max-tuples nope", &status);
+  EXPECT_EQ(DecodeExitCode(status), 2) << out;
+  out = RunCommand(Exdlc() + " run " + program_path_ + " --deadline-ms",
+                   &status);
+  EXPECT_EQ(DecodeExitCode(status), 2) << out;
 }
 
 TEST_F(CliTest, GrammarCommand) {

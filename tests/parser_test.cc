@@ -155,5 +155,51 @@ TEST(ParserTest, ConstantsShareInterning) {
   EXPECT_EQ(parsed.program.rules()[0].body[0].args[1].id(), c1);
 }
 
+TEST(ParserTest, RejectsOverlongIdentifier) {
+  ContextPtr ctx = std::make_shared<Context>();
+  std::string name(kMaxIdentifierLength + 1, 'a');
+  Result<ParsedUnit> parsed = ParseProgram(name + ".", ctx);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  // Exactly at the limit is still fine.
+  EXPECT_TRUE(ParseProgram(std::string(kMaxIdentifierLength, 'a') + ".", ctx)
+                  .ok());
+}
+
+TEST(ParserTest, RejectsOverlongIntegerLiteral) {
+  ContextPtr ctx = std::make_shared<Context>();
+  std::string digits(kMaxIdentifierLength + 1, '7');
+  Result<ParsedUnit> parsed = ParseProgram("p(" + digits + ").", ctx);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, RejectsTooManyAtomArguments) {
+  ContextPtr ctx = std::make_shared<Context>();
+  std::string atom = "p(c0";
+  for (size_t i = 1; i <= kMaxAtomArgs; ++i) {
+    atom += ", c" + std::to_string(i);
+  }
+  atom += ").";
+  Result<ParsedUnit> parsed = ParseProgram(atom, ctx);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("arguments"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsTooManyBodyLiterals) {
+  ContextPtr ctx = std::make_shared<Context>();
+  std::string rule = "p(X) :- q(X)";
+  for (size_t i = 0; i < kMaxBodyLiterals; ++i) rule += ", q(X)";
+  rule += ".";
+  Result<ParsedUnit> parsed = ParseProgram(rule, ctx);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("literals"), std::string::npos);
+  // ParseRule enforces the same cap.
+  Context bare;
+  EXPECT_FALSE(ParseRule(rule, &bare).ok());
+}
+
 }  // namespace
 }  // namespace exdl

@@ -28,6 +28,19 @@ TEST(StatusTest, AllCodesHaveNames) {
             "FailedPrecondition");
   EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(StatusTest, GovernanceFactories) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("full").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("stop").code(), StatusCode::kCancelled);
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -59,6 +72,18 @@ TEST(ResultTest, AssignOrReturnPropagates) {
   EXPECT_EQ(*ok, 2);
   Result<int> err = Quarter(6);  // 6/2 = 3 is odd
   EXPECT_FALSE(err.ok());
+}
+
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatusMessage) {
+  // value() on an error must abort in EVERY build mode (it used to be
+  // assert-only, i.e. undefined behavior in release builds), and the abort
+  // message must carry the status so the failure is diagnosable.
+  Result<int> r = Status::NotFound("missing tuple");
+  EXPECT_DEATH(r.value(), "Result::value\\(\\) on error.*missing tuple");
+  const Result<int>& cr = r;
+  EXPECT_DEATH(cr.value(), "NotFound: missing tuple");
+  EXPECT_DEATH(Result<int>(Status::Internal("boom")).value(),
+               "Internal: boom");
 }
 
 TEST(RngTest, DeterministicForSeed) {

@@ -6,8 +6,13 @@
 //       Print the optimized program and the per-phase report.
 //
 //   exdlc run <file> [--naive] [--no-cut] [--optimize] [--threads N]
+//                    [--deadline-ms N] [--max-tuples N] [--max-bytes N]
 //       Evaluate the program over the facts in the same file and print
-//       the query answers plus engine statistics.
+//       the query answers plus engine statistics. The budget flags bound
+//       the run: wall-clock deadline, total derived-tuple count, and
+//       tuple-arena bytes. A tripped budget (or Ctrl-C) stops evaluation
+//       at a round boundary, prints the answers computed so far from the
+//       consistent partial database, and exits nonzero (see below).
 //
 //   exdlc grammar <file>
 //       For a binary chain program: print the grammar, regularity
@@ -23,7 +28,17 @@
 //   exdlc check <file1> <file2> [--trials N]
 //       Randomized query-equivalence check of two programs (shared
 //       predicate vocabulary; facts in the files are ignored).
+//
+// Exit codes:
+//   0  success
+//   1  error (I/O, parse, unsafe program, evaluation failure)
+//   2  usage
+//   3  check: programs differ
+//   4  run: --deadline-ms exceeded (partial answers were printed)
+//   5  run: --max-tuples / --max-bytes exhausted (partial answers printed)
+//   6  run/optimize: cancelled by SIGINT (partial answers printed)
 
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -42,9 +57,33 @@
 #include "grammar/regularity.h"
 #include "parser/parser.h"
 #include "transform/magic.h"
+#include "util/cancellation.h"
 
 namespace exdl {
 namespace {
+
+/// Raised by the SIGINT handler; polled cooperatively by the evaluator and
+/// the optimizer. CancellationToken::Cancel is a single atomic store, so it
+/// is async-signal-safe.
+CancellationToken g_interrupted;
+
+extern "C" void HandleInterrupt(int) { g_interrupted.Cancel(); }
+
+void InstallInterruptHandler() { std::signal(SIGINT, HandleInterrupt); }
+
+/// Maps a budget-trip status to the documented exit code.
+int ExitCodeFor(const Status& termination) {
+  switch (termination.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return 4;
+    case StatusCode::kResourceExhausted:
+      return 5;
+    case StatusCode::kCancelled:
+      return 6;
+    default:
+      return 1;
+  }
+}
 
 int Usage() {
   std::cerr << "usage: exdlc optimize|run|grammar|check <file> [flags]\n"
@@ -90,8 +129,34 @@ uint32_t FlagValue(const std::vector<std::string>& args,
   return fallback;
 }
 
+/// 64-bit variant for budget flags (tuple and byte counts routinely exceed
+/// FlagValue's 1024 cap). Returns `fallback` (0 = no budget) when absent.
+uint64_t FlagValue64(const std::vector<std::string>& args,
+                     const std::string& flag, uint64_t fallback) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    if (i + 1 >= args.size()) {
+      std::cerr << flag << " requires a value\n";
+      std::exit(2);
+    }
+    try {
+      unsigned long long v = std::stoull(args[i + 1]);
+      if (v == 0) throw std::out_of_range("range");
+      return static_cast<uint64_t>(v);
+    } catch (...) {
+      std::cerr << flag << " requires a positive integer, got '"
+                << args[i + 1] << "'\n";
+      std::exit(2);
+    }
+  }
+  return fallback;
+}
+
 int CmdOptimize(const std::string& path,
                 const std::vector<std::string>& flags) {
+  // Install before any I/O or parsing so an early Ctrl-C is not lost
+  // (background shells start children with SIGINT ignored).
+  InstallInterruptHandler();
   Result<std::string> source = ReadFile(path);
   if (!source.ok()) {
     std::cerr << source.status().ToString() << "\n";
@@ -111,6 +176,7 @@ int CmdOptimize(const std::string& path,
   options.deletion.use_sagiv = HasFlag(flags, "--sagiv");
   options.deletion.use_optimistic = HasFlag(flags, "--optimistic");
   options.apply_magic = HasFlag(flags, "--magic");
+  options.cancellation = &g_interrupted;
   Result<OptimizedProgram> optimized =
       OptimizeExistential(parsed->program, options);
   if (!optimized.ok()) {
@@ -123,10 +189,15 @@ int CmdOptimize(const std::string& path,
               << ".\n";
   }
   std::cerr << "\n" << optimized->report.ToString();
+  if (!optimized->termination.ok()) {
+    std::cerr << optimized->termination.ToString() << "\n";
+    return ExitCodeFor(optimized->termination);
+  }
   return 0;
 }
 
 int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
+  InstallInterruptHandler();
   Result<std::string> source = ReadFile(path);
   if (!source.ok()) {
     std::cerr << source.status().ToString() << "\n";
@@ -153,6 +224,10 @@ int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
   options.seminaive = !HasFlag(flags, "--naive");
   options.boolean_cut = !HasFlag(flags, "--no-cut");
   options.num_threads = FlagValue(flags, "--threads", 1);
+  options.budget.deadline_ms = FlagValue64(flags, "--deadline-ms", 0);
+  options.budget.max_tuples = FlagValue64(flags, "--max-tuples", 0);
+  options.budget.max_arena_bytes = FlagValue64(flags, "--max-bytes", 0);
+  options.budget.cancellation = &g_interrupted;
   Result<EvalResult> result = Evaluate(program, edb, options);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
@@ -167,6 +242,14 @@ int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
   }
   std::cerr << result->answers.size() << " answer(s)   ["
             << result->stats.ToString() << "]\n";
+  if (!result->termination.ok()) {
+    std::cerr << "budget tripped ("
+              << BudgetKindName(result->stats.budget_tripped)
+              << "): " << result->termination.ToString()
+              << "\nanswers above reflect the consistent partial database "
+                 "as of the last completed round\n";
+    return ExitCodeFor(result->termination);
+  }
   return 0;
 }
 
