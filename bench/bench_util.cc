@@ -9,6 +9,8 @@
 #include <map>
 #include <mutex>
 
+#include "core/engine.h"
+
 namespace exdl::bench {
 
 namespace {
@@ -21,6 +23,9 @@ struct BenchRecord {
   size_t answers = 0;
   size_t peak_relation_rows = 0;
   size_t total_rows = 0;
+  /// Full telemetry document (per-rule rows, metrics, spans) captured by
+  /// EvalOrDie when EXDL_BENCH_METRICS is set; empty otherwise.
+  std::string telemetry_json;
 };
 
 std::map<std::string, BenchRecord>& Records() {
@@ -29,6 +34,19 @@ std::map<std::string, BenchRecord>& Records() {
 }
 
 std::mutex g_records_mutex;
+
+/// Telemetry document of the most recent EvalOrDie (benches evaluate and
+/// then ReportResult on the same thread, so last-wins pairing is exact).
+std::string g_last_telemetry;
+
+/// EXDL_BENCH_METRICS=1 turns on the engine telemetry sink inside
+/// EvalOrDie and folds the per-rule/per-phase telemetry document into each
+/// bench's JSON row. Off by default: benches measure the untraced path.
+bool MetricsEnabled() {
+  const char* value = std::getenv("EXDL_BENCH_METRICS");
+  return value != nullptr && *value != '\0' &&
+         std::string_view(value) != "0";
+}
 
 void WriteBenchJson() {
   const std::map<std::string, BenchRecord>& records = Records();
@@ -72,6 +90,9 @@ void WriteBenchJson() {
                    rec.peak_relation_rows);
       std::fprintf(f, ", \"total_rows\": %zu", rec.total_rows);
     }
+    if (!rec.telemetry_json.empty()) {
+      std::fprintf(f, ", \"telemetry\": %s", rec.telemetry_json.c_str());
+    }
     std::fprintf(f, "}");
     first = false;
   }
@@ -91,52 +112,42 @@ BenchRecord& RecordFor(const std::string& name) {
 }  // namespace
 
 Setup ParseOrDie(const std::string& source) {
-  ContextPtr ctx = std::make_shared<Context>();
-  Result<ParsedUnit> parsed = ParseProgram(source, ctx);
-  if (!parsed.ok()) {
-    std::cerr << "bench parse error: " << parsed.status().ToString() << "\n";
+  Engine engine;
+  Status loaded = engine.LoadSource(source);
+  if (!loaded.ok()) {
+    std::cerr << "bench parse error: " << loaded.ToString() << "\n";
     std::abort();
   }
-  Setup out{ctx, std::move(parsed->program), Database()};
-  for (const Atom& fact : parsed->facts) (void)out.edb.AddFact(fact);
-  return out;
+  return Setup{engine.ctx(), engine.program().Clone(), engine.edb().Clone()};
 }
 
 Program OptimizeOrDie(const Program& program,
                       const OptimizerOptions& options) {
-  Result<OptimizedProgram> optimized = OptimizeExistential(program, options);
+  EngineOptions engine_options;
+  engine_options.optimizer = options;
+  Engine engine(std::move(engine_options));
+  (void)engine.LoadProgram(program.Clone(), Database());
+  Status optimized = engine.Optimize();
   if (!optimized.ok()) {
-    std::cerr << "bench optimize error: " << optimized.status().ToString()
-              << "\n";
+    std::cerr << "bench optimize error: " << optimized.ToString() << "\n";
     std::abort();
   }
-  return std::move(optimized->program);
-}
-
-/// Budget overrides from the environment, so long-running experiment
-/// sweeps can be bounded without recompiling:
-///   EXDL_BENCH_DEADLINE_MS, EXDL_BENCH_MAX_TUPLES, EXDL_BENCH_MAX_BYTES.
-/// A tripped budget is recorded in the JSON row (`budget_tripped`), not
-/// fatal — the partial-result stats are still a valid data point.
-uint64_t EnvBudget(const char* var) {
-  const char* value = std::getenv(var);
-  if (value == nullptr || *value == '\0') return 0;
-  return std::strtoull(value, nullptr, 10);
+  return engine.program().Clone();
 }
 
 EvalResult EvalOrDie(const Program& program, const Database& edb,
                      const EvalOptions& options) {
-  EvalOptions governed = options;
-  if (governed.budget.deadline_ms == 0) {
-    governed.budget.deadline_ms = EnvBudget("EXDL_BENCH_DEADLINE_MS");
-  }
-  if (governed.budget.max_tuples == 0) {
-    governed.budget.max_tuples = EnvBudget("EXDL_BENCH_MAX_TUPLES");
-  }
-  if (governed.budget.max_arena_bytes == 0) {
-    governed.budget.max_arena_bytes = EnvBudget("EXDL_BENCH_MAX_BYTES");
-  }
-  Result<EvalResult> result = Evaluate(program, edb, governed);
+  EngineOptions engine_options;
+  engine_options.eval = options;
+  // Budget overrides from the environment, so long-running experiment
+  // sweeps can be bounded without recompiling (EXDL_BUDGET_* or the legacy
+  // EXDL_BENCH_* names; explicit options win — see EvalBudget::FromEnv).
+  // A tripped budget is recorded in the JSON row (`budget_tripped`), not
+  // fatal — the partial-result stats are still a valid data point.
+  engine_options.eval.budget = EvalBudget::FromEnv(options.budget);
+  engine_options.collect_telemetry = MetricsEnabled();
+  Engine engine(std::move(engine_options));
+  Result<EvalResult> result = engine.Evaluate(program, edb);
   if (!result.ok()) {
     std::cerr << "bench eval error: " << result.status().ToString() << "\n";
     std::abort();
@@ -144,6 +155,12 @@ EvalResult EvalOrDie(const Program& program, const Database& edb,
   if (!result->termination.ok()) {
     std::cerr << "bench budget tripped: " << result->termination.ToString()
               << "\n";
+  }
+  if (engine.telemetry() != nullptr) {
+    std::string doc = engine.TelemetryJson("bench", "");
+    while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+    std::lock_guard<std::mutex> lock(g_records_mutex);
+    g_last_telemetry = std::move(doc);
   }
   return std::move(result).value();
 }
@@ -173,6 +190,8 @@ void ReportResult(benchmark::State& state, const std::string& name,
   rec.answers = result.answers.size();
   rec.peak_relation_rows = peak;
   rec.total_rows = total;
+  rec.telemetry_json = std::move(g_last_telemetry);
+  g_last_telemetry.clear();
 }
 
 }  // namespace exdl::bench

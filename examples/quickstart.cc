@@ -1,5 +1,6 @@
-// Quickstart: parse a Datalog program with an existential query, run the
-// paper's optimization pipeline, and evaluate both versions.
+// Quickstart: load a Datalog program with an existential query into an
+// exdl::Engine, run the paper's optimization pipeline, and evaluate both
+// the original and the optimized version.
 //
 //   $ ./quickstart
 //
@@ -11,10 +12,8 @@
 #include <iostream>
 
 #include "ast/printer.h"
-#include "core/optimizer.h"
+#include "core/engine.h"
 #include "core/workload.h"
-#include "eval/evaluator.h"
-#include "parser/parser.h"
 
 int main() {
   using namespace exdl;
@@ -27,48 +26,48 @@ int main() {
     ?- query(X).
   )";
 
-  ContextPtr ctx = std::make_shared<Context>();
-  Result<ParsedUnit> parsed = ParseProgram(source, ctx);
-  if (!parsed.ok()) {
-    std::cerr << "parse error: " << parsed.status().ToString() << "\n";
+  // One Engine is one session: context + program + EDB + options.
+  Engine engine;
+  if (Status loaded = engine.LoadSource(source); !loaded.ok()) {
+    std::cerr << "parse error: " << loaded.ToString() << "\n";
     return 1;
   }
-  Program& program = parsed->program;
 
-  std::cout << "== original program ==\n" << ToString(program);
+  std::cout << "== original program ==\n" << ToString(engine.program());
+  Program original = engine.program().Clone();
 
-  // A little graph to run on: a chain with a side branch.
-  Database edb;
-  PredId p = ctx->InternPredicate("p", 2);
+  // A little graph to run on: a ten-node chain.
+  PredId p = engine.ctx()->InternPredicate("p", 2);
   GraphSpec spec;
   spec.kind = GraphSpec::Kind::kChain;
   spec.nodes = 10;
-  MakeGraph(ctx.get(), &edb, p, spec);
+  MakeGraph(engine.ctx().get(), &engine.mutable_edb(), p, spec);
 
-  Result<OptimizedProgram> optimized = OptimizeExistential(program);
-  if (!optimized.ok()) {
-    std::cerr << "optimize error: " << optimized.status().ToString() << "\n";
+  if (Status optimized = engine.Optimize(); !optimized.ok()) {
+    std::cerr << "optimize error: " << optimized.ToString() << "\n";
     return 1;
   }
-  std::cout << "\n== optimized program ==\n" << ToString(optimized->program)
+  std::cout << "\n== optimized program ==\n" << ToString(engine.program())
             << "\n== optimization report ==\n"
-            << optimized->report.ToString();
+            << engine.report().ToString();
 
-  for (const Program* prog : {&program, &optimized->program}) {
-    Result<EvalResult> result = Evaluate(*prog, edb);
+  // Evaluate the optimized session program, then the saved original
+  // through the same engine (session-less, same options).
+  for (bool use_session : {false, true}) {
+    Result<EvalResult> result =
+        use_session ? engine.Run() : engine.Evaluate(original, engine.edb());
     if (!result.ok()) {
       std::cerr << "eval error: " << result.status().ToString() << "\n";
       return 1;
     }
-    std::cout << "\nanswers ("
-              << (prog == &program ? "original" : "optimized")
+    std::cout << "\nanswers (" << (use_session ? "optimized" : "original")
               << "): " << result->answers.size()
               << "   [" << result->stats.ToString() << "]\n";
     for (const auto& row : result->answers) {
       std::cout << "  query(";
       for (size_t i = 0; i < row.size(); ++i) {
         if (i > 0) std::cout << ", ";
-        std::cout << ctx->SymbolName(row[i]);
+        std::cout << engine.ctx()->SymbolName(row[i]);
       }
       std::cout << ")\n";
     }

@@ -1,0 +1,280 @@
+#include "core/engine.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "ast/printer.h"
+#include "obs/json_writer.h"
+#include "parser/parser.h"
+
+namespace exdl {
+
+namespace {
+
+/// Stable lowercase termination label for the JSON export.
+std::string_view TerminationLabel(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    default: return "error";
+  }
+}
+
+/// Snapshot lookup key: metric name + the value of its "rule" label (the
+/// only label the per-rule metrics carry).
+std::string RuleMetricKey(std::string_view name, size_t rule_index) {
+  std::string key(name);
+  key.push_back('\0');
+  key += std::to_string(rule_index);
+  return key;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  if (options_.collect_telemetry) {
+    owned_telemetry_ = std::make_unique<obs::Telemetry>();
+  }
+}
+
+Engine::~Engine() = default;
+
+obs::Telemetry* Engine::telemetry() {
+  if (options_.eval.telemetry != nullptr) return options_.eval.telemetry;
+  if (options_.optimizer.telemetry != nullptr) {
+    return options_.optimizer.telemetry;
+  }
+  return owned_telemetry_.get();
+}
+
+const obs::Telemetry* Engine::telemetry() const {
+  return const_cast<Engine*>(this)->telemetry();
+}
+
+Status Engine::LoadSource(std::string_view source) {
+  ContextPtr ctx = std::make_shared<Context>();
+  EXDL_ASSIGN_OR_RETURN(ParsedUnit parsed, ParseProgram(source, ctx));
+  Database edb;
+  for (const Atom& fact : parsed.facts) {
+    EXDL_RETURN_IF_ERROR(edb.AddFact(fact));
+  }
+  return LoadProgram(std::move(parsed.program), std::move(edb));
+}
+
+Status Engine::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return LoadSource(buffer.str());
+}
+
+Status Engine::LoadProgram(Program program, Database edb) {
+  ctx_ = program.context();
+  program_ = std::move(program);
+  edb_ = std::move(edb);
+  report_ = OptimizationReport();
+  optimize_termination_ = Status::Ok();
+  magic_seed_.reset();
+  optimized_ = false;
+  has_run_ = false;
+  last_stats_ = EvalStats();
+  last_answers_ = 0;
+  last_termination_ = Status::Ok();
+  return Status::Ok();
+}
+
+Status Engine::Optimize() {
+  if (!program_) return Status::FailedPrecondition("no program loaded");
+  OptimizerOptions opt = options_.optimizer;
+  if (opt.telemetry == nullptr) opt.telemetry = telemetry();
+  EXDL_ASSIGN_OR_RETURN(OptimizedProgram optimized,
+                        OptimizeExistential(*program_, opt));
+  program_ = std::move(optimized.program);
+  report_ = std::move(optimized.report);
+  optimize_termination_ = std::move(optimized.termination);
+  magic_seed_ = std::move(optimized.magic_seed);
+  if (magic_seed_) {
+    EXDL_RETURN_IF_ERROR(edb_.AddFact(*magic_seed_));
+  }
+  optimized_ = true;
+  return Status::Ok();
+}
+
+Result<EvalResult> Engine::Run() {
+  if (!program_) return Status::FailedPrecondition("no program loaded");
+  return Evaluate(*program_, edb_);
+}
+
+Result<EvalResult> Engine::Evaluate(const Program& program,
+                                    const Database& edb) {
+  EvalOptions eval = options_.eval;
+  if (eval.telemetry == nullptr) eval.telemetry = telemetry();
+  if (eval.telemetry != nullptr) {
+    last_rule_texts_.clear();
+    for (const Rule& rule : program.rules()) {
+      last_rule_texts_.push_back(ToString(*program.context(), rule));
+    }
+  }
+  Result<EvalResult> result = ::exdl::Evaluate(program, edb, eval);
+  if (result.ok()) {
+    has_run_ = true;
+    last_stats_ = result->stats;
+    last_answers_ = result->answers.size();
+    last_termination_ = result->termination;
+  }
+  return result;
+}
+
+std::string Engine::TelemetryJson(std::string_view command,
+                                  std::string_view source) const {
+  std::string out;
+  obs::JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("generator");
+  w.String("exdatalog");
+  w.Key("command");
+  w.String(command);
+  w.Key("source");
+  w.String(source);
+
+  w.Key("answers");
+  w.UInt(last_answers_);
+  w.Key("termination");
+  w.String(TerminationLabel(!last_termination_.ok() ? last_termination_
+                                                    : optimize_termination_));
+  w.Key("stats");
+  w.BeginObject();
+  w.Key("rounds");
+  w.UInt(last_stats_.rounds);
+  w.Key("rule_firings");
+  w.UInt(last_stats_.rule_firings);
+  w.Key("tuples_inserted");
+  w.UInt(last_stats_.tuples_inserted);
+  w.Key("duplicate_inserts");
+  w.UInt(last_stats_.duplicate_inserts);
+  w.Key("index_probes");
+  w.UInt(last_stats_.index_probes);
+  w.Key("rows_matched");
+  w.UInt(last_stats_.rows_matched);
+  w.Key("rules_retired");
+  w.UInt(last_stats_.rules_retired);
+  w.Key("eval_seconds");
+  w.Double(last_stats_.eval_seconds);
+  w.Key("max_round_seconds");
+  w.Double(last_stats_.max_round_seconds);
+  w.Key("budget_tripped");
+  w.String(BudgetKindName(last_stats_.budget_tripped));
+  w.EndObject();
+
+  w.Key("optimize");
+  w.BeginObject();
+  w.Key("ran");
+  w.Bool(optimized_);
+  w.Key("original_rules");
+  w.UInt(report_.original_rules);
+  w.Key("final_rules");
+  w.UInt(report_.final_rules);
+  w.Key("optimize_seconds");
+  w.Double(report_.optimize_seconds);
+  w.Key("interrupted_before");
+  w.String(report_.interrupted_before);
+  w.EndObject();
+
+  w.Key("phases");
+  w.BeginArray();
+  for (const OptimizationPhase& phase : report_.phases) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(phase.name);
+    w.Key("seconds");
+    w.Double(phase.seconds);
+    w.Key("rules_before");
+    w.UInt(phase.rules_before);
+    w.Key("rules_after");
+    w.UInt(phase.rules_after);
+    w.Key("rule_delta");
+    w.Int(phase.RuleDelta());
+    w.Key("interrupted");
+    w.Bool(phase.interrupted);
+    w.Key("detail");
+    w.String(phase.detail);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Per-rule rows: rule text from the loaded program, counters from the
+  // metrics snapshot (zero when telemetry is off or the rule never fired).
+  const obs::Telemetry* t = telemetry();
+  std::unordered_map<std::string, const obs::MetricRow*> by_rule;
+  std::vector<obs::MetricRow> snapshot;
+  if (t != nullptr) {
+    snapshot = t->metrics().Snapshot();
+    for (const obs::MetricRow& row : snapshot) {
+      for (const auto& [k, v] : row.labels) {
+        if (k == "rule") {
+          std::string key = row.name;
+          key.push_back('\0');
+          key += v;
+          by_rule.emplace(std::move(key), &row);
+        }
+      }
+    }
+  }
+  auto rule_counter = [&](std::string_view name, size_t i) -> uint64_t {
+    auto it = by_rule.find(RuleMetricKey(name, i));
+    return it == by_rule.end() ? 0 : it->second->counter;
+  };
+  std::vector<std::string> rule_texts = last_rule_texts_;
+  if (rule_texts.empty() && program_) {
+    for (const Rule& rule : program_->rules()) {
+      rule_texts.push_back(ToString(*ctx_, rule));
+    }
+  }
+  w.Key("rules");
+  w.BeginArray();
+  for (size_t i = 0; i < rule_texts.size(); ++i) {
+    w.BeginObject();
+    w.Key("index");
+    w.UInt(i);
+    w.Key("text");
+    w.String(rule_texts[i]);
+    w.Key("derived");
+    w.UInt(rule_counter("eval.rule.derived", i));
+    w.Key("duplicates");
+    w.UInt(rule_counter("eval.rule.duplicates", i));
+    w.Key("firings");
+    w.UInt(rule_counter("eval.rule.firings", i));
+    w.Key("probes");
+    w.UInt(rule_counter("eval.rule.probes", i));
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("metrics");
+  if (t != nullptr) {
+    t->WriteMetricsJson(w);
+  } else {
+    w.BeginArray();
+    w.EndArray();
+  }
+  w.Key("spans");
+  if (t != nullptr) {
+    t->WriteSpansJson(w);
+  } else {
+    w.BeginArray();
+    w.EndArray();
+  }
+  w.Key("dropped_spans");
+  w.UInt(t != nullptr ? t->trace().dropped() : 0);
+  w.EndObject();
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace exdl

@@ -1,0 +1,137 @@
+// exdl::Engine — the public facade over parse -> optimize -> run.
+//
+// One Engine is one session: it owns the interning Context, the loaded
+// program, the extensional database, the resource budget (via
+// EngineOptions::eval.budget), and — when collect_telemetry is set — an
+// obs::Telemetry sink threaded through every stage. Callers that used to
+// hand-wire ParseProgram + OptimizeExistential + Evaluate (the CLI, the
+// benches, the tests) go through this class instead:
+//
+//   Engine engine(options);
+//   EXDL_RETURN_IF_ERROR(engine.LoadFile("tc.dl"));
+//   EXDL_RETURN_IF_ERROR(engine.Optimize());          // optional
+//   EXDL_ASSIGN_OR_RETURN(EvalResult result, engine.Run());
+//   std::string json = engine.TelemetryJson("run", "tc.dl");
+//
+// Telemetry is strictly opt-in: with collect_telemetry == false the null
+// sink is passed through, every instrumentation site is a never-taken
+// branch, and answers/databases/stats are byte-identical to a pre-facade
+// pipeline.
+
+#ifndef EXDL_CORE_ENGINE_H_
+#define EXDL_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/optimizer.h"
+#include "eval/evaluator.h"
+#include "obs/telemetry.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace exdl {
+
+struct EngineOptions {
+  /// Optimizer pipeline configuration (used by Optimize()).
+  OptimizerOptions optimizer;
+  /// Evaluation configuration, including the EvalBudget (used by Run()).
+  EvalOptions eval;
+  /// When true the engine owns a Telemetry sink and threads it through
+  /// Optimize() and Run(); TelemetryJson() renders it. When false (the
+  /// default) no observability work happens anywhere. An externally owned
+  /// sink already set on optimizer.telemetry / eval.telemetry wins over
+  /// the engine-owned one.
+  bool collect_telemetry = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Parses `source` (rules, query, and ground facts) into a fresh
+  /// session, replacing any previously loaded one.
+  Status LoadSource(std::string_view source);
+  /// LoadSource over the contents of `path`.
+  Status LoadFile(const std::string& path);
+  /// Adopts an already-built program and EDB (shares the program's
+  /// Context). Replaces any previously loaded session.
+  Status LoadProgram(Program program, Database edb);
+
+  /// Runs the optimizer pipeline and installs the optimized program (and,
+  /// when magic was applied, inserts the seed fact into the EDB). Returns
+  /// hard errors only; a phase-boundary cancellation installs the
+  /// completed-prefix program and is reported via optimize_termination().
+  Status Optimize();
+
+  /// Evaluates the loaded (possibly optimized) program over the session
+  /// EDB. The result also feeds TelemetryJson()'s summary rows.
+  Result<EvalResult> Run();
+
+  /// Session-less evaluation with this engine's options and telemetry
+  /// sink, leaving the loaded program/EDB untouched. The benches use this
+  /// to evaluate pre-built inputs without paying an extra Database clone.
+  Result<EvalResult> Evaluate(const Program& program, const Database& edb);
+
+  bool loaded() const { return program_.has_value(); }
+  const ContextPtr& ctx() const { return ctx_; }
+  const Program& program() const { return *program_; }
+  const Database& edb() const { return edb_; }
+  Database& mutable_edb() { return edb_; }
+
+  /// Report of the last Optimize() (empty before that).
+  const OptimizationReport& report() const { return report_; }
+  /// OK, or kCancelled when Optimize() stopped at a phase boundary.
+  const Status& optimize_termination() const { return optimize_termination_; }
+  /// Seed fact of a magic-set rewrite (already inserted into the EDB).
+  const std::optional<Atom>& magic_seed() const { return magic_seed_; }
+
+  /// The active sink: engine-owned when collect_telemetry, else whatever
+  /// the caller put into the options, else null.
+  obs::Telemetry* telemetry();
+  const obs::Telemetry* telemetry() const;
+
+  /// Mutable access to the session options. Changes apply to subsequent
+  /// Optimize()/Run() calls.
+  EngineOptions& options() { return options_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Renders the stable machine-readable telemetry document described in
+  /// DESIGN.md §10: schema_version, run summary (answers, termination,
+  /// stats), per-phase optimizer rows, per-rule evaluation rows, the
+  /// metrics snapshot, and the trace spans. `command` and `source` name
+  /// the producing command and input for provenance; pass "" when not
+  /// applicable. Valid (with empty metrics/spans) even with telemetry off.
+  std::string TelemetryJson(std::string_view command,
+                            std::string_view source) const;
+
+ private:
+  EngineOptions options_;
+  std::unique_ptr<obs::Telemetry> owned_telemetry_;
+  ContextPtr ctx_;
+  std::optional<Program> program_;
+  Database edb_;
+
+  OptimizationReport report_;
+  Status optimize_termination_;
+  std::optional<Atom> magic_seed_;
+  bool optimized_ = false;
+
+  // Summary of the last (successful) Run()/Evaluate() for TelemetryJson.
+  bool has_run_ = false;
+  EvalStats last_stats_;
+  size_t last_answers_ = 0;
+  Status last_termination_;
+  /// Rule texts of the last telemetry-enabled Evaluate(), so the per-rule
+  /// export rows label themselves even for session-less evaluation.
+  std::vector<std::string> last_rule_texts_;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_CORE_ENGINE_H_

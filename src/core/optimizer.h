@@ -26,6 +26,10 @@
 
 namespace exdl {
 
+namespace obs {
+class Telemetry;
+}  // namespace obs
+
 struct OptimizerOptions {
   bool adorn = true;
   bool push_projections = true;
@@ -47,6 +51,11 @@ struct OptimizerOptions {
   /// the completed prefix of phases — still a correct program — with
   /// OptimizedProgram::termination set to kCancelled. Not owned.
   const CancellationToken* cancellation = nullptr;
+  /// Observability sink: when non-null, each phase records a trace span
+  /// ("optimize > phase:<name>") with rule-delta attrs plus registry
+  /// counters (optimize.rules_deleted, ...). Null = no-op; results and
+  /// report text are byte-identical either way. Not owned.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct OptimizedProgram {

@@ -8,45 +8,15 @@ std::string OptimizationReport::ToString() const {
   std::string out;
   out += "rules: " + std::to_string(original_rules) + " -> " +
          std::to_string(final_rules) + "\n";
-  if (adorned) {
-    out += "adorned program: " + std::to_string(adorned_rules) + " rules\n";
-  }
-  if (predicates_projected > 0) {
-    out += "projection pushing: " + std::to_string(predicates_projected) +
-           " predicate(s), " + std::to_string(positions_dropped) +
-           " argument position(s) dropped\n";
-  }
-  if (booleans_created > 0) {
-    out += "existential components: " + std::to_string(booleans_created) +
-           " boolean subquery(ies) extracted from " +
-           std::to_string(rules_split) + " rule(s)\n";
-  }
-  if (unit_rules_added > 0) {
-    out += "covering unit rules added: " + std::to_string(unit_rules_added) +
-           " (retracted afterwards: " +
-           std::to_string(unit_rules_retracted) + ")\n";
-  }
-  size_t deleted = deleted_by_subsumption + deleted_by_summary +
-                   deleted_by_sagiv + deleted_by_optimistic;
-  if (deleted > 0 || removed_by_cleanup > 0) {
-    out += "rule deletion: " + std::to_string(deleted_by_subsumption) +
-           " by subsumption, " + std::to_string(deleted_by_summary) +
-           " by summaries, " + std::to_string(deleted_by_sagiv) +
-           " by Sagiv UE, " + std::to_string(deleted_by_optimistic) +
-           " by optimistic UQE, " + std::to_string(removed_by_cleanup) +
-           " dead rules cleaned up\n";
-  }
-  if (rules_folded > 0) {
-    out += "folding (Example 11): " + std::to_string(rules_folded) +
-           " rule(s) folded, " + std::to_string(bodies_folded) +
-           " embedded body(ies) rewritten, " +
-           std::to_string(deleted_after_folding) +
-           " additional deletion(s)\n";
-  }
-  if (magic_applied) out += "magic-set rewriting applied\n";
-  if (!interrupted_before.empty()) {
-    out += "pipeline cancelled before phase: " + interrupted_before +
-           " (program reflects the completed phases)\n";
+  // Per-phase lines render straight from the structured entries; an
+  // entry with no detail produced no observable change.
+  for (const OptimizationPhase& phase : phases) {
+    if (phase.interrupted) {
+      out += "pipeline cancelled before phase: " + phase.name +
+             " (program reflects the completed phases)\n";
+      continue;
+    }
+    if (!phase.detail.empty()) out += phase.detail + "\n";
   }
   if (optimize_seconds > 0) {
     char buf[48];

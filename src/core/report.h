@@ -1,4 +1,12 @@
 // Optimization report: what every phase of the pipeline did.
+//
+// The report is structured: `phases` holds one entry per pipeline phase
+// that was reached (in execution order), with timing, the rule-count
+// delta, a human-readable detail line, and an interrupted flag for the
+// phase a cancellation stopped in front of. ToString() renders purely
+// from that structure (plus the summary counters below); the JSON
+// telemetry export (DESIGN.md §10) emits the same entries as "phases"
+// rows.
 
 #ifndef EXDL_CORE_REPORT_H_
 #define EXDL_CORE_REPORT_H_
@@ -9,9 +17,39 @@
 
 namespace exdl {
 
+/// One executed (or interrupted) pipeline phase.
+struct OptimizationPhase {
+  /// Machine name, stable across releases: "adorn", "projection",
+  /// "components", "unit_rules", "deletion", "folding", "cleanup",
+  /// "magic". Trace spans are named "phase:<name>".
+  std::string name;
+  /// Wall-clock seconds inside the phase (0 for interrupted entries).
+  double seconds = 0;
+  size_t rules_before = 0;
+  size_t rules_after = 0;
+  /// True when cancellation stopped the pipeline before this phase ran;
+  /// such an entry is always the last one and carries no timing.
+  bool interrupted = false;
+  /// Human-readable summary ("projection pushing: 1 predicate(s), ...");
+  /// empty when the phase ran but had nothing to report.
+  std::string detail;
+
+  /// rules_after - rules_before (negative = rules removed).
+  long long RuleDelta() const {
+    return static_cast<long long>(rules_after) -
+           static_cast<long long>(rules_before);
+  }
+};
+
 struct OptimizationReport {
   size_t original_rules = 0;
   size_t final_rules = 0;
+
+  /// Per-phase entries in execution order; see OptimizationPhase.
+  std::vector<OptimizationPhase> phases;
+
+  // Summary counters, aggregated across phases (kept flat for callers
+  // that test a single quantity; the per-phase story lives in `phases`).
 
   // Phase 0 — adornment (Section 2).
   bool adorned = false;
@@ -47,7 +85,8 @@ struct OptimizationReport {
   double optimize_seconds = 0;
 
   /// Non-empty when the pipeline was cancelled: names the first phase
-  /// that did NOT run (everything before it completed normally).
+  /// that did NOT run (everything before it completed normally). The
+  /// same phase is the `interrupted` entry at the back of `phases`.
   std::string interrupted_before;
 
   /// Per-deletion justifications and other notes, in order.

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,7 @@
 #include <unordered_set>
 
 #include "analysis/stratification.h"
+#include "obs/telemetry.h"
 
 namespace exdl {
 
@@ -37,6 +39,41 @@ std::string_view BudgetKindName(BudgetKind kind) {
     case BudgetKind::kCancelled: return "cancelled";
   }
   return "?";
+}
+
+EvalBudget EvalBudget::FromFlags(uint64_t deadline_ms, uint64_t max_tuples,
+                                 uint64_t max_arena_bytes,
+                                 const CancellationToken* cancellation) {
+  EvalBudget b;
+  b.deadline_ms = deadline_ms;
+  b.max_tuples = max_tuples;
+  b.max_arena_bytes = max_arena_bytes;
+  b.cancellation = cancellation;
+  return b;
+}
+
+EvalBudget EvalBudget::FromEnv() { return FromEnv(EvalBudget()); }
+
+EvalBudget EvalBudget::FromEnv(EvalBudget base) {
+  auto env_u64 = [](const char* primary, const char* legacy) -> uint64_t {
+    const char* v = std::getenv(primary);
+    if (v == nullptr || *v == '\0') v = std::getenv(legacy);
+    if (v == nullptr || *v == '\0') return 0;
+    return std::strtoull(v, nullptr, 10);
+  };
+  if (base.deadline_ms == 0) {
+    base.deadline_ms =
+        env_u64("EXDL_BUDGET_DEADLINE_MS", "EXDL_BENCH_DEADLINE_MS");
+  }
+  if (base.max_tuples == 0) {
+    base.max_tuples =
+        env_u64("EXDL_BUDGET_MAX_TUPLES", "EXDL_BENCH_MAX_TUPLES");
+  }
+  if (base.max_arena_bytes == 0) {
+    base.max_arena_bytes =
+        env_u64("EXDL_BUDGET_MAX_ARENA_BYTES", "EXDL_BENCH_MAX_BYTES");
+  }
+  return base;
 }
 
 EvalStats& EvalStats::operator+=(const EvalStats& o) {
@@ -94,6 +131,7 @@ struct PendingFact {
   PredId pred;
   size_t begin;     ///< Offset of the tuple in the owner's value arena.
   uint32_t len;     ///< Tuple arity.
+  uint32_t rule;    ///< Firing rule index (telemetry attribution at flush).
   Provenance prov;  ///< Only filled when recording provenance.
 };
 
@@ -221,6 +259,28 @@ struct DescentState {
   /// Rows processed since the last cooperative budget check (governed
   /// evaluation only; see Engine::kBudgetCheckStride).
   uint32_t rows_since_check = 0;
+  /// This participant's private metrics shard (null when telemetry is
+  /// off). Written only by the owning thread, merged at round boundaries.
+  obs::MetricsShard* shard = nullptr;
+};
+
+/// Begin-on-construct / end-on-destruct trace span that collapses to two
+/// null checks when telemetry is off.
+struct SpanGuard {
+  SpanGuard(obs::Telemetry* t, std::string name) {
+    if (t != nullptr) {
+      trace = &t->trace();
+      id = trace->Begin(std::move(name));
+    }
+  }
+  ~SpanGuard() {
+    if (trace != nullptr) trace->End(id);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  obs::Trace* trace = nullptr;
+  obs::SpanId id = obs::kDroppedSpan;
 };
 
 class Engine {
@@ -231,6 +291,8 @@ class Engine {
   Result<EvalResult> Run(const Database& input) {
     const Clock::time_point eval_begin = Clock::now();
     EXDL_RETURN_IF_ERROR(Compile());
+    SetupObs();
+    SpanGuard eval_span(obs_.t, "eval");
     EvalResult result;
     result.db = input.Clone();
     db_ = &result.db;
@@ -281,12 +343,28 @@ class Engine {
       EXDL_RETURN_IF_ERROR(RunFixpoint(stratum, &stop));
     }
 
+    // Catch shard contents written since the last round boundary (e.g. the
+    // partial work of a discarded round); workers are quiescent here.
+    MergeShards();
+
     stats_.eval_seconds = SecondsSince(eval_begin);
     const BudgetKind trip = static_cast<BudgetKind>(
         trip_.load(std::memory_order_relaxed));
     if (trip != BudgetKind::kNone) {
       stats_.budget_tripped = trip;
       result.termination = TripStatus(trip);
+      if (obs_.t != nullptr) {
+        obs_.t->trace().Event(std::string("event:budget_trip:") +
+                              std::string(BudgetKindName(trip)));
+        obs_.m->Add(obs_.trip_counters[static_cast<size_t>(trip)], 1);
+      }
+    }
+    if (obs_.t != nullptr) {
+      obs_.m->Set(obs_.tuples_gauge, static_cast<double>(db_->TotalTuples()));
+      obs_.m->Set(obs_.arena_bytes_gauge,
+                  static_cast<double>(db_->TotalArenaBytes()));
+      obs_.m->Set(obs_.rehashes_gauge,
+                  static_cast<double>(db_->TotalRehashes()));
     }
     result.stats = stats_;
     result.provenance = std::move(provenance_);
@@ -321,19 +399,20 @@ class Engine {
     Clock::time_point round_begin = Clock::now();
     round_derivations_.store(0, std::memory_order_relaxed);
     SizeMap start = sizes_;
-    for (size_t i : rule_indices) {
-      FireVariant(rules_[i], /*delta_step=*/kNoDelta, start, start);
-    }
-    if (Tripped()) {
-      DiscardRound();
-      return Status::Ok();
-    }
     SizeMap delta_lo = start;
-    Flush();
-    ++stats_.rounds;
-    stats_.max_round_seconds =
-        std::max(stats_.max_round_seconds, SecondsSince(round_begin));
-    ApplyBooleanCut();
+    {
+      SpanGuard round_span(obs_.t, obs_.t != nullptr
+                                       ? "round:" + std::to_string(stats_.rounds)
+                                       : std::string());
+      for (size_t i : rule_indices) {
+        FireVariant(rules_[i], /*delta_step=*/kNoDelta, start, start);
+      }
+      if (Tripped()) {
+        DiscardRound();
+        return Status::Ok();
+      }
+      FinishRound(round_begin, round_span.id);
+    }
     if (governed_ && CheckRoundBudgets()) return Status::Ok();
 
     *stop = ShouldStopOnGroundQuery();
@@ -353,35 +432,37 @@ class Engine {
       }
       round_begin = Clock::now();
       round_derivations_.store(0, std::memory_order_relaxed);
-      for (size_t i : rule_indices) {
-        const CompiledRule& cr = rules_[i];
-        if (retired_.count(cr.rule_index) > 0) continue;
-        if (options_.seminaive) {
-          // One variant per growing body literal: that literal reads the
-          // delta, the others read the pre-round database.
-          for (size_t step : delta_steps(cr)) {
-            PredId p = cr.plan.steps[step].pred;
-            if (delta_lo[p] >= new_start[p]) continue;  // empty delta
-            FireVariant(cr, step, new_start, delta_lo);
+      {
+        SpanGuard round_span(
+            obs_.t, obs_.t != nullptr
+                        ? "round:" + std::to_string(stats_.rounds)
+                        : std::string());
+        for (size_t i : rule_indices) {
+          const CompiledRule& cr = rules_[i];
+          if (retired_.count(cr.rule_index) > 0) continue;
+          if (options_.seminaive) {
+            // One variant per growing body literal: that literal reads the
+            // delta, the others read the pre-round database.
+            for (size_t step : delta_steps(cr)) {
+              PredId p = cr.plan.steps[step].pred;
+              if (delta_lo[p] >= new_start[p]) continue;  // empty delta
+              FireVariant(cr, step, new_start, delta_lo);
+            }
+          } else if (!delta_steps(cr).empty()) {
+            // Naive: refire over full relations (rules with no growing body
+            // literal can produce nothing new after round 0).
+            FireVariant(cr, kNoDelta, new_start, new_start);
           }
-        } else if (!delta_steps(cr).empty()) {
-          // Naive: refire over full relations (rules with no growing body
-          // literal can produce nothing new after round 0).
-          FireVariant(cr, kNoDelta, new_start, new_start);
         }
+        if (Tripped()) {
+          // Mid-round trip: drop the partial round so the database stays at
+          // the last round boundary (a consistent prefix of the fixpoint).
+          DiscardRound();
+          return Status::Ok();
+        }
+        for (auto& [pred, sz] : new_start) delta_lo[pred] = sz;
+        FinishRound(round_begin, round_span.id);
       }
-      if (Tripped()) {
-        // Mid-round trip: drop the partial round so the database stays at
-        // the last round boundary (a consistent prefix of the fixpoint).
-        DiscardRound();
-        return Status::Ok();
-      }
-      for (auto& [pred, sz] : new_start) delta_lo[pred] = sz;
-      Flush();
-      ++stats_.rounds;
-      stats_.max_round_seconds =
-          std::max(stats_.max_round_seconds, SecondsSince(round_begin));
-      ApplyBooleanCut();
       if (governed_ && CheckRoundBudgets()) return Status::Ok();
       *stop = ShouldStopOnGroundQuery();
     }
@@ -443,6 +524,94 @@ class Engine {
   void DiscardRound() {
     round_buffer_.clear();
     round_values_.clear();
+  }
+
+  /// Round tail shared by round 0 and the delta rounds: flush the buffered
+  /// derivations, bump round stats, record round telemetry, and merge the
+  /// metric shards (the workers are quiescent here).
+  void FinishRound(Clock::time_point round_begin, obs::SpanId round_span) {
+    const uint64_t inserted_before = stats_.tuples_inserted;
+    Flush();
+    ++stats_.rounds;
+    const double secs = SecondsSince(round_begin);
+    stats_.max_round_seconds = std::max(stats_.max_round_seconds, secs);
+    ApplyBooleanCut();
+    if (obs_.t != nullptr) {
+      const uint64_t grew = stats_.tuples_inserted - inserted_before;
+      obs_.m->Add(obs_.rounds_counter, 1);
+      obs_.m->Observe(obs_.round_growth_hist, static_cast<double>(grew));
+      obs_.m->Observe(obs_.round_seconds_hist, secs);
+      obs_.t->trace().SetAttr(round_span, "inserted",
+                              static_cast<double>(grew));
+      MergeShards();
+    }
+  }
+
+  /// Registers the evaluator's metrics and sizes the per-participant
+  /// shards. Everything must be registered before the shards are created
+  /// (a shard's cell layout is fixed at creation).
+  void SetupObs() {
+    obs_.t = options_.telemetry;
+    if (obs_.t == nullptr) return;
+    obs::MetricsRegistry& m = obs_.t->metrics();
+    obs_.m = &m;
+    obs_.firings = m.Counter("eval.rule_firings");
+    obs_.probes = m.Counter("eval.index_probes");
+    obs_.rows = m.Counter("eval.rows_matched");
+    obs_.rounds_counter = m.Counter("eval.rounds");
+    obs_.round_growth_hist = m.Histogram(
+        "eval.round.tuples_inserted",
+        {0, 1, 10, 100, 1000, 10000, 100000, 1000000});
+    obs_.round_seconds_hist = m.Histogram(
+        "eval.round.seconds", {0.0001, 0.001, 0.01, 0.1, 1, 10});
+    obs_.tuples_gauge = m.Gauge("storage.tuples");
+    obs_.arena_bytes_gauge = m.Gauge("storage.arena_bytes");
+    obs_.rehashes_gauge = m.Gauge("storage.rehashes");
+    for (size_t k = 1; k <= static_cast<size_t>(BudgetKind::kCancelled);
+         ++k) {
+      obs_.trip_counters[k] = m.Counter(
+          "eval.budget_trips",
+          {{"kind",
+            std::string(BudgetKindName(static_cast<BudgetKind>(k)))}});
+    }
+    const size_t n = rules_.size();
+    obs_.rule_derived.resize(n);
+    obs_.rule_duplicates.resize(n);
+    obs_.rule_firings.resize(n);
+    obs_.rule_probes.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      obs_.rule_derived[i] = m.Counter("eval.rule.derived", LabelSetOf(i));
+      obs_.rule_duplicates[i] =
+          m.Counter("eval.rule.duplicates", LabelSetOf(i));
+      obs_.rule_firings[i] = m.Counter("eval.rule.firings", LabelSetOf(i));
+      obs_.rule_probes[i] = m.Counter("eval.rule.probes", LabelSetOf(i));
+    }
+    shards_.clear();
+    const uint32_t nshards = std::max(1u, options_.num_threads) + 1;
+    shards_.reserve(nshards);
+    for (uint32_t i = 0; i < nshards; ++i) shards_.push_back(m.NewShard());
+    serial_.shard = &shards_[0];
+  }
+
+  static obs::LabelSet LabelSetOf(size_t rule_index) {
+    return {{"rule", std::to_string(rule_index)}};
+  }
+
+  /// Folds every participant shard into the registry. Owner thread only,
+  /// at quiescent points (round boundaries / end of run).
+  void MergeShards() {
+    if (obs_.t == nullptr) return;
+    for (obs::MetricsShard& shard : shards_) obs_.m->Merge(shard);
+  }
+
+  /// Writes this participant's variant counters into its private shard,
+  /// on the participant's own thread — the worker-pool path exercises the
+  /// shard-merge contract instead of funneling through the main thread.
+  void RecordVariantShard(DescentState& ws) {
+    if (ws.shard == nullptr) return;
+    ws.shard->Add(obs_.firings, ws.stats.rule_firings);
+    ws.shard->Add(obs_.probes, ws.stats.index_probes);
+    ws.shard->Add(obs_.rows, ws.stats.rows_matched);
   }
 
   /// The structured error describing a trip, with progress attached.
@@ -557,6 +726,10 @@ class Engine {
       if (ranges[s].empty() && !plan.steps[s].negated) return;
     }
     current_rule_index_ = cr.rule_index;
+    SpanGuard rule_span(obs_.t,
+                        obs_.t != nullptr
+                            ? "rule:" + std::to_string(cr.rule_index)
+                            : std::string());
 
     const uint32_t workers = NumWorkers(plan, ranges);
     if (workers <= 1) {
@@ -564,6 +737,7 @@ class Engine {
       serial_.reg_set.assign(plan.num_regs, false);
       serial_.path.clear();
       Descend(plan, ranges, 0, serial_);
+      RecordVariantShard(serial_);
       Drain(serial_);
       return;
     }
@@ -581,6 +755,12 @@ class Engine {
     const uint32_t lo = ranges[0].lo;
     const uint32_t total = ranges[0].hi - lo;
     if (worker_states_.size() < workers) worker_states_.resize(workers);
+    if (obs_.t != nullptr) {
+      // shards_[0] is the serial/main participant; worker w owns w + 1.
+      for (uint32_t w = 0; w < workers; ++w) {
+        worker_states_[w].shard = &shards_[w + 1];
+      }
+    }
     if (pool_ == nullptr) {
       pool_ = std::make_unique<WorkerPool>(options_.num_threads - 1);
     }
@@ -593,6 +773,7 @@ class Engine {
                               lo + (w + 1) * total / workers};
       if (my_ranges[0].empty()) return;
       Descend(plan, my_ranges, 0, ws);
+      RecordVariantShard(ws);
     });
     for (uint32_t w = 0; w < workers; ++w) Drain(worker_states_[w]);
   }
@@ -601,6 +782,15 @@ class Engine {
   /// derivations to the round buffer. Called in variant/partition order so
   /// the flushed insertion order matches serial evaluation.
   void Drain(DescentState& ws) {
+    if (obs_.t != nullptr) {
+      // Per-rule attribution happens here — per variant, on the main
+      // thread, before the stats fold/reset — so the descent inner loop
+      // carries no instrumentation.
+      obs_.m->Add(obs_.rule_firings[current_rule_index_],
+                  ws.stats.rule_firings);
+      obs_.m->Add(obs_.rule_probes[current_rule_index_],
+                  ws.stats.index_probes);
+    }
     stats_ += ws.stats;
     ws.stats = EvalStats();
     const size_t base = round_values_.size();
@@ -631,6 +821,7 @@ class Engine {
       fact.pred = plan.head_pred;
       fact.begin = ws.values.size();
       fact.len = static_cast<uint32_t>(plan.head_args.size());
+      fact.rule = static_cast<uint32_t>(current_rule_index_);
       for (const ArgSpec& a : plan.head_args) {
         ws.values.push_back(a.kind == ArgSpec::Kind::kConst ? a.const_value
                                                             : ws.regs[a.reg]);
@@ -749,8 +940,10 @@ class Engine {
           uint32_t row_id = static_cast<uint32_t>(rel.size() - 1);
           provenance_.emplace(TupleRef{f.pred, row_id}, std::move(f.prov));
         }
+        if (obs_.t != nullptr) obs_.m->Add(obs_.rule_derived[f.rule], 1);
       } else {
         ++stats_.duplicate_inserts;
+        if (obs_.t != nullptr) obs_.m->Add(obs_.rule_duplicates[f.rule], 1);
       }
     }
     round_buffer_.clear();
@@ -818,6 +1011,34 @@ class Engine {
   bool stop_after_first_ = false;
   size_t current_rule_index_ = 0;
   std::unordered_map<TupleRef, Provenance, TupleRefHash> provenance_;
+
+  /// Telemetry sink pointers and pre-registered metric ids (t == null
+  /// means telemetry is off and every site is a never-taken branch).
+  struct ObsState {
+    obs::Telemetry* t = nullptr;
+    obs::MetricsRegistry* m = nullptr;
+    obs::MetricId firings = 0;
+    obs::MetricId probes = 0;
+    obs::MetricId rows = 0;
+    obs::MetricId rounds_counter = 0;
+    obs::MetricId round_growth_hist = 0;
+    obs::MetricId round_seconds_hist = 0;
+    obs::MetricId tuples_gauge = 0;
+    obs::MetricId arena_bytes_gauge = 0;
+    obs::MetricId rehashes_gauge = 0;
+    /// Indexed by rule index (== CompiledRule::rule_index).
+    std::vector<obs::MetricId> rule_derived;
+    std::vector<obs::MetricId> rule_duplicates;
+    std::vector<obs::MetricId> rule_firings;
+    std::vector<obs::MetricId> rule_probes;
+    /// Indexed by BudgetKind value; [0] (kNone) unused.
+    obs::MetricId trip_counters[6] = {};
+  };
+  ObsState obs_;
+  /// Per-participant metric shards: [0] = serial/main, [w + 1] = pool
+  /// worker w. Sized once in SetupObs, so the pointers handed to the
+  /// DescentStates stay stable.
+  std::vector<obs::MetricsShard> shards_;
 };
 
 }  // namespace

@@ -29,6 +29,10 @@
 
 namespace exdl {
 
+namespace obs {
+class Telemetry;
+}  // namespace obs
+
 /// Which EvalBudget limit stopped an evaluation early.
 enum class BudgetKind : uint8_t {
   kNone = 0,
@@ -72,6 +76,26 @@ struct EvalBudget {
     return deadline_ms != 0 || max_tuples != 0 || max_arena_bytes != 0 ||
            max_derivations_per_round != 0 || cancellation != nullptr;
   }
+
+  // The two canonical constructors. Precedence, highest first:
+  //   1. explicit flags (FromFlags, e.g. the CLI's --deadline-ms);
+  //   2. programmatic fields already set on the budget FromEnv receives;
+  //   3. environment variables (FromEnv fills only still-zero fields).
+  // So `EvalBudget::FromEnv(EvalBudget::FromFlags(...))` composes all
+  // three sources. Callers should not read EXDL_* variables themselves.
+
+  /// Budget from explicit limits (0 = unlimited, as with the raw fields).
+  static EvalBudget FromFlags(uint64_t deadline_ms, uint64_t max_tuples,
+                              uint64_t max_arena_bytes,
+                              const CancellationToken* cancellation = nullptr);
+
+  /// Fills every still-zero limit of `base` from the environment:
+  /// EXDL_BUDGET_DEADLINE_MS, EXDL_BUDGET_MAX_TUPLES,
+  /// EXDL_BUDGET_MAX_ARENA_BYTES (legacy aliases EXDL_BENCH_DEADLINE_MS,
+  /// EXDL_BENCH_MAX_TUPLES, EXDL_BENCH_MAX_BYTES are honored when the
+  /// primary name is unset). Unparsable values read as 0 (unlimited).
+  static EvalBudget FromEnv(EvalBudget base);
+  static EvalBudget FromEnv();
 };
 
 struct EvalOptions {
@@ -93,6 +117,14 @@ struct EvalOptions {
   uint32_t num_threads = 1;
   /// Resource governance (deadline, memory, cancellation); see EvalBudget.
   EvalBudget budget;
+  /// Observability sink. When non-null the evaluator records trace spans
+  /// ("eval > round:<n> > rule:<i>"), per-rule counters (derived,
+  /// duplicates, firings, probes — labeled rule=<i>), per-round tuple
+  /// growth histograms, budget-trip events, and end-of-run storage gauges.
+  /// Worker threads write through per-thread MetricsShards merged at round
+  /// boundaries. Null = every site is a never-taken branch; answers, db,
+  /// and stats are byte-identical either way. Not owned.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Work counters. The paper's "duplicate elimination cost" is

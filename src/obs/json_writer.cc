@@ -1,0 +1,113 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace exdl::obs {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) *out_ += ',';
+    has_element_.back() = 1;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  *out_ += '{';
+  has_element_.push_back(0);
+}
+
+void JsonWriter::EndObject() {
+  has_element_.pop_back();
+  *out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  *out_ += '[';
+  has_element_.push_back(0);
+}
+
+void JsonWriter::EndArray() {
+  has_element_.pop_back();
+  *out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  String(key);
+  *out_ += ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  *out_ += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"': *out_ += "\\\""; break;
+      case '\\': *out_ += "\\\\"; break;
+      case '\n': *out_ += "\\n"; break;
+      case '\r': *out_ += "\\r"; break;
+      case '\t': *out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out_ += buf;
+        } else {
+          *out_ += c;
+        }
+    }
+  }
+  *out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  *out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  MaybeComma();
+  *out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    *out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Prefer the shortest representation that round-trips.
+  for (int precision = 6; precision < 17; ++precision) {
+    char probe[40];
+    std::snprintf(probe, sizeof(probe), "%.*g", precision, value);
+    double parsed = 0;
+    std::sscanf(probe, "%lf", &parsed);
+    if (parsed == value) {
+      *out_ += probe;
+      return;
+    }
+  }
+  *out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  *out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  *out_ += "null";
+}
+
+}  // namespace exdl::obs

@@ -1,0 +1,48 @@
+// Minimal streaming JSON writer: correct string escaping, automatic
+// commas, locale-independent number formatting. Just enough for the
+// telemetry export (DESIGN.md §10) — no DOM, no parsing.
+
+#ifndef EXDL_OBS_JSON_WRITER_H_
+#define EXDL_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exdl::obs {
+
+class JsonWriter {
+ public:
+  /// Appends to `*out`; the caller owns the buffer.
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object key; must be followed by exactly one value (or container).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  /// Shortest round-trippable decimal; NaN/Inf are emitted as null (JSON
+  /// has no representation for them).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+ private:
+  void MaybeComma();
+
+  std::string* out_;
+  /// Per-nesting-level "already has an element" flags.
+  std::vector<char> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace exdl::obs
+
+#endif  // EXDL_OBS_JSON_WRITER_H_

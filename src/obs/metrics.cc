@@ -1,0 +1,230 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace exdl::obs {
+
+namespace {
+
+/// Dedup key: kind byte + name + sorted labels, NUL-separated (predicate
+/// and metric names never contain NUL).
+std::string RegistrationKey(MetricKind kind, const std::string& name,
+                            const LabelSet& labels) {
+  std::string key;
+  key.push_back(static_cast<char>(kind));
+  key += name;
+  for (const auto& [k, v] : labels) {
+    key.push_back('\0');
+    key += k;
+    key.push_back('\0');
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void MetricsShard::Add(MetricId id, uint64_t delta) {
+  assert(registry_ != nullptr);
+  const MetricDef& def = registry_->def(id);
+  assert(def.kind == MetricKind::kCounter);
+  counters_[def.cell] += delta;
+}
+
+void MetricsShard::Set(MetricId id, double value) {
+  assert(registry_ != nullptr);
+  const MetricDef& def = registry_->def(id);
+  assert(def.kind == MetricKind::kGauge);
+  gauges_[def.cell] = value;
+  gauge_set_[def.cell] = 1;
+}
+
+void MetricsShard::Observe(MetricId id, double value) {
+  assert(registry_ != nullptr);
+  const MetricDef& def = registry_->def(id);
+  assert(def.kind == MetricKind::kHistogram);
+  // First bucket whose upper bound admits the value; +inf bucket otherwise.
+  size_t bucket = def.bounds.size();
+  for (size_t i = 0; i < def.bounds.size(); ++i) {
+    if (value <= def.bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  hist_counts_[hist_base_[def.cell] + bucket] += 1;
+  hist_sum_[def.cell] += value;
+  hist_count_[def.cell] += 1;
+}
+
+void MetricsShard::Reset() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  std::fill(gauges_.begin(), gauges_.end(), 0.0);
+  std::fill(gauge_set_.begin(), gauge_set_.end(), 0);
+  std::fill(hist_counts_.begin(), hist_counts_.end(), 0);
+  std::fill(hist_sum_.begin(), hist_sum_.end(), 0.0);
+  std::fill(hist_count_.begin(), hist_count_.end(), 0);
+}
+
+MetricId MetricsRegistry::Counter(std::string name, LabelSet labels) {
+  return Register(MetricKind::kCounter, std::move(name), std::move(labels),
+                  {});
+}
+
+MetricId MetricsRegistry::Gauge(std::string name, LabelSet labels) {
+  return Register(MetricKind::kGauge, std::move(name), std::move(labels), {});
+}
+
+MetricId MetricsRegistry::Histogram(std::string name,
+                                    std::vector<double> bounds,
+                                    LabelSet labels) {
+  assert(std::is_sorted(bounds.begin(), bounds.end()));
+  return Register(MetricKind::kHistogram, std::move(name), std::move(labels),
+                  std::move(bounds));
+}
+
+MetricId MetricsRegistry::Register(MetricKind kind, std::string name,
+                                   LabelSet labels,
+                                   std::vector<double> bounds) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = RegistrationKey(kind, name, labels);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second;
+
+  MetricDef def;
+  def.name = std::move(name);
+  def.kind = kind;
+  def.labels = std::move(labels);
+  def.bounds = std::move(bounds);
+  switch (kind) {
+    case MetricKind::kCounter:
+      def.cell = num_counters_++;
+      break;
+    case MetricKind::kGauge:
+      def.cell = num_gauges_++;
+      break;
+    case MetricKind::kHistogram:
+      def.cell = num_hists_++;
+      break;
+  }
+  const MetricId id = static_cast<MetricId>(defs_.size());
+  if (kind == MetricKind::kHistogram) {
+    hist_cells_ += defs_.emplace_back(std::move(def)).bounds.size() + 1;
+  } else {
+    defs_.push_back(std::move(def));
+  }
+  by_key_.emplace(std::move(key), id);
+  InitShard(&total_);
+  return id;
+}
+
+void MetricsRegistry::InitShard(MetricsShard* shard) const {
+  shard->registry_ = this;
+  shard->counters_.resize(num_counters_, 0);
+  shard->gauges_.resize(num_gauges_, 0.0);
+  shard->gauge_set_.resize(num_gauges_, 0);
+  shard->hist_counts_.resize(hist_cells_, 0);
+  shard->hist_sum_.resize(num_hists_, 0.0);
+  shard->hist_count_.resize(num_hists_, 0);
+  if (shard->hist_base_.size() < num_hists_) {
+    shard->hist_base_.clear();
+    size_t base = 0;
+    for (const MetricDef& def : defs_) {
+      if (def.kind != MetricKind::kHistogram) continue;
+      if (shard->hist_base_.size() <= def.cell) {
+        shard->hist_base_.resize(def.cell + 1, 0);
+      }
+      shard->hist_base_[def.cell] = base;
+      base += def.bounds.size() + 1;
+    }
+  }
+}
+
+MetricsShard MetricsRegistry::NewShard() const {
+  MetricsShard shard;
+  InitShard(&shard);
+  return shard;
+}
+
+void MetricsRegistry::Merge(MetricsShard& shard) {
+  assert(shard.registry_ == this);
+  assert(shard.counters_.size() == num_counters_);
+  for (size_t i = 0; i < shard.counters_.size(); ++i) {
+    total_.counters_[i] += shard.counters_[i];
+  }
+  for (size_t i = 0; i < shard.gauges_.size(); ++i) {
+    if (shard.gauge_set_[i]) {
+      total_.gauges_[i] = shard.gauges_[i];
+      total_.gauge_set_[i] = 1;
+    }
+  }
+  for (size_t i = 0; i < shard.hist_counts_.size(); ++i) {
+    total_.hist_counts_[i] += shard.hist_counts_[i];
+  }
+  for (size_t i = 0; i < shard.hist_sum_.size(); ++i) {
+    total_.hist_sum_[i] += shard.hist_sum_[i];
+    total_.hist_count_[i] += shard.hist_count_[i];
+  }
+  shard.Reset();
+}
+
+uint64_t MetricsRegistry::CounterValue(MetricId id) const {
+  const MetricDef& d = defs_[id];
+  assert(d.kind == MetricKind::kCounter);
+  return total_.counters_[d.cell];
+}
+
+double MetricsRegistry::GaugeValue(MetricId id) const {
+  const MetricDef& d = defs_[id];
+  assert(d.kind == MetricKind::kGauge);
+  return total_.gauges_[d.cell];
+}
+
+std::vector<uint64_t> MetricsRegistry::HistogramCounts(MetricId id) const {
+  const MetricDef& d = defs_[id];
+  assert(d.kind == MetricKind::kHistogram);
+  const size_t base = total_.hist_base_[d.cell];
+  return std::vector<uint64_t>(
+      total_.hist_counts_.begin() + base,
+      total_.hist_counts_.begin() + base + d.bounds.size() + 1);
+}
+
+std::vector<MetricRow> MetricsRegistry::Snapshot() const {
+  std::vector<MetricRow> rows;
+  rows.reserve(defs_.size());
+  for (MetricId id = 0; id < defs_.size(); ++id) {
+    const MetricDef& d = defs_[id];
+    MetricRow row;
+    row.id = id;
+    row.name = d.name;
+    row.kind = d.kind;
+    row.labels = d.labels;
+    switch (d.kind) {
+      case MetricKind::kCounter:
+        row.counter = total_.counters_[d.cell];
+        break;
+      case MetricKind::kGauge:
+        row.gauge = total_.gauges_[d.cell];
+        row.gauge_set = total_.gauge_set_[d.cell] != 0;
+        break;
+      case MetricKind::kHistogram:
+        row.bounds = d.bounds;
+        row.bucket_counts = HistogramCounts(id);
+        row.sum = total_.hist_sum_[d.cell];
+        row.count = total_.hist_count_[d.cell];
+        break;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace exdl::obs

@@ -1,0 +1,81 @@
+#include "obs/telemetry.h"
+
+namespace exdl::obs {
+
+void Telemetry::WriteMetricsJson(JsonWriter& w) const {
+  w.BeginArray();
+  for (const MetricRow& row : metrics_.Snapshot()) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(row.name);
+    w.Key("kind");
+    w.String(MetricKindName(row.kind));
+    if (!row.labels.empty()) {
+      w.Key("labels");
+      w.BeginObject();
+      for (const auto& [k, v] : row.labels) {
+        w.Key(k);
+        w.String(v);
+      }
+      w.EndObject();
+    }
+    switch (row.kind) {
+      case MetricKind::kCounter:
+        w.Key("value");
+        w.UInt(row.counter);
+        break;
+      case MetricKind::kGauge:
+        w.Key("value");
+        w.Double(row.gauge);
+        break;
+      case MetricKind::kHistogram:
+        w.Key("bounds");
+        w.BeginArray();
+        for (double b : row.bounds) w.Double(b);
+        w.EndArray();
+        w.Key("counts");
+        w.BeginArray();
+        for (uint64_t c : row.bucket_counts) w.UInt(c);
+        w.EndArray();
+        w.Key("sum");
+        w.Double(row.sum);
+        w.Key("count");
+        w.UInt(row.count);
+        break;
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+void Telemetry::WriteSpansJson(JsonWriter& w) const {
+  w.BeginArray();
+  for (const TraceSpan& span : trace_.spans()) {
+    w.BeginObject();
+    w.Key("id");
+    w.UInt(span.id);
+    w.Key("parent");
+    w.Int(span.parent);
+    w.Key("name");
+    w.String(span.name);
+    w.Key("path");
+    w.String(trace_.PathOf(span.id));
+    w.Key("start_ms");
+    w.Double(span.start_seconds * 1e3);
+    w.Key("duration_ms");
+    w.Double((span.duration_seconds < 0 ? 0 : span.duration_seconds) * 1e3);
+    if (!span.attrs.empty()) {
+      w.Key("attrs");
+      w.BeginObject();
+      for (const auto& [k, v] : span.attrs) {
+        w.Key(k);
+        w.Double(v);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+}  // namespace exdl::obs

@@ -1,0 +1,45 @@
+// Telemetry: the observability sink threaded through the engine.
+//
+// One Telemetry object owns a MetricsRegistry and a Trace for one session
+// (parse -> optimize -> run). Components receive it as a nullable pointer:
+// a null sink means every instrumentation site is a never-taken branch, so
+// untraced runs do no observability work and produce byte-identical
+// results (tested by obs_test.cc).
+//
+// Export: WriteMetricsJson/WriteSpansJson emit the "metrics" and "spans"
+// arrays of the stable schema documented in DESIGN.md §10 and validated by
+// tools/check_metrics_schema.py.
+
+#ifndef EXDL_OBS_TELEMETRY_H_
+#define EXDL_OBS_TELEMETRY_H_
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace exdl::obs {
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+  /// Emits the "metrics" rows (an array; caller positions the writer).
+  void WriteMetricsJson(JsonWriter& w) const;
+  /// Emits the "spans" rows.
+  void WriteSpansJson(JsonWriter& w) const;
+
+ private:
+  MetricsRegistry metrics_;
+  Trace trace_;
+};
+
+}  // namespace exdl::obs
+
+#endif  // EXDL_OBS_TELEMETRY_H_

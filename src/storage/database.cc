@@ -46,6 +46,12 @@ size_t Database::TotalArenaBytes() const {
   return n;
 }
 
+uint64_t Database::TotalRehashes() const {
+  uint64_t n = 0;
+  for (const auto& [pred, rel] : relations_) n += rel.rehash_count();
+  return n;
+}
+
 size_t Database::Count(PredId pred) const {
   const Relation* rel = Find(pred);
   return rel == nullptr ? 0 : rel->size();

@@ -40,6 +40,10 @@ class Database {
   /// the quantity EvalBudget::max_arena_bytes is measured against.
   size_t TotalArenaBytes() const;
 
+  /// Sum of all relations' open-addressing rebuilds
+  /// (Relation::rehash_count) — a storage telemetry quantity.
+  uint64_t TotalRehashes() const;
+
   /// Number of tuples for `pred` (0 if absent).
   size_t Count(PredId pred) const;
 

@@ -42,6 +42,7 @@ void Relation::Index::Add(const Value* key, uint32_t row_id) {
 }
 
 void Relation::Index::Rehash(size_t new_slot_count) {
+  ++rehashes_;
   slots_.assign(new_slot_count, 0);
   const size_t mask = new_slot_count - 1;
   for (size_t g = 0; g < groups_.size(); ++g) {
@@ -87,7 +88,14 @@ void Relation::Reserve(size_t rows) {
   if (want > slots_.size()) RehashSlots(want);
 }
 
+uint64_t Relation::rehash_count() const {
+  uint64_t total = rehashes_;
+  for (const auto& [cols, index] : indexes_) total += index.rehashes_;
+  return total;
+}
+
 void Relation::RehashSlots(size_t new_slot_count) {
+  ++rehashes_;
   slots_.assign(new_slot_count, 0);
   const size_t mask = new_slot_count - 1;
   for (size_t r = 0; r < num_rows_; ++r) {

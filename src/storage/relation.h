@@ -127,6 +127,7 @@ class Relation {
     std::vector<Value> keys_;        ///< group keys, width_-strided
     std::vector<RowIdList> groups_;  ///< row ids per key, insertion order
     std::vector<uint32_t> slots_;    ///< group id + 1; 0 = empty; pow2 size
+    uint64_t rehashes_ = 0;          ///< Rehash() calls (telemetry).
   };
 
   explicit Relation(uint32_t arity) : arity_(arity) {}
@@ -176,6 +177,12 @@ class Relation {
   /// not depend on growth policy or which indexes were lazily built.
   size_t arena_bytes() const { return data_.size() * sizeof(Value); }
 
+  /// Open-addressing table rebuilds since construction: dedup-slot grows
+  /// (including Reserve pre-sizing) plus every index's grows. A telemetry
+  /// quantity (storage.rehashes gauge); high counts under steady insert
+  /// load suggest Reserve is missing on a hot relation.
+  uint64_t rehash_count() const;
+
   /// Drops all tuples and indexes.
   void Clear();
 
@@ -222,6 +229,7 @@ class Relation {
   // valid across later GetIndex calls.
   std::map<std::vector<uint32_t>, Index> indexes_;
   uint64_t insert_attempts_ = 0;
+  uint64_t rehashes_ = 0;  ///< RehashSlots() calls (telemetry).
   std::vector<Value> proj_scratch_;  ///< Reused for index maintenance.
 };
 

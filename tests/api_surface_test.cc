@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "ast/adornment.h"
+#include "core/engine.h"
 #include "equiv/freeze.h"
 #include "equiv/random_check.h"
 #include "eval/evaluator.h"
@@ -121,6 +122,67 @@ TEST(ContextTest, FreshPredicateUniqueNames) {
   PredId b = ctx.FreshPredicate("aux", 2);
   EXPECT_NE(a, b);
   EXPECT_NE(ctx.PredicateDisplayName(a), ctx.PredicateDisplayName(b));
+}
+
+// The public facade: parse -> optimize -> run as one session object.
+TEST(EngineTest, LoadOptimizeRunSession) {
+  Engine engine;
+  EXPECT_FALSE(engine.loaded());
+  ASSERT_TRUE(engine
+                  .LoadSource(
+                      "tc(X, Y) :- e(X, Y).\n"
+                      "tc(X, Y) :- e(X, Z), tc(Z, Y).\n"
+                      "?- tc(n0, Y).\n"
+                      "e(n0, n1). e(n1, n2).\n")
+                  .ok());
+  EXPECT_TRUE(engine.loaded());
+  EXPECT_EQ(engine.program().rules().size(), 2u);
+  ASSERT_TRUE(engine.Optimize().ok());
+  EXPECT_TRUE(engine.optimize_termination().ok());
+  EXPECT_EQ(engine.report().original_rules, 2u);
+  Result<EvalResult> result = engine.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->termination.ok());
+  EXPECT_EQ(result->answers.size(), 2u);  // n1, n2
+}
+
+TEST(EngineTest, RunBeforeLoadFailsCleanly) {
+  Engine engine;
+  EXPECT_FALSE(engine.Run().ok());
+  EXPECT_FALSE(engine.Optimize().ok());
+  EXPECT_FALSE(engine.LoadSource("p(X) :- ???").ok());
+}
+
+TEST(EngineTest, TelemetryJsonHasStableSchema) {
+  EngineOptions options;
+  options.collect_telemetry = true;
+  Engine engine(std::move(options));
+  ASSERT_TRUE(engine
+                  .LoadSource(
+                      "tc(X, Y) :- e(X, Y).\n"
+                      "?- tc(X, Y).\n"
+                      "e(n0, n1).\n")
+                  .ok());
+  ASSERT_TRUE(engine.Optimize().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  std::string json = engine.TelemetryJson("run", "inline");
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"command\":\"run\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"rules\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"termination\":\"ok\""), std::string::npos);
+}
+
+TEST(EngineTest, TelemetryOffByDefault) {
+  Engine engine;
+  EXPECT_EQ(engine.telemetry(), nullptr);
+  ASSERT_TRUE(engine.LoadSource("p(X) :- e(X).\n?- p(X).\ne(n0).\n").ok());
+  ASSERT_TRUE(engine.Run().ok());
+  // The document stays valid with empty metrics/spans arrays.
+  std::string json = engine.TelemetryJson("run", "");
+  EXPECT_NE(json.find("\"metrics\":[]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"spans\":[]"), std::string::npos) << json;
 }
 
 TEST(EvaluatorTest, GroundQueryFalseWhenAbsent) {

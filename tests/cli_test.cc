@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -211,6 +212,80 @@ TEST_F(CliBudgetTest, BadBudgetValueIsUsageError) {
   out = RunCommand(Exdlc() + " run " + program_path_ + " --deadline-ms",
                    &status);
   EXPECT_EQ(DecodeExitCode(status), 2) << out;
+}
+
+class CliObsTest : public CliTest {
+ protected:
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    return content;
+  }
+};
+
+TEST_F(CliObsTest, MetricsJsonWritesSchemaDocument) {
+  std::string json_path = ::testing::TempDir() + "/cli_test_metrics.json";
+  int code = 0;
+  std::string out = RunCommand(Exdlc() + " run " + program_path_ +
+                                   " --optimize --metrics-json " + json_path,
+                               &code);
+  EXPECT_EQ(code, 0) << out;
+  std::string doc = ReadAll(json_path);
+  EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"rules\""), std::string::npos);
+  EXPECT_NE(doc.find("\"phases\""), std::string::npos);
+  EXPECT_NE(doc.find("\"eval.rule.derived\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"projection\""), std::string::npos) << doc;
+}
+
+TEST_F(CliObsTest, TracePrintsSpanTree) {
+  int code = 0;
+  std::string out =
+      RunCommand(Exdlc() + " run " + program_path_ + " --trace", &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("eval"), std::string::npos) << out;
+  EXPECT_NE(out.find("round:0"), std::string::npos) << out;
+  EXPECT_NE(out.find("rule:"), std::string::npos) << out;
+}
+
+TEST_F(CliObsTest, UntracedOutputIsByteIdenticalToTraced) {
+  int code = 0;
+  std::string json_path = ::testing::TempDir() + "/cli_test_identity.json";
+  std::string plain = RunCommand(
+      "( " + Exdlc() + " run " + program_path_ + " 2>/dev/null )", &code);
+  EXPECT_EQ(DecodeExitCode(code), 0);
+  std::string traced = RunCommand(
+      "( " + Exdlc() + " run " + program_path_ + " --metrics-json " +
+          json_path + " 2>/dev/null )",
+      &code);
+  EXPECT_EQ(DecodeExitCode(code), 0);
+  EXPECT_EQ(plain, traced);
+}
+
+TEST_F(CliObsTest, OptimizeRejectsBudgetFlags) {
+  int status = 0;
+  std::string out = RunCommand(
+      Exdlc() + " optimize " + program_path_ + " --max-tuples 10", &status);
+  EXPECT_EQ(DecodeExitCode(status), 2) << out;
+  EXPECT_NE(out.find("not a valid flag for 'optimize'"), std::string::npos)
+      << out;
+  out = RunCommand(Exdlc() + " optimize " + program_path_ + " --deadline-ms 5",
+                   &status);
+  EXPECT_EQ(DecodeExitCode(status), 2) << out;
+}
+
+TEST_F(CliObsTest, UnknownFlagIsUsageError) {
+  int status = 0;
+  std::string out =
+      RunCommand(Exdlc() + " run " + program_path_ + " --frobnicate", &status);
+  EXPECT_EQ(DecodeExitCode(status), 2) << out;
+  EXPECT_NE(out.find("unknown flag: --frobnicate"), std::string::npos) << out;
+  out = RunCommand(Exdlc() + " run " + program_path_ + " --metrics-json",
+                   &status);
+  EXPECT_EQ(DecodeExitCode(status), 2) << out;
+  EXPECT_NE(out.find("--metrics-json requires a value"), std::string::npos)
+      << out;
 }
 
 TEST_F(CliTest, GrammarCommand) {

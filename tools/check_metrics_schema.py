@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate an `exdlc --metrics-json` document against the checked-in schema.
+
+Usage: check_metrics_schema.py [--schema tools/metrics_schema.json]
+                               [--require-rules] [--require-phases]
+                               FILE [FILE ...]
+
+Implements the small JSON Schema subset the schema file uses (type,
+required, properties, items, enum) with no third-party dependencies, so CI
+can run it on a stock Python 3. Unknown keys in documents are allowed —
+the schema pins what producers promise, not everything they may add.
+
+--require-rules / --require-phases additionally assert the per-rule and
+per-phase arrays are non-empty (the E1 acceptance check: a run over a
+program with rules must attribute work to them).
+"""
+
+import argparse
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    # bool is an int in Python; excluded explicitly below.
+    "number": (int, float),
+}
+
+
+def validate(value, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = TYPES[expected]
+        ok = isinstance(value, py_type) and not (
+            expected in ("integer", "number") and isinstance(value, bool)
+        )
+        if not ok:
+            errors.append(
+                f"{path}: expected {expected}, got {type(value).__name__}"
+            )
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def check_file(path, schema, require_rules, require_phases):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    validate(doc, schema, "$", errors)
+    if require_rules and not doc.get("rules"):
+        errors.append("$.rules: empty (expected per-rule rows)")
+    if require_phases and not doc.get("phases"):
+        errors.append("$.phases: empty (expected per-phase rows)")
+    # Cross-field consistency the type system can't express.
+    if not errors:
+        for i, metric in enumerate(doc["metrics"]):
+            if metric["kind"] == "histogram":
+                bounds = metric.get("bounds", [])
+                counts = metric.get("counts", [])
+                if len(counts) != len(bounds) + 1:
+                    errors.append(
+                        f"$.metrics[{i}]: histogram has {len(counts)} counts "
+                        f"for {len(bounds)} bounds (want bounds+1)"
+                    )
+        span_ids = {span["id"] for span in doc["spans"]}
+        for i, span in enumerate(doc["spans"]):
+            if span["parent"] != -1 and span["parent"] not in span_ids:
+                errors.append(f"$.spans[{i}]: dangling parent {span['parent']}")
+    return [f"{path}: {e}" if not e.startswith(path) else e for e in errors]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", default="tools/metrics_schema.json")
+    parser.add_argument("--require-rules", action="store_true")
+    parser.add_argument("--require-phases", action="store_true")
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args()
+    with open(args.schema, encoding="utf-8") as f:
+        schema = json.load(f)
+    failed = False
+    for path in args.files:
+        errors = check_file(
+            path, schema, args.require_rules, args.require_phases
+        )
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"FAIL {error}", file=sys.stderr)
+        else:
+            print(f"ok   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,17 +2,20 @@
 //
 //   exdlc optimize <file> [--sagiv] [--optimistic] [--magic]
 //                          [--no-adorn] [--no-project] [--no-components]
-//                          [--no-delete]
+//                          [--no-delete] [--trace] [--metrics-json FILE]
 //       Print the optimized program and the per-phase report.
 //
 //   exdlc run <file> [--naive] [--no-cut] [--optimize] [--threads N]
 //                    [--deadline-ms N] [--max-tuples N] [--max-bytes N]
+//                    [--trace] [--metrics-json FILE]
 //       Evaluate the program over the facts in the same file and print
 //       the query answers plus engine statistics. The budget flags bound
 //       the run: wall-clock deadline, total derived-tuple count, and
-//       tuple-arena bytes. A tripped budget (or Ctrl-C) stops evaluation
-//       at a round boundary, prints the answers computed so far from the
-//       consistent partial database, and exits nonzero (see below).
+//       tuple-arena bytes (EXDL_BUDGET_DEADLINE_MS / EXDL_BUDGET_MAX_TUPLES
+//       / EXDL_BUDGET_MAX_ARENA_BYTES fill limits the flags leave unset;
+//       see EvalBudget::FromEnv). A tripped budget (or Ctrl-C) stops
+//       evaluation at a round boundary, prints the answers computed so far
+//       from the consistent partial database, and exits nonzero (below).
 //
 //   exdlc grammar <file>
 //       For a binary chain program: print the grammar, regularity
@@ -29,6 +32,15 @@
 //       Randomized query-equivalence check of two programs (shared
 //       predicate vocabulary; facts in the files are ignored).
 //
+// Observability flags (optimize and run):
+//   --trace              print the span tree (per-phase / per-round / per-
+//                        rule timings) to stderr after the command
+//   --metrics-json FILE  write the machine-readable telemetry document
+//                        (DESIGN.md §10; schema tools/metrics_schema.json)
+//
+// Flags are strict: an unknown flag, or a flag used with a subcommand that
+// does not accept it (e.g. a budget flag on `optimize`), exits 2.
+//
 // Exit codes:
 //   0  success
 //   1  error (I/O, parse, unsafe program, evaluation failure)
@@ -40,6 +52,7 @@
 
 #include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -48,15 +61,15 @@
 #include <vector>
 
 #include "ast/printer.h"
-#include "core/optimizer.h"
+#include "core/engine.h"
 #include "equiv/random_check.h"
 #include "eval/evaluator.h"
 #include "eval/plan.h"
 #include "grammar/chain.h"
 #include "grammar/monadic.h"
 #include "grammar/regularity.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
-#include "transform/magic.h"
 #include "util/cancellation.h"
 
 namespace exdl {
@@ -91,12 +104,81 @@ int Usage() {
   return 2;
 }
 
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+// ---------------------------------------------------------------------------
+// Flag table. Every flag of every subcommand is declared once here; parsing
+// is strict — an unknown flag, a flag on the wrong subcommand, or a missing
+// value exits 2. Adding a flag means adding a row, nothing else.
+
+enum : uint32_t {
+  kCmdOptimize = 1u << 0,
+  kCmdRun = 1u << 1,
+  kCmdCheck = 1u << 2,
+};
+
+struct FlagSpec {
+  const char* name;
+  bool takes_value;
+  uint32_t commands;  ///< Bitmask of subcommands that accept the flag.
+};
+
+constexpr FlagSpec kFlagTable[] = {
+    // optimizer pipeline toggles
+    {"--no-adorn", false, kCmdOptimize},
+    {"--no-project", false, kCmdOptimize},
+    {"--no-components", false, kCmdOptimize},
+    {"--no-delete", false, kCmdOptimize},
+    {"--sagiv", false, kCmdOptimize},
+    {"--optimistic", false, kCmdOptimize},
+    {"--magic", false, kCmdOptimize},
+    // evaluation
+    {"--naive", false, kCmdRun},
+    {"--no-cut", false, kCmdRun},
+    {"--optimize", false, kCmdRun},
+    {"--threads", true, kCmdRun},
+    // budgets (run only: optimize has no budgeted resources beyond SIGINT)
+    {"--deadline-ms", true, kCmdRun},
+    {"--max-tuples", true, kCmdRun},
+    {"--max-bytes", true, kCmdRun},
+    // equivalence checking
+    {"--trials", true, kCmdCheck},
+    // observability
+    {"--trace", false, kCmdOptimize | kCmdRun},
+    {"--metrics-json", true, kCmdOptimize | kCmdRun},
+};
+
+const FlagSpec* FindFlag(const std::string& arg) {
+  for (const FlagSpec& spec : kFlagTable) {
+    if (arg == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+/// Strict pass over the argument vector: every token starting with "--"
+/// must be a known flag accepted by `command`; value-taking flags consume
+/// the next token. Positional arguments (paths, fact text) pass through.
+/// Exits 2 on violation.
+void ValidateFlags(const std::vector<std::string>& args,
+                   const std::string& command, uint32_t command_mask) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) continue;  // positional
+    const FlagSpec* spec = FindFlag(arg);
+    if (spec == nullptr) {
+      std::cerr << "unknown flag: " << arg << "\n";
+      std::exit(2);
+    }
+    if ((spec->commands & command_mask) == 0) {
+      std::cerr << arg << " is not a valid flag for '" << command << "'\n";
+      std::exit(2);
+    }
+    if (spec->takes_value) {
+      if (i + 1 >= args.size()) {
+        std::cerr << arg << " requires a value\n";
+        std::exit(2);
+      }
+      ++i;  // skip the value token
+    }
+  }
 }
 
 bool HasFlag(const std::vector<std::string>& args, const std::string& flag) {
@@ -152,83 +234,112 @@ uint64_t FlagValue64(const std::vector<std::string>& args,
   return fallback;
 }
 
+/// String-valued flag (e.g. "--metrics-json out.json"), `fallback` when
+/// absent. ValidateFlags already guaranteed the value token exists.
+std::string FlagString(const std::vector<std::string>& args,
+                       const std::string& flag, std::string fallback) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    if (i + 1 >= args.size()) {
+      std::cerr << flag << " requires a value\n";
+      std::exit(2);
+    }
+    return args[i + 1];
+  }
+  return fallback;
+}
+
+/// Emits the observability outputs after a command: the span tree on
+/// stderr for --trace, the telemetry JSON document for --metrics-json.
+/// Returns 0, or 1 when the JSON file cannot be written.
+int EmitObservability(Engine& engine, const std::vector<std::string>& flags,
+                      const std::string& command, const std::string& path) {
+  if (HasFlag(flags, "--trace") && engine.telemetry() != nullptr) {
+    std::cerr << obs::RenderTrace(engine.telemetry()->trace());
+  }
+  const std::string metrics_path =
+      FlagString(flags, "--metrics-json", std::string());
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    out << engine.TelemetryJson(command, path);
+  }
+  return 0;
+}
+
 int CmdOptimize(const std::string& path,
                 const std::vector<std::string>& flags) {
   // Install before any I/O or parsing so an early Ctrl-C is not lost
   // (background shells start children with SIGINT ignored).
   InstallInterruptHandler();
-  Result<std::string> source = ReadFile(path);
-  if (!source.ok()) {
-    std::cerr << source.status().ToString() << "\n";
+  EngineOptions options;
+  options.optimizer.adorn = !HasFlag(flags, "--no-adorn");
+  options.optimizer.push_projections = !HasFlag(flags, "--no-project");
+  options.optimizer.extract_components = !HasFlag(flags, "--no-components");
+  options.optimizer.delete_rules = !HasFlag(flags, "--no-delete");
+  options.optimizer.deletion.use_sagiv = HasFlag(flags, "--sagiv");
+  options.optimizer.deletion.use_optimistic = HasFlag(flags, "--optimistic");
+  options.optimizer.apply_magic = HasFlag(flags, "--magic");
+  options.optimizer.cancellation = &g_interrupted;
+  options.collect_telemetry =
+      HasFlag(flags, "--trace") || HasFlag(flags, "--metrics-json");
+  Engine engine(std::move(options));
+  Status loaded = engine.LoadFile(path);
+  if (!loaded.ok()) {
+    std::cerr << loaded.ToString() << "\n";
     return 1;
   }
-  ContextPtr ctx = std::make_shared<Context>();
-  Result<ParsedUnit> parsed = ParseProgram(*source, ctx);
-  if (!parsed.ok()) {
-    std::cerr << parsed.status().ToString() << "\n";
-    return 1;
-  }
-  OptimizerOptions options;
-  options.adorn = !HasFlag(flags, "--no-adorn");
-  options.push_projections = !HasFlag(flags, "--no-project");
-  options.extract_components = !HasFlag(flags, "--no-components");
-  options.delete_rules = !HasFlag(flags, "--no-delete");
-  options.deletion.use_sagiv = HasFlag(flags, "--sagiv");
-  options.deletion.use_optimistic = HasFlag(flags, "--optimistic");
-  options.apply_magic = HasFlag(flags, "--magic");
-  options.cancellation = &g_interrupted;
-  Result<OptimizedProgram> optimized =
-      OptimizeExistential(parsed->program, options);
+  Status optimized = engine.Optimize();
   if (!optimized.ok()) {
-    std::cerr << optimized.status().ToString() << "\n";
+    std::cerr << optimized.ToString() << "\n";
     return 1;
   }
-  std::cout << ToString(optimized->program);
-  if (optimized->magic_seed) {
-    std::cout << "% seed fact: " << ToString(*ctx, *optimized->magic_seed)
-              << ".\n";
+  std::cout << ToString(engine.program());
+  if (engine.magic_seed()) {
+    std::cout << "% seed fact: "
+              << ToString(*engine.ctx(), *engine.magic_seed()) << ".\n";
   }
-  std::cerr << "\n" << optimized->report.ToString();
-  if (!optimized->termination.ok()) {
-    std::cerr << optimized->termination.ToString() << "\n";
-    return ExitCodeFor(optimized->termination);
+  std::cerr << "\n" << engine.report().ToString();
+  int obs_rc = EmitObservability(engine, flags, "optimize", path);
+  if (!engine.optimize_termination().ok()) {
+    std::cerr << engine.optimize_termination().ToString() << "\n";
+    return ExitCodeFor(engine.optimize_termination());
   }
-  return 0;
+  return obs_rc;
 }
 
 int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
   InstallInterruptHandler();
-  Result<std::string> source = ReadFile(path);
-  if (!source.ok()) {
-    std::cerr << source.status().ToString() << "\n";
+  EngineOptions options;
+  options.eval.seminaive = !HasFlag(flags, "--naive");
+  options.eval.boolean_cut = !HasFlag(flags, "--no-cut");
+  options.eval.num_threads = FlagValue(flags, "--threads", 1);
+  // Budget precedence: explicit flags, then EXDL_BUDGET_* environment
+  // variables for whatever the flags left unset (see EvalBudget::FromEnv).
+  options.eval.budget = EvalBudget::FromEnv(EvalBudget::FromFlags(
+      FlagValue64(flags, "--deadline-ms", 0),
+      FlagValue64(flags, "--max-tuples", 0),
+      FlagValue64(flags, "--max-bytes", 0), &g_interrupted));
+  options.optimizer.cancellation = &g_interrupted;
+  options.collect_telemetry =
+      HasFlag(flags, "--trace") || HasFlag(flags, "--metrics-json");
+  Engine engine(std::move(options));
+  Status loaded = engine.LoadFile(path);
+  if (!loaded.ok()) {
+    std::cerr << loaded.ToString() << "\n";
     return 1;
   }
-  ContextPtr ctx = std::make_shared<Context>();
-  Result<ParsedUnit> parsed = ParseProgram(*source, ctx);
-  if (!parsed.ok()) {
-    std::cerr << parsed.status().ToString() << "\n";
-    return 1;
-  }
-  Database edb;
-  for (const Atom& fact : parsed->facts) (void)edb.AddFact(fact);
-  Program program = parsed->program.Clone();
   if (HasFlag(flags, "--optimize")) {
-    Result<OptimizedProgram> optimized = OptimizeExistential(program);
+    Status optimized = engine.Optimize();
     if (!optimized.ok()) {
-      std::cerr << optimized.status().ToString() << "\n";
+      std::cerr << optimized.ToString() << "\n";
       return 1;
     }
-    program = std::move(optimized->program);
   }
-  EvalOptions options;
-  options.seminaive = !HasFlag(flags, "--naive");
-  options.boolean_cut = !HasFlag(flags, "--no-cut");
-  options.num_threads = FlagValue(flags, "--threads", 1);
-  options.budget.deadline_ms = FlagValue64(flags, "--deadline-ms", 0);
-  options.budget.max_tuples = FlagValue64(flags, "--max-tuples", 0);
-  options.budget.max_arena_bytes = FlagValue64(flags, "--max-bytes", 0);
-  options.budget.cancellation = &g_interrupted;
-  Result<EvalResult> result = Evaluate(program, edb, options);
+  Result<EvalResult> result = engine.Run();
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
     return 1;
@@ -236,12 +347,13 @@ int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
   for (const auto& row : result->answers) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) std::cout << "\t";
-      std::cout << ctx->SymbolName(row[i]);
+      std::cout << engine.ctx()->SymbolName(row[i]);
     }
     std::cout << "\n";
   }
   std::cerr << result->answers.size() << " answer(s)   ["
             << result->stats.ToString() << "]\n";
+  int obs_rc = EmitObservability(engine, flags, "run", path);
   if (!result->termination.ok()) {
     std::cerr << "budget tripped ("
               << BudgetKindName(result->stats.budget_tripped)
@@ -250,22 +362,17 @@ int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
                  "as of the last completed round\n";
     return ExitCodeFor(result->termination);
   }
-  return 0;
+  return obs_rc;
 }
 
 int CmdGrammar(const std::string& path) {
-  Result<std::string> source = ReadFile(path);
-  if (!source.ok()) {
-    std::cerr << source.status().ToString() << "\n";
+  Engine engine;
+  Status loaded = engine.LoadFile(path);
+  if (!loaded.ok()) {
+    std::cerr << loaded.ToString() << "\n";
     return 1;
   }
-  ContextPtr ctx = std::make_shared<Context>();
-  Result<ParsedUnit> parsed = ParseProgram(*source, ctx);
-  if (!parsed.ok()) {
-    std::cerr << parsed.status().ToString() << "\n";
-    return 1;
-  }
-  Result<Cfg> grammar = ChainProgramToGrammar(parsed->program);
+  Result<Cfg> grammar = ChainProgramToGrammar(engine.program());
   if (!grammar.ok()) {
     std::cerr << grammar.status().ToString() << "\n";
     return 1;
@@ -275,7 +382,7 @@ int CmdGrammar(const std::string& path) {
             << (IsSelfEmbedding(*grammar) ? "yes" : "no") << "\n";
   std::cout << "% strongly regular: "
             << (IsStronglyRegular(*grammar) ? "yes" : "no") << "\n";
-  Result<Program> monadic = MonadicEquivalent(parsed->program);
+  Result<Program> monadic = MonadicEquivalent(engine.program());
   if (monadic.ok()) {
     std::cout << "% Theorem 3.3 monadic program:\n" << ToString(*monadic);
   } else {
@@ -287,8 +394,17 @@ int CmdGrammar(const std::string& path) {
 
 int CmdCheck(const std::string& path1, const std::string& path2,
              const std::vector<std::string>& flags) {
-  Result<std::string> s1 = ReadFile(path1);
-  Result<std::string> s2 = ReadFile(path2);
+  // The two programs must share one Context (ids stay comparable), so the
+  // check keeps its own two-file parse instead of two Engine sessions.
+  auto read = [](const std::string& path) -> Result<std::string> {
+    std::ifstream in(path);
+    if (!in) return Status::NotFound("cannot open " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  Result<std::string> s1 = read(path1);
+  Result<std::string> s2 = read(path2);
   if (!s1.ok() || !s2.ok()) {
     std::cerr << "cannot read inputs\n";
     return 1;
@@ -301,9 +417,8 @@ int CmdCheck(const std::string& path1, const std::string& path2,
     return 1;
   }
   RandomCheckOptions options;
-  for (size_t i = 0; i + 1 < flags.size(); ++i) {
-    if (flags[i] == "--trials") options.trials = std::stoi(flags[i + 1]);
-  }
+  options.trials = static_cast<int>(
+      FlagValue(flags, "--trials", static_cast<uint32_t>(options.trials)));
   Result<RandomCheckReport> report =
       CheckQueryEquivalentOnEdb(p1->program, p2->program, options);
   if (!report.ok()) {
@@ -320,51 +435,39 @@ int CmdCheck(const std::string& path1, const std::string& path2,
 }
 
 int CmdPlan(const std::string& path) {
-  Result<std::string> source = ReadFile(path);
-  if (!source.ok()) {
-    std::cerr << source.status().ToString() << "\n";
+  Engine engine;
+  Status loaded = engine.LoadFile(path);
+  if (!loaded.ok()) {
+    std::cerr << loaded.ToString() << "\n";
     return 1;
   }
-  ContextPtr ctx = std::make_shared<Context>();
-  Result<ParsedUnit> parsed = ParseProgram(*source, ctx);
-  if (!parsed.ok()) {
-    std::cerr << parsed.status().ToString() << "\n";
-    return 1;
-  }
-  for (const Rule& rule : parsed->program.rules()) {
-    std::cout << ToString(*ctx, rule) << "\n";
+  for (const Rule& rule : engine.program().rules()) {
+    std::cout << ToString(*engine.ctx(), rule) << "\n";
     Result<RulePlan> plan = CompileRule(rule, PlanOptions());
     if (!plan.ok()) {
       std::cout << "  (uncompilable: " << plan.status().ToString() << ")\n";
       continue;
     }
-    std::cout << PlanToString(*ctx, *plan);
+    std::cout << PlanToString(*engine.ctx(), *plan);
   }
   return 0;
 }
 
 int CmdExplain(const std::string& path, const std::string& fact_text) {
-  Result<std::string> source = ReadFile(path);
-  if (!source.ok()) {
-    std::cerr << source.status().ToString() << "\n";
+  EngineOptions options;
+  options.eval.record_provenance = true;
+  Engine engine(std::move(options));
+  Status loaded = engine.LoadFile(path);
+  if (!loaded.ok()) {
+    std::cerr << loaded.ToString() << "\n";
     return 1;
   }
-  ContextPtr ctx = std::make_shared<Context>();
-  Result<ParsedUnit> parsed = ParseProgram(*source, ctx);
-  if (!parsed.ok()) {
-    std::cerr << parsed.status().ToString() << "\n";
-    return 1;
-  }
-  Result<Atom> fact = ParseAtom(fact_text, ctx.get());
+  Result<Atom> fact = ParseAtom(fact_text, engine.ctx().get());
   if (!fact.ok() || !fact->IsGround()) {
     std::cerr << "explain needs a ground fact, e.g. \"tc(n0, n2)\"\n";
     return 1;
   }
-  Database edb;
-  for (const Atom& f : parsed->facts) (void)edb.AddFact(f);
-  EvalOptions options;
-  options.record_provenance = true;
-  Result<EvalResult> result = Evaluate(parsed->program, edb, options);
+  Result<EvalResult> result = engine.Run();
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
     return 1;
@@ -372,7 +475,7 @@ int CmdExplain(const std::string& path, const std::string& fact_text) {
   std::vector<Value> row;
   for (const Term& t : fact->args) row.push_back(t.id());
   Result<std::string> explained =
-      ExplainFact(parsed->program, *result, fact->pred, row);
+      ExplainFact(engine.program(), *result, fact->pred, row);
   if (!explained.ok()) {
     std::cerr << explained.status().ToString() << "\n";
     return 1;
@@ -386,23 +489,29 @@ int Main(int argc, char** argv) {
   std::string command = argv[1];
   std::vector<std::string> rest(argv + 2, argv + argc);
   if (command == "optimize") {
+    ValidateFlags(rest, command, kCmdOptimize);
     return CmdOptimize(rest[0], rest);
   }
   if (command == "run") {
+    ValidateFlags(rest, command, kCmdRun);
     return CmdRun(rest[0], rest);
   }
   if (command == "grammar") {
+    ValidateFlags(rest, command, 0);
     return CmdGrammar(rest[0]);
   }
   if (command == "plan") {
+    ValidateFlags(rest, command, 0);
     return CmdPlan(rest[0]);
   }
   if (command == "explain") {
     if (rest.size() < 2) return Usage();
+    ValidateFlags(rest, command, 0);
     return CmdExplain(rest[0], rest[1]);
   }
   if (command == "check") {
     if (rest.size() < 2) return Usage();
+    ValidateFlags(rest, command, kCmdCheck);
     return CmdCheck(rest[0], rest[1], rest);
   }
   return Usage();
