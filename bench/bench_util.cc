@@ -3,6 +3,7 @@
 #include <errno.h>  // program_invocation_short_name (GNU)
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -10,6 +11,7 @@
 #include <mutex>
 
 #include "core/engine.h"
+#include "recovery/atomic_file.h"
 
 namespace exdl::bench {
 
@@ -48,6 +50,18 @@ bool MetricsEnabled() {
          std::string_view(value) != "0";
 }
 
+/// printf-append onto a std::string (the document is built in memory so
+/// the final write can be atomic — a killed bench never leaves a torn
+/// BENCH_*.json behind for the sweep harness to parse).
+void Appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
 void WriteBenchJson() {
   const std::map<std::string, BenchRecord>& records = Records();
   if (records.empty()) return;
@@ -57,47 +71,48 @@ void WriteBenchJson() {
   const char* exe = "bench";
 #endif
   std::string path = std::string("BENCH_") + exe + ".json";
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return;
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [", exe);
+  std::string doc;
+  Appendf(doc, "{\n  \"bench\": \"%s\",\n  \"results\": [", exe);
   bool first = true;
   for (const auto& [name, rec] : records) {
     const double secs = rec.stats.eval_seconds;
     const double tps =
         secs > 0 ? static_cast<double>(rec.stats.tuples_inserted) / secs : 0;
-    std::fprintf(f, "%s\n    {\"name\": \"%s\"", first ? "" : ",",
-                 name.c_str());
-    std::fprintf(f, ", \"eval_seconds\": %.6f", secs);
-    std::fprintf(f, ", \"max_round_seconds\": %.6f",
-                 rec.stats.max_round_seconds);
-    std::fprintf(f, ", \"tuples_per_sec\": %.1f", tps);
-    std::fprintf(f, ", \"tuples_inserted\": %llu",
-                 static_cast<unsigned long long>(rec.stats.tuples_inserted));
-    std::fprintf(f, ", \"duplicate_inserts\": %llu",
-                 static_cast<unsigned long long>(rec.stats.duplicate_inserts));
-    std::fprintf(f, ", \"rule_firings\": %llu",
-                 static_cast<unsigned long long>(rec.stats.rule_firings));
-    std::fprintf(f, ", \"rounds\": %llu",
-                 static_cast<unsigned long long>(rec.stats.rounds));
-    std::fprintf(f, ", \"index_probes\": %llu",
-                 static_cast<unsigned long long>(rec.stats.index_probes));
-    std::fprintf(f, ", \"budget_tripped\": \"%s\"",
-                 std::string(BudgetKindName(rec.stats.budget_tripped))
-                     .c_str());
+    Appendf(doc, "%s\n    {\"name\": \"%s\"", first ? "" : ",", name.c_str());
+    Appendf(doc, ", \"eval_seconds\": %.6f", secs);
+    Appendf(doc, ", \"max_round_seconds\": %.6f",
+            rec.stats.max_round_seconds);
+    Appendf(doc, ", \"tuples_per_sec\": %.1f", tps);
+    Appendf(doc, ", \"tuples_inserted\": %llu",
+            static_cast<unsigned long long>(rec.stats.tuples_inserted));
+    Appendf(doc, ", \"duplicate_inserts\": %llu",
+            static_cast<unsigned long long>(rec.stats.duplicate_inserts));
+    Appendf(doc, ", \"rule_firings\": %llu",
+            static_cast<unsigned long long>(rec.stats.rule_firings));
+    Appendf(doc, ", \"rounds\": %llu",
+            static_cast<unsigned long long>(rec.stats.rounds));
+    Appendf(doc, ", \"index_probes\": %llu",
+            static_cast<unsigned long long>(rec.stats.index_probes));
+    Appendf(doc, ", \"budget_tripped\": \"%s\"",
+            std::string(BudgetKindName(rec.stats.budget_tripped)).c_str());
     if (rec.has_result) {
-      std::fprintf(f, ", \"answers\": %zu", rec.answers);
-      std::fprintf(f, ", \"peak_relation_rows\": %zu",
-                   rec.peak_relation_rows);
-      std::fprintf(f, ", \"total_rows\": %zu", rec.total_rows);
+      Appendf(doc, ", \"answers\": %zu", rec.answers);
+      Appendf(doc, ", \"peak_relation_rows\": %zu", rec.peak_relation_rows);
+      Appendf(doc, ", \"total_rows\": %zu", rec.total_rows);
     }
     if (!rec.telemetry_json.empty()) {
-      std::fprintf(f, ", \"telemetry\": %s", rec.telemetry_json.c_str());
+      // Telemetry documents exceed the Appendf buffer; splice directly.
+      doc += ", \"telemetry\": ";
+      doc += rec.telemetry_json;
     }
-    std::fprintf(f, "}");
+    doc += "}";
     first = false;
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  std::fclose(f);
+  doc += "\n  ]\n}\n";
+  Status written = recovery::AtomicWriteFile(path, doc);
+  if (!written.ok()) {
+    std::cerr << "bench json write failed: " << written.ToString() << "\n";
+  }
 }
 
 BenchRecord& RecordFor(const std::string& name) {

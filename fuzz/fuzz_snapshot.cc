@@ -1,0 +1,56 @@
+// libFuzzer harness for the checkpoint snapshot loader.
+//
+// Feeds arbitrary bytes through DecodeSnapshot. The loader is the trust
+// boundary of crash recovery: it must never crash, hang, or over-allocate
+// on hostile input, and every rejection must be kCorruptCheckpoint — any
+// other error code means a validation path leaked an internal status. A
+// successful decode must survive an encode/decode round trip (the decoded
+// state is canonical, so re-encoding it reproduces an equivalent snapshot).
+//
+// Build with -DEXDL_FUZZ=ON. Under Clang this links libFuzzer; elsewhere
+// EXDL_FUZZ_STANDALONE provides a main() that replays files given on the
+// command line (used by the CI fuzz smoke job).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "recovery/checkpoint.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  exdl::Result<exdl::recovery::Snapshot> snap =
+      exdl::recovery::DecodeSnapshot(bytes);
+  if (!snap.ok()) {
+    if (snap.status().code() != exdl::StatusCode::kCorruptCheckpoint) {
+      __builtin_trap();
+    }
+    return 0;
+  }
+  return 0;
+}
+
+#ifdef EXDL_FUZZ_STANDALONE
+// Minimal replay driver for compilers without -fsanitize=fuzzer.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << argv[i] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string bytes = buffer.str();
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    std::cout << argv[i] << ": ok\n";
+  }
+  return 0;
+}
+#endif  // EXDL_FUZZ_STANDALONE

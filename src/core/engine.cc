@@ -32,6 +32,22 @@ std::string RuleMetricKey(std::string_view name, size_t rule_index) {
   return key;
 }
 
+/// FNV-1a over the printed program plus the semantics-affecting options:
+/// the printer is deterministic, and a resuming process re-derives this
+/// from its own freshly loaded session, so equal fingerprints mean "the
+/// same fixpoint computation".
+uint64_t FingerprintProgram(const Program& program, const EvalOptions& eval) {
+  std::string repr = ToString(program);
+  repr += eval.seminaive ? "|seminaive" : "|naive";
+  repr += eval.boolean_cut ? "|cut" : "|nocut";
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : repr) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions options) : options_(std::move(options)) {
@@ -84,6 +100,60 @@ Status Engine::LoadProgram(Program program, Database edb) {
   last_stats_ = EvalStats();
   last_answers_ = 0;
   last_termination_ = Status::Ok();
+  checkpointer_.reset();
+  resume_.reset();
+  return Status::Ok();
+}
+
+uint64_t Engine::ProgramFingerprint() const {
+  if (!program_) return 0;
+  return FingerprintProgram(*program_, options_.eval);
+}
+
+Status Engine::Resume(const std::string& checkpoint_path) {
+  if (!program_) return Status::FailedPrecondition("no program loaded");
+  if (options_.eval.record_provenance) {
+    return Status::FailedPrecondition(
+        "cannot resume with record_provenance: derivations of completed "
+        "rounds are not checkpointed");
+  }
+  EXDL_ASSIGN_OR_RETURN(recovery::Snapshot snap,
+                        recovery::ReadSnapshotFile(checkpoint_path));
+  if (snap.program_fingerprint != ProgramFingerprint()) {
+    return Status::FailedPrecondition(
+        "checkpoint was written by a different program or evaluation "
+        "options: " + checkpoint_path);
+  }
+  // The snapshot's ids are only meaningful if this session's interning
+  // tables — rebuilt by re-parsing and re-optimizing — are identical to
+  // the writer's. The fingerprint already pinned the program text, so a
+  // mismatch here means the snapshot was tampered with.
+  if (snap.symbols.size() != ctx_->NumSymbols() ||
+      snap.preds.size() != ctx_->NumPredicates()) {
+    return Status::CorruptCheckpoint(
+        "snapshot interning tables disagree with the session context");
+  }
+  for (SymbolId s = 0; s < snap.symbols.size(); ++s) {
+    if (snap.symbols[s] != ctx_->SymbolName(s)) {
+      return Status::CorruptCheckpoint(
+          "snapshot symbol table disagrees with the session context");
+    }
+  }
+  for (PredId p = 0; p < snap.preds.size(); ++p) {
+    const PredicateInfo& info = ctx_->predicate(p);
+    const recovery::SnapshotPred& stored = snap.preds[p];
+    if (stored.name != info.name || stored.arity != info.arity ||
+        stored.adornment != info.adornment.str()) {
+      return Status::CorruptCheckpoint(
+          "snapshot predicate table disagrees with the session context");
+    }
+  }
+  if (!snap.cursor.retired_rules.empty() &&
+      snap.cursor.retired_rules.back() >= program_->rules().size()) {
+    return Status::CorruptCheckpoint(
+        "snapshot retires a rule the program does not have");
+  }
+  resume_ = std::move(snap);
   return Status::Ok();
 }
 
@@ -106,11 +176,24 @@ Status Engine::Optimize() {
 
 Result<EvalResult> Engine::Run() {
   if (!program_) return Status::FailedPrecondition("no program loaded");
-  return Evaluate(*program_, edb_);
+  if (!resume_.has_value()) return Evaluate(*program_, edb_);
+  // Resume: evaluate over the snapshot's database from its cursor. The
+  // snapshot is consumed either way — a failed resume must not silently
+  // turn a later Run() into another resume attempt.
+  Result<EvalResult> result =
+      EvaluateInternal(*program_, resume_->db, &resume_->cursor);
+  resume_.reset();
+  return result;
 }
 
 Result<EvalResult> Engine::Evaluate(const Program& program,
                                     const Database& edb) {
+  return EvaluateInternal(program, edb, nullptr);
+}
+
+Result<EvalResult> Engine::EvaluateInternal(const Program& program,
+                                            const Database& edb,
+                                            const EvalCursor* resume) {
   EvalOptions eval = options_.eval;
   if (eval.telemetry == nullptr) eval.telemetry = telemetry();
   if (eval.telemetry != nullptr) {
@@ -119,6 +202,16 @@ Result<EvalResult> Engine::Evaluate(const Program& program,
       last_rule_texts_.push_back(ToString(*program.context(), rule));
     }
   }
+  if (!options_.checkpoint.directory.empty()) {
+    // Rebuilt per evaluation: the fingerprint depends on the loaded
+    // program, which may have changed since the last Run().
+    checkpointer_ = std::make_unique<recovery::Checkpointer>(
+        options_.checkpoint.directory, FingerprintProgram(program, eval));
+    eval.checkpoint_sink = checkpointer_.get();
+    eval.checkpoint_every_rounds =
+        std::max(1u, options_.checkpoint.every_rounds);
+  }
+  eval.resume = resume;
   Result<EvalResult> result = ::exdl::Evaluate(program, edb, eval);
   if (result.ok()) {
     has_run_ = true;

@@ -29,10 +29,21 @@
 #include "core/optimizer.h"
 #include "eval/evaluator.h"
 #include "obs/telemetry.h"
+#include "recovery/checkpoint.h"
 #include "storage/database.h"
 #include "util/status.h"
 
 namespace exdl {
+
+/// Durable checkpointing of Run() (DESIGN.md §11). With a non-empty
+/// directory the engine writes `<directory>/checkpoint.exdl` atomically
+/// every `every_rounds` completed fixpoint rounds; Resume() picks the
+/// latest one back up. With the directory empty (the default) no
+/// checkpoint code runs anywhere.
+struct CheckpointOptions {
+  std::string directory;
+  uint32_t every_rounds = 1;
+};
 
 struct EngineOptions {
   /// Optimizer pipeline configuration (used by Optimize()).
@@ -45,6 +56,9 @@ struct EngineOptions {
   /// sink already set on optimizer.telemetry / eval.telemetry wins over
   /// the engine-owned one.
   bool collect_telemetry = false;
+  /// Round-boundary checkpointing of Run(); disabled when the directory
+  /// is empty.
+  CheckpointOptions checkpoint;
 };
 
 class Engine {
@@ -70,8 +84,25 @@ class Engine {
   Status Optimize();
 
   /// Evaluates the loaded (possibly optimized) program over the session
-  /// EDB. The result also feeds TelemetryJson()'s summary rows.
+  /// EDB. The result also feeds TelemetryJson()'s summary rows. After a
+  /// successful Resume() the next Run() continues the checkpointed
+  /// fixpoint instead of starting over; relations and answers come out
+  /// byte-identical to an uninterrupted run.
   Result<EvalResult> Run();
+
+  /// Loads the snapshot at `checkpoint_path` and arms the next Run() to
+  /// continue from it. The session must already hold the same program —
+  /// loaded and optimized exactly as it was when the checkpoint was
+  /// written; this is checked via the snapshot's program fingerprint
+  /// (kFailedPrecondition on mismatch) and by comparing the snapshot's
+  /// interning tables against the session context (kCorruptCheckpoint on
+  /// mismatch). A malformed or truncated file yields kCorruptCheckpoint.
+  Status Resume(const std::string& checkpoint_path);
+
+  /// Fingerprint of the loaded program plus the evaluation semantics
+  /// options that change the fixpoint, stamped into every checkpoint so a
+  /// snapshot is never resumed against a different computation.
+  uint64_t ProgramFingerprint() const;
 
   /// Session-less evaluation with this engine's options and telemetry
   /// sink, leaving the loaded program/EDB untouched. The benches use this
@@ -111,8 +142,18 @@ class Engine {
                             std::string_view source) const;
 
  private:
+  /// Shared implementation of Run()/Evaluate(): wires telemetry and the
+  /// checkpoint sink, and — when `resume` is set — enters the fixpoint at
+  /// the cursor instead of round 0.
+  Result<EvalResult> EvaluateInternal(const Program& program,
+                                      const Database& edb,
+                                      const EvalCursor* resume);
+
   EngineOptions options_;
   std::unique_ptr<obs::Telemetry> owned_telemetry_;
+  std::unique_ptr<recovery::Checkpointer> checkpointer_;
+  /// Snapshot armed by Resume(), consumed by the next Run().
+  std::optional<recovery::Snapshot> resume_;
   ContextPtr ctx_;
   std::optional<Program> program_;
   Database edb_;

@@ -16,6 +16,7 @@
 
 #include "analysis/stratification.h"
 #include "obs/telemetry.h"
+#include "recovery/fault.h"
 
 namespace exdl {
 
@@ -289,7 +290,7 @@ class Engine {
       : program_(program), options_(options) {}
 
   Result<EvalResult> Run(const Database& input) {
-    const Clock::time_point eval_begin = Clock::now();
+    eval_begin_ = Clock::now();
     EXDL_RETURN_IF_ERROR(Compile());
     SetupObs();
     SpanGuard eval_span(obs_.t, "eval");
@@ -300,7 +301,7 @@ class Engine {
 
     governed_ = options_.budget.any();
     if (options_.budget.deadline_ms != 0) {
-      deadline_ = eval_begin +
+      deadline_ = eval_begin_ +
                   std::chrono::milliseconds(options_.budget.deadline_ms);
     }
 
@@ -333,21 +334,31 @@ class Engine {
       total_tuples_ += rel.size();
       arena_bytes_ += rel.arena_bytes();
     }
+    // A resume picks the fixpoint up at the checkpointed stratum's round
+    // boundary: completed strata are skipped entirely, counters/retired
+    // rules/deadline credit are restored, and the resume stratum re-enters
+    // its delta loop with the snapshot's watermarks.
+    size_t first_stratum = 0;
+    if (options_.resume != nullptr) {
+      EXDL_RETURN_IF_ERROR(RestoreCursor(strata.size()));
+      first_stratum = options_.resume->stratum;
+    }
+
     // The input alone may already bust a budget (or the token may be
     // pre-cancelled): stop before deriving anything.
     if (governed_) CheckRoundBudgets();
 
     bool stop = false;
-    for (const std::vector<size_t>& stratum : strata) {
+    for (size_t si = first_stratum; si < strata.size(); ++si) {
       if (stop || Tripped()) break;
-      EXDL_RETURN_IF_ERROR(RunFixpoint(stratum, &stop));
+      EXDL_RETURN_IF_ERROR(RunFixpoint(si, strata[si], &stop));
     }
 
     // Catch shard contents written since the last round boundary (e.g. the
     // partial work of a discarded round); workers are quiescent here.
     MergeShards();
 
-    stats_.eval_seconds = SecondsSince(eval_begin);
+    stats_.eval_seconds = resumed_seconds_ + SecondsSince(eval_begin_);
     const BudgetKind trip = static_cast<BudgetKind>(
         trip_.load(std::memory_order_relaxed));
     if (trip != BudgetKind::kNone) {
@@ -380,7 +391,8 @@ class Engine {
  private:
   /// Semi-naive (or naive) fixpoint over one stratum's rules. Relations of
   /// lower strata are fixed; only this stratum's head predicates grow.
-  Status RunFixpoint(const std::vector<size_t>& rule_indices, bool* stop) {
+  Status RunFixpoint(size_t stratum_index,
+                     const std::vector<size_t>& rule_indices, bool* stop) {
     std::unordered_set<PredId> growing;
     for (size_t i : rule_indices) {
       growing.insert(rules_[i].plan.head_pred);
@@ -395,25 +407,43 @@ class Engine {
       return out;
     };
 
-    // Round 0: fire every rule of the stratum over the full database.
-    Clock::time_point round_begin = Clock::now();
-    round_derivations_.store(0, std::memory_order_relaxed);
-    SizeMap start = sizes_;
-    SizeMap delta_lo = start;
-    {
-      SpanGuard round_span(obs_.t, obs_.t != nullptr
-                                       ? "round:" + std::to_string(stats_.rounds)
-                                       : std::string());
-      for (size_t i : rule_indices) {
-        FireVariant(rules_[i], /*delta_step=*/kNoDelta, start, start);
+    Clock::time_point round_begin;
+    SizeMap delta_lo;
+    const bool resuming = options_.resume != nullptr &&
+                          stratum_index == options_.resume->stratum;
+    if (resuming) {
+      // The checkpoint was cut at a completed round boundary of this
+      // stratum (round 0 included): skip straight to the delta loop with
+      // the snapshot's watermarks. Predicates absent from the cursor have
+      // no delta (watermark == current size).
+      delta_lo = sizes_;
+      for (const auto& [pred, lo] : options_.resume->delta_lo) {
+        delta_lo[pred] = lo;
       }
-      if (Tripped()) {
-        DiscardRound();
-        return Status::Ok();
+    } else {
+      // Round 0: fire every rule of the stratum over the full database.
+      round_begin = Clock::now();
+      round_derivations_.store(0, std::memory_order_relaxed);
+      SizeMap start = sizes_;
+      delta_lo = start;
+      {
+        SpanGuard round_span(
+            obs_.t, obs_.t != nullptr
+                        ? "round:" + std::to_string(stats_.rounds)
+                        : std::string());
+        for (size_t i : rule_indices) {
+          FireVariant(rules_[i], /*delta_step=*/kNoDelta, start, start);
+        }
+        if (Tripped()) {
+          DiscardRound();
+          return Status::Ok();
+        }
+        FinishRound(round_begin, round_span.id);
       }
-      FinishRound(round_begin, round_span.id);
+      if (!injected_.ok()) return injected_;
+      EXDL_RETURN_IF_ERROR(MaybeCheckpoint(stratum_index, delta_lo));
+      if (governed_ && CheckRoundBudgets()) return Status::Ok();
     }
-    if (governed_ && CheckRoundBudgets()) return Status::Ok();
 
     *stop = ShouldStopOnGroundQuery();
     while (!*stop) {
@@ -463,8 +493,86 @@ class Engine {
         for (auto& [pred, sz] : new_start) delta_lo[pred] = sz;
         FinishRound(round_begin, round_span.id);
       }
+      if (!injected_.ok()) return injected_;
+      EXDL_RETURN_IF_ERROR(MaybeCheckpoint(stratum_index, delta_lo));
       if (governed_ && CheckRoundBudgets()) return Status::Ok();
       *stop = ShouldStopOnGroundQuery();
+    }
+    return Status::Ok();
+  }
+
+  /// Validates and installs the resume cursor: restores counters, retired
+  /// rules, and charges already-spent wall-clock against the deadline
+  /// budget. Called after Compile, before any stratum runs.
+  Status RestoreCursor(size_t num_strata) {
+    const EvalCursor& c = *options_.resume;
+    if (c.stratum >= num_strata) {
+      return Status::InvalidArgument(
+          "resume cursor stratum out of range for this program");
+    }
+    for (uint32_t r : c.retired_rules) {
+      if (r >= rules_.size()) {
+        return Status::InvalidArgument("resume cursor retires unknown rule");
+      }
+      retired_.insert(r);
+    }
+    stats_.rounds = c.rounds;
+    stats_.rule_firings = c.rule_firings;
+    stats_.tuples_inserted = c.tuples_inserted;
+    stats_.duplicate_inserts = c.duplicate_inserts;
+    stats_.index_probes = c.index_probes;
+    stats_.rows_matched = c.rows_matched;
+    stats_.rules_retired = c.rules_retired;
+    stats_.max_round_seconds = c.max_round_seconds;
+    resumed_seconds_ = c.eval_seconds;
+    if (options_.budget.deadline_ms != 0) {
+      // The deadline budget is for the whole logical evaluation, not this
+      // process: shift it back by the time the checkpointed run spent.
+      deadline_ -= std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(resumed_seconds_));
+    }
+    return Status::Ok();
+  }
+
+  /// Hands the sink a consistent (database, cursor) snapshot every
+  /// `checkpoint_every_rounds` completed rounds. Called right after a
+  /// round-boundary flush (and after the round span closed, so the
+  /// "checkpoint:<round>" span nests directly under "eval"). A sink
+  /// failure is a hard error: evaluation fails closed and the sink's last
+  /// successful write remains the durable state.
+  Status MaybeCheckpoint(size_t stratum_index, const SizeMap& delta_lo) {
+    if (options_.checkpoint_sink == nullptr) return Status::Ok();
+    const uint32_t every = std::max(1u, options_.checkpoint_every_rounds);
+    if (stats_.rounds % every != 0) return Status::Ok();
+    SpanGuard span(obs_.t, obs_.t != nullptr
+                               ? "checkpoint:" + std::to_string(stats_.rounds)
+                               : std::string());
+    const Clock::time_point begin = Clock::now();
+    EvalCursor cursor;
+    cursor.stratum = static_cast<uint32_t>(stratum_index);
+    cursor.rounds = stats_.rounds;
+    cursor.rule_firings = stats_.rule_firings;
+    cursor.tuples_inserted = stats_.tuples_inserted;
+    cursor.duplicate_inserts = stats_.duplicate_inserts;
+    cursor.index_probes = stats_.index_probes;
+    cursor.rows_matched = stats_.rows_matched;
+    cursor.rules_retired = stats_.rules_retired;
+    cursor.eval_seconds = resumed_seconds_ + SecondsSince(eval_begin_);
+    cursor.max_round_seconds = stats_.max_round_seconds;
+    cursor.delta_lo.assign(delta_lo.begin(), delta_lo.end());
+    std::sort(cursor.delta_lo.begin(), cursor.delta_lo.end());
+    cursor.retired_rules.reserve(retired_.size());
+    for (size_t r : retired_) {
+      cursor.retired_rules.push_back(static_cast<uint32_t>(r));
+    }
+    std::sort(cursor.retired_rules.begin(), cursor.retired_rules.end());
+    Result<uint64_t> bytes =
+        options_.checkpoint_sink->Write(program_.ctx(), *db_, cursor);
+    if (!bytes.ok()) return bytes.status();
+    if (obs_.t != nullptr) {
+      obs_.m->Add(obs_.checkpoint_writes, 1);
+      obs_.m->Add(obs_.checkpoint_bytes, static_cast<double>(*bytes));
+      obs_.m->Observe(obs_.checkpoint_seconds_hist, SecondsSince(begin));
     }
     return Status::Ok();
   }
@@ -530,6 +638,21 @@ class Engine {
   /// derivations, bump round stats, record round telemetry, and merge the
   /// metric shards (the workers are quiescent here).
   void FinishRound(Clock::time_point round_begin, obs::SpanId round_span) {
+    // A fault injected earlier in the round (pool dispatch) means some
+    // variants never ran: the buffered partial round must not be flushed.
+    if (!injected_.ok()) {
+      DiscardRound();
+      return;
+    }
+    // Fault site: arena growth at the flush. An injected failure discards
+    // the buffered round and surfaces as a hard kInternal error, leaving
+    // the database (and any on-disk checkpoint) at the previous boundary.
+    if (FaultPlan::Global().armed() &&
+        FaultPlan::Global().ShouldFail("storage.arena_grow")) {
+      injected_ = Status::Internal("injected fault at storage.arena_grow");
+      DiscardRound();
+      return;
+    }
     const uint64_t inserted_before = stats_.tuples_inserted;
     Flush();
     ++stats_.rounds;
@@ -567,6 +690,10 @@ class Engine {
     obs_.tuples_gauge = m.Gauge("storage.tuples");
     obs_.arena_bytes_gauge = m.Gauge("storage.arena_bytes");
     obs_.rehashes_gauge = m.Gauge("storage.rehashes");
+    obs_.checkpoint_writes = m.Counter("eval.checkpoint.writes");
+    obs_.checkpoint_bytes = m.Counter("eval.checkpoint.bytes");
+    obs_.checkpoint_seconds_hist = m.Histogram(
+        "eval.checkpoint.seconds", {0.0001, 0.001, 0.01, 0.1, 1, 10});
     for (size_t k = 1; k <= static_cast<size_t>(BudgetKind::kCancelled);
          ++k) {
       obs_.trip_counters[k] = m.Counter(
@@ -698,6 +825,7 @@ class Engine {
   void FireVariant(const CompiledRule& cr, size_t delta_step,
                    const SizeMap& start, const SizeMap& delta_lo) {
     if (Tripped()) return;  // budget already blown; finish the round fast
+    if (!injected_.ok()) return;  // fault pending; finish the round fast
     const RulePlan& plan = cr.plan;
     // Existence short-circuit (Section 3.1): a single-tuple head needs one
     // witness ever; skip entirely once the tuple exists.
@@ -760,6 +888,13 @@ class Engine {
       for (uint32_t w = 0; w < workers; ++w) {
         worker_states_[w].shard = &shards_[w + 1];
       }
+    }
+    // Fault site: worker-pool dispatch. Fails the variant before any part
+    // runs, so no worker buffer is left half-filled.
+    if (FaultPlan::Global().armed() &&
+        FaultPlan::Global().ShouldFail("eval.pool_dispatch")) {
+      injected_ = Status::Internal("injected fault at eval.pool_dispatch");
+      return;
     }
     if (pool_ == nullptr) {
       pool_ = std::make_unique<WorkerPool>(options_.num_threads - 1);
@@ -996,7 +1131,15 @@ class Engine {
   /// counts head tuples buffered in the current round (used only when
   /// max_derivations_per_round is set).
   bool governed_ = false;
+  Clock::time_point eval_begin_;
   Clock::time_point deadline_;
+  /// Wall-clock already spent by the checkpointed run being resumed
+  /// (0 for a fresh evaluation); folded into eval_seconds and the
+  /// deadline budget.
+  double resumed_seconds_ = 0;
+  /// First injected-fault error of this evaluation; non-OK aborts the run
+  /// as a hard error right after the current round is discarded.
+  Status injected_;
   uint64_t total_tuples_ = 0;
   uint64_t arena_bytes_ = 0;
   std::atomic<uint32_t> trip_{0};
@@ -1026,6 +1169,9 @@ class Engine {
     obs::MetricId tuples_gauge = 0;
     obs::MetricId arena_bytes_gauge = 0;
     obs::MetricId rehashes_gauge = 0;
+    obs::MetricId checkpoint_writes = 0;
+    obs::MetricId checkpoint_bytes = 0;
+    obs::MetricId checkpoint_seconds_hist = 0;
     /// Indexed by rule index (== CompiledRule::rule_index).
     std::vector<obs::MetricId> rule_derived;
     std::vector<obs::MetricId> rule_duplicates;

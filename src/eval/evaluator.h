@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ast/program.h"
@@ -98,6 +99,48 @@ struct EvalBudget {
   static EvalBudget FromEnv();
 };
 
+/// Exact resume point of a fixpoint, captured at a round boundary (the
+/// database has just been flushed; no partial round is in flight). A
+/// checkpoint persists this next to the database; Evaluate with
+/// EvalOptions::resume set re-enters the delta loop of `stratum` as if the
+/// preceding rounds had run in this process.
+struct EvalCursor {
+  /// Index of the stratum the fixpoint was in (strata before it are
+  /// complete; strata after it have not started).
+  uint32_t stratum = 0;
+  /// Cumulative work counters as of the boundary. eval_seconds is the
+  /// wall-clock already spent — a resumed run's deadline budget is charged
+  /// for it, and its final stats continue from these values.
+  uint64_t rounds = 0;
+  uint64_t rule_firings = 0;
+  uint64_t tuples_inserted = 0;
+  uint64_t duplicate_inserts = 0;
+  uint64_t index_probes = 0;
+  uint64_t rows_matched = 0;
+  uint64_t rules_retired = 0;
+  double eval_seconds = 0;
+  double max_round_seconds = 0;
+  /// Semi-naive delta watermarks: for each predicate of the stratum, the
+  /// row id below which tuples are no longer "new". Sorted by PredId so
+  /// the encoding is canonical.
+  std::vector<std::pair<PredId, uint32_t>> delta_lo;
+  /// Rule indices retired by the boolean cut, sorted ascending.
+  std::vector<uint32_t> retired_rules;
+};
+
+/// Destination for round-boundary checkpoints. The evaluator calls Write
+/// with a consistent state (flushed database, matching cursor); the sink
+/// must persist it atomically — a failed Write aborts the evaluation with
+/// the sink's error, leaving whatever the sink last wrote intact.
+/// recovery::Checkpointer is the file-backed implementation.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  /// Persists one snapshot; returns the number of bytes written.
+  virtual Result<uint64_t> Write(const Context& ctx, const Database& db,
+                                 const EvalCursor& cursor) = 0;
+};
+
 struct EvalOptions {
   bool seminaive = true;
   bool boolean_cut = true;
@@ -125,6 +168,19 @@ struct EvalOptions {
   /// boundaries. Null = every site is a never-taken branch; answers, db,
   /// and stats are byte-identical either way. Not owned.
   obs::Telemetry* telemetry = nullptr;
+  /// Durable checkpointing. When non-null the evaluator hands the sink a
+  /// consistent (database, cursor) pair every `checkpoint_every_rounds`
+  /// completed rounds; a sink failure is a hard evaluation error (fail
+  /// closed — the last successfully written checkpoint stays the durable
+  /// state). Null = checkpointing is a never-taken branch. Not owned.
+  CheckpointSink* checkpoint_sink = nullptr;
+  uint32_t checkpoint_every_rounds = 1;
+  /// Resume from a checkpoint: the input database must be the snapshot's
+  /// database and `resume` its cursor. Evaluation skips the completed
+  /// strata and rounds and continues the fixpoint exactly where the
+  /// checkpoint was cut, producing relations and answers byte-identical to
+  /// an uninterrupted run. Not owned; must outlive the evaluation.
+  const EvalCursor* resume = nullptr;
 };
 
 /// Work counters. The paper's "duplicate elimination cost" is

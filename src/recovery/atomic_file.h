@@ -1,0 +1,31 @@
+// Atomic whole-file writes: write to `<path>.tmp`, fsync, rename over
+// `path`. A reader never observes a partially written file — it sees the
+// old contents (or no file) until the rename, and the complete new
+// contents after it. Used for checkpoints, --metrics-json, and the bench
+// BENCH_*.json reports.
+
+#ifndef EXDL_RECOVERY_ATOMIC_FILE_H_
+#define EXDL_RECOVERY_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace exdl::recovery {
+
+/// Writes `data` to `path` atomically. When `fault_sites` is true the four
+/// snapshot fault sites (snapshot.open / snapshot.write / snapshot.fsync /
+/// snapshot.rename, see fault.h) are consulted; an injected write fault
+/// leaves a deliberately truncated temp file, an injected rename fault
+/// leaves the complete temp file but never touches `path` — in both cases
+/// `path` still holds its previous contents.
+Status AtomicWriteFile(const std::string& path, std::string_view data,
+                       bool fault_sites = false);
+
+/// Reads the whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace exdl::recovery
+
+#endif  // EXDL_RECOVERY_ATOMIC_FILE_H_

@@ -82,6 +82,19 @@ bool Relation::Insert(std::span<const Value> row) {
   return true;
 }
 
+bool Relation::LoadRows(std::span<const Value> data, size_t rows) {
+  if (num_rows_ != 0) return false;
+  if (data.size() != rows * arity_) return false;
+  Reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    if (!Insert(data.subspan(r * arity_, arity_))) {
+      Clear();
+      return false;
+    }
+  }
+  return true;
+}
+
 void Relation::Reserve(size_t rows) {
   data_.reserve(rows * arity_);
   const size_t want = NextPow2(rows + rows / 4);

@@ -150,6 +150,20 @@ class Relation {
     return std::span<const Value>(data_.data() + row_id * arity_, arity_);
   }
 
+  /// Zero-copy view of the whole arena in row order: size() * arity()
+  /// values, row r at [r * arity, (r + 1) * arity). Invalidated like
+  /// Row(). Checkpoint serialization reads relations through this.
+  std::span<const Value> RawData() const {
+    return std::span<const Value>(data_.data(), num_rows_ * arity_);
+  }
+
+  /// Bulk-loads `rows` tuples (an arity-strided value array laid out like
+  /// RawData) into this relation, which must be empty. Returns false —
+  /// leaving the relation empty — when the shape is wrong or a tuple
+  /// repeats; checkpoint restore uses that as a corruption signal, since a
+  /// valid snapshot never contains duplicates.
+  bool LoadRows(std::span<const Value> data, size_t rows);
+
   /// True if the exact tuple is present — `key` is any key view of arity
   /// values (see HashKeyView). Allocation-free.
   template <typename KeyView>

@@ -25,6 +25,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kCorruptCheckpoint:
+      return "CorruptCheckpoint";
   }
   return "Unknown";
 }

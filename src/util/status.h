@@ -25,6 +25,7 @@ enum class StatusCode {
   kDeadlineExceeded,  ///< A wall-clock budget expired (EvalBudget).
   kResourceExhausted, ///< A tuple/byte/derivation budget was exceeded.
   kCancelled,         ///< Stopped via an external CancellationToken.
+  kCorruptCheckpoint, ///< A snapshot failed CRC/structural validation.
 };
 
 /// Returns a short stable name for `code` ("InvalidArgument", ...).
@@ -62,6 +63,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status CorruptCheckpoint(std::string msg) {
+    return Status(StatusCode::kCorruptCheckpoint, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <string>
@@ -286,6 +287,118 @@ TEST_F(CliObsTest, UnknownFlagIsUsageError) {
   EXPECT_EQ(DecodeExitCode(status), 2) << out;
   EXPECT_NE(out.find("--metrics-json requires a value"), std::string::npos)
       << out;
+}
+
+class CliRecoveryTest : public CliBudgetTest {
+ protected:
+  /// Fresh checkpoint directory per test.
+  std::string MakeCheckpointDir() {
+    std::string templ = ::testing::TempDir() + "/cli_recovery_XXXXXX";
+    EXPECT_NE(mkdtemp(templ.data()), nullptr);
+    return templ;
+  }
+  static bool FileExists(const std::string& path) {
+    std::ifstream in(path);
+    return in.good();
+  }
+};
+
+TEST_F(CliRecoveryTest, CrashAndResumeIsByteIdentical) {
+  std::string chain = WriteChain(120);
+  std::string dir = MakeCheckpointDir();
+  int status = 0;
+  std::string ref = RunCommand(
+      "( " + Exdlc() + " run " + chain + " 2>/dev/null )", &status);
+  ASSERT_EQ(DecodeExitCode(status), 0);
+
+  // Crash mid-fixpoint via the deterministic fault plan (exit 86 is the
+  // injected-crash code), leaving the last round-boundary checkpoint.
+  std::string out = RunCommand(
+      "EXDL_FAULT_SPEC=storage.arena_grow:20:abort " + Exdlc() + " run " +
+          chain + " --checkpoint-dir " + dir + " --checkpoint-every-rounds 1",
+      &status);
+  EXPECT_EQ(DecodeExitCode(status), 86) << out;
+  EXPECT_NE(out.find("injected crash at storage.arena_grow"),
+            std::string::npos)
+      << out;
+  ASSERT_TRUE(FileExists(dir + "/checkpoint.exdl"));
+
+  std::string resumed = RunCommand(
+      "( " + Exdlc() + " run " + chain + " --resume " + dir +
+          "/checkpoint.exdl 2>/dev/null )",
+      &status);
+  EXPECT_EQ(DecodeExitCode(status), 0);
+  EXPECT_EQ(resumed, ref);
+}
+
+TEST_F(CliRecoveryTest, CorruptCheckpointExitsSeven) {
+  std::string chain = WriteChain(40);
+  std::string dir = MakeCheckpointDir();
+  int status = 0;
+  RunCommand(Exdlc() + " run " + chain + " --checkpoint-dir " + dir, &status);
+  ASSERT_EQ(DecodeExitCode(status), 0);
+
+  // Flip one byte in the middle of the snapshot; the CRC must catch it.
+  std::string ckpt = dir + "/checkpoint.exdl";
+  RunCommand("printf '\\377' | dd of=" + ckpt +
+                 " bs=1 seek=200 count=1 conv=notrunc",
+             &status);
+  std::string out =
+      RunCommand(Exdlc() + " run " + chain + " --resume " + ckpt, &status);
+  EXPECT_EQ(DecodeExitCode(status), 7) << out;
+  EXPECT_NE(out.find("CorruptCheckpoint"), std::string::npos) << out;
+}
+
+TEST_F(CliRecoveryTest, ResumeAgainstDifferentProgramIsRefused) {
+  std::string chain = WriteChain(40);
+  std::string dir = MakeCheckpointDir();
+  int status = 0;
+  RunCommand(Exdlc() + " run " + chain + " --checkpoint-dir " + dir, &status);
+  ASSERT_EQ(DecodeExitCode(status), 0);
+  std::string out = RunCommand(Exdlc() + " run " + program_path_ +
+                                   " --resume " + dir + "/checkpoint.exdl",
+                               &status);
+  EXPECT_EQ(DecodeExitCode(status), 1) << out;
+  EXPECT_NE(out.find("FailedPrecondition"), std::string::npos) << out;
+}
+
+TEST_F(CliRecoveryTest, BadFaultSpecIsUsageError) {
+  int status = 0;
+  std::string out = RunCommand(
+      "EXDL_FAULT_SPEC=no.such.site:1 " + Exdlc() + " run " + program_path_,
+      &status);
+  EXPECT_EQ(DecodeExitCode(status), 2) << out;
+  EXPECT_NE(out.find("unknown fault site"), std::string::npos) << out;
+}
+
+TEST_F(CliRecoveryTest, CheckpointSpanAppearsInTrace) {
+  std::string chain = WriteChain(20);
+  std::string dir = MakeCheckpointDir();
+  int status = 0;
+  std::string out = RunCommand(Exdlc() + " run " + chain +
+                                   " --checkpoint-dir " + dir + " --trace",
+                               &status);
+  EXPECT_EQ(DecodeExitCode(status), 0) << out;
+  EXPECT_NE(out.find("checkpoint:"), std::string::npos) << out;
+}
+
+TEST_F(CliObsTest, MetricsJsonWriteIsAtomic) {
+  std::string json_path = ::testing::TempDir() + "/cli_test_atomic.json";
+  int code = 0;
+  std::string out = RunCommand(
+      Exdlc() + " run " + program_path_ + " --metrics-json " + json_path,
+      &code);
+  EXPECT_EQ(code, 0) << out;
+  // The temp file of the atomic protocol must not survive a clean emit,
+  // and the document must be complete (closed JSON object).
+  std::ifstream tmp(json_path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::string doc = ReadAll(json_path);
+  ASSERT_FALSE(doc.empty());
+  size_t last = doc.find_last_not_of(" \n\t");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_EQ(doc[last], '}') << doc.substr(doc.size() > 80 ? doc.size() - 80
+                                                          : 0);
 }
 
 TEST_F(CliTest, GrammarCommand) {

@@ -176,6 +176,31 @@ TEST(GovernanceTest, CrossThreadCancellationStopsTheFixpoint) {
   EXPECT_EQ(partial.stats.budget_tripped, BudgetKind::kCancelled);
 }
 
+TEST(GovernanceTest, CrossThreadCancellationUnderWorkerPoolLeavesPrefix) {
+  // Same mid-flight cancellation, but with the 4-worker pool active: the
+  // cancel lands while worker threads are inside a round. The fixpoint
+  // must still stop at a round boundary and hand back a consistent
+  // row-for-row prefix of the converged database — no torn round, no
+  // partially merged worker buffers.
+  ParsedProgram p = MustParse(ChainSource(1200));
+  EvalResult full = MustEval(p.program, p.edb);
+
+  CancellationToken token;
+  EvalOptions governed;
+  governed.num_threads = 4;
+  governed.budget.cancellation = &token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token.Cancel();
+  });
+  EvalResult partial = MustEval(p.program, p.edb, governed);
+  canceller.join();
+
+  EXPECT_EQ(partial.termination.code(), StatusCode::kCancelled);
+  EXPECT_EQ(partial.stats.budget_tripped, BudgetKind::kCancelled);
+  EXPECT_TRUE(IsRowPrefixOf(partial.db, full.db));
+}
+
 TEST(GovernanceTest, GovernedRunWithoutTripIsByteIdentical) {
   ParsedProgram p = MustParse(ChainSource(60));
   EvalResult plain = MustEval(p.program, p.edb);

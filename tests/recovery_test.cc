@@ -1,0 +1,449 @@
+// Durable checkpoint/restore (DESIGN.md §11): snapshot round trips,
+// loader hardening against corrupt bytes, crash/resume byte-identity in
+// serial and parallel evaluation, and the deterministic fault-injection
+// plan that drives all of it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "recovery/atomic_file.h"
+#include "recovery/checkpoint.h"
+#include "recovery/fault.h"
+#include "testing/test_util.h"
+
+namespace exdl {
+namespace {
+
+using recovery::Checkpointer;
+using recovery::DecodeSnapshot;
+using recovery::ReadSnapshotFile;
+using recovery::Snapshot;
+
+/// Transitive closure over an n-edge chain: n rounds, O(n^2) tuples.
+std::string ChainSource(int n) {
+  std::string src =
+      "tc(X, Y) :- e(X, Y).\n"
+      "tc(X, Z) :- e(X, Y), tc(Y, Z).\n"
+      "?- tc(n0, X).\n";
+  for (int i = 0; i < n; ++i) {
+    src += "e(n" + std::to_string(i) + ", n" + std::to_string(i + 1) + ").\n";
+  }
+  return src;
+}
+
+/// True if the two databases hold exactly the same rows in the same
+/// insertion order (insertion order is the semi-naive delta mechanism, so
+/// resume correctness requires it, not just set equality).
+bool SameDatabase(const Database& a, const Database& b) {
+  for (const auto* pair : {&a, &b}) {
+    const Database& x = *pair;
+    const Database& y = (pair == &a) ? b : a;
+    for (const auto& [pred, rel] : x.relations()) {
+      const Relation* other = y.Find(pred);
+      if (rel.size() == 0 && other == nullptr) continue;
+      if (other == nullptr || rel.size() != other->size()) return false;
+      for (size_t r = 0; r < rel.size(); ++r) {
+        std::span<const Value> ra = rel.Row(r);
+        std::span<const Value> rb = other->Row(r);
+        if (!std::equal(ra.begin(), ra.end(), rb.begin(), rb.end())) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// A fresh directory under the test temp root.
+std::string MakeCheckpointDir() {
+  std::string templ = ::testing::TempDir() + "/recovery_test_XXXXXX";
+  char* made = mkdtemp(templ.data());
+  EXPECT_NE(made, nullptr);
+  return templ;
+}
+
+/// Evaluates `source` through an Engine; `mutate` adjusts the options
+/// before construction (checkpoint dir, threads, budget, ...).
+struct EngineRun {
+  Status status = Status::Ok();   ///< Run() error, if any.
+  EvalResult result;              ///< Valid only when status is OK.
+  uint64_t fingerprint = 0;
+};
+
+template <typename Fn>
+EngineRun RunEngine(const std::string& source, Fn mutate,
+                    const std::string& resume_path = "") {
+  EngineOptions options;
+  mutate(options);
+  Engine engine(std::move(options));
+  EngineRun out;
+  Status loaded = engine.LoadSource(source);
+  if (!loaded.ok()) {
+    out.status = loaded;
+    return out;
+  }
+  out.fingerprint = engine.ProgramFingerprint();
+  if (!resume_path.empty()) {
+    Status resumed = engine.Resume(resume_path);
+    if (!resumed.ok()) {
+      out.status = resumed;
+      return out;
+    }
+  }
+  Result<EvalResult> result = engine.Run();
+  if (!result.ok()) {
+    out.status = result.status();
+    return out;
+  }
+  out.result = std::move(result).value();
+  return out;
+}
+
+/// Every test disarms the global fault plan on both ends: a fault armed by
+/// a failing test must never leak into the next one.
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultPlan::Global().Disarm(); }
+  void TearDown() override { FaultPlan::Global().Disarm(); }
+};
+
+using FaultPlanTest = RecoveryTest;
+using SnapshotTest = RecoveryTest;
+
+// ---------------------------------------------------------------------------
+// Fault plan
+
+TEST_F(FaultPlanTest, SpecParsing) {
+  FaultPlan& plan = FaultPlan::Global();
+  EXPECT_EQ(plan.Arm("nope").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(plan.Arm("storage.arena_grow:0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(plan.Arm("storage.arena_grow:x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(plan.Arm("storage.arena_grow:1:explode").code(),
+            StatusCode::kInvalidArgument);
+  Status unknown = plan.Arm("no.such.site:1");
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+  // The error teaches the registry, so a typo in a sweep script is
+  // self-diagnosing.
+  EXPECT_NE(unknown.ToString().find("registered"), std::string::npos);
+  EXPECT_TRUE(plan.Arm("snapshot.write:3").ok());
+  EXPECT_TRUE(plan.armed());
+  EXPECT_TRUE(plan.Arm("storage.arena_grow:2:abort").ok());
+}
+
+TEST_F(FaultPlanTest, SiteRegistryIsStable) {
+  EXPECT_TRUE(FaultPlan::IsSite("storage.arena_grow"));
+  EXPECT_TRUE(FaultPlan::IsSite("eval.pool_dispatch"));
+  EXPECT_TRUE(FaultPlan::IsSite("snapshot.open"));
+  EXPECT_TRUE(FaultPlan::IsSite("snapshot.write"));
+  EXPECT_TRUE(FaultPlan::IsSite("snapshot.fsync"));
+  EXPECT_TRUE(FaultPlan::IsSite("snapshot.rename"));
+  EXPECT_FALSE(FaultPlan::IsSite("snapshot.unlink"));
+  EXPECT_EQ(FaultPlan::Sites().size(), 6u);
+}
+
+TEST_F(FaultPlanTest, NthHitFiresExactlyOnce) {
+  FaultPlan& plan = FaultPlan::Global();
+  ASSERT_TRUE(plan.Arm("snapshot.open:3").ok());
+  EXPECT_FALSE(plan.ShouldFail("snapshot.open"));  // hit 1
+  EXPECT_FALSE(plan.ShouldFail("snapshot.fsync"));  // other site: no count
+  EXPECT_FALSE(plan.ShouldFail("snapshot.open"));  // hit 2
+  EXPECT_TRUE(plan.ShouldFail("snapshot.open"));   // hit 3: fires
+  EXPECT_FALSE(plan.ShouldFail("snapshot.open"));  // hit 4: spent
+  EXPECT_EQ(plan.hits(), 4u);
+  plan.Disarm();
+  EXPECT_FALSE(plan.armed());
+  EXPECT_FALSE(plan.ShouldFail("snapshot.open"));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot encode/decode
+
+TEST_F(SnapshotTest, CheckpointFileRoundTrips) {
+  const std::string dir = MakeCheckpointDir();
+  EngineRun run = RunEngine(ChainSource(30), [&](EngineOptions& o) {
+    o.checkpoint.directory = dir;
+    o.checkpoint.every_rounds = 1;
+  });
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+
+  Result<Snapshot> snap = ReadSnapshotFile(Checkpointer::PathIn(dir));
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  // The final checkpoint is cut at the last completed round: it carries the
+  // converged database and the cumulative cursor.
+  EXPECT_TRUE(SameDatabase(snap->db, run.result.db));
+  EXPECT_EQ(snap->cursor.rounds, run.result.stats.rounds);
+  EXPECT_EQ(snap->cursor.tuples_inserted, run.result.stats.tuples_inserted);
+  EXPECT_EQ(snap->program_fingerprint, run.fingerprint);
+  EXPECT_FALSE(snap->symbols.empty());
+  EXPECT_FALSE(snap->preds.empty());
+}
+
+TEST_F(SnapshotTest, EveryTruncationIsCorrupt) {
+  const std::string dir = MakeCheckpointDir();
+  EngineRun run = RunEngine(ChainSource(10), [&](EngineOptions& o) {
+    o.checkpoint.directory = dir;
+  });
+  ASSERT_TRUE(run.status.ok());
+  Result<std::string> bytes =
+      recovery::ReadFileToString(Checkpointer::PathIn(dir));
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_GT(bytes->size(), 0u);
+  for (size_t len = 0; len < bytes->size(); ++len) {
+    Result<Snapshot> snap = DecodeSnapshot(std::string_view(*bytes).substr(0, len));
+    ASSERT_FALSE(snap.ok()) << "accepted a " << len << "-byte prefix";
+    ASSERT_EQ(snap.status().code(), StatusCode::kCorruptCheckpoint)
+        << snap.status().ToString();
+  }
+}
+
+TEST_F(SnapshotTest, EverySingleBitFlipIsCorrupt) {
+  const std::string dir = MakeCheckpointDir();
+  EngineRun run = RunEngine(ChainSource(10), [&](EngineOptions& o) {
+    o.checkpoint.directory = dir;
+  });
+  ASSERT_TRUE(run.status.ok());
+  Result<std::string> bytes =
+      recovery::ReadFileToString(Checkpointer::PathIn(dir));
+  ASSERT_TRUE(bytes.ok());
+  std::string mutated = *bytes;
+  for (size_t i = 0; i < mutated.size(); ++i) {
+    for (int bit : {0, 7}) {
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      Result<Snapshot> snap = DecodeSnapshot(mutated);
+      ASSERT_FALSE(snap.ok()) << "accepted flip of bit " << bit << " in byte "
+                              << i;
+      ASSERT_EQ(snap.status().code(), StatusCode::kCorruptCheckpoint);
+      mutated[i] = (*bytes)[i];
+    }
+  }
+}
+
+TEST_F(SnapshotTest, MissingFileIsNotFoundNotCorrupt) {
+  Result<Snapshot> snap = ReadSnapshotFile("/nonexistent/checkpoint.exdl");
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, CadenceHonorsEveryNRounds) {
+  const std::string dir = MakeCheckpointDir();
+  EngineRun run = RunEngine(ChainSource(20), [&](EngineOptions& o) {
+    o.checkpoint.directory = dir;
+    o.checkpoint.every_rounds = 3;
+  });
+  ASSERT_TRUE(run.status.ok());
+  Result<Snapshot> snap = ReadSnapshotFile(Checkpointer::PathIn(dir));
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->cursor.rounds % 3, 0u);
+  EXPECT_GT(snap->cursor.rounds, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash + resume
+
+TEST_F(RecoveryTest, SerialCrashResumeIsByteIdentical) {
+  EngineRun ref = RunEngine(ChainSource(150), [](EngineOptions&) {});
+  ASSERT_TRUE(ref.status.ok());
+
+  const std::string dir = MakeCheckpointDir();
+  ASSERT_TRUE(FaultPlan::Global().Arm("storage.arena_grow:5").ok());
+  EngineRun crashed = RunEngine(ChainSource(150), [&](EngineOptions& o) {
+    o.checkpoint.directory = dir;
+    o.checkpoint.every_rounds = 1;
+  });
+  // The injected fault is a hard error: no partial result escapes.
+  ASSERT_FALSE(crashed.status.ok());
+  EXPECT_EQ(crashed.status.code(), StatusCode::kInternal);
+
+  FaultPlan::Global().Disarm();
+  EngineRun resumed = RunEngine(
+      ChainSource(150), [](EngineOptions&) {}, Checkpointer::PathIn(dir));
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+  EXPECT_TRUE(SameDatabase(resumed.result.db, ref.result.db));
+  EXPECT_EQ(resumed.result.answers, ref.result.answers);
+  // Cumulative stats survive the crash: the resumed run reports the whole
+  // computation, not just its tail.
+  EXPECT_EQ(resumed.result.stats.rounds, ref.result.stats.rounds);
+  EXPECT_EQ(resumed.result.stats.tuples_inserted,
+            ref.result.stats.tuples_inserted);
+  EXPECT_EQ(resumed.result.stats.rule_firings, ref.result.stats.rule_firings);
+}
+
+TEST_F(RecoveryTest, ParallelCrashResumeIsByteIdentical) {
+  EngineRun ref = RunEngine(ChainSource(200), [](EngineOptions& o) {
+    o.eval.num_threads = 4;
+  });
+  ASSERT_TRUE(ref.status.ok());
+
+  const std::string dir = MakeCheckpointDir();
+  ASSERT_TRUE(FaultPlan::Global().Arm("eval.pool_dispatch:5").ok());
+  EngineRun crashed = RunEngine(ChainSource(200), [&](EngineOptions& o) {
+    o.eval.num_threads = 4;
+    o.checkpoint.directory = dir;
+    o.checkpoint.every_rounds = 1;
+  });
+  ASSERT_FALSE(crashed.status.ok());
+  ASSERT_GE(FaultPlan::Global().hits(), 5u);  // The pool really dispatched.
+
+  FaultPlan::Global().Disarm();
+  EngineRun resumed = RunEngine(
+      ChainSource(200),
+      [](EngineOptions& o) { o.eval.num_threads = 4; },
+      Checkpointer::PathIn(dir));
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+  EXPECT_TRUE(SameDatabase(resumed.result.db, ref.result.db));
+  EXPECT_EQ(resumed.result.answers, ref.result.answers);
+  EXPECT_EQ(resumed.result.stats.tuples_inserted,
+            ref.result.stats.tuples_inserted);
+
+  // Cross-mode: a serial resume of the parallel run's checkpoint also
+  // converges to the same state (partition-order merge keeps parallel
+  // rounds byte-identical to serial ones).
+  EngineRun serial_resume = RunEngine(
+      ChainSource(200), [](EngineOptions&) {}, Checkpointer::PathIn(dir));
+  ASSERT_TRUE(serial_resume.status.ok());
+  EXPECT_TRUE(SameDatabase(serial_resume.result.db, ref.result.db));
+}
+
+TEST_F(RecoveryTest, SnapshotWriteFaultLeavesPreviousCheckpointGood) {
+  const std::string dir = MakeCheckpointDir();
+  ASSERT_TRUE(FaultPlan::Global().Arm("snapshot.write:3").ok());
+  EngineRun crashed = RunEngine(ChainSource(60), [&](EngineOptions& o) {
+    o.checkpoint.directory = dir;
+    o.checkpoint.every_rounds = 1;
+  });
+  // A sink failure is a hard error (fail-closed), never a silent skip.
+  ASSERT_FALSE(crashed.status.ok());
+
+  FaultPlan::Global().Disarm();
+  // The torn write went to the temp file; the real checkpoint is the last
+  // complete one (round 2 of 3 attempted).
+  Result<Snapshot> snap = ReadSnapshotFile(Checkpointer::PathIn(dir));
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->cursor.rounds, 2u);
+
+  EngineRun ref = RunEngine(ChainSource(60), [](EngineOptions&) {});
+  EngineRun resumed = RunEngine(
+      ChainSource(60), [](EngineOptions&) {}, Checkpointer::PathIn(dir));
+  ASSERT_TRUE(resumed.status.ok());
+  EXPECT_TRUE(SameDatabase(resumed.result.db, ref.result.db));
+}
+
+TEST_F(RecoveryTest, BudgetTrippedRunLeavesResumableCheckpoint) {
+  EngineRun ref = RunEngine(ChainSource(100), [](EngineOptions&) {});
+  ASSERT_TRUE(ref.status.ok());
+
+  const std::string dir = MakeCheckpointDir();
+  EngineRun tripped = RunEngine(ChainSource(100), [&](EngineOptions& o) {
+    o.checkpoint.directory = dir;
+    o.eval.budget.max_tuples = 1500;
+  });
+  // A budget trip is a partial *result*, not an error — and because the
+  // checkpoint is cut before the budget check, the trip round itself is
+  // on disk and nothing is lost.
+  ASSERT_TRUE(tripped.status.ok());
+  ASSERT_EQ(tripped.result.termination.code(),
+            StatusCode::kResourceExhausted);
+
+  EngineRun resumed = RunEngine(
+      ChainSource(100), [](EngineOptions&) {}, Checkpointer::PathIn(dir));
+  ASSERT_TRUE(resumed.status.ok());
+  EXPECT_TRUE(resumed.result.termination.ok());
+  EXPECT_TRUE(SameDatabase(resumed.result.db, ref.result.db));
+  EXPECT_EQ(resumed.result.answers, ref.result.answers);
+}
+
+TEST_F(RecoveryTest, FingerprintMismatchIsRejected) {
+  const std::string dir = MakeCheckpointDir();
+  EngineRun run = RunEngine(ChainSource(10), [&](EngineOptions& o) {
+    o.checkpoint.directory = dir;
+  });
+  ASSERT_TRUE(run.status.ok());
+
+  // Same predicates and symbols would not even matter: the program text
+  // differs, so the fingerprint refuses before any id-level check.
+  EngineRun other = RunEngine(
+      "tc(X, Y) :- e(X, Y).\n?- tc(n0, X).\ne(n0, n1).\n",
+      [](EngineOptions&) {}, Checkpointer::PathIn(dir));
+  ASSERT_FALSE(other.status.ok());
+  EXPECT_EQ(other.status.code(), StatusCode::kFailedPrecondition);
+
+  // Same program under different evaluation semantics is also a different
+  // computation.
+  EngineRun naive = RunEngine(
+      ChainSource(10), [](EngineOptions& o) { o.eval.seminaive = false; },
+      Checkpointer::PathIn(dir));
+  ASSERT_FALSE(naive.status.ok());
+  EXPECT_EQ(naive.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RecoveryTest, CheckpointedRunIsByteIdenticalToPlain) {
+  // Checkpointing must observe, never perturb: the run with a sink enabled
+  // produces exactly the database and stats of the plain run.
+  EngineRun plain = RunEngine(ChainSource(80), [](EngineOptions&) {});
+  ASSERT_TRUE(plain.status.ok());
+  const std::string dir = MakeCheckpointDir();
+  EngineRun observed = RunEngine(ChainSource(80), [&](EngineOptions& o) {
+    o.checkpoint.directory = dir;
+    o.checkpoint.every_rounds = 1;
+  });
+  ASSERT_TRUE(observed.status.ok());
+  EXPECT_TRUE(SameDatabase(observed.result.db, plain.result.db));
+  EXPECT_EQ(observed.result.answers, plain.result.answers);
+  EXPECT_EQ(observed.result.stats.rounds, plain.result.stats.rounds);
+  EXPECT_EQ(observed.result.stats.tuples_inserted,
+            plain.result.stats.tuples_inserted);
+  EXPECT_EQ(observed.result.stats.index_probes,
+            plain.result.stats.index_probes);
+}
+
+TEST_F(RecoveryTest, FaultSweepAlwaysLeavesARecoverablePath) {
+  // The in-test edition of tools/fault_sweep.sh: every registered site, two
+  // trigger counts, 4-thread evaluation. Each injected fault must leave
+  // either the correct final result (the fault site was never reached or
+  // the failure was absorbed) or a state from which resume — or a plain
+  // restart when no checkpoint was ever written — reproduces the reference
+  // exactly.
+  const std::string source = ChainSource(200);
+  EngineRun ref = RunEngine(source, [](EngineOptions& o) {
+    o.eval.num_threads = 4;
+  });
+  ASSERT_TRUE(ref.status.ok());
+
+  for (std::string_view site : FaultPlan::Sites()) {
+    for (uint64_t trigger : {1u, 2u}) {
+      const std::string spec =
+          std::string(site) + ":" + std::to_string(trigger);
+      SCOPED_TRACE(spec);
+      const std::string dir = MakeCheckpointDir();
+      ASSERT_TRUE(FaultPlan::Global().Arm(spec).ok());
+      EngineRun faulted = RunEngine(source, [&](EngineOptions& o) {
+        o.eval.num_threads = 4;
+        o.checkpoint.directory = dir;
+        o.checkpoint.every_rounds = 1;
+      });
+      FaultPlan::Global().Disarm();
+
+      if (faulted.status.ok()) {
+        EXPECT_TRUE(SameDatabase(faulted.result.db, ref.result.db));
+        continue;
+      }
+      const std::string path = Checkpointer::PathIn(dir);
+      const bool have_checkpoint = ReadSnapshotFile(path).ok();
+      EngineRun recovered = RunEngine(
+          source, [](EngineOptions& o) { o.eval.num_threads = 4; },
+          have_checkpoint ? path : "");
+      ASSERT_TRUE(recovered.status.ok()) << recovered.status.ToString();
+      EXPECT_TRUE(SameDatabase(recovered.result.db, ref.result.db));
+      EXPECT_EQ(recovered.result.answers, ref.result.answers);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exdl

@@ -7,7 +7,8 @@
 //
 //   exdlc run <file> [--naive] [--no-cut] [--optimize] [--threads N]
 //                    [--deadline-ms N] [--max-tuples N] [--max-bytes N]
-//                    [--trace] [--metrics-json FILE]
+//                    [--checkpoint-dir DIR] [--checkpoint-every-rounds N]
+//                    [--resume FILE] [--trace] [--metrics-json FILE]
 //       Evaluate the program over the facts in the same file and print
 //       the query answers plus engine statistics. The budget flags bound
 //       the run: wall-clock deadline, total derived-tuple count, and
@@ -16,6 +17,13 @@
 //       see EvalBudget::FromEnv). A tripped budget (or Ctrl-C) stops
 //       evaluation at a round boundary, prints the answers computed so far
 //       from the consistent partial database, and exits nonzero (below).
+//       With --checkpoint-dir, every Nth round boundary (default: every
+//       round) writes DIR/checkpoint.exdl atomically; --resume FILE reloads
+//       such a snapshot and continues the fixpoint from the recorded round,
+//       producing output byte-identical to an uninterrupted run. The resumed
+//       invocation must use the same program file and the same
+//       --optimize/--naive/--no-cut configuration (the snapshot carries a
+//       program fingerprint and is refused otherwise).
 //
 //   exdlc grammar <file>
 //       For a binary chain program: print the grammar, regularity
@@ -49,6 +57,11 @@
 //   4  run: --deadline-ms exceeded (partial answers were printed)
 //   5  run: --max-tuples / --max-bytes exhausted (partial answers printed)
 //   6  run/optimize: cancelled by SIGINT (partial answers printed)
+//   7  run: --resume snapshot failed CRC or structural validation
+//
+// Fault injection (testing): EXDL_FAULT_SPEC="<site>:<n>[:abort]" arms one
+// deterministic fault that fires on the Nth hit of the named site (see
+// recovery/fault.h for the registry). A malformed spec exits 2.
 
 #include <csignal>
 #include <cstdlib>
@@ -70,6 +83,8 @@
 #include "grammar/regularity.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
+#include "recovery/atomic_file.h"
+#include "recovery/fault.h"
 #include "util/cancellation.h"
 
 namespace exdl {
@@ -93,6 +108,8 @@ int ExitCodeFor(const Status& termination) {
       return 5;
     case StatusCode::kCancelled:
       return 6;
+    case StatusCode::kCorruptCheckpoint:
+      return 7;
     default:
       return 1;
   }
@@ -139,6 +156,10 @@ constexpr FlagSpec kFlagTable[] = {
     {"--deadline-ms", true, kCmdRun},
     {"--max-tuples", true, kCmdRun},
     {"--max-bytes", true, kCmdRun},
+    // durability
+    {"--checkpoint-dir", true, kCmdRun},
+    {"--checkpoint-every-rounds", true, kCmdRun},
+    {"--resume", true, kCmdRun},
     // equivalence checking
     {"--trials", true, kCmdCheck},
     // observability
@@ -260,12 +281,15 @@ int EmitObservability(Engine& engine, const std::vector<std::string>& flags,
   const std::string metrics_path =
       FlagString(flags, "--metrics-json", std::string());
   if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    if (!out) {
-      std::cerr << "cannot write " << metrics_path << "\n";
+    // Atomic (temp + fsync + rename) so a crash mid-emit never leaves a
+    // truncated JSON document for a dashboard scraper to choke on.
+    Status written = recovery::AtomicWriteFile(
+        metrics_path, engine.TelemetryJson(command, path));
+    if (!written.ok()) {
+      std::cerr << "cannot write " << metrics_path << ": "
+                << written.ToString() << "\n";
       return 1;
     }
-    out << engine.TelemetryJson(command, path);
   }
   return 0;
 }
@@ -326,6 +350,10 @@ int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
   options.optimizer.cancellation = &g_interrupted;
   options.collect_telemetry =
       HasFlag(flags, "--trace") || HasFlag(flags, "--metrics-json");
+  options.checkpoint.directory =
+      FlagString(flags, "--checkpoint-dir", std::string());
+  options.checkpoint.every_rounds =
+      FlagValue(flags, "--checkpoint-every-rounds", 1);
   Engine engine(std::move(options));
   Status loaded = engine.LoadFile(path);
   if (!loaded.ok()) {
@@ -337,6 +365,17 @@ int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
     if (!optimized.ok()) {
       std::cerr << optimized.ToString() << "\n";
       return 1;
+    }
+  }
+  // Resume after optimization so the snapshot fingerprint is checked
+  // against the program actually being evaluated.
+  const std::string resume_path =
+      FlagString(flags, "--resume", std::string());
+  if (!resume_path.empty()) {
+    Status resumed = engine.Resume(resume_path);
+    if (!resumed.ok()) {
+      std::cerr << resumed.ToString() << "\n";
+      return ExitCodeFor(resumed);
     }
   }
   Result<EvalResult> result = engine.Run();
@@ -485,6 +524,11 @@ int CmdExplain(const std::string& path, const std::string& fact_text) {
 }
 
 int Main(int argc, char** argv) {
+  Status fault = FaultPlan::Global().ArmFromEnv();
+  if (!fault.ok()) {
+    std::cerr << fault.ToString() << "\n";
+    return 2;
+  }
   if (argc < 3) return Usage();
   std::string command = argv[1];
   std::vector<std::string> rest(argv + 2, argv + argc);
