@@ -25,6 +25,8 @@ struct BenchRecord {
   size_t answers = 0;
   size_t peak_relation_rows = 0;
   size_t total_rows = 0;
+  /// Service throughput (ReportThroughput); 0 = not a throughput case.
+  double queries_per_sec = 0;
   /// Full telemetry document (per-rule rows, metrics, spans) captured by
   /// EvalOrDie when EXDL_BENCH_METRICS is set; empty otherwise.
   std::string telemetry_json;
@@ -99,6 +101,9 @@ void WriteBenchJson() {
       Appendf(doc, ", \"answers\": %zu", rec.answers);
       Appendf(doc, ", \"peak_relation_rows\": %zu", rec.peak_relation_rows);
       Appendf(doc, ", \"total_rows\": %zu", rec.total_rows);
+    }
+    if (rec.queries_per_sec > 0) {
+      Appendf(doc, ", \"queries_per_sec\": %.1f", rec.queries_per_sec);
     }
     if (!rec.telemetry_json.empty()) {
       // Telemetry documents exceed the Appendf buffer; splice directly.
@@ -207,6 +212,14 @@ void ReportResult(benchmark::State& state, const std::string& name,
   rec.total_rows = total;
   rec.telemetry_json = std::move(g_last_telemetry);
   g_last_telemetry.clear();
+}
+
+void ReportThroughput(benchmark::State& state, const std::string& name,
+                      const EvalResult& result, double queries_per_sec) {
+  ReportResult(state, name, result);
+  state.counters["qps"] = queries_per_sec;
+  std::lock_guard<std::mutex> lock(g_records_mutex);
+  RecordFor(name).queries_per_sec = queries_per_sec;
 }
 
 }  // namespace exdl::bench

@@ -54,6 +54,13 @@ void ReportStats(benchmark::State& state, const EvalStats& stats);
 void ReportResult(benchmark::State& state, const std::string& name,
                   const EvalResult& result);
 
+/// ReportResult for service-style cases that process many queries per
+/// iteration: also publishes `qps` on `state` and records
+/// `queries_per_sec` in the JSON row. `result` carries the aggregate
+/// stats of one batch (A2 sums the per-query stats).
+void ReportThroughput(benchmark::State& state, const std::string& name,
+                      const EvalResult& result, double queries_per_sec);
+
 }  // namespace exdl::bench
 
 #endif  // EXDL_BENCH_BENCH_UTIL_H_

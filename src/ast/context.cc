@@ -1,42 +1,63 @@
 #include "ast/context.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace exdl {
 
-SymbolId Context::InternSymbol(std::string_view name) {
-  auto it = symbol_ids_.find(std::string(name));
+SymbolId Context::InternSymbolLocked(std::string_view name) {
+  auto it = symbol_ids_.find(name);
   if (it != symbol_ids_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(symbols_.size());
   symbols_.emplace_back(name);
-  symbol_ids_.emplace(symbols_.back(), id);
+  // Key the map on a view into the deque-stored string: deque growth never
+  // moves existing elements, so the view stays valid.
+  symbol_ids_.emplace(std::string_view(symbols_.back()), id);
   return id;
 }
 
+SymbolId Context::InternSymbol(std::string_view name) {
+  std::unique_lock lock(mu_);
+  return InternSymbolLocked(name);
+}
+
 std::optional<SymbolId> Context::FindSymbol(std::string_view name) const {
-  auto it = symbol_ids_.find(std::string(name));
+  std::shared_lock lock(mu_);
+  auto it = symbol_ids_.find(name);
   if (it == symbol_ids_.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& Context::SymbolName(SymbolId id) const {
+  std::shared_lock lock(mu_);
   assert(id < symbols_.size());
   return symbols_[id];
 }
 
-SymbolId Context::FreshSymbol(std::string_view hint) {
+size_t Context::NumSymbols() const {
+  std::shared_lock lock(mu_);
+  return symbols_.size();
+}
+
+SymbolId Context::FreshSymbolLocked(std::string_view hint) {
   for (;;) {
     // '_' keeps generated names lexable so printed programs re-parse.
     std::string candidate =
         std::string(hint) + "_" + std::to_string(fresh_counter_++);
     if (symbol_ids_.find(candidate) == symbol_ids_.end()) {
-      return InternSymbol(candidate);
+      return InternSymbolLocked(candidate);
     }
   }
 }
 
+SymbolId Context::FreshSymbol(std::string_view hint) {
+  std::unique_lock lock(mu_);
+  return FreshSymbolLocked(hint);
+}
+
 PredId Context::InternPredicate(SymbolId name, uint32_t arity,
                                 const Adornment& adornment) {
+  std::unique_lock lock(mu_);
   PredKey key{name, arity, adornment.str()};
   auto it = pred_ids_.find(key);
   if (it != pred_ids_.end()) return it->second;
@@ -48,24 +69,42 @@ PredId Context::InternPredicate(SymbolId name, uint32_t arity,
 
 PredId Context::InternPredicate(std::string_view name, uint32_t arity,
                                 const Adornment& adornment) {
-  return InternPredicate(InternSymbol(name), arity, adornment);
+  std::unique_lock lock(mu_);
+  SymbolId symbol = InternSymbolLocked(name);
+  PredKey key{symbol, arity, adornment.str()};
+  auto it = pred_ids_.find(key);
+  if (it != pred_ids_.end()) return it->second;
+  PredId id = static_cast<PredId>(preds_.size());
+  preds_.push_back(PredicateInfo{symbol, arity, adornment});
+  pred_ids_.emplace(std::move(key), id);
+  return id;
 }
 
 std::optional<PredId> Context::FindPredicate(SymbolId name, uint32_t arity,
                                              const Adornment& adornment) const {
+  std::shared_lock lock(mu_);
   auto it = pred_ids_.find(PredKey{name, arity, adornment.str()});
   if (it == pred_ids_.end()) return std::nullopt;
   return it->second;
 }
 
 const PredicateInfo& Context::predicate(PredId id) const {
+  std::shared_lock lock(mu_);
   assert(id < preds_.size());
   return preds_[id];
 }
 
+size_t Context::NumPredicates() const {
+  std::shared_lock lock(mu_);
+  return preds_.size();
+}
+
 std::string Context::PredicateDisplayName(PredId id) const {
-  const PredicateInfo& info = predicate(id);
-  std::string out = SymbolName(info.name);
+  std::shared_lock lock(mu_);
+  assert(id < preds_.size());
+  const PredicateInfo& info = preds_[id];
+  assert(info.name < symbols_.size());
+  std::string out = symbols_[info.name];
   if (!info.adornment.empty()) {
     out += "@";
     out += info.adornment.str();
@@ -79,8 +118,15 @@ std::string Context::PredicateDisplayName(PredId id) const {
 
 PredId Context::FreshPredicate(std::string_view hint, uint32_t arity,
                                const Adornment& adornment) {
-  SymbolId name = FreshSymbol(hint);
-  return InternPredicate(name, arity, adornment);
+  std::unique_lock lock(mu_);
+  SymbolId name = FreshSymbolLocked(hint);
+  PredKey key{name, arity, adornment.str()};
+  auto it = pred_ids_.find(key);
+  if (it != pred_ids_.end()) return it->second;
+  PredId id = static_cast<PredId>(preds_.size());
+  preds_.push_back(PredicateInfo{name, arity, adornment});
+  pred_ids_.emplace(std::move(key), id);
+  return id;
 }
 
 }  // namespace exdl

@@ -11,17 +11,27 @@
 // A Context is shared via shared_ptr: transformations produce new Programs
 // that reference the same Context, so PredIds and SymbolIds remain
 // comparable across the original and every rewritten program.
+//
+// Concurrency: the tables are append-only and guarded by a shared_mutex —
+// reads (SymbolName, predicate, lookups) take a shared lock, interning
+// takes an exclusive lock. Symbol and predicate storage is deque-backed so
+// the `const&` returned by SymbolName/predicate stays valid across later
+// interning; one QueryService can therefore render answers for a finished
+// session while another session's compile is still interning. Interning is
+// still *serialized* by callers that need deterministic ids (the service
+// compile turnstile): the lock makes concurrent access safe, not ordered.
 
 #ifndef EXDL_AST_CONTEXT_H_
 #define EXDL_AST_CONTEXT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "ast/adornment.h"
 
@@ -57,8 +67,9 @@ class Context {
   SymbolId InternSymbol(std::string_view name);
   /// Looks up `name` without interning.
   std::optional<SymbolId> FindSymbol(std::string_view name) const;
+  /// The reference stays valid for the Context's lifetime (deque-backed).
   const std::string& SymbolName(SymbolId id) const;
-  size_t NumSymbols() const { return symbols_.size(); }
+  size_t NumSymbols() const;
 
   /// Interns a fresh symbol guaranteed distinct from all existing ones;
   /// used for renamed variables and frozen constants. The name is
@@ -77,8 +88,9 @@ class Context {
   std::optional<PredId> FindPredicate(SymbolId name, uint32_t arity,
                                       const Adornment& adornment) const;
 
+  /// The reference stays valid for the Context's lifetime (deque-backed).
   const PredicateInfo& predicate(PredId id) const;
-  size_t NumPredicates() const { return preds_.size(); }
+  size_t NumPredicates() const;
 
   /// Human-readable name: "a", "a@nd", or "a@nd/1" when projected.
   std::string PredicateDisplayName(PredId id) const;
@@ -102,9 +114,16 @@ class Context {
     }
   };
 
-  std::vector<std::string> symbols_;
-  std::unordered_map<std::string, SymbolId> symbol_ids_;
-  std::vector<PredicateInfo> preds_;
+  // Unlocked internals; callers hold mu_ (InternPredicate needs the symbol
+  // intern under the same exclusive section, and shared_mutex must not be
+  // re-entered from the same thread).
+  SymbolId InternSymbolLocked(std::string_view name);
+  SymbolId FreshSymbolLocked(std::string_view hint);
+
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> symbols_;  ///< Deque: stable refs across interns.
+  std::unordered_map<std::string_view, SymbolId> symbol_ids_;
+  std::deque<PredicateInfo> preds_;  ///< Deque: stable refs across interns.
   std::unordered_map<PredKey, PredId, PredKeyHash> pred_ids_;
   uint64_t fresh_counter_ = 0;
 };

@@ -1,0 +1,127 @@
+// CompiledProgram — the immutable, thread-shareable compile artifact of
+// the parse -> optimize pipeline (DESIGN.md §12, "API v2").
+//
+// The paper's whole optimization pipeline (adornment -> boolean subqueries
+// -> projection pushing -> rule deletion, §2–§3.3) is a compile-time
+// transformation: the rewritten program depends only on the source text
+// and the compile options, never on the data. A CompiledProgram captures
+// that artifact once — parsed program, parsed facts, optimization report,
+// magic seed, and the program/semantics fingerprint — and is then shared
+// by value (shared_ptr<const CompiledProgram>) across any number of
+// concurrent sessions. After construction nothing in it mutates, so no
+// locking is needed to evaluate the same compiled program from many
+// threads (the interning Context it references is internally
+// synchronized; see context.h).
+//
+// ProgramCache (src/service/) caches these by CacheKey so a warm service
+// skips re-parse and re-optimize entirely.
+
+#ifndef EXDL_CORE_COMPILED_PROGRAM_H_
+#define EXDL_CORE_COMPILED_PROGRAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/optimizer.h"
+#include "eval/evaluator.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace exdl {
+
+namespace obs {
+class Telemetry;
+}  // namespace obs
+
+/// Everything that determines the compile artifact (and therefore the
+/// cache key): the optimizer pipeline toggles, whether it runs at all,
+/// and the evaluation semantics the fingerprint binds to.
+struct CompileOptions {
+  /// Optimizer pipeline configuration; used only when `optimize` is set.
+  OptimizerOptions optimizer;
+  /// Run the optimizer pipeline as part of compilation. When false the
+  /// artifact is the parsed program as written.
+  bool optimize = false;
+  /// Evaluation semantics stamped into the fingerprint — a checkpoint or
+  /// cache entry produced under semi-naive+cut must never be reused for a
+  /// naive or cut-free evaluation of the same text.
+  bool seminaive = true;
+  bool boolean_cut = true;
+};
+
+class CompiledProgram {
+ public:
+  using Ptr = std::shared_ptr<const CompiledProgram>;
+
+  /// Parses `source` (rules, query, ground facts) and — when
+  /// options.optimize — runs the optimizer pipeline, producing the
+  /// immutable artifact. Interns into `ctx` when given (the service's
+  /// shared context) or a fresh context otherwise. `telemetry` is
+  /// borrowed and only read during this call (optimizer phase spans).
+  static Result<Ptr> Compile(std::string_view source,
+                             const CompileOptions& options,
+                             obs::Telemetry* telemetry = nullptr,
+                             ContextPtr ctx = nullptr);
+
+  /// Wraps an already-built program (shares its Context). `facts` are the
+  /// program's ground facts, if the caller separated any.
+  static Result<Ptr> FromProgram(Program program, Database facts,
+                                 const CompileOptions& options = {},
+                                 obs::Telemetry* telemetry = nullptr);
+
+  /// Re-optimizes `base` under `options`, producing a new artifact that
+  /// shares base's Context. base's facts carry over, with the magic seed
+  /// (if the rewrite produced one) inserted.
+  static Result<Ptr> Optimize(const CompiledProgram& base,
+                              const OptimizerOptions& options,
+                              obs::Telemetry* telemetry = nullptr);
+
+  /// FNV-1a over the printed program plus the semantics-affecting options:
+  /// the printer is deterministic, and a resuming process re-derives this
+  /// from its own freshly loaded session, so equal fingerprints mean "the
+  /// same fixpoint computation". Checkpoints bind to this value.
+  static uint64_t Fingerprint(const Program& program,
+                              const EvalOptions& eval);
+
+  /// Key a ProgramCache entry on: FNV-1a over the raw source text and
+  /// every CompileOptions field that changes the artifact or its
+  /// semantics. Computable without parsing — that is the point: a cache
+  /// hit skips the parser and the optimizer entirely. Distinct semantics
+  /// (e.g. naive vs semi-naive) therefore never share an entry even
+  /// though the rewritten rules would be identical.
+  static uint64_t CacheKey(std::string_view source,
+                           const CompileOptions& options);
+
+  const ContextPtr& context() const { return ctx_; }
+  const Program& program() const { return program_; }
+  /// Ground facts parsed from the source, plus the magic seed when the
+  /// rewrite produced one. Copy-on-write: cloning into a session EDB is
+  /// O(#relations).
+  const Database& facts() const { return facts_; }
+  const OptimizationReport& report() const { return report_; }
+  /// OK, or kCancelled when the optimizer stopped at a phase boundary.
+  const Status& optimize_termination() const { return optimize_termination_; }
+  const std::optional<Atom>& magic_seed() const { return magic_seed_; }
+  bool optimized() const { return optimized_; }
+  /// Fingerprint(program(), semantics from the CompileOptions).
+  uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  CompiledProgram(ContextPtr ctx, Program program);
+
+  ContextPtr ctx_;
+  Program program_;
+  Database facts_;
+  OptimizationReport report_;
+  Status optimize_termination_;
+  std::optional<Atom> magic_seed_;
+  bool optimized_ = false;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_CORE_COMPILED_PROGRAM_H_

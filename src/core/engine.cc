@@ -2,53 +2,11 @@
 
 #include <fstream>
 #include <sstream>
-#include <unordered_map>
 
 #include "ast/printer.h"
-#include "obs/json_writer.h"
 #include "parser/parser.h"
 
 namespace exdl {
-
-namespace {
-
-/// Stable lowercase termination label for the JSON export.
-std::string_view TerminationLabel(const Status& s) {
-  switch (s.code()) {
-    case StatusCode::kOk: return "ok";
-    case StatusCode::kCancelled: return "cancelled";
-    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
-    case StatusCode::kResourceExhausted: return "resource_exhausted";
-    default: return "error";
-  }
-}
-
-/// Snapshot lookup key: metric name + the value of its "rule" label (the
-/// only label the per-rule metrics carry).
-std::string RuleMetricKey(std::string_view name, size_t rule_index) {
-  std::string key(name);
-  key.push_back('\0');
-  key += std::to_string(rule_index);
-  return key;
-}
-
-/// FNV-1a over the printed program plus the semantics-affecting options:
-/// the printer is deterministic, and a resuming process re-derives this
-/// from its own freshly loaded session, so equal fingerprints mean "the
-/// same fixpoint computation".
-uint64_t FingerprintProgram(const Program& program, const EvalOptions& eval) {
-  std::string repr = ToString(program);
-  repr += eval.seminaive ? "|seminaive" : "|naive";
-  repr += eval.boolean_cut ? "|cut" : "|nocut";
-  uint64_t h = 1469598103934665603ULL;
-  for (unsigned char c : repr) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-}  // namespace
 
 Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   if (options_.collect_telemetry) {
@@ -68,6 +26,13 @@ obs::Telemetry* Engine::telemetry() {
 
 const obs::Telemetry* Engine::telemetry() const {
   return const_cast<Engine*>(this)->telemetry();
+}
+
+void Engine::SyncSession() {
+  SessionOptions& session_options = session_.options();
+  session_options.eval = options_.eval;
+  session_options.checkpoint = options_.checkpoint;
+  session_options.telemetry = telemetry();
 }
 
 Status Engine::LoadSource(std::string_view source) {
@@ -96,65 +61,22 @@ Status Engine::LoadProgram(Program program, Database edb) {
   optimize_termination_ = Status::Ok();
   magic_seed_.reset();
   optimized_ = false;
-  has_run_ = false;
-  last_stats_ = EvalStats();
-  last_answers_ = 0;
-  last_termination_ = Status::Ok();
-  checkpointer_.reset();
-  resume_.reset();
+  session_ = Session();
   return Status::Ok();
 }
 
 uint64_t Engine::ProgramFingerprint() const {
   if (!program_) return 0;
-  return FingerprintProgram(*program_, options_.eval);
+  return CompiledProgram::Fingerprint(*program_, options_.eval);
 }
 
 Status Engine::Resume(const std::string& checkpoint_path) {
   if (!program_) return Status::FailedPrecondition("no program loaded");
-  if (options_.eval.record_provenance) {
-    return Status::FailedPrecondition(
-        "cannot resume with record_provenance: derivations of completed "
-        "rounds are not checkpointed");
-  }
   EXDL_ASSIGN_OR_RETURN(recovery::Snapshot snap,
                         recovery::ReadSnapshotFile(checkpoint_path));
-  if (snap.program_fingerprint != ProgramFingerprint()) {
-    return Status::FailedPrecondition(
-        "checkpoint was written by a different program or evaluation "
-        "options: " + checkpoint_path);
-  }
-  // The snapshot's ids are only meaningful if this session's interning
-  // tables — rebuilt by re-parsing and re-optimizing — are identical to
-  // the writer's. The fingerprint already pinned the program text, so a
-  // mismatch here means the snapshot was tampered with.
-  if (snap.symbols.size() != ctx_->NumSymbols() ||
-      snap.preds.size() != ctx_->NumPredicates()) {
-    return Status::CorruptCheckpoint(
-        "snapshot interning tables disagree with the session context");
-  }
-  for (SymbolId s = 0; s < snap.symbols.size(); ++s) {
-    if (snap.symbols[s] != ctx_->SymbolName(s)) {
-      return Status::CorruptCheckpoint(
-          "snapshot symbol table disagrees with the session context");
-    }
-  }
-  for (PredId p = 0; p < snap.preds.size(); ++p) {
-    const PredicateInfo& info = ctx_->predicate(p);
-    const recovery::SnapshotPred& stored = snap.preds[p];
-    if (stored.name != info.name || stored.arity != info.arity ||
-        stored.adornment != info.adornment.str()) {
-      return Status::CorruptCheckpoint(
-          "snapshot predicate table disagrees with the session context");
-    }
-  }
-  if (!snap.cursor.retired_rules.empty() &&
-      snap.cursor.retired_rules.back() >= program_->rules().size()) {
-    return Status::CorruptCheckpoint(
-        "snapshot retires a rule the program does not have");
-  }
-  resume_ = std::move(snap);
-  return Status::Ok();
+  SyncSession();
+  return session_.ArmResume(std::move(snap), *program_, ProgramFingerprint(),
+                            checkpoint_path);
 }
 
 Status Engine::Optimize() {
@@ -176,198 +98,27 @@ Status Engine::Optimize() {
 
 Result<EvalResult> Engine::Run() {
   if (!program_) return Status::FailedPrecondition("no program loaded");
-  if (!resume_.has_value()) return Evaluate(*program_, edb_);
-  // Resume: evaluate over the snapshot's database from its cursor. The
-  // snapshot is consumed either way — a failed resume must not silently
-  // turn a later Run() into another resume attempt.
-  Result<EvalResult> result =
-      EvaluateInternal(*program_, resume_->db, &resume_->cursor);
-  resume_.reset();
-  return result;
+  SyncSession();
+  return session_.Run(*program_, edb_);
 }
 
 Result<EvalResult> Engine::Evaluate(const Program& program,
                                     const Database& edb) {
-  return EvaluateInternal(program, edb, nullptr);
-}
-
-Result<EvalResult> Engine::EvaluateInternal(const Program& program,
-                                            const Database& edb,
-                                            const EvalCursor* resume) {
-  EvalOptions eval = options_.eval;
-  if (eval.telemetry == nullptr) eval.telemetry = telemetry();
-  if (eval.telemetry != nullptr) {
-    last_rule_texts_.clear();
-    for (const Rule& rule : program.rules()) {
-      last_rule_texts_.push_back(ToString(*program.context(), rule));
-    }
-  }
-  if (!options_.checkpoint.directory.empty()) {
-    // Rebuilt per evaluation: the fingerprint depends on the loaded
-    // program, which may have changed since the last Run().
-    checkpointer_ = std::make_unique<recovery::Checkpointer>(
-        options_.checkpoint.directory, FingerprintProgram(program, eval));
-    eval.checkpoint_sink = checkpointer_.get();
-    eval.checkpoint_every_rounds =
-        std::max(1u, options_.checkpoint.every_rounds);
-  }
-  eval.resume = resume;
-  Result<EvalResult> result = ::exdl::Evaluate(program, edb, eval);
-  if (result.ok()) {
-    has_run_ = true;
-    last_stats_ = result->stats;
-    last_answers_ = result->answers.size();
-    last_termination_ = result->termination;
-  }
-  return result;
+  SyncSession();
+  return session_.Evaluate(program, edb);
 }
 
 std::string Engine::TelemetryJson(std::string_view command,
                                   std::string_view source) const {
-  std::string out;
-  obs::JsonWriter w(&out);
-  w.BeginObject();
-  w.Key("schema_version");
-  w.Int(1);
-  w.Key("generator");
-  w.String("exdatalog");
-  w.Key("command");
-  w.String(command);
-  w.Key("source");
-  w.String(source);
-
-  w.Key("answers");
-  w.UInt(last_answers_);
-  w.Key("termination");
-  w.String(TerminationLabel(!last_termination_.ok() ? last_termination_
-                                                    : optimize_termination_));
-  w.Key("stats");
-  w.BeginObject();
-  w.Key("rounds");
-  w.UInt(last_stats_.rounds);
-  w.Key("rule_firings");
-  w.UInt(last_stats_.rule_firings);
-  w.Key("tuples_inserted");
-  w.UInt(last_stats_.tuples_inserted);
-  w.Key("duplicate_inserts");
-  w.UInt(last_stats_.duplicate_inserts);
-  w.Key("index_probes");
-  w.UInt(last_stats_.index_probes);
-  w.Key("rows_matched");
-  w.UInt(last_stats_.rows_matched);
-  w.Key("rules_retired");
-  w.UInt(last_stats_.rules_retired);
-  w.Key("eval_seconds");
-  w.Double(last_stats_.eval_seconds);
-  w.Key("max_round_seconds");
-  w.Double(last_stats_.max_round_seconds);
-  w.Key("budget_tripped");
-  w.String(BudgetKindName(last_stats_.budget_tripped));
-  w.EndObject();
-
-  w.Key("optimize");
-  w.BeginObject();
-  w.Key("ran");
-  w.Bool(optimized_);
-  w.Key("original_rules");
-  w.UInt(report_.original_rules);
-  w.Key("final_rules");
-  w.UInt(report_.final_rules);
-  w.Key("optimize_seconds");
-  w.Double(report_.optimize_seconds);
-  w.Key("interrupted_before");
-  w.String(report_.interrupted_before);
-  w.EndObject();
-
-  w.Key("phases");
-  w.BeginArray();
-  for (const OptimizationPhase& phase : report_.phases) {
-    w.BeginObject();
-    w.Key("name");
-    w.String(phase.name);
-    w.Key("seconds");
-    w.Double(phase.seconds);
-    w.Key("rules_before");
-    w.UInt(phase.rules_before);
-    w.Key("rules_after");
-    w.UInt(phase.rules_after);
-    w.Key("rule_delta");
-    w.Int(phase.RuleDelta());
-    w.Key("interrupted");
-    w.Bool(phase.interrupted);
-    w.Key("detail");
-    w.String(phase.detail);
-    w.EndObject();
-  }
-  w.EndArray();
-
-  // Per-rule rows: rule text from the loaded program, counters from the
-  // metrics snapshot (zero when telemetry is off or the rule never fired).
-  const obs::Telemetry* t = telemetry();
-  std::unordered_map<std::string, const obs::MetricRow*> by_rule;
-  std::vector<obs::MetricRow> snapshot;
-  if (t != nullptr) {
-    snapshot = t->metrics().Snapshot();
-    for (const obs::MetricRow& row : snapshot) {
-      for (const auto& [k, v] : row.labels) {
-        if (k == "rule") {
-          std::string key = row.name;
-          key.push_back('\0');
-          key += v;
-          by_rule.emplace(std::move(key), &row);
-        }
-      }
-    }
-  }
-  auto rule_counter = [&](std::string_view name, size_t i) -> uint64_t {
-    auto it = by_rule.find(RuleMetricKey(name, i));
-    return it == by_rule.end() ? 0 : it->second->counter;
-  };
-  std::vector<std::string> rule_texts = last_rule_texts_;
+  std::vector<std::string> rule_texts = session_.summary().rule_texts;
   if (rule_texts.empty() && program_) {
     for (const Rule& rule : program_->rules()) {
       rule_texts.push_back(ToString(*ctx_, rule));
     }
   }
-  w.Key("rules");
-  w.BeginArray();
-  for (size_t i = 0; i < rule_texts.size(); ++i) {
-    w.BeginObject();
-    w.Key("index");
-    w.UInt(i);
-    w.Key("text");
-    w.String(rule_texts[i]);
-    w.Key("derived");
-    w.UInt(rule_counter("eval.rule.derived", i));
-    w.Key("duplicates");
-    w.UInt(rule_counter("eval.rule.duplicates", i));
-    w.Key("firings");
-    w.UInt(rule_counter("eval.rule.firings", i));
-    w.Key("probes");
-    w.UInt(rule_counter("eval.rule.probes", i));
-    w.EndObject();
-  }
-  w.EndArray();
-
-  w.Key("metrics");
-  if (t != nullptr) {
-    t->WriteMetricsJson(w);
-  } else {
-    w.BeginArray();
-    w.EndArray();
-  }
-  w.Key("spans");
-  if (t != nullptr) {
-    t->WriteSpansJson(w);
-  } else {
-    w.BeginArray();
-    w.EndArray();
-  }
-  w.Key("dropped_spans");
-  w.UInt(t != nullptr ? t->trace().dropped() : 0);
-  w.EndObject();
-  out.push_back('\n');
-  return out;
+  return RenderTelemetryDoc(command, source, session_.summary(), rule_texts,
+                            optimized_, report_, optimize_termination_,
+                            telemetry());
 }
 
 }  // namespace exdl

@@ -1,17 +1,26 @@
-// exdl::Engine — the public facade over parse -> optimize -> run.
+// exdl::Engine — the compatibility facade over parse -> optimize -> run.
 //
-// One Engine is one session: it owns the interning Context, the loaded
-// program, the extensional database, the resource budget (via
-// EngineOptions::eval.budget), and — when collect_telemetry is set — an
-// obs::Telemetry sink threaded through every stage. Callers that used to
-// hand-wire ParseProgram + OptimizeExistential + Evaluate (the CLI, the
-// benches, the tests) go through this class instead:
+// API v2 (DESIGN.md §12) splits the old monolithic engine into
+//   * CompiledProgram (core/compiled_program.h) — the immutable,
+//     thread-shareable compile artifact, and
+//   * Session (core/session.h) — one evaluation's worth of mutable state.
+// Engine remains as the one-session convenience wrapper those pieces
+// compose into: it owns the interning Context, the loaded program, the
+// extensional database, the resource budget (via EngineOptions::eval
+// .budget), and — when collect_telemetry is set — an obs::Telemetry sink
+// threaded through every stage. Callers that used to hand-wire
+// ParseProgram + OptimizeExistential + Evaluate (the CLI, the benches,
+// the tests) go through this class unchanged:
 //
 //   Engine engine(options);
 //   EXDL_RETURN_IF_ERROR(engine.LoadFile("tc.dl"));
 //   EXDL_RETURN_IF_ERROR(engine.Optimize());          // optional
 //   EXDL_ASSIGN_OR_RETURN(EvalResult result, engine.Run());
 //   std::string json = engine.TelemetryJson("run", "tc.dl");
+//
+// Code that wants many concurrent evaluations of one program should use
+// QueryService (src/service/) or compose CompiledProgram + Session
+// directly instead of creating one Engine per query.
 //
 // Telemetry is strictly opt-in: with collect_telemetry == false the null
 // sink is passed through, every instrumentation site is a never-taken
@@ -27,6 +36,7 @@
 #include <string_view>
 
 #include "core/optimizer.h"
+#include "core/session.h"
 #include "eval/evaluator.h"
 #include "obs/telemetry.h"
 #include "recovery/checkpoint.h"
@@ -34,16 +44,6 @@
 #include "util/status.h"
 
 namespace exdl {
-
-/// Durable checkpointing of Run() (DESIGN.md §11). With a non-empty
-/// directory the engine writes `<directory>/checkpoint.exdl` atomically
-/// every `every_rounds` completed fixpoint rounds; Resume() picks the
-/// latest one back up. With the directory empty (the default) no
-/// checkpoint code runs anywhere.
-struct CheckpointOptions {
-  std::string directory;
-  uint32_t every_rounds = 1;
-};
 
 struct EngineOptions {
   /// Optimizer pipeline configuration (used by Optimize()).
@@ -57,7 +57,7 @@ struct EngineOptions {
   /// the engine-owned one.
   bool collect_telemetry = false;
   /// Round-boundary checkpointing of Run(); disabled when the directory
-  /// is empty.
+  /// is empty. (CheckpointOptions lives in core/session.h.)
   CheckpointOptions checkpoint;
 };
 
@@ -102,6 +102,7 @@ class Engine {
   /// Fingerprint of the loaded program plus the evaluation semantics
   /// options that change the fixpoint, stamped into every checkpoint so a
   /// snapshot is never resumed against a different computation.
+  /// Delegates to CompiledProgram::Fingerprint.
   uint64_t ProgramFingerprint() const;
 
   /// Session-less evaluation with this engine's options and telemetry
@@ -138,22 +139,19 @@ class Engine {
   /// metrics snapshot, and the trace spans. `command` and `source` name
   /// the producing command and input for provenance; pass "" when not
   /// applicable. Valid (with empty metrics/spans) even with telemetry off.
+  /// Delegates to RenderTelemetryDoc (core/session.h).
   std::string TelemetryJson(std::string_view command,
                             std::string_view source) const;
 
  private:
-  /// Shared implementation of Run()/Evaluate(): wires telemetry and the
-  /// checkpoint sink, and — when `resume` is set — enters the fixpoint at
-  /// the cursor instead of round 0.
-  Result<EvalResult> EvaluateInternal(const Program& program,
-                                      const Database& edb,
-                                      const EvalCursor* resume);
+  /// Copies the engine's current options (and resolved telemetry sink)
+  /// into the inner session before a delegated call.
+  void SyncSession();
 
   EngineOptions options_;
   std::unique_ptr<obs::Telemetry> owned_telemetry_;
-  std::unique_ptr<recovery::Checkpointer> checkpointer_;
-  /// Snapshot armed by Resume(), consumed by the next Run().
-  std::optional<recovery::Snapshot> resume_;
+  /// The one inner session: run summary, armed resume, checkpoint writer.
+  Session session_;
   ContextPtr ctx_;
   std::optional<Program> program_;
   Database edb_;
@@ -162,15 +160,6 @@ class Engine {
   Status optimize_termination_;
   std::optional<Atom> magic_seed_;
   bool optimized_ = false;
-
-  // Summary of the last (successful) Run()/Evaluate() for TelemetryJson.
-  bool has_run_ = false;
-  EvalStats last_stats_;
-  size_t last_answers_ = 0;
-  Status last_termination_;
-  /// Rule texts of the last telemetry-enabled Evaluate(), so the per-rule
-  /// export rows label themselves even for session-less evaluation.
-  std::vector<std::string> last_rule_texts_;
 };
 
 }  // namespace exdl

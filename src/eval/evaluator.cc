@@ -17,6 +17,7 @@
 #include "analysis/stratification.h"
 #include "obs/telemetry.h"
 #include "recovery/fault.h"
+#include "util/worker_pool.h"
 
 namespace exdl {
 
@@ -56,9 +57,22 @@ EvalBudget EvalBudget::FromFlags(uint64_t deadline_ms, uint64_t max_tuples,
 EvalBudget EvalBudget::FromEnv() { return FromEnv(EvalBudget()); }
 
 EvalBudget EvalBudget::FromEnv(EvalBudget base) {
-  auto env_u64 = [](const char* primary, const char* legacy) -> uint64_t {
+  // Every budget consumer (exdlc, bench_util, the query service) funnels
+  // through this one call site, so the legacy-name deprecation fires at
+  // most once per process regardless of how many budgets are resolved.
+  static std::atomic<bool> warned_legacy{false};
+  auto env_u64 = [&](const char* primary, const char* legacy) -> uint64_t {
     const char* v = std::getenv(primary);
-    if (v == nullptr || *v == '\0') v = std::getenv(legacy);
+    if (v == nullptr || *v == '\0') {
+      v = std::getenv(legacy);
+      if (v != nullptr && *v != '\0' &&
+          !warned_legacy.exchange(true, std::memory_order_relaxed)) {
+        std::fprintf(stderr,
+                     "warning: %s is deprecated; use the EXDL_BUDGET_* "
+                     "names (see evaluator.h precedence table)\n",
+                     legacy);
+      }
+    }
     if (v == nullptr || *v == '\0') return 0;
     return std::strtoull(v, nullptr, 10);
   };
@@ -157,94 +171,9 @@ struct ConstArgsKey {
   Value operator[](size_t i) const { return (*args)[i].const_value; }
 };
 
-/// A persistent pool of workers, spawned once per evaluation and reused
-/// for every parallelized rule variant (spawning threads per variant per
-/// round would dominate small rounds). Run(parts, fn) executes fn(0),
-/// fn(1), ..., fn(parts-1) across the pool threads plus the caller and
-/// blocks until all parts finish.
-class WorkerPool {
- public:
-  explicit WorkerPool(uint32_t extra_threads) {
-    threads_.reserve(extra_threads);
-    for (uint32_t i = 0; i < extra_threads; ++i) {
-      threads_.emplace_back([this] { WorkerLoop(); });
-    }
-  }
-
-  ~WorkerPool() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      shutdown_ = true;
-    }
-    start_.notify_all();
-    for (std::thread& t : threads_) t.join();
-  }
-
-  void Run(uint32_t parts, const std::function<void(uint32_t)>& fn) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      job_ = &fn;
-      parts_ = parts;
-      next_part_.store(0, std::memory_order_relaxed);
-      // Every pool thread plus the caller checks in once per generation,
-      // so Run cannot return (and fn cannot be destroyed) while any
-      // worker is still inside the part loop.
-      working_ = static_cast<uint32_t>(threads_.size()) + 1;
-      ++generation_;
-    }
-    start_.notify_all();
-    RunParts(fn);
-    std::unique_lock<std::mutex> lock(mutex_);
-    CheckIn(lock);
-    done_.wait(lock, [this] { return working_ == 0; });
-    job_ = nullptr;
-  }
-
- private:
-  void RunParts(const std::function<void(uint32_t)>& fn) {
-    uint32_t part;
-    while ((part = next_part_.fetch_add(1, std::memory_order_relaxed)) <
-           parts_) {
-      fn(part);
-    }
-  }
-
-  /// Marks this participant done with the current generation. Requires
-  /// `lock` held on mutex_.
-  void CheckIn(std::unique_lock<std::mutex>& lock) {
-    (void)lock;
-    if (--working_ == 0) done_.notify_all();
-  }
-
-  void WorkerLoop() {
-    uint64_t seen = 0;
-    while (true) {
-      const std::function<void(uint32_t)>* job = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        start_.wait(lock,
-                    [&] { return shutdown_ || generation_ != seen; });
-        if (shutdown_) return;
-        seen = generation_;
-        job = job_;
-      }
-      if (job != nullptr) RunParts(*job);
-      std::unique_lock<std::mutex> lock(mutex_);
-      CheckIn(lock);
-    }
-  }
-
-  std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable start_;
-  std::condition_variable done_;
-  const std::function<void(uint32_t)>* job_ = nullptr;
-  uint32_t parts_ = 0;
-  std::atomic<uint32_t> next_part_{0};
-  uint32_t working_ = 0;  ///< Participants not yet checked in this generation.
-  uint64_t generation_ = 0;
-  bool shutdown_ = false;
-};
+// The persistent fork-join WorkerPool used for parallelized rule variants
+// lives in util/worker_pool.h (extracted so the query service can reuse
+// it); the evaluator spawns one per evaluation and reuses it every round.
 
 /// Per-worker evaluation state. Serial evaluation uses one of these;
 /// parallel variants give each worker its own, then merge buffers in
@@ -859,6 +788,23 @@ class Engine {
                             ? "rule:" + std::to_string(cr.rule_index)
                             : std::string());
 
+    // Resolve each step's relation and (lazily built) index once per
+    // variant: the inner descent loop then probes through cached pointers
+    // with no map lookup or lock. Relations cloned copy-on-write from a
+    // shared snapshot stay payload-shared — the const GetIndex builds (or
+    // reuses) the shared index in place, so concurrent sessions over the
+    // same EDB pay for an index build once.
+    step_rels_.assign(plan.steps.size(), nullptr);
+    step_indexes_.assign(plan.steps.size(), nullptr);
+    for (size_t s = 0; s < plan.steps.size(); ++s) {
+      const LiteralStep& step = plan.steps[s];
+      const Relation* rel = db_->Find(step.pred);
+      step_rels_[s] = rel;
+      if (rel != nullptr && !step.negated && !step.index_columns.empty()) {
+        step_indexes_[s] = &rel->GetIndex(step.index_columns);
+      }
+    }
+
     const uint32_t workers = NumWorkers(plan, ranges);
     if (workers <= 1) {
       serial_.regs.assign(plan.num_regs, 0);
@@ -868,13 +814,6 @@ class Engine {
       RecordVariantShard(serial_);
       Drain(serial_);
       return;
-    }
-
-    // Lazily built indexes must exist before workers share them.
-    for (const LiteralStep& step : plan.steps) {
-      if (step.negated || step.index_columns.empty()) continue;
-      Relation* rel = db_->FindMutable(step.pred);
-      if (rel != nullptr) rel->GetIndex(step.index_columns);
     }
 
     // Partition the outermost row range into contiguous chunks, one per
@@ -970,7 +909,7 @@ class Engine {
       return !stop_after_first_;
     }
     const LiteralStep& step = plan.steps[step_idx];
-    Relation* rel = db_->FindMutable(step.pred);
+    const Relation* rel = step_rels_[step_idx];
     const RowRange& range = ranges[step_idx];
 
     if (step.negated) {
@@ -1049,7 +988,7 @@ class Engine {
       }
       return true;
     }
-    const Relation::Index& index = rel->GetIndex(step.index_columns);
+    const Relation::Index& index = *step_indexes_[step_idx];
     ++ws.stats.index_probes;
     const Relation::RowIdList* ids =
         index.LookupKey(RegKey{&step, ws.regs.data()});
@@ -1151,6 +1090,11 @@ class Engine {
   std::vector<DescentState> worker_states_;
   std::vector<PendingFact> round_buffer_;
   std::vector<Value> round_values_;  ///< Arena backing round_buffer_.
+  /// Per-variant caches: each body step's relation and resolved index,
+  /// filled by FireVariant before descending (shared read-only with the
+  /// pool workers for the variant's duration).
+  std::vector<const Relation*> step_rels_;
+  std::vector<const Relation::Index*> step_indexes_;
   bool stop_after_first_ = false;
   size_t current_rule_index_ = 0;
   std::unordered_map<TupleRef, Provenance, TupleRefHash> provenance_;

@@ -78,12 +78,22 @@ struct EvalBudget {
            max_derivations_per_round != 0 || cancellation != nullptr;
   }
 
-  // The two canonical constructors. Precedence, highest first:
-  //   1. explicit flags (FromFlags, e.g. the CLI's --deadline-ms);
-  //   2. programmatic fields already set on the budget FromEnv receives;
-  //   3. environment variables (FromEnv fills only still-zero fields).
+  // The two canonical constructors, and the ONLY supported budget-source
+  // paths — exdlc, bench_util, and the query service all resolve budgets
+  // through this single FromEnv call site. Precedence, highest first:
+  //
+  //   | source                                 | via                      |
+  //   |----------------------------------------|--------------------------|
+  //   | 1. explicit flags (--deadline-ms, ...) | FromFlags                |
+  //   | 2. programmatic fields already set     | the budget FromEnv gets  |
+  //   | 3. EXDL_BUDGET_* environment           | FromEnv (zero fields)    |
+  //   | 4. legacy EXDL_BENCH_* environment     | FromEnv, deprecated      |
+  //
   // So `EvalBudget::FromEnv(EvalBudget::FromFlags(...))` composes all
-  // three sources. Callers should not read EXDL_* variables themselves.
+  // sources. Callers should not read EXDL_* variables themselves. The
+  // first time a legacy EXDL_BENCH_* name actually fills a limit, FromEnv
+  // emits a one-time deprecation warning on stderr; the legacy names will
+  // be dropped once the experiment sweeps migrate.
 
   /// Budget from explicit limits (0 = unlimited, as with the raw fields).
   static EvalBudget FromFlags(uint64_t deadline_ms, uint64_t max_tuples,
@@ -94,7 +104,8 @@ struct EvalBudget {
   /// EXDL_BUDGET_DEADLINE_MS, EXDL_BUDGET_MAX_TUPLES,
   /// EXDL_BUDGET_MAX_ARENA_BYTES (legacy aliases EXDL_BENCH_DEADLINE_MS,
   /// EXDL_BENCH_MAX_TUPLES, EXDL_BENCH_MAX_BYTES are honored when the
-  /// primary name is unset). Unparsable values read as 0 (unlimited).
+  /// primary name is unset, with a one-time deprecation warning).
+  /// Unparsable values read as 0 (unlimited).
   static EvalBudget FromEnv(EvalBudget base);
   static EvalBudget FromEnv();
 };
@@ -141,6 +152,11 @@ class CheckpointSink {
                                  const EvalCursor& cursor) = 0;
 };
 
+/// Per-evaluation (per-session) options. EvalOptions owns no shared state:
+/// every pointer member (telemetry, checkpoint_sink, resume, the budget's
+/// cancellation token) is borrowed from the caller, so one options value
+/// can be copied per session and sessions never contend through it — the
+/// query service hands each session its own copy with its own sinks.
 struct EvalOptions {
   bool seminaive = true;
   bool boolean_cut = true;

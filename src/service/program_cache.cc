@@ -1,0 +1,58 @@
+#include "service/program_cache.h"
+
+namespace exdl {
+
+CompiledProgram::Ptr ProgramCache::Lookup(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+size_t ProgramCache::Insert(uint64_t key, CompiledProgram::Ptr value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) {
+    ++evictions_;
+    return 1;
+  }
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  lru_.emplace_front(key, std::move(value));
+  by_key_[key] = lru_.begin();
+  size_t evicted = 0;
+  while (lru_.size() > capacity_) {
+    by_key_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    ++evicted;
+  }
+  return evicted;
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void ProgramCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  by_key_.clear();
+}
+
+}  // namespace exdl

@@ -1,0 +1,72 @@
+// ProgramCache — a bounded, thread-safe LRU cache of CompiledProgram
+// artifacts keyed by CompiledProgram::CacheKey (FNV-1a over the raw
+// source text and every compile option that changes the artifact or the
+// semantics it binds to; see compiled_program.h).
+//
+// The point of the cache is to skip the whole compile front half on a
+// warm hit: the key is computable without parsing, and the cached value
+// is immutable and shared by shared_ptr, so a hit costs one mutex-guarded
+// map lookup — no re-parse, no re-optimize, no "optimize >" trace spans.
+// Distinct semantics (e.g. naive vs semi-naive) never share an entry even
+// though the rewritten rules would be identical, because the semantics
+// toggles are part of the key.
+
+#ifndef EXDL_SERVICE_PROGRAM_CACHE_H_
+#define EXDL_SERVICE_PROGRAM_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/compiled_program.h"
+
+namespace exdl {
+
+class ProgramCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
+  /// A capacity of 0 disables caching: every Lookup misses, every Insert
+  /// is dropped (and counted as an eviction of itself).
+  explicit ProgramCache(size_t capacity) : capacity_(capacity) {}
+  ProgramCache(const ProgramCache&) = delete;
+  ProgramCache& operator=(const ProgramCache&) = delete;
+
+  /// The cached artifact for `key`, or nullptr. A hit moves the entry to
+  /// the front of the LRU order. Counts one hit or one miss.
+  CompiledProgram::Ptr Lookup(uint64_t key);
+
+  /// Installs `value` under `key` (replacing any racing entry another
+  /// session inserted first — last writer wins; both artifacts are
+  /// equivalent by construction). Returns the number of entries evicted
+  /// to stay within capacity.
+  size_t Insert(uint64_t key, CompiledProgram::Ptr value);
+
+  Stats stats() const;
+
+  /// Drops every entry (outstanding Ptrs stay valid; counters persist).
+  void Clear();
+
+ private:
+  using Entry = std::pair<uint64_t, CompiledProgram::Ptr>;
+
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> by_key_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_SERVICE_PROGRAM_CACHE_H_

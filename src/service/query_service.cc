@@ -1,0 +1,281 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "parser/parser.h"
+
+namespace exdl {
+
+namespace {
+
+ServiceOptions Normalize(ServiceOptions options) {
+  if (options.num_workers == 0) options.num_workers = 1;
+  return options;
+}
+
+}  // namespace
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(Normalize(std::move(options))),
+      ctx_(std::make_shared<Context>()),
+      cache_(options_.program_cache_capacity),
+      pool_(options_.num_workers - 1) {
+  // Register every service metric before the first shard is cut (shards
+  // are sized to the registry at creation time).
+  obs::MetricsRegistry& metrics = service_telemetry_.metrics();
+  cache_hit_id_ = metrics.Counter("service.cache.hit");
+  cache_miss_id_ = metrics.Counter("service.cache.miss");
+  cache_eviction_id_ = metrics.Counter("service.cache.eviction");
+  queries_submitted_id_ = metrics.Counter("service.queries.submitted");
+  queries_completed_id_ = metrics.Counter("service.queries.completed");
+  queries_failed_id_ = metrics.Counter("service.queries.failed");
+  batches_id_ = metrics.Counter("service.batches");
+  generation_id_ = metrics.Gauge("service.snapshot.generation");
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+}
+
+QueryService::Ticket QueryService::Submit(QueryRequest request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Ticket ticket = next_ticket_++;
+  ++submitted_;
+  outstanding_.insert(ticket);
+  queue_.push_back(Pending{ticket, std::move(request), snapshot_});
+  work_cv_.notify_one();
+  return ticket;
+}
+
+std::vector<QueryService::Ticket> QueryService::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(requests.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (QueryRequest& request : requests) {
+    const Ticket ticket = next_ticket_++;
+    ++submitted_;
+    outstanding_.insert(ticket);
+    queue_.push_back(Pending{ticket, std::move(request), snapshot_});
+    tickets.push_back(ticket);
+  }
+  work_cv_.notify_one();
+  return tickets;
+}
+
+QueryResponse QueryService::Await(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (outstanding_.find(ticket) == outstanding_.end()) {
+    QueryResponse response;
+    response.status =
+        Status::InvalidArgument("unknown or already consumed ticket");
+    return response;
+  }
+  done_cv_.wait(lock, [&] { return done_.find(ticket) != done_.end(); });
+  QueryResponse response = std::move(done_[ticket]);
+  done_.erase(ticket);
+  outstanding_.erase(ticket);
+  return response;
+}
+
+std::vector<QueryResponse> QueryService::AwaitBatch(
+    const std::vector<Ticket>& tickets) {
+  std::vector<QueryResponse> responses;
+  responses.reserve(tickets.size());
+  for (Ticket ticket : tickets) responses.push_back(Await(ticket));
+  return responses;
+}
+
+Status QueryService::LoadFacts(std::string_view source) {
+  EXDL_ASSIGN_OR_RETURN(ParsedUnit parsed, ParseProgram(source, ctx_));
+  if (!parsed.program.rules().empty()) {
+    return Status::InvalidArgument(
+        "LoadFacts source must contain only ground facts");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Database next = snapshot_.valid() ? snapshot_.db().Clone() : Database();
+  for (const Atom& fact : parsed.facts) {
+    EXDL_RETURN_IF_ERROR(next.AddFact(fact));
+  }
+  ++generation_;
+  snapshot_ = DatabaseSnapshot(
+      std::make_shared<const Database>(std::move(next)), generation_);
+  return Status::Ok();
+}
+
+DatabaseSnapshot QueryService::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+ProgramCache::Stats QueryService::cache_stats() const { return cache_.stats(); }
+
+void QueryService::DispatcherLoop() {
+  while (true) {
+    std::vector<Active> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // Shutdown with a drained queue.
+      while (!queue_.empty()) {
+        Active item;
+        item.pending = std::move(queue_.front());
+        queue_.pop_front();
+        item.shard = service_telemetry_.metrics().NewShard();
+        batch.push_back(std::move(item));
+      }
+    }
+    pool_.Run(static_cast<uint32_t>(batch.size()),
+              [&](uint32_t i) { ProcessOne(batch[i]); });
+    // Quiescent point: every session of the batch has finished, so their
+    // shards can be folded into the service totals.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      obs::MetricsRegistry& metrics = service_telemetry_.metrics();
+      for (Active& item : batch) {
+        metrics.Merge(item.shard);
+        if (item.summary.has_run) {
+          aggregate_.has_run = true;
+          aggregate_.stats += item.summary.stats;
+          aggregate_.answers += item.summary.answers;
+          if (aggregate_.termination.ok() && !item.summary.termination.ok()) {
+            aggregate_.termination = item.summary.termination;
+          }
+        }
+        done_.emplace(item.pending.ticket, std::move(item.response));
+      }
+      metrics.Add(batches_id_, 1);
+      metrics.Add(queries_submitted_id_, submitted_ - submitted_published_);
+      submitted_published_ = submitted_;
+      metrics.Set(generation_id_, static_cast<double>(generation_));
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void QueryService::ProcessOne(Active& item) {
+  QueryResponse& response = item.response;
+  response.name = item.pending.request.name;
+  response.snapshot_generation = item.pending.snapshot.generation();
+  if (options_.collect_telemetry) {
+    response.telemetry = std::make_shared<obs::Telemetry>();
+  }
+  const uint64_t key =
+      CompiledProgram::CacheKey(item.pending.request.source, options_.compile);
+  CompiledProgram::Ptr compiled;
+  {
+    // Compile turnstile: cache fills and Context interning happen in
+    // strict ticket order, making ids — and therefore answers —
+    // independent of worker count and scheduling.
+    std::unique_lock<std::mutex> lock(compile_mu_);
+    compile_cv_.wait(lock, [&] { return next_compile_ == item.pending.ticket; });
+    compiled = cache_.Lookup(key);
+    if (compiled != nullptr) {
+      response.cache_hit = true;
+      item.shard.Add(cache_hit_id_, 1);
+    } else {
+      item.shard.Add(cache_miss_id_, 1);
+      Result<CompiledProgram::Ptr> compile_result = CompiledProgram::Compile(
+          item.pending.request.source, options_.compile,
+          response.telemetry.get(), ctx_);
+      if (compile_result.ok()) {
+        compiled = *compile_result;
+        item.shard.Add(cache_eviction_id_, cache_.Insert(key, compiled));
+      } else {
+        response.status = compile_result.status();
+      }
+    }
+    ++next_compile_;
+    compile_cv_.notify_all();
+  }
+  if (!response.status.ok()) {
+    item.shard.Add(queries_failed_id_, 1);
+    return;
+  }
+  response.program = compiled;
+  // Session EDB: the submission-time snapshot generation (copy-on-write
+  // clone — no tuple copy) plus the program's own ground facts.
+  Database edb = item.pending.snapshot.valid()
+                     ? item.pending.snapshot.db().Clone()
+                     : Database();
+  for (const auto& [pred, rel] : compiled->facts().relations()) {
+    Relation& dst = edb.GetOrCreate(pred, rel.arity());
+    for (size_t row = 0; row < rel.size(); ++row) {
+      dst.Insert(rel.Row(row));
+    }
+  }
+  SessionOptions session_options;
+  session_options.eval = options_.eval;
+  session_options.eval.budget = EvalBudget::FromEnv(session_options.eval.budget);
+  session_options.telemetry = response.telemetry.get();
+  Session session(std::move(session_options));
+  session.Bind(compiled);
+  Result<EvalResult> evaluated = session.Run(edb);
+  if (!evaluated.ok()) {
+    response.status = evaluated.status();
+    item.shard.Add(queries_failed_id_, 1);
+    return;
+  }
+  response.result = std::move(*evaluated);
+  item.summary = session.summary();
+  item.shard.Add(queries_completed_id_, 1);
+  if (options_.collect_telemetry) {
+    response.telemetry_json = RenderTelemetryDoc(
+        "service", response.name, session.summary(),
+        session.summary().rule_texts, compiled->optimized(), compiled->report(),
+        compiled->optimize_termination(), response.telemetry.get());
+  }
+}
+
+std::string QueryService::MetricsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ProgramCache::Stats cache = cache_.stats();
+  const obs::MetricsRegistry& metrics = service_telemetry_.metrics();
+  const uint64_t completed = metrics.CounterValue(queries_completed_id_);
+  const uint64_t failed = metrics.CounterValue(queries_failed_id_);
+  auto extra = [&](obs::JsonWriter& w) {
+    w.Key("service");
+    w.BeginObject();
+    w.Key("workers");
+    w.UInt(options_.num_workers);
+    w.Key("snapshot_generation");
+    w.UInt(generation_);
+    w.Key("queries");
+    w.BeginObject();
+    w.Key("submitted");
+    w.UInt(submitted_);
+    w.Key("pending");
+    w.UInt(queue_.size());
+    w.Key("completed");
+    w.UInt(completed);
+    w.Key("failed");
+    w.UInt(failed);
+    w.EndObject();
+    w.Key("cache");
+    w.BeginObject();
+    w.Key("hits");
+    w.UInt(cache.hits);
+    w.Key("misses");
+    w.UInt(cache.misses);
+    w.Key("evictions");
+    w.UInt(cache.evictions);
+    w.Key("size");
+    w.UInt(cache.size);
+    w.Key("capacity");
+    w.UInt(cache.capacity);
+    w.EndObject();
+    w.EndObject();
+  };
+  return RenderTelemetryDoc("service", "", aggregate_, {}, false,
+                            OptimizationReport(), Status::Ok(),
+                            &service_telemetry_, extra);
+}
+
+}  // namespace exdl

@@ -1,0 +1,203 @@
+// QueryService — many concurrent queries over one shared extensional
+// database (DESIGN.md §12).
+//
+// The service composes the API-v2 pieces into a long-lived server object:
+//
+//   * one shared, internally synchronized Context interns every symbol
+//     and predicate the service ever sees;
+//   * a ProgramCache of immutable CompiledPrograms keyed by source text +
+//     compile options, so re-submitting a query skips parse and optimize
+//     entirely (service.cache.hit, and no "optimize >" spans on a warm
+//     submission);
+//   * a DatabaseSnapshot of the current EDB generation; LoadFacts builds
+//     the *next* generation from a copy-on-write clone and publishes it,
+//     leaving in-flight queries reading their generation untouched;
+//   * one Session per in-flight query, with its own EvalOptions copy,
+//     budget (resolved through EvalBudget::FromEnv), telemetry sink, and
+//     metric shard — merged into the service counters at batch ends.
+//
+// Execution model: Submit/SubmitBatch enqueue and return tickets; a
+// dispatcher thread drains the queue into batches and fans each batch out
+// over the PR-1 persistent WorkerPool (the dispatcher participates, so
+// num_workers is the total parallelism). Await blocks for one ticket.
+//
+// Determinism: compiles pass through a ticket-ordered turnstile, so
+// symbols and predicates are interned in submission order no matter how
+// many workers race — answers for a given submission sequence are
+// byte-identical across pool sizes (service_test.cc locks this in).
+
+#ifndef EXDL_SERVICE_QUERY_SERVICE_H_
+#define EXDL_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/session.h"
+#include "obs/telemetry.h"
+#include "service/program_cache.h"
+#include "storage/database.h"
+#include "util/worker_pool.h"
+
+namespace exdl {
+
+struct ServiceOptions {
+  /// Total per-batch parallelism (worker threads + the dispatcher).
+  /// Clamped to >= 1.
+  uint32_t num_workers = 1;
+  /// ProgramCache capacity; 0 disables caching.
+  size_t program_cache_capacity = 64;
+  /// Compile pipeline applied to every submitted query (also part of the
+  /// cache key).
+  CompileOptions compile;
+  /// Per-session evaluation template. Each query gets a private copy with
+  /// its budget resolved through EvalBudget::FromEnv.
+  EvalOptions eval;
+  /// Give every query its own obs::Telemetry sink and render a per-query
+  /// telemetry document into QueryResponse::telemetry_json.
+  bool collect_telemetry = false;
+};
+
+struct QueryRequest {
+  /// Full query source: rules, query, and (optional) ground facts, which
+  /// are evaluated on top of the service's current EDB snapshot.
+  std::string source;
+  /// Provenance label (file name) echoed into the response and telemetry.
+  std::string name;
+};
+
+struct QueryResponse {
+  /// OK when evaluation produced a result (even a budget-tripped one —
+  /// see result.termination); a compile or hard evaluation error
+  /// otherwise.
+  Status status;
+  /// Valid when status.ok().
+  EvalResult result;
+  /// The shared artifact this query evaluated (keeps its Context alive).
+  CompiledProgram::Ptr program;
+  /// Per-query sink; null unless ServiceOptions::collect_telemetry.
+  std::shared_ptr<obs::Telemetry> telemetry;
+  /// Rendered per-query telemetry document (same schema as
+  /// Engine::TelemetryJson); empty unless collect_telemetry.
+  std::string telemetry_json;
+  /// EDB snapshot generation the query read.
+  uint64_t snapshot_generation = 0;
+  /// True when the compiled program came from the ProgramCache.
+  bool cache_hit = false;
+  /// QueryRequest::name echoed back.
+  std::string name;
+};
+
+class QueryService {
+ public:
+  using Ticket = uint64_t;
+
+  explicit QueryService(ServiceOptions options = {});
+  /// Drains every submitted query, then stops the workers. Responses not
+  /// yet awaited are discarded.
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one query against the current EDB snapshot; returns a
+  /// ticket for Await. Tickets also fix the compile order (determinism).
+  Ticket Submit(QueryRequest request);
+  /// Enqueues a pipeline of queries in order; one ticket each.
+  std::vector<Ticket> SubmitBatch(std::vector<QueryRequest> requests);
+
+  /// Blocks until `ticket`'s query finishes and moves its response out.
+  /// Each ticket may be awaited exactly once; an unknown or already
+  /// consumed ticket yields an InvalidArgument response immediately.
+  QueryResponse Await(Ticket ticket);
+  std::vector<QueryResponse> AwaitBatch(const std::vector<Ticket>& tickets);
+
+  /// Parses a facts-only source (rules are rejected) and publishes the
+  /// next EDB snapshot generation: a copy-on-write clone of the current
+  /// one plus the new facts. In-flight queries keep reading the
+  /// generation they were submitted against.
+  Status LoadFacts(std::string_view source);
+
+  /// The current EDB snapshot (generation 0 / invalid before the first
+  /// LoadFacts).
+  DatabaseSnapshot snapshot() const;
+
+  ProgramCache::Stats cache_stats() const;
+  const ContextPtr& ctx() const { return ctx_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Renders the merged service telemetry document: the same schema as
+  /// Engine::TelemetryJson (stats aggregated over every completed query,
+  /// service-level metrics rows) plus a "service" object with worker,
+  /// snapshot, queue, and cache counters. Validated by
+  /// tools/check_metrics_schema.py.
+  std::string MetricsJson() const;
+
+ private:
+  struct Pending {
+    Ticket ticket = 0;
+    QueryRequest request;
+    DatabaseSnapshot snapshot;
+  };
+  struct Active {
+    Pending pending;
+    QueryResponse response;
+    RunSummary summary;
+    obs::MetricsShard shard;
+  };
+
+  void DispatcherLoop();
+  /// Runs one query end to end on a worker thread: ticket-ordered compile
+  /// (through the cache), then an isolated Session evaluation.
+  void ProcessOne(Active& item);
+
+  ServiceOptions options_;
+  ContextPtr ctx_;
+  ProgramCache cache_;
+  obs::Telemetry service_telemetry_;
+
+  // Service metric ids (registered in the constructor, before any shard).
+  obs::MetricId cache_hit_id_;
+  obs::MetricId cache_miss_id_;
+  obs::MetricId cache_eviction_id_;
+  obs::MetricId queries_submitted_id_;
+  obs::MetricId queries_completed_id_;
+  obs::MetricId queries_failed_id_;
+  obs::MetricId batches_id_;
+  obs::MetricId generation_id_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Dispatcher: queue or shutdown.
+  std::condition_variable done_cv_;  ///< Awaiters: responses arrived.
+  std::deque<Pending> queue_;
+  std::unordered_map<Ticket, QueryResponse> done_;
+  std::unordered_set<Ticket> outstanding_;
+  Ticket next_ticket_ = 0;
+  DatabaseSnapshot snapshot_;
+  uint64_t generation_ = 0;
+  /// Aggregate run summary over every completed query (MetricsJson).
+  RunSummary aggregate_;
+  uint64_t submitted_ = 0;
+  uint64_t submitted_published_ = 0;
+  bool shutdown_ = false;
+
+  /// Compile turnstile: compiles (and cache fills) happen in strict
+  /// ticket order so interning into the shared Context is deterministic.
+  std::mutex compile_mu_;
+  std::condition_variable compile_cv_;
+  Ticket next_compile_ = 0;
+
+  WorkerPool pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace exdl
+
+#endif  // EXDL_SERVICE_QUERY_SERVICE_H_

@@ -72,12 +72,10 @@ std::vector<Atom> Database::FactsOf(PredId pred) const {
 }
 
 Database Database::Clone() const {
+  // Relation's copy constructor shares the tuple payload (copy-on-write),
+  // so this is a map copy — no tuples move.
   Database copy;
-  for (const auto& [pred, rel] : relations_) {
-    Relation& dst = copy.GetOrCreate(pred, rel.arity());
-    dst.Reserve(rel.size());
-    for (size_t i = 0; i < rel.size(); ++i) dst.Insert(rel.Row(i));
-  }
+  copy.relations_ = relations_;
   return copy;
 }
 

@@ -2,10 +2,17 @@
 // also holds the growing derived relations. For *uniform* equivalence tests
 // (Section 4) the input database may contain facts for IDB predicates too —
 // nothing here distinguishes the two.
+//
+// Copies are copy-on-write: Relation payloads are shared until written
+// (see relation.h), so Clone() is O(#relations) pointer copies, not a
+// tuple copy. DatabaseSnapshot wraps an immutable generation of the
+// database for concurrent readers (DESIGN.md §12).
 
 #ifndef EXDL_STORAGE_DATABASE_H_
 #define EXDL_STORAGE_DATABASE_H_
 
+#include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -50,7 +57,9 @@ class Database {
   /// All tuples of `pred` as ground atoms (testing/debug convenience).
   std::vector<Atom> FactsOf(PredId pred) const;
 
-  /// Deep copy.
+  /// Logical deep copy, physically copy-on-write: the clone shares every
+  /// relation's tuple storage until one side mutates it. Semantically
+  /// identical to the old deep copy, O(#relations) instead of O(#tuples).
   Database Clone() const;
 
   const std::unordered_map<PredId, Relation>& relations() const {
@@ -59,6 +68,35 @@ class Database {
 
  private:
   std::unordered_map<PredId, Relation> relations_;
+};
+
+/// An immutable, shareable view of one generation of a database. Handing
+/// out a snapshot is O(1); every holder reads the same consistent EDB with
+/// zero tuple copying (relations stay payload-shared until a *writer* —
+/// never the snapshot — detaches its own copy). Fact loads build the next
+/// generation from a CoW clone and publish a new snapshot; in-flight
+/// readers of older generations are unaffected.
+class DatabaseSnapshot {
+ public:
+  DatabaseSnapshot() = default;
+  DatabaseSnapshot(std::shared_ptr<const Database> db, uint64_t generation)
+      : db_(std::move(db)), generation_(generation) {}
+
+  /// Captures `db` (CoW clone) as generation `generation`.
+  static DatabaseSnapshot Capture(const Database& db, uint64_t generation) {
+    return DatabaseSnapshot(std::make_shared<const Database>(db.Clone()),
+                            generation);
+  }
+
+  bool valid() const { return db_ != nullptr; }
+  const Database& db() const { return *db_; }
+  /// Keeps the underlying generation alive across detached reads.
+  const std::shared_ptr<const Database>& shared() const { return db_; }
+  uint64_t generation() const { return generation_; }
+
+ private:
+  std::shared_ptr<const Database> db_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace exdl

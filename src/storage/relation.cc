@@ -53,41 +53,47 @@ void Relation::Index::Rehash(size_t new_slot_count) {
 }
 
 bool Relation::Insert(std::span<const Value> row) {
-  assert(row.size() == arity_);
-  ++insert_attempts_;
+  assert(row.size() == payload_->arity);
+  // `row` may alias a payload we are about to abandon; the old payload
+  // stays alive through the sharer that made it shared, so the view stays
+  // readable across the detach.
+  Detach();
+  Payload& p = *payload_;
+  ++p.insert_attempts;
   const size_t hash = HashValueSpan(row.data(), row.size());
   if (FindRow(hash, row) != kNoRow) return false;
 
   // `row` may alias our own arena (e.g. copying a relation into itself);
-  // appending can reallocate data_, so detach the view first if so.
-  if (!data_.empty() && row.data() >= data_.data() &&
-      row.data() < data_.data() + data_.size() &&
-      data_.size() + arity_ > data_.capacity()) {
+  // appending can reallocate the arena, so detach the view first if so.
+  if (!p.data.empty() && row.data() >= p.data.data() &&
+      row.data() < p.data.data() + p.data.size() &&
+      p.data.size() + p.arity > p.data.capacity()) {
     proj_scratch_.assign(row.begin(), row.end());
     row = std::span<const Value>(proj_scratch_);
   }
 
-  const uint32_t row_id = static_cast<uint32_t>(num_rows_);
-  data_.insert(data_.end(), row.begin(), row.end());
-  ++num_rows_;
+  const uint32_t row_id = static_cast<uint32_t>(p.num_rows);
+  p.data.insert(p.data.end(), row.begin(), row.end());
+  ++p.num_rows;
 
-  if (slots_.empty()) slots_.assign(kMinSlots, 0);
-  const size_t mask = slots_.size() - 1;
+  if (p.slots.empty()) p.slots.assign(kMinSlots, 0);
+  const size_t mask = p.slots.size() - 1;
   size_t slot = hash & mask;
-  while (slots_[slot] != 0) slot = (slot + 1) & mask;
-  slots_[slot] = row_id + 1;
-  if (NeedsGrow(num_rows_, slots_.size())) RehashSlots(slots_.size() * 2);
+  while (p.slots[slot] != 0) slot = (slot + 1) & mask;
+  p.slots[slot] = row_id + 1;
+  if (NeedsGrow(p.num_rows, p.slots.size())) RehashSlots(p.slots.size() * 2);
 
   UpdateIndexes(row_id);
   return true;
 }
 
 bool Relation::LoadRows(std::span<const Value> data, size_t rows) {
-  if (num_rows_ != 0) return false;
-  if (data.size() != rows * arity_) return false;
+  if (payload_->num_rows != 0) return false;
+  if (data.size() != rows * payload_->arity) return false;
   Reserve(rows);
+  const uint32_t arity = payload_->arity;
   for (size_t r = 0; r < rows; ++r) {
-    if (!Insert(data.subspan(r * arity_, arity_))) {
+    if (!Insert(data.subspan(r * arity, arity))) {
       Clear();
       return false;
     }
@@ -96,32 +102,40 @@ bool Relation::LoadRows(std::span<const Value> data, size_t rows) {
 }
 
 void Relation::Reserve(size_t rows) {
-  data_.reserve(rows * arity_);
+  Detach();
+  Payload& p = *payload_;
+  p.data.reserve(rows * p.arity);
   const size_t want = NextPow2(rows + rows / 4);
-  if (want > slots_.size()) RehashSlots(want);
+  if (want > p.slots.size()) RehashSlots(want);
 }
 
 uint64_t Relation::rehash_count() const {
-  uint64_t total = rehashes_;
-  for (const auto& [cols, index] : indexes_) total += index.rehashes_;
+  const Payload& p = *payload_;
+  // Lazy index builds may run concurrently on a shared payload; take the
+  // same lock they do before walking the map.
+  std::lock_guard<std::mutex> lock(p.index_mu);
+  uint64_t total = p.rehashes;
+  for (const auto& [cols, index] : p.indexes) total += index.rehashes_;
   return total;
 }
 
 void Relation::RehashSlots(size_t new_slot_count) {
-  ++rehashes_;
-  slots_.assign(new_slot_count, 0);
+  Payload& p = *payload_;
+  ++p.rehashes;
+  p.slots.assign(new_slot_count, 0);
   const size_t mask = new_slot_count - 1;
-  for (size_t r = 0; r < num_rows_; ++r) {
-    size_t slot = HashValueSpan(data_.data() + r * arity_, arity_) & mask;
-    while (slots_[slot] != 0) slot = (slot + 1) & mask;
-    slots_[slot] = static_cast<uint32_t>(r + 1);
+  for (size_t r = 0; r < p.num_rows; ++r) {
+    size_t slot = HashValueSpan(p.data.data() + r * p.arity, p.arity) & mask;
+    while (p.slots[slot] != 0) slot = (slot + 1) & mask;
+    p.slots[slot] = static_cast<uint32_t>(r + 1);
   }
 }
 
 void Relation::UpdateIndexes(uint32_t row_id) {
-  if (indexes_.empty()) return;
-  const Value* row = data_.data() + static_cast<size_t>(row_id) * arity_;
-  for (auto& [cols, index] : indexes_) {
+  Payload& p = *payload_;
+  if (p.indexes.empty()) return;
+  const Value* row = p.data.data() + static_cast<size_t>(row_id) * p.arity;
+  for (auto& [cols, index] : p.indexes) {
     proj_scratch_.clear();
     for (uint32_t c : index.columns_) proj_scratch_.push_back(row[c]);
     index.Add(proj_scratch_.data(), row_id);
@@ -129,26 +143,40 @@ void Relation::UpdateIndexes(uint32_t row_id) {
 }
 
 const Relation::Index& Relation::GetIndex(
-    const std::vector<uint32_t>& columns) {
-  auto it = indexes_.find(columns);
-  if (it != indexes_.end()) return it->second;
-  Index& index = indexes_[columns];
+    const std::vector<uint32_t>& columns) const {
+  Payload& p = *payload_;
+  // Shared payloads have immutable tuple data but may serve several
+  // sessions probing concurrently; the first to need an index builds it
+  // under the lock, the rest reuse it. std::map node stability keeps the
+  // returned reference valid after the lock is released.
+  std::lock_guard<std::mutex> lock(p.index_mu);
+  auto it = p.indexes.find(columns);
+  if (it != p.indexes.end()) return it->second;
+  Index& index = p.indexes[columns];
   index.columns_ = columns;
   index.width_ = columns.size();
-  for (uint32_t row_id = 0; row_id < num_rows_; ++row_id) {
-    const Value* row = data_.data() + static_cast<size_t>(row_id) * arity_;
-    proj_scratch_.clear();
-    for (uint32_t c : columns) proj_scratch_.push_back(row[c]);
-    index.Add(proj_scratch_.data(), row_id);
+  std::vector<Value> proj;
+  proj.reserve(columns.size());
+  for (uint32_t row_id = 0; row_id < p.num_rows; ++row_id) {
+    const Value* row = p.data.data() + static_cast<size_t>(row_id) * p.arity;
+    proj.clear();
+    for (uint32_t c : columns) proj.push_back(row[c]);
+    index.Add(proj.data(), row_id);
   }
   return index;
 }
 
 void Relation::Clear() {
-  data_.clear();
-  num_rows_ = 0;
-  slots_.clear();
-  indexes_.clear();
+  if (payload_.use_count() > 1) {
+    // Other sharers keep the tuples; this object starts empty.
+    payload_ = std::make_shared<Payload>(payload_->arity);
+    return;
+  }
+  Payload& p = *payload_;
+  p.data.clear();
+  p.num_rows = 0;
+  p.slots.clear();
+  p.indexes.clear();
 }
 
 }  // namespace exdl

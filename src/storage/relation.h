@@ -3,17 +3,29 @@
 // hash indexes on column subsets.
 //
 // Storage layout (see DESIGN.md §5a): tuples live in one contiguous,
-// arity-strided arena (`data_`); row id r occupies
-// data_[r*arity, (r+1)*arity). Deduplication is an open-addressing table
-// of row ids that hashes the arena rows directly — no per-tuple heap node,
-// no pointer chase in Row(). Indexes store their group keys in the same
-// flat, width-strided style.
+// arity-strided arena; row id r occupies data[r*arity, (r+1)*arity).
+// Deduplication is an open-addressing table of row ids that hashes the
+// arena rows directly — no per-tuple heap node, no pointer chase in Row().
+// Indexes store their group keys in the same flat, width-strided style.
+//
+// Copy-on-write (DESIGN.md §12): the arena, dedup table, and indexes live
+// in a shared payload behind a shared_ptr. Copying a Relation (and hence
+// Database::Clone) shares the payload — O(1), no tuple copy. The first
+// mutation (Insert/Reserve/Clear/LoadRows) on a shared payload detaches a
+// private deep copy, so writers never disturb concurrent readers of the
+// original. This is what lets a QueryService hand the same EDB snapshot to
+// many sessions: body-literal probes read shared payloads, head relations
+// detach on first flush. GetIndex is const and thread-safe (mutex-guarded
+// lazy build) so concurrent sessions share lazily built EDB indexes.
 //
 // Insertion order is stable, which lets the semi-naive evaluator treat a
 // suffix of row ids [watermark, size) as the delta without copying tuples.
 // Spans returned by Row() are views into the arena and are invalidated by
-// the next Insert/Reserve/Clear (the evaluator never grows a relation
-// while iterating it: derivations are buffered and flushed between rounds).
+// the next Insert/Reserve/Clear *on this Relation object* (the evaluator
+// never grows a relation while iterating it: derivations are buffered and
+// flushed between rounds). Index references obtained via GetIndex stay
+// valid and up to date until this Relation object mutates while shared
+// (a detach re-homes future updates into the private payload).
 
 #ifndef EXDL_STORAGE_RELATION_H_
 #define EXDL_STORAGE_RELATION_H_
@@ -21,6 +33,8 @@
 #include <cassert>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -130,31 +144,44 @@ class Relation {
     uint64_t rehashes_ = 0;          ///< Rehash() calls (telemetry).
   };
 
-  explicit Relation(uint32_t arity) : arity_(arity) {}
+  explicit Relation(uint32_t arity)
+      : payload_(std::make_shared<Payload>(arity)) {}
 
-  uint32_t arity() const { return arity_; }
-  size_t size() const { return num_rows_; }
-  bool empty() const { return num_rows_ == 0; }
+  /// Copies share the payload (O(1)); the first mutation through either
+  /// copy detaches a private deep copy (copy-on-write).
+  Relation(const Relation&) = default;
+  Relation& operator=(const Relation&) = default;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  uint32_t arity() const { return payload_->arity; }
+  size_t size() const { return payload_->num_rows; }
+  bool empty() const { return payload_->num_rows == 0; }
 
   /// Inserts `row` (must have length == arity). Returns true if the tuple
   /// was new. Duplicate inserts are counted in `insert_attempts`. `row`
   /// may alias this relation's own arena (self-copy is handled).
+  /// Detaches a shared payload first.
   bool Insert(std::span<const Value> row);
 
-  /// Pre-sizes the arena and dedup table for `rows` tuples.
+  /// Pre-sizes the arena and dedup table for `rows` tuples. Detaches a
+  /// shared payload first.
   void Reserve(size_t rows);
 
   /// The `row_id`-th tuple in insertion order. The span points into the
-  /// arena; it is invalidated by the next Insert/Reserve/Clear.
+  /// arena; it is invalidated by the next Insert/Reserve/Clear on this
+  /// Relation object.
   std::span<const Value> Row(size_t row_id) const {
-    return std::span<const Value>(data_.data() + row_id * arity_, arity_);
+    const Payload& p = *payload_;
+    return std::span<const Value>(p.data.data() + row_id * p.arity, p.arity);
   }
 
   /// Zero-copy view of the whole arena in row order: size() * arity()
   /// values, row r at [r * arity, (r + 1) * arity). Invalidated like
   /// Row(). Checkpoint serialization reads relations through this.
   std::span<const Value> RawData() const {
-    return std::span<const Value>(data_.data(), num_rows_ * arity_);
+    const Payload& p = *payload_;
+    return std::span<const Value>(p.data.data(), p.num_rows * p.arity);
   }
 
   /// Bulk-loads `rows` tuples (an arity-strided value array laid out like
@@ -168,7 +195,7 @@ class Relation {
   /// values (see HashKeyView). Allocation-free.
   template <typename KeyView>
   bool ContainsKey(const KeyView& key) const {
-    assert(key.size() == arity_);
+    assert(key.size() == payload_->arity);
     return FindRow(HashKeyView(key), key) != kNoRow;
   }
 
@@ -177,19 +204,24 @@ class Relation {
   }
 
   /// Returns the index on `columns` (sorted, distinct, each < arity),
-  /// building it on first use. The reference stays valid and up to date
-  /// across subsequent Inserts.
-  const Index& GetIndex(const std::vector<uint32_t>& columns);
+  /// building it on first use. Thread-safe: concurrent callers on a
+  /// shared payload serialize the build and then share it. The reference
+  /// stays valid and up to date across subsequent Inserts on this object
+  /// (after a copy-on-write detach, updates go to the detached payload's
+  /// copy of the index — re-resolve after mutating a shared relation).
+  const Index& GetIndex(const std::vector<uint32_t>& columns) const;
 
   /// Total Insert calls, including duplicates — the paper's "duplicate
   /// elimination cost" is insert_attempts() - size().
-  uint64_t insert_attempts() const { return insert_attempts_; }
+  uint64_t insert_attempts() const { return payload_->insert_attempts; }
 
   /// Bytes of tuple payload in the arena (size * arity * sizeof(Value)).
   /// This is the deterministic quantity EvalBudget::max_arena_bytes
   /// governs; dedup-slot and index overhead are excluded so the limit does
   /// not depend on growth policy or which indexes were lazily built.
-  size_t arena_bytes() const { return data_.size() * sizeof(Value); }
+  size_t arena_bytes() const {
+    return payload_->data.size() * sizeof(Value);
+  }
 
   /// Open-addressing table rebuilds since construction: dedup-slot grows
   /// (including Reserve pre-sizing) plus every index's grows. A telemetry
@@ -197,21 +229,70 @@ class Relation {
   /// load suggest Reserve is missing on a hot relation.
   uint64_t rehash_count() const;
 
-  /// Drops all tuples and indexes.
+  /// Drops all tuples and indexes. On a shared payload this detaches to a
+  /// fresh empty payload (other sharers keep their tuples).
   void Clear();
+
+  /// True if `other` currently shares this relation's tuple storage —
+  /// i.e. the copy-on-write payload has not been detached by a mutation
+  /// on either side. Test/diagnostic hook for snapshot sharing.
+  bool SharesStorageWith(const Relation& other) const {
+    return payload_ == other.payload_;
+  }
 
  private:
   static constexpr size_t kNoRow = static_cast<size_t>(-1);
+
+  /// Everything that makes up the tuple set. Shared (read-only) between
+  /// Relation copies until one of them mutates.
+  struct Payload {
+    explicit Payload(uint32_t arity_in) : arity(arity_in) {}
+    /// Deep copy for detach; the index mutex is fresh, not copied.
+    Payload(const Payload& other)
+        : arity(other.arity),
+          data(other.data),
+          num_rows(other.num_rows),
+          slots(other.slots),
+          indexes(other.indexes),
+          insert_attempts(other.insert_attempts),
+          rehashes(other.rehashes) {}
+
+    uint32_t arity;
+    std::vector<Value> data;  ///< Arity-strided tuple arena.
+    size_t num_rows = 0;
+    std::vector<uint32_t> slots;  ///< Dedup: row id + 1; 0 = empty; pow2.
+    // Keyed by column list so GetIndex can find existing indexes.
+    // std::map: few indexes per relation, node stability keeps GetIndex
+    // references valid across later GetIndex calls.
+    std::map<std::vector<uint32_t>, Index> indexes;
+    uint64_t insert_attempts = 0;
+    uint64_t rehashes = 0;  ///< RehashSlots() calls (telemetry).
+    /// Guards `indexes` map shape and lazy builds on *shared* payloads
+    /// (tuple data is immutable while shared, but two sessions may race
+    /// to build the same index). Uncontended on private payloads.
+    mutable std::mutex index_mu;
+  };
+
+  /// Ensures the payload is privately owned before a mutation; deep-copies
+  /// it if shared. Callers of mutators must be the only thread touching
+  /// *this Relation object* (the usual single-writer contract); other
+  /// Relation objects sharing the old payload are unaffected.
+  void Detach() {
+    if (payload_.use_count() > 1) {
+      payload_ = std::make_shared<Payload>(*payload_);
+    }
+  }
 
   /// Probes the dedup table for a row equal to `key`; returns its row id
   /// or kNoRow. `hash` must be HashKeyView(key).
   template <typename KeyView>
   size_t FindRow(size_t hash, const KeyView& key) const {
-    if (slots_.empty()) return kNoRow;
-    const size_t mask = slots_.size() - 1;
+    const Payload& p = *payload_;
+    if (p.slots.empty()) return kNoRow;
+    const size_t mask = p.slots.size() - 1;
     size_t slot = hash & mask;
     while (true) {
-      const uint32_t r = slots_[slot];
+      const uint32_t r = p.slots[slot];
       if (r == 0) return kNoRow;
       if (RowEquals(r - 1, key)) return r - 1;
       slot = (slot + 1) & mask;
@@ -220,30 +301,23 @@ class Relation {
 
   template <typename KeyView>
   bool RowEquals(size_t row_id, const KeyView& key) const {
-    const Value* stored = data_.data() + row_id * arity_;
-    for (size_t i = 0; i < arity_; ++i) {
+    const Payload& p = *payload_;
+    const Value* stored = p.data.data() + row_id * p.arity;
+    for (size_t i = 0; i < p.arity; ++i) {
       if (stored[i] != key[i]) return false;
     }
     return true;
   }
 
   /// Grows the dedup table to `new_slot_count` (pow2) and reinserts every
-  /// row id by rehashing the arena.
+  /// row id by rehashing the arena. Payload must be private.
   void RehashSlots(size_t new_slot_count);
 
-  /// Appends row `row_id` (already in the arena) to every index.
+  /// Appends row `row_id` (already in the arena) to every index. Payload
+  /// must be private.
   void UpdateIndexes(uint32_t row_id);
 
-  uint32_t arity_;
-  std::vector<Value> data_;  ///< Arity-strided tuple arena.
-  size_t num_rows_ = 0;
-  std::vector<uint32_t> slots_;  ///< Dedup: row id + 1; 0 = empty; pow2.
-  // Keyed by column list so GetIndex can find existing indexes. std::map:
-  // few indexes per relation, node stability keeps GetIndex references
-  // valid across later GetIndex calls.
-  std::map<std::vector<uint32_t>, Index> indexes_;
-  uint64_t insert_attempts_ = 0;
-  uint64_t rehashes_ = 0;  ///< RehashSlots() calls (telemetry).
+  std::shared_ptr<Payload> payload_;
   std::vector<Value> proj_scratch_;  ///< Reused for index maintenance.
 };
 

@@ -1,0 +1,391 @@
+// QueryService / ProgramCache / DatabaseSnapshot tests (DESIGN.md §12):
+// concurrent sessions over one shared EDB snapshot produce answers
+// byte-identical to a serial per-file Engine loop for every pool size,
+// warm cache hits skip re-parse/re-optimize, snapshot generations
+// isolate in-flight readers from fact loads, and the copy-on-write
+// storage layer underneath shares payloads until first write.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compiled_program.h"
+#include "core/engine.h"
+#include "service/program_cache.h"
+#include "service/query_service.h"
+#include "storage/database.h"
+#include "testing/test_util.h"
+
+namespace exdl {
+namespace {
+
+// The three example programs, inlined so the test does not depend on the
+// source tree layout at run time.
+constexpr char kTcChain[] = R"(
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+?- tc(n0, Y).
+e(n0, n1). e(n1, n2). e(n2, n3). e(n3, n4). e(n4, n5). e(n5, n6).
+e(n6, n7). e(n7, n8). e(n8, n9). e(n9, n10). e(n10, n11).
+e(n2, n7). e(n5, n1).
+)";
+
+constexpr char kReachBoolean[] = R"(
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+?- reach(s, t).
+edge(s, m0). edge(m0, m1). edge(m1, m2). edge(m2, t).
+edge(s, k0). edge(k0, k1). edge(k1, s).
+)";
+
+constexpr char kSameGeneration[] = R"(
+sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, XP), sg(XP, YP), parent(Y, YP).
+?- sg(a, Y).
+sibling(p, q). sibling(q, p).
+parent(a, p). parent(b, q). parent(c, q).
+parent(d, a). parent(e, b). parent(f, c).
+)";
+
+std::vector<std::string> AnswerStrings(
+    const Context& ctx, const std::vector<std::vector<Value>>& answers) {
+  std::vector<std::string> out;
+  out.reserve(answers.size());
+  for (const auto& row : answers) {
+    std::string s;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) s += ",";
+      s += ctx.SymbolName(row[i]);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Serial reference: one fresh Engine per source.
+std::vector<std::string> EngineAnswers(const std::string& source,
+                                       bool optimize = false) {
+  Engine engine;
+  EXPECT_TRUE(engine.LoadSource(source).ok());
+  if (optimize) EXPECT_TRUE(engine.Optimize().ok());
+  Result<EvalResult> result = engine.Run();
+  EXPECT_TRUE(result.ok());
+  return AnswerStrings(*engine.ctx(), result->answers);
+}
+
+// ---------------------------------------------------------------------------
+// ProgramCache
+
+CompiledProgram::Ptr MustCompile(const std::string& source,
+                                 const CompileOptions& options = {}) {
+  Result<CompiledProgram::Ptr> compiled =
+      CompiledProgram::Compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return *compiled;
+}
+
+TEST(ProgramCacheTest, HitOnSameFingerprint) {
+  ProgramCache cache(4);
+  const uint64_t key = CompiledProgram::CacheKey(kTcChain, CompileOptions());
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  CompiledProgram::Ptr compiled = MustCompile(kTcChain);
+  cache.Insert(key, compiled);
+  EXPECT_EQ(cache.Lookup(key), compiled);
+  ProgramCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ProgramCacheTest, KeyChangesWithSemanticsAndPipeline) {
+  CompileOptions base;
+  const uint64_t k0 = CompiledProgram::CacheKey(kTcChain, base);
+  EXPECT_EQ(k0, CompiledProgram::CacheKey(kTcChain, base));
+
+  CompileOptions naive = base;
+  naive.seminaive = false;
+  EXPECT_NE(k0, CompiledProgram::CacheKey(kTcChain, naive));
+
+  CompileOptions no_cut = base;
+  no_cut.boolean_cut = false;
+  EXPECT_NE(k0, CompiledProgram::CacheKey(kTcChain, no_cut));
+
+  CompileOptions optimized = base;
+  optimized.optimize = true;
+  EXPECT_NE(k0, CompiledProgram::CacheKey(kTcChain, optimized));
+
+  CompileOptions magic = optimized;
+  magic.optimizer.apply_magic = true;
+  EXPECT_NE(CompiledProgram::CacheKey(kTcChain, optimized),
+            CompiledProgram::CacheKey(kTcChain, magic));
+
+  EXPECT_NE(k0, CompiledProgram::CacheKey(kReachBoolean, base));
+}
+
+TEST(ProgramCacheTest, BoundedEviction) {
+  ProgramCache cache(2);
+  CompiledProgram::Ptr compiled = MustCompile(kTcChain);
+  cache.Insert(1, compiled);
+  cache.Insert(2, compiled);
+  EXPECT_NE(cache.Lookup(1), nullptr);  // 1 is now most recently used.
+  cache.Insert(3, compiled);            // Evicts 2 (LRU).
+  EXPECT_EQ(cache.stats().size, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_NE(cache.Lookup(3), nullptr);
+}
+
+TEST(ProgramCacheTest, ZeroCapacityDisables) {
+  ProgramCache cache(0);
+  cache.Insert(1, MustCompile(kTcChain));
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write storage underneath the snapshots
+
+TEST(StorageCoWTest, CloneSharesUntilFirstWrite) {
+  testing::ParsedProgram parsed = testing::MustParse(kTcChain);
+  Database clone = parsed.edb.Clone();
+  for (const auto& [pred, rel] : parsed.edb.relations()) {
+    ASSERT_NE(clone.Find(pred), nullptr);
+    EXPECT_TRUE(rel.SharesStorageWith(*clone.Find(pred)));
+  }
+  // First write detaches only the written relation; the original keeps
+  // its tuples and the other relations stay shared.
+  auto it = clone.relations().begin();
+  const PredId pred = it->first;
+  Relation* rel = clone.FindMutable(pred);
+  const size_t before = parsed.edb.Find(pred)->size();
+  std::vector<Value> row(rel->arity(), 0);
+  rel->Insert(row);
+  EXPECT_FALSE(parsed.edb.Find(pred)->SharesStorageWith(*rel));
+  EXPECT_EQ(parsed.edb.Find(pred)->size(), before);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+
+TEST(QueryServiceTest, MatchesSerialEngineAcrossPoolSizes) {
+  const std::vector<std::string> sources = {kTcChain, kReachBoolean,
+                                            kSameGeneration};
+  std::vector<std::vector<std::string>> expected;
+  for (const std::string& source : sources) {
+    expected.push_back(EngineAnswers(source));
+  }
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    ServiceOptions options;
+    options.num_workers = workers;
+    QueryService service(options);
+    std::vector<QueryRequest> requests;
+    // Several rounds of every source: later rounds hit the cache.
+    for (int round = 0; round < 4; ++round) {
+      for (size_t i = 0; i < sources.size(); ++i) {
+        requests.push_back(
+            QueryRequest{sources[i], "q" + std::to_string(i)});
+      }
+    }
+    std::vector<QueryService::Ticket> tickets =
+        service.SubmitBatch(std::move(requests));
+    for (size_t t = 0; t < tickets.size(); ++t) {
+      QueryResponse response = service.Await(tickets[t]);
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_TRUE(response.result.termination.ok());
+      EXPECT_EQ(AnswerStrings(*service.ctx(), response.result.answers),
+                expected[t % sources.size()])
+          << "workers=" << workers << " ticket=" << t;
+    }
+    ProgramCache::Stats stats = service.cache_stats();
+    EXPECT_EQ(stats.misses, sources.size());
+    EXPECT_EQ(stats.hits, tickets.size() - sources.size());
+  }
+}
+
+TEST(QueryServiceTest, RawAnswersIdenticalAcrossPoolSizes) {
+  // The compile turnstile makes interning order — and therefore the raw
+  // Value ids in every answer — independent of the worker count.
+  auto run = [](uint32_t workers) {
+    ServiceOptions options;
+    options.num_workers = workers;
+    QueryService service(options);
+    std::vector<QueryRequest> requests;
+    for (int round = 0; round < 3; ++round) {
+      requests.push_back(QueryRequest{kSameGeneration, "sg"});
+      requests.push_back(QueryRequest{kTcChain, "tc"});
+      requests.push_back(QueryRequest{kReachBoolean, "reach"});
+    }
+    std::vector<std::vector<std::vector<Value>>> answers;
+    for (QueryService::Ticket ticket :
+         service.SubmitBatch(std::move(requests))) {
+      QueryResponse response = service.Await(ticket);
+      EXPECT_TRUE(response.status.ok());
+      answers.push_back(response.result.answers);
+    }
+    return answers;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+}
+
+TEST(QueryServiceTest, WarmCacheSkipsParseAndOptimize) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.compile.optimize = true;
+  options.collect_telemetry = true;
+  QueryService service(options);
+
+  QueryResponse cold = service.Await(service.Submit({kReachBoolean, "cold"}));
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  EXPECT_FALSE(cold.cache_hit);
+  ASSERT_NE(cold.program, nullptr);
+  EXPECT_TRUE(cold.program->optimized());
+  // The cold compile ran the optimizer: its spans are in the document.
+  EXPECT_NE(cold.telemetry_json.find("optimize >"), std::string::npos);
+
+  QueryResponse warm = service.Await(service.Submit({kReachBoolean, "warm"}));
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  // Same shared artifact, not a recompiled one.
+  EXPECT_EQ(warm.program.get(), cold.program.get());
+  // No re-parse / re-optimize on the warm path: no optimizer spans.
+  EXPECT_EQ(warm.telemetry_json.find("optimize >"), std::string::npos);
+  EXPECT_EQ(AnswerStrings(*service.ctx(), warm.result.answers),
+            AnswerStrings(*service.ctx(), cold.result.answers));
+  EXPECT_GE(service.cache_stats().hits, 1u);
+
+  // The merged service document reports the hit.
+  const std::string metrics = service.MetricsJson();
+  EXPECT_NE(metrics.find("service.cache.hit"), std::string::npos);
+  EXPECT_NE(metrics.find("\"service\""), std::string::npos);
+}
+
+TEST(QueryServiceTest, SnapshotGenerationsIsolateFactLoads) {
+  const std::string rules = "tc(X, Y) :- e(X, Y).\n"
+                            "tc(X, Y) :- e(X, Z), tc(Z, Y).\n"
+                            "?- tc(a, Y).\n";
+  QueryService service;
+  EXPECT_FALSE(service.snapshot().valid());
+
+  ASSERT_TRUE(service.LoadFacts("e(a, b). e(b, c).").ok());
+  EXPECT_EQ(service.snapshot().generation(), 1u);
+  QueryResponse gen1 = service.Await(service.Submit({rules, "gen1"}));
+  ASSERT_TRUE(gen1.status.ok()) << gen1.status.ToString();
+  EXPECT_EQ(gen1.snapshot_generation, 1u);
+  EXPECT_EQ(AnswerStrings(*service.ctx(), gen1.result.answers),
+            (std::vector<std::string>{"b", "c"}));
+
+  ASSERT_TRUE(service.LoadFacts("e(c, d).").ok());
+  EXPECT_EQ(service.snapshot().generation(), 2u);
+  QueryResponse gen2 = service.Await(service.Submit({rules, "gen2"}));
+  ASSERT_TRUE(gen2.status.ok());
+  EXPECT_EQ(gen2.snapshot_generation, 2u);
+  EXPECT_EQ(AnswerStrings(*service.ctx(), gen2.result.answers),
+            (std::vector<std::string>{"b", "c", "d"}));
+
+  // Rules are not facts.
+  EXPECT_FALSE(service.LoadFacts("p(X) :- e(X, Y).").ok());
+}
+
+TEST(QueryServiceTest, SharedSnapshotStress) {
+  // Many sessions over one shared snapshot, program facts on top.
+  std::string facts;
+  for (int i = 0; i < 40; ++i) {
+    facts += "e(n" + std::to_string(i) + ", n" + std::to_string(i + 1) + ").\n";
+  }
+  const std::string rules = "tc(X, Y) :- e(X, Y).\n"
+                            "tc(X, Y) :- e(X, Z), tc(Z, Y).\n"
+                            "?- tc(n0, Y).\n";
+  const std::vector<std::string> expected =
+      EngineAnswers(rules + facts);
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  QueryService service(options);
+  ASSERT_TRUE(service.LoadFacts(facts).ok());
+  std::vector<QueryRequest> requests;
+  for (int i = 0; i < 24; ++i) {
+    requests.push_back(QueryRequest{rules, "stress" + std::to_string(i)});
+  }
+  for (QueryService::Ticket ticket :
+       service.SubmitBatch(std::move(requests))) {
+    QueryResponse response = service.Await(ticket);
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(AnswerStrings(*service.ctx(), response.result.answers),
+              expected);
+  }
+  // The published snapshot itself was never written through.
+  EXPECT_EQ(service.snapshot().generation(), 1u);
+  EXPECT_EQ(service.snapshot().db().TotalTuples(), 40u);
+}
+
+TEST(QueryServiceTest, PerSessionBudget) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.eval.budget.max_tuples = 5;  // Trips on the 40-edge closure.
+  QueryService service(options);
+  QueryResponse response =
+      service.Await(service.Submit({kTcChain, "budgeted"}));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.result.termination.code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(response.result.stats.budget_tripped, BudgetKind::kTuples);
+}
+
+TEST(QueryServiceTest, CompileErrorsAreIsolated) {
+  QueryService service;
+  std::vector<QueryService::Ticket> tickets = service.SubmitBatch(
+      {QueryRequest{"p(X :- q(X).", "bad"}, QueryRequest{kTcChain, "good"}});
+  QueryResponse bad = service.Await(tickets[0]);
+  EXPECT_FALSE(bad.status.ok());
+  QueryResponse good = service.Await(tickets[1]);
+  EXPECT_TRUE(good.status.ok()) << good.status.ToString();
+  EXPECT_EQ(AnswerStrings(*service.ctx(), good.result.answers),
+            EngineAnswers(kTcChain));
+}
+
+TEST(QueryServiceTest, UnknownTicketRejected) {
+  QueryService service;
+  QueryResponse response = service.Await(12345);
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+  // Double-await of a consumed ticket is rejected too.
+  QueryService::Ticket ticket = service.Submit({kTcChain, "once"});
+  EXPECT_TRUE(service.Await(ticket).status.ok());
+  EXPECT_EQ(service.Await(ticket).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// API v2 pieces on their own
+
+TEST(CompiledProgramTest, FingerprintBindsSemantics) {
+  testing::ParsedProgram parsed = testing::MustParse(kTcChain);
+  EvalOptions seminaive;
+  EvalOptions naive;
+  naive.seminaive = false;
+  EXPECT_NE(CompiledProgram::Fingerprint(parsed.program, seminaive),
+            CompiledProgram::Fingerprint(parsed.program, naive));
+}
+
+TEST(SessionTest, ManySessionsShareOneCompiledProgram) {
+  CompileOptions options;
+  options.optimize = true;
+  CompiledProgram::Ptr compiled = MustCompile(kSameGeneration, options);
+  const std::vector<std::string> expected =
+      EngineAnswers(kSameGeneration, /*optimize=*/true);
+  for (int i = 0; i < 3; ++i) {
+    Session session;
+    session.Bind(compiled);
+    Result<EvalResult> result = session.Run(compiled->facts().Clone());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(AnswerStrings(*compiled->context(), result->answers), expected);
+    EXPECT_TRUE(session.summary().has_run);
+  }
+}
+
+}  // namespace
+}  // namespace exdl

@@ -5,7 +5,8 @@
 //                          [--no-delete] [--trace] [--metrics-json FILE]
 //       Print the optimized program and the per-phase report.
 //
-//   exdlc run <file> [--naive] [--no-cut] [--optimize] [--threads N]
+//   exdlc run <file...> [--jobs N] [--naive] [--no-cut] [--optimize]
+//                    [--threads N]
 //                    [--deadline-ms N] [--max-tuples N] [--max-bytes N]
 //                    [--checkpoint-dir DIR] [--checkpoint-every-rounds N]
 //                    [--resume FILE] [--trace] [--metrics-json FILE]
@@ -24,6 +25,14 @@
 //       invocation must use the same program file and the same
 //       --optimize/--naive/--no-cut configuration (the snapshot carries a
 //       program fingerprint and is refused otherwise).
+//       With --jobs N (or more than one input file) the files run as a
+//       batch through a shared QueryService (src/service/): one shared
+//       interning context, a warm ProgramCache, and N parallel session
+//       workers. Output is printed per file in submission order under a
+//       "== <file> ==" header and is byte-identical for any N (compiles
+//       pass a ticket-ordered turnstile). --metrics-json then writes the
+//       merged service document (with a "service" object); checkpoint/
+//       resume flags are rejected in batch mode.
 //
 //   exdlc grammar <file>
 //       For a binary chain program: print the grammar, regularity
@@ -85,6 +94,7 @@
 #include "parser/parser.h"
 #include "recovery/atomic_file.h"
 #include "recovery/fault.h"
+#include "service/query_service.h"
 #include "util/cancellation.h"
 
 namespace exdl {
@@ -152,6 +162,7 @@ constexpr FlagSpec kFlagTable[] = {
     {"--no-cut", false, kCmdRun},
     {"--optimize", false, kCmdRun},
     {"--threads", true, kCmdRun},
+    {"--jobs", true, kCmdRun},
     // budgets (run only: optimize has no budgeted resources beyond SIGINT)
     {"--deadline-ms", true, kCmdRun},
     {"--max-tuples", true, kCmdRun},
@@ -404,6 +415,92 @@ int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
   return obs_rc;
 }
 
+/// `exdlc run` in batch mode: every input file becomes one query of a
+/// shared QueryService. Used when --jobs is given or several files are
+/// listed. Per-file answers print in submission order (deterministic for
+/// any worker count); --metrics-json writes the merged service document.
+int CmdRunService(const std::vector<std::string>& files,
+                  const std::vector<std::string>& flags) {
+  InstallInterruptHandler();
+  if (!FlagString(flags, "--checkpoint-dir", std::string()).empty() ||
+      !FlagString(flags, "--resume", std::string()).empty()) {
+    std::cerr << "--checkpoint-dir/--resume are not supported with --jobs\n";
+    return 2;
+  }
+  ServiceOptions options;
+  options.num_workers = FlagValue(flags, "--jobs", 1);
+  options.eval.seminaive = !HasFlag(flags, "--naive");
+  options.eval.boolean_cut = !HasFlag(flags, "--no-cut");
+  options.eval.num_threads = FlagValue(flags, "--threads", 1);
+  // Flag-set limits only; the service resolves EXDL_BUDGET_* per session
+  // via EvalBudget::FromEnv.
+  options.eval.budget = EvalBudget::FromFlags(
+      FlagValue64(flags, "--deadline-ms", 0),
+      FlagValue64(flags, "--max-tuples", 0),
+      FlagValue64(flags, "--max-bytes", 0), &g_interrupted);
+  options.compile.optimize = HasFlag(flags, "--optimize");
+  options.compile.optimizer.cancellation = &g_interrupted;
+  options.compile.seminaive = options.eval.seminaive;
+  options.compile.boolean_cut = options.eval.boolean_cut;
+  options.collect_telemetry =
+      HasFlag(flags, "--trace") || HasFlag(flags, "--metrics-json");
+  std::vector<QueryRequest> requests;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "cannot open " << file << "\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    requests.push_back(QueryRequest{buffer.str(), file});
+  }
+  QueryService service(std::move(options));
+  const std::vector<QueryService::Ticket> tickets =
+      service.SubmitBatch(std::move(requests));
+  int rc = 0;
+  for (QueryService::Ticket ticket : tickets) {
+    QueryResponse response = service.Await(ticket);
+    std::cout << "== " << response.name << " ==\n";
+    if (!response.status.ok()) {
+      std::cerr << response.name << ": " << response.status.ToString() << "\n";
+      rc = std::max(rc, 1);
+      continue;
+    }
+    for (const auto& row : response.result.answers) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) std::cout << "\t";
+        std::cout << service.ctx()->SymbolName(row[i]);
+      }
+      std::cout << "\n";
+    }
+    std::cerr << response.name << ": " << response.result.answers.size()
+              << " answer(s)   [" << response.result.stats.ToString() << "]"
+              << (response.cache_hit ? "   (cached program)" : "") << "\n";
+    if (HasFlag(flags, "--trace") && response.telemetry != nullptr) {
+      std::cerr << obs::RenderTrace(response.telemetry->trace());
+    }
+    if (!response.result.termination.ok()) {
+      std::cerr << response.name << ": budget tripped ("
+                << BudgetKindName(response.result.stats.budget_tripped)
+                << "): " << response.result.termination.ToString() << "\n";
+      rc = std::max(rc, ExitCodeFor(response.result.termination));
+    }
+  }
+  const std::string metrics_path =
+      FlagString(flags, "--metrics-json", std::string());
+  if (!metrics_path.empty()) {
+    Status written =
+        recovery::AtomicWriteFile(metrics_path, service.MetricsJson());
+    if (!written.ok()) {
+      std::cerr << "cannot write " << metrics_path << ": "
+                << written.ToString() << "\n";
+      rc = std::max(rc, 1);
+    }
+  }
+  return rc;
+}
+
 int CmdGrammar(const std::string& path) {
   Engine engine;
   Status loaded = engine.LoadFile(path);
@@ -538,7 +635,22 @@ int Main(int argc, char** argv) {
   }
   if (command == "run") {
     ValidateFlags(rest, command, kCmdRun);
-    return CmdRun(rest[0], rest);
+    // Positional arguments = input files (flag values already validated,
+    // so skip the token after every value-taking flag).
+    std::vector<std::string> files;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      if (rest[i].rfind("--", 0) == 0) {
+        const FlagSpec* spec = FindFlag(rest[i]);
+        if (spec != nullptr && spec->takes_value) ++i;
+        continue;
+      }
+      files.push_back(rest[i]);
+    }
+    if (files.empty()) return Usage();
+    if (HasFlag(rest, "--jobs") || files.size() > 1) {
+      return CmdRunService(files, rest);
+    }
+    return CmdRun(files[0], rest);
   }
   if (command == "grammar") {
     ValidateFlags(rest, command, 0);
