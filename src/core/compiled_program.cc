@@ -16,12 +16,6 @@ uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
   return h;
 }
 
-uint64_t Fnv1aByte(uint64_t h, unsigned char b) {
-  h ^= b;
-  h *= 1099511628211ULL;
-  return h;
-}
-
 }  // namespace
 
 CompiledProgram::CompiledProgram(ContextPtr ctx, Program program)
@@ -35,9 +29,8 @@ uint64_t CompiledProgram::Fingerprint(const Program& program,
   return Fnv1a(1469598103934665603ULL, repr.data(), repr.size());
 }
 
-uint64_t CompiledProgram::CacheKey(std::string_view source,
-                                   const CompileOptions& options) {
-  uint64_t h = Fnv1a(1469598103934665603ULL, source.data(), source.size());
+std::string CompiledProgram::CacheKeyMaterial(std::string_view source,
+                                              const CompileOptions& options) {
   // Every toggle that changes the artifact or the semantics it is bound
   // to gets one byte; the leading marker bytes keep fields from eliding
   // into each other if more are appended later.
@@ -62,8 +55,17 @@ uint64_t CompiledProgram::CacheKey(std::string_view source,
       static_cast<unsigned char>(o.deletion.use_optimistic),
       static_cast<unsigned char>(o.deletion.cleanup),
   };
-  for (unsigned char b : bits) h = Fnv1aByte(h, b);
-  return h;
+  std::string material;
+  material.reserve(source.size() + sizeof(bits));
+  material.append(source.data(), source.size());
+  material.append(reinterpret_cast<const char*>(bits), sizeof(bits));
+  return material;
+}
+
+uint64_t CompiledProgram::CacheKey(std::string_view source,
+                                   const CompileOptions& options) {
+  const std::string material = CacheKeyMaterial(source, options);
+  return Fnv1a(1469598103934665603ULL, material.data(), material.size());
 }
 
 Result<CompiledProgram::Ptr> CompiledProgram::Compile(

@@ -86,12 +86,21 @@ class CompiledProgram {
   static uint64_t Fingerprint(const Program& program,
                               const EvalOptions& eval);
 
-  /// Key a ProgramCache entry on: FNV-1a over the raw source text and
-  /// every CompileOptions field that changes the artifact or its
-  /// semantics. Computable without parsing — that is the point: a cache
-  /// hit skips the parser and the optimizer entirely. Distinct semantics
-  /// (e.g. naive vs semi-naive) therefore never share an entry even
-  /// though the rewritten rules would be identical.
+  /// The full ProgramCache key: the raw source text followed by one byte
+  /// per CompileOptions field that changes the artifact or its semantics
+  /// (framed by marker bytes so fields cannot elide into each other).
+  /// Computable without parsing — that is the point: a cache hit skips
+  /// the parser and the optimizer entirely. Distinct semantics (e.g.
+  /// naive vs semi-naive) therefore never share an entry even though the
+  /// rewritten rules would be identical. ProgramCache keys on this full
+  /// byte string, not on a hash of it, so two distinct programs can never
+  /// alias an entry (FNV-1a is not collision-resistant, and a collision
+  /// would silently serve the wrong artifact).
+  static std::string CacheKeyMaterial(std::string_view source,
+                                      const CompileOptions& options);
+
+  /// FNV-1a over CacheKeyMaterial — a compact fingerprint of the cache
+  /// key for logs and tests. Not used as a cache index (see above).
   static uint64_t CacheKey(std::string_view source,
                            const CompileOptions& options);
 

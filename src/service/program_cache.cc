@@ -2,7 +2,7 @@
 
 namespace exdl {
 
-CompiledProgram::Ptr ProgramCache::Lookup(uint64_t key) {
+CompiledProgram::Ptr ProgramCache::Lookup(std::string_view key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_key_.find(key);
   if (it == by_key_.end()) {
@@ -14,7 +14,7 @@ CompiledProgram::Ptr ProgramCache::Lookup(uint64_t key) {
   return it->second->second;
 }
 
-size_t ProgramCache::Insert(uint64_t key, CompiledProgram::Ptr value) {
+size_t ProgramCache::Insert(std::string key, CompiledProgram::Ptr value) {
   std::lock_guard<std::mutex> lock(mu_);
   if (capacity_ == 0) {
     ++evictions_;
@@ -26,11 +26,11 @@ size_t ProgramCache::Insert(uint64_t key, CompiledProgram::Ptr value) {
     lru_.splice(lru_.begin(), lru_, it->second);
     return 0;
   }
-  lru_.emplace_front(key, std::move(value));
-  by_key_[key] = lru_.begin();
+  lru_.emplace_front(std::move(key), std::move(value));
+  by_key_[lru_.front().first] = lru_.begin();
   size_t evicted = 0;
   while (lru_.size() > capacity_) {
-    by_key_.erase(lru_.back().first);
+    by_key_.erase(std::string_view(lru_.back().first));
     lru_.pop_back();
     ++evictions_;
     ++evicted;

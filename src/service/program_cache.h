@@ -1,6 +1,6 @@
 // ProgramCache — a bounded, thread-safe LRU cache of CompiledProgram
-// artifacts keyed by CompiledProgram::CacheKey (FNV-1a over the raw
-// source text and every compile option that changes the artifact or the
+// artifacts keyed by CompiledProgram::CacheKeyMaterial (the raw source
+// text plus every compile option that changes the artifact or the
 // semantics it binds to; see compiled_program.h).
 //
 // The point of the cache is to skip the whole compile front half on a
@@ -10,6 +10,12 @@
 // Distinct semantics (e.g. naive vs semi-naive) never share an entry even
 // though the rewritten rules would be identical, because the semantics
 // toggles are part of the key.
+//
+// The map is keyed on the *full* key bytes, not a hash of them: a 64-bit
+// FNV fingerprint of source+options is cheap but not collision-resistant,
+// and in a long-lived service a collision between two distinct programs
+// would silently serve the wrong CompiledProgram as a warm hit. Keying on
+// the material makes that impossible by construction.
 
 #ifndef EXDL_SERVICE_PROGRAM_CACHE_H_
 #define EXDL_SERVICE_PROGRAM_CACHE_H_
@@ -17,6 +23,8 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
@@ -40,15 +48,16 @@ class ProgramCache {
   ProgramCache(const ProgramCache&) = delete;
   ProgramCache& operator=(const ProgramCache&) = delete;
 
-  /// The cached artifact for `key`, or nullptr. A hit moves the entry to
-  /// the front of the LRU order. Counts one hit or one miss.
-  CompiledProgram::Ptr Lookup(uint64_t key);
+  /// The cached artifact whose key bytes equal `key`, or nullptr. A hit
+  /// moves the entry to the front of the LRU order. Counts one hit or one
+  /// miss.
+  CompiledProgram::Ptr Lookup(std::string_view key);
 
   /// Installs `value` under `key` (replacing any racing entry another
   /// session inserted first — last writer wins; both artifacts are
   /// equivalent by construction). Returns the number of entries evicted
   /// to stay within capacity.
-  size_t Insert(uint64_t key, CompiledProgram::Ptr value);
+  size_t Insert(std::string key, CompiledProgram::Ptr value);
 
   Stats stats() const;
 
@@ -56,12 +65,14 @@ class ProgramCache {
   void Clear();
 
  private:
-  using Entry = std::pair<uint64_t, CompiledProgram::Ptr>;
+  using Entry = std::pair<std::string, CompiledProgram::Ptr>;
 
   mutable std::mutex mu_;
   const size_t capacity_;
   std::list<Entry> lru_;  ///< Front = most recently used.
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> by_key_;
+  // Views into the key strings owned by lru_ nodes; std::list node
+  // stability keeps them valid across splices until the node is erased.
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> by_key_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

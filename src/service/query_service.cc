@@ -94,7 +94,25 @@ std::vector<QueryResponse> QueryService::AwaitBatch(
 }
 
 Status QueryService::LoadFacts(std::string_view source) {
-  EXDL_ASSIGN_OR_RETURN(ParsedUnit parsed, ParseProgram(source, ctx_));
+  // Parsing interns symbols/predicates into the shared Context, and the
+  // compile turnstile orders all other interning strictly by ticket. Go
+  // through the same turnstile: wait until every query submitted before
+  // this call has passed its compile, then parse while holding
+  // compile_mu_. Interned ids then depend only on the interleaving of
+  // Submit and LoadFacts calls — never on pool size or scheduling — which
+  // preserves the byte-identical-answers determinism guarantee.
+  Ticket submitted_before;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    submitted_before = next_ticket_;
+  }
+  ParsedUnit parsed(ctx_);
+  {
+    std::unique_lock<std::mutex> compile_lock(compile_mu_);
+    compile_cv_.wait(compile_lock,
+                     [&] { return next_compile_ >= submitted_before; });
+    EXDL_ASSIGN_OR_RETURN(parsed, ParseProgram(source, ctx_));
+  }
   if (!parsed.program.rules().empty()) {
     return Status::InvalidArgument(
         "LoadFacts source must contain only ground facts");
@@ -167,8 +185,9 @@ void QueryService::ProcessOne(Active& item) {
   if (options_.collect_telemetry) {
     response.telemetry = std::make_shared<obs::Telemetry>();
   }
-  const uint64_t key =
-      CompiledProgram::CacheKey(item.pending.request.source, options_.compile);
+  std::string key =
+      CompiledProgram::CacheKeyMaterial(item.pending.request.source,
+                                        options_.compile);
   CompiledProgram::Ptr compiled;
   {
     // Compile turnstile: cache fills and Context interning happen in
@@ -187,7 +206,8 @@ void QueryService::ProcessOne(Active& item) {
           response.telemetry.get(), ctx_);
       if (compile_result.ok()) {
         compiled = *compile_result;
-        item.shard.Add(cache_eviction_id_, cache_.Insert(key, compiled));
+        item.shard.Add(cache_eviction_id_,
+                       cache_.Insert(std::move(key), compiled));
       } else {
         response.status = compile_result.status();
       }

@@ -25,6 +25,9 @@
 // symbols and predicates are interned in submission order no matter how
 // many workers race — answers for a given submission sequence are
 // byte-identical across pool sizes (service_test.cc locks this in).
+// LoadFacts interns through the same turnstile (after every previously
+// submitted compile, before any later one), so interleaved fact loads
+// keep the guarantee too.
 
 #ifndef EXDL_SERVICE_QUERY_SERVICE_H_
 #define EXDL_SERVICE_QUERY_SERVICE_H_
@@ -123,6 +126,12 @@ class QueryService {
   /// next EDB snapshot generation: a copy-on-write clone of the current
   /// one plus the new facts. In-flight queries keep reading the
   /// generation they were submitted against.
+  ///
+  /// Interning goes through the compile turnstile: the parse waits for
+  /// every query submitted before this call to finish compiling, then
+  /// runs exclusively, so symbol/predicate ids depend only on the
+  /// Submit/LoadFacts call sequence — not on pool size or scheduling.
+  /// (Consequently this call blocks until prior submissions compile.)
   Status LoadFacts(std::string_view source);
 
   /// The current EDB snapshot (generation 0 / invalid before the first

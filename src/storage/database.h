@@ -60,6 +60,12 @@ class Database {
   /// Logical deep copy, physically copy-on-write: the clone shares every
   /// relation's tuple storage until one side mutates it. Semantically
   /// identical to the old deep copy, O(#relations) instead of O(#tuples).
+  ///
+  /// Thread contract (inherited from Relation's copy-on-write): Clone()
+  /// must not race a mutation of *this* database's relations — a copy
+  /// taken mid-mutation could share a payload being written (see
+  /// Relation::Detach). Cloning an immutable database (e.g. through a
+  /// DatabaseSnapshot) from many threads concurrently is safe.
   Database Clone() const;
 
   const std::unordered_map<PredId, Relation>& relations() const {

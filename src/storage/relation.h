@@ -149,6 +149,12 @@ class Relation {
 
   /// Copies share the payload (O(1)); the first mutation through either
   /// copy detaches a private deep copy (copy-on-write).
+  ///
+  /// Thread contract: copying a Relation object must not race a mutation
+  /// of that same object. Copying may freely race mutations of *other*
+  /// Relation objects sharing the payload (they detach first), and
+  /// concurrent reads/GetIndex on shared payloads are always safe. See
+  /// Detach() for why a racing copy would break the use_count test.
   Relation(const Relation&) = default;
   Relation& operator=(const Relation&) = default;
   Relation(Relation&&) = default;
@@ -248,14 +254,21 @@ class Relation {
   struct Payload {
     explicit Payload(uint32_t arity_in) : arity(arity_in) {}
     /// Deep copy for detach; the index mutex is fresh, not copied.
+    /// Tuple data is immutable while shared, but `indexes` is not: const
+    /// GetIndex lazily builds into it under index_mu, and another sharer
+    /// may be doing exactly that while this detach copies. Take the same
+    /// lock so the map (and every Index in it) is copied only at a
+    /// quiescent point of lazy builds.
     Payload(const Payload& other)
         : arity(other.arity),
           data(other.data),
           num_rows(other.num_rows),
           slots(other.slots),
-          indexes(other.indexes),
           insert_attempts(other.insert_attempts),
-          rehashes(other.rehashes) {}
+          rehashes(other.rehashes) {
+      std::lock_guard<std::mutex> lock(other.index_mu);
+      indexes = other.indexes;
+    }
 
     uint32_t arity;
     std::vector<Value> data;  ///< Arity-strided tuple arena.
@@ -277,6 +290,15 @@ class Relation {
   /// it if shared. Callers of mutators must be the only thread touching
   /// *this Relation object* (the usual single-writer contract); other
   /// Relation objects sharing the old payload are unaffected.
+  ///
+  /// The use_count() > 1 test is sound only under a second, easily missed
+  /// half of that contract: no other thread may be *copying this exact
+  /// Relation object* (directly or via Database::Clone of the containing
+  /// database) concurrently with the mutation — a copy taken between the
+  /// use_count read and the in-place write would share a payload being
+  /// written. Current callers satisfy this: snapshot publication is
+  /// mutex-guarded in QueryService, and each session's EDB clone is
+  /// private to its worker. See the Relation copy-constructor comment.
   void Detach() {
     if (payload_.use_count() > 1) {
       payload_ = std::make_shared<Payload>(*payload_);

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -88,7 +89,8 @@ CompiledProgram::Ptr MustCompile(const std::string& source,
 
 TEST(ProgramCacheTest, HitOnSameFingerprint) {
   ProgramCache cache(4);
-  const uint64_t key = CompiledProgram::CacheKey(kTcChain, CompileOptions());
+  const std::string key =
+      CompiledProgram::CacheKeyMaterial(kTcChain, CompileOptions());
   EXPECT_EQ(cache.Lookup(key), nullptr);
   CompiledProgram::Ptr compiled = MustCompile(kTcChain);
   cache.Insert(key, compiled);
@@ -97,6 +99,33 @@ TEST(ProgramCacheTest, HitOnSameFingerprint) {
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.size, 1u);
+}
+
+// The cache indexes entries by the full key bytes, not a 64-bit hash of
+// them, so two distinct (source, options) pairs can never alias an entry
+// even if their CacheKey fingerprints were to collide.
+TEST(ProgramCacheTest, DistinctSourcesNeverAlias) {
+  ProgramCache cache(4);
+  CompiledProgram::Ptr tc = MustCompile(kTcChain);
+  CompiledProgram::Ptr reach = MustCompile(kReachBoolean);
+  cache.Insert(CompiledProgram::CacheKeyMaterial(kTcChain, CompileOptions()),
+               tc);
+  cache.Insert(
+      CompiledProgram::CacheKeyMaterial(kReachBoolean, CompileOptions()),
+      reach);
+  EXPECT_EQ(
+      cache.Lookup(CompiledProgram::CacheKeyMaterial(kTcChain,
+                                                     CompileOptions())),
+      tc);
+  EXPECT_EQ(
+      cache.Lookup(CompiledProgram::CacheKeyMaterial(kReachBoolean,
+                                                     CompileOptions())),
+      reach);
+  // Same source, different semantics: distinct entries too.
+  CompileOptions naive;
+  naive.seminaive = false;
+  EXPECT_EQ(cache.Lookup(CompiledProgram::CacheKeyMaterial(kTcChain, naive)),
+            nullptr);
 }
 
 TEST(ProgramCacheTest, KeyChangesWithSemanticsAndPipeline) {
@@ -127,21 +156,21 @@ TEST(ProgramCacheTest, KeyChangesWithSemanticsAndPipeline) {
 TEST(ProgramCacheTest, BoundedEviction) {
   ProgramCache cache(2);
   CompiledProgram::Ptr compiled = MustCompile(kTcChain);
-  cache.Insert(1, compiled);
-  cache.Insert(2, compiled);
-  EXPECT_NE(cache.Lookup(1), nullptr);  // 1 is now most recently used.
-  cache.Insert(3, compiled);            // Evicts 2 (LRU).
+  cache.Insert("k1", compiled);
+  cache.Insert("k2", compiled);
+  EXPECT_NE(cache.Lookup("k1"), nullptr);  // k1 is now most recently used.
+  cache.Insert("k3", compiled);            // Evicts k2 (LRU).
   EXPECT_EQ(cache.stats().size, 2u);
   EXPECT_EQ(cache.stats().evictions, 1u);
-  EXPECT_EQ(cache.Lookup(2), nullptr);
-  EXPECT_NE(cache.Lookup(1), nullptr);
-  EXPECT_NE(cache.Lookup(3), nullptr);
+  EXPECT_EQ(cache.Lookup("k2"), nullptr);
+  EXPECT_NE(cache.Lookup("k1"), nullptr);
+  EXPECT_NE(cache.Lookup("k3"), nullptr);
 }
 
 TEST(ProgramCacheTest, ZeroCapacityDisables) {
   ProgramCache cache(0);
-  cache.Insert(1, MustCompile(kTcChain));
-  EXPECT_EQ(cache.Lookup(1), nullptr);
+  cache.Insert("k1", MustCompile(kTcChain));
+  EXPECT_EQ(cache.Lookup("k1"), nullptr);
   EXPECT_EQ(cache.stats().size, 0u);
 }
 
@@ -165,6 +194,43 @@ TEST(StorageCoWTest, CloneSharesUntilFirstWrite) {
   rel->Insert(row);
   EXPECT_FALSE(parsed.edb.Find(pred)->SharesStorageWith(*rel));
   EXPECT_EQ(parsed.edb.Find(pred)->size(), before);
+}
+
+// Regression (TSan): a copy-on-write detach deep-copies the shared
+// payload — indexes map included — while another sharer may be lazily
+// building an index into that same map via const GetIndex. The payload
+// copy takes index_mu so the two serialize. This is the QueryService
+// shape: one worker Inserts a compiled program's facts into its EDB
+// clone (detach) while another evaluates over the shared snapshot
+// (lazy index build).
+TEST(StorageCoWTest, DetachRacesLazyIndexBuild) {
+  for (int iter = 0; iter < 100; ++iter) {
+    Relation base(2);
+    std::vector<Value> row(2);
+    for (Value v = 1; v <= 64; ++v) {
+      row[0] = v;
+      row[1] = v + 1;
+      base.Insert(row);
+    }
+    Relation reader = base;  // Shares the payload.
+    Relation writer = base;  // Shares the payload too.
+    std::thread builder([&] {
+      for (uint32_t c = 0; c < 2; ++c) {
+        std::vector<Value> key = {c == 0 ? Value(1) : Value(2)};
+        EXPECT_NE(reader.GetIndex({c}).Lookup(key), nullptr);
+      }
+    });
+    // Concurrently detach `writer` from the shared payload (first Insert
+    // deep-copies it, racing the lazy builds above without the fix).
+    row[0] = 999;
+    row[1] = 1000;
+    writer.Insert(row);
+    builder.join();
+    EXPECT_FALSE(writer.SharesStorageWith(base));
+    EXPECT_TRUE(reader.SharesStorageWith(base));
+    EXPECT_EQ(base.size(), 64u);
+    EXPECT_EQ(writer.size(), 65u);
+  }
 }
 
 // ---------------------------------------------------------------------------
