@@ -1,0 +1,167 @@
+#include "daemon/admission.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace exdl::daemon {
+
+namespace {
+
+/// Splits `line` on runs of spaces/tabs.
+std::vector<std::string> Tokens(std::string_view line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) out.emplace_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+Status ParseQuotaKey(const std::string& token, TenantQuota* quota) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+    return Status::InvalidArgument("expected key=value, got '" + token + "'");
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value.empty()) {
+    return Status::InvalidArgument("quota value must be an integer: '" +
+                                   token + "'");
+  }
+  if (key == "deadline_ms") {
+    quota->deadline_ms = n;
+  } else if (key == "max_tuples") {
+    quota->max_tuples = n;
+  } else if (key == "max_bytes") {
+    quota->max_bytes = n;
+  } else if (key == "max_inflight") {
+    quota->max_inflight = static_cast<uint32_t>(
+        std::min<unsigned long long>(n, 0xffffffffu));
+  } else {
+    return Status::InvalidArgument("unknown quota key '" + key + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<AdmissionPolicy> AdmissionPolicy::Parse(std::string_view text) {
+  AdmissionPolicy policy;
+  bool saw_default = false;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    std::vector<std::string> tokens = Tokens(line);
+    if (tokens.empty()) continue;
+    const std::string tenant = tokens[0];
+    TenantQuota quota;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      Status parsed = ParseQuotaKey(tokens[i], &quota);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument("policy line " +
+                                       std::to_string(line_no) + ": " +
+                                       parsed.message());
+      }
+    }
+    if (tenant == "*") {
+      if (saw_default) {
+        return Status::InvalidArgument("policy line " +
+                                       std::to_string(line_no) +
+                                       ": duplicate default (*) quota");
+      }
+      saw_default = true;
+      policy.default_quota = quota;
+    } else {
+      if (!policy.tenants.emplace(tenant, quota).second) {
+        return Status::InvalidArgument("policy line " +
+                                       std::to_string(line_no) +
+                                       ": duplicate tenant '" + tenant + "'");
+      }
+    }
+  }
+  return policy;
+}
+
+Result<AdmissionPolicy> AdmissionPolicy::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open policy file " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+const TenantQuota& AdmissionPolicy::QuotaFor(std::string_view tenant) const {
+  const auto it = tenants.find(std::string(tenant));
+  return it == tenants.end() ? default_quota : it->second;
+}
+
+uint64_t ClampLimit(uint64_t requested, uint64_t cap) {
+  if (cap == 0) return requested;
+  if (requested == 0) return cap;
+  return std::min(requested, cap);
+}
+
+AdmissionController::AdmissionController(AdmissionPolicy policy,
+                                         uint32_t max_pending)
+    : policy_(std::move(policy)), max_pending_(max_pending) {}
+
+AdmissionController::Decision AdmissionController::TryAdmit(
+    const std::string& tenant, uint64_t req_deadline_ms,
+    uint64_t req_max_tuples, uint64_t req_max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Decision decision;
+  // Suggested backoff grows with server pressure so a thundering herd
+  // spreads out; clients add jitter on top (client.cc).
+  const uint32_t backoff =
+      std::min<uint32_t>(1000, 25 * (1 + inflight_));
+  if (max_pending_ != 0 && inflight_ >= max_pending_) {
+    decision.retry_after_ms = backoff;
+    decision.reason = "server submission queue is full";
+    return decision;
+  }
+  const TenantQuota& quota = policy_.QuotaFor(tenant);
+  uint32_t& tenant_count = tenant_inflight_[tenant];
+  if (quota.max_inflight != 0 && tenant_count >= quota.max_inflight) {
+    decision.retry_after_ms = backoff;
+    decision.reason = "tenant in-flight quota reached";
+    return decision;
+  }
+  ++inflight_;
+  ++tenant_count;
+  decision.admitted = true;
+  decision.effective.deadline_ms = ClampLimit(req_deadline_ms,
+                                              quota.deadline_ms);
+  decision.effective.max_tuples = ClampLimit(req_max_tuples, quota.max_tuples);
+  decision.effective.max_bytes = ClampLimit(req_max_bytes, quota.max_bytes);
+  decision.effective.max_inflight = quota.max_inflight;
+  return decision;
+}
+
+void AdmissionController::Release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ > 0) --inflight_;
+  const auto it = tenant_inflight_.find(tenant);
+  if (it != tenant_inflight_.end() && it->second > 0) --it->second;
+}
+
+uint32_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace exdl::daemon

@@ -1,0 +1,89 @@
+// Admission control for exdld (DESIGN.md §13).
+//
+// A server-side policy file assigns each tenant a quota: budget ceilings
+// (deadline / derived tuples / arena bytes, mapped onto EvalBudget by the
+// server) and a cap on concurrently in-flight queries. Whatever a client
+// asks for in SUBMIT is *clamped* against its tenant quota — a client can
+// tighten its own budget but never loosen past the policy. Admission also
+// enforces a server-wide in-flight ceiling (the bounded submission queue):
+// when either cap is hit the server answers RETRY_LATER with a suggested
+// backoff instead of queueing without bound.
+//
+// Policy file format (one tenant per line; see README "Running the
+// daemon"):
+//
+//   # comments and blank lines are ignored
+//   *      deadline_ms=10000 max_tuples=5000000 max_bytes=268435456 max_inflight=8
+//   alice  deadline_ms=60000 max_inflight=32
+//
+// `*` is the default quota for tenants without their own line; a key left
+// out (or 0) means "unlimited" for that dimension.
+
+#ifndef EXDL_DAEMON_ADMISSION_H_
+#define EXDL_DAEMON_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace exdl::daemon {
+
+struct TenantQuota {
+  uint64_t deadline_ms = 0;   ///< 0 = unlimited.
+  uint64_t max_tuples = 0;
+  uint64_t max_bytes = 0;
+  uint32_t max_inflight = 0;  ///< Concurrent in-flight queries; 0 = unlimited.
+};
+
+struct AdmissionPolicy {
+  TenantQuota default_quota;
+  std::unordered_map<std::string, TenantQuota> tenants;
+
+  /// Parses the policy file format above. Unknown keys, malformed numbers,
+  /// or duplicate tenant lines are kInvalidArgument.
+  static Result<AdmissionPolicy> Parse(std::string_view text);
+  static Result<AdmissionPolicy> Load(const std::string& path);
+
+  const TenantQuota& QuotaFor(std::string_view tenant) const;
+};
+
+/// requested==0 means "policy default"; cap==0 means "unlimited". The
+/// effective limit is the tighter of the two.
+uint64_t ClampLimit(uint64_t requested, uint64_t cap);
+
+/// Tracks in-flight counts and decides SUBMIT admission. Thread-safe.
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionPolicy policy, uint32_t max_pending);
+
+  struct Decision {
+    bool admitted = false;
+    TenantQuota effective;    ///< Clamped budget (admitted only).
+    uint32_t retry_after_ms = 0;
+    std::string reason;       ///< Rejection reason (rejected only).
+  };
+
+  /// Admits or rejects one submission for `tenant`. An admitted query
+  /// holds one in-flight slot (tenant and server-wide) until Release.
+  Decision TryAdmit(const std::string& tenant, uint64_t req_deadline_ms,
+                    uint64_t req_max_tuples, uint64_t req_max_bytes);
+  void Release(const std::string& tenant);
+
+  uint32_t inflight() const;
+  uint32_t capacity() const { return max_pending_; }
+
+ private:
+  const AdmissionPolicy policy_;
+  const uint32_t max_pending_;
+  mutable std::mutex mu_;
+  uint32_t inflight_ = 0;
+  std::unordered_map<std::string, uint32_t> tenant_inflight_;
+};
+
+}  // namespace exdl::daemon
+
+#endif  // EXDL_DAEMON_ADMISSION_H_

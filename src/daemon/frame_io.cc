@@ -1,0 +1,105 @@
+#include "daemon/frame_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace exdl::daemon {
+
+namespace {
+
+/// Reads exactly `n` bytes. Returns the byte count actually read: `n` on
+/// success, less on EOF/error (errno preserved; 0 errno means plain EOF).
+size_t ReadExact(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r == 0) errno = 0;  // EOF, not an error.
+    break;
+  }
+  return got;
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, Frame* out, bool* clean_eof) {
+  *clean_eof = false;
+  char prefix[4];
+  const size_t got = ReadExact(fd, prefix, sizeof prefix);
+  if (got == 0 && errno == 0) {
+    *clean_eof = true;
+    return Status::Unavailable("connection closed");
+  }
+  if (got < sizeof prefix) {
+    return Status::Unavailable("torn connection: short length prefix");
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(prefix[i])) << (8 * i);
+  }
+  if (length == 0) {
+    return Status::InvalidArgument("frame with empty payload");
+  }
+  if (length > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload of " +
+                                   std::to_string(length) +
+                                   " bytes exceeds the protocol cap");
+  }
+  std::string payload(length, '\0');
+  if (ReadExact(fd, payload.data(), length) < length) {
+    return Status::Unavailable("torn connection: short frame body");
+  }
+  const uint8_t type = static_cast<uint8_t>(payload[0]);
+  if (!IsKnownMsgType(type)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(type));
+  }
+  out->type = static_cast<MsgType>(type);
+  out->body.assign(payload, 1, payload.size() - 1);
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.empty() || payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload size out of range");
+  }
+  std::string wire;
+  wire.reserve(4 + payload.size());
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+  }
+  wire.append(payload.data(), payload.size());
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t w =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return Status::Unavailable(std::string("torn connection on write: ") +
+                               std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+bool PeerClosed(int fd) {
+  char byte;
+  const ssize_t r = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (r == 0) return true;                        // orderly shutdown
+  if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+    return false;                                 // alive, nothing pending
+  }
+  return r < 0;                                   // reset or other error
+}
+
+}  // namespace exdl::daemon

@@ -1,0 +1,42 @@
+// Blocking frame transport over a connected socket.
+//
+// One frame = u32 little-endian payload length + payload bytes (see
+// protocol.h). Reads and writes loop over partial transfers and EINTR;
+// writes use MSG_NOSIGNAL so a dead peer surfaces as kUnavailable instead
+// of SIGPIPE. A torn connection — EOF mid-frame, a reset, a half-written
+// length prefix — is reported as kUnavailable with `clean_eof` false; EOF
+// exactly on a frame boundary (the peer closed politely) sets `clean_eof`.
+//
+// Fault injection deliberately does NOT live here: the daemon.read /
+// daemon.write sites are consulted by the server's wrappers in server.cc,
+// so arming them in a test process tears only the server side of a
+// connection, never the client half using these same functions.
+
+#ifndef EXDL_DAEMON_FRAME_IO_H_
+#define EXDL_DAEMON_FRAME_IO_H_
+
+#include <string_view>
+
+#include "daemon/protocol.h"
+#include "util/status.h"
+
+namespace exdl::daemon {
+
+/// Reads one frame. On failure the Status is:
+///   * kUnavailable, *clean_eof = true  — EOF at a frame boundary
+///   * kUnavailable, *clean_eof = false — torn connection / short frame
+///   * kInvalidArgument                 — length 0, oversized, unknown type
+Status ReadFrame(int fd, Frame* out, bool* clean_eof);
+
+/// Writes `payload` (type tag + body, from Encode*) as one frame.
+/// kUnavailable on a broken connection.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// True when the peer has closed its end (used to detect a client that
+/// disappeared while the server is blocked awaiting a ticket). Never
+/// blocks.
+bool PeerClosed(int fd);
+
+}  // namespace exdl::daemon
+
+#endif  // EXDL_DAEMON_FRAME_IO_H_

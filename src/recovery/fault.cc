@@ -10,6 +10,8 @@ namespace {
 constexpr std::string_view kSites[] = {
     "storage.arena_grow", "eval.pool_dispatch", "snapshot.open",
     "snapshot.write",     "snapshot.fsync",     "snapshot.rename",
+    "daemon.accept",      "daemon.read",        "daemon.write",
+    "daemon.dispatch",
 };
 
 }  // namespace
@@ -63,7 +65,8 @@ Status FaultPlan::Arm(std::string_view spec) {
     return Status::InvalidArgument("fault count must be a positive integer: '" +
                                    count + "'");
   }
-  Disarm();
+  std::lock_guard<std::mutex> lock(mu_);
+  DisarmLocked();
   site_ = std::string(site);
   trigger_ = n;
   abort_ = abort;
@@ -78,6 +81,11 @@ Status FaultPlan::ArmFromEnv() {
 }
 
 void FaultPlan::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DisarmLocked();
+}
+
+void FaultPlan::DisarmLocked() {
   armed_.store(false, std::memory_order_release);
   site_.clear();
   trigger_ = 0;
@@ -87,6 +95,8 @@ void FaultPlan::Disarm() {
 
 bool FaultPlan::ShouldFail(std::string_view site) {
   if (!armed_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return false;
   if (site != site_) return false;
   const uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (hit != trigger_) return false;

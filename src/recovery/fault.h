@@ -15,6 +15,14 @@
 //   snapshot.write       writing snapshot bytes (fails as a short write)
 //   snapshot.fsync       flushing the temp file to stable storage
 //   snapshot.rename      the atomic rename (temp stays, target untouched)
+//   daemon.accept        exdld accepting a client connection (dropped at birth)
+//   daemon.read          exdld reading a protocol frame (torn connection)
+//   daemon.write         exdld writing a protocol frame (torn connection)
+//   daemon.dispatch      exdld handing a SUBMIT to the query service
+//
+// The site list is the single source of truth for tools/fault_sweep.sh,
+// which reads it via `exdlc fault-sites` — add sites here, never in the
+// sweep script.
 //
 // When no plan is armed every check is one relaxed atomic load — cheap
 // enough to leave compiled into release builds.
@@ -24,6 +32,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -72,7 +81,13 @@ class FaultPlan {
   static constexpr int kAbortExitCode = 86;
 
  private:
+  void DisarmLocked();
+
   std::atomic<bool> armed_{false};
+  // Arm/Disarm may race with ShouldFail from daemon connection threads
+  // (tests re-arm a live server); the armed() fast path stays a single
+  // relaxed load, everything else is guarded.
+  mutable std::mutex mu_;
   std::string site_;
   uint64_t trigger_ = 0;
   bool abort_ = false;

@@ -1,0 +1,18 @@
+#include "service/answer_text.h"
+
+namespace exdl {
+
+std::string RenderAnswerRows(const Context& ctx,
+                             const std::vector<std::vector<Value>>& answers) {
+  std::string out;
+  for (const auto& row : answers) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += '\t';
+      out += ctx.SymbolName(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace exdl

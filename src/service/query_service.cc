@@ -93,6 +93,25 @@ std::vector<QueryResponse> QueryService::AwaitBatch(
   return responses;
 }
 
+std::optional<QueryResponse> QueryService::AwaitFor(
+    Ticket ticket, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (outstanding_.find(ticket) == outstanding_.end()) {
+    QueryResponse response;
+    response.status =
+        Status::InvalidArgument("unknown or already consumed ticket");
+    return response;
+  }
+  if (!done_cv_.wait_for(lock, timeout,
+                         [&] { return done_.find(ticket) != done_.end(); })) {
+    return std::nullopt;
+  }
+  QueryResponse response = std::move(done_[ticket]);
+  done_.erase(ticket);
+  outstanding_.erase(ticket);
+  return response;
+}
+
 Status QueryService::LoadFacts(std::string_view source) {
   // Parsing interns symbols/predicates into the shared Context, and the
   // compile turnstile orders all other interning strictly by ticket. Go
@@ -233,6 +252,13 @@ void QueryService::ProcessOne(Active& item) {
   }
   SessionOptions session_options;
   session_options.eval = options_.eval;
+  if (item.pending.request.budget.has_value()) {
+    session_options.eval.budget = *item.pending.request.budget;
+  }
+  if (item.pending.request.cancellation != nullptr) {
+    session_options.eval.budget.cancellation =
+        item.pending.request.cancellation;
+  }
   session_options.eval.budget = EvalBudget::FromEnv(session_options.eval.budget);
   session_options.telemetry = response.telemetry.get();
   Session session(std::move(session_options));
@@ -254,7 +280,8 @@ void QueryService::ProcessOne(Active& item) {
   }
 }
 
-std::string QueryService::MetricsJson() const {
+std::string QueryService::MetricsJson(
+    const std::function<void(obs::JsonWriter&)>& extra_keys) const {
   std::lock_guard<std::mutex> lock(mu_);
   const ProgramCache::Stats cache = cache_.stats();
   const obs::MetricsRegistry& metrics = service_telemetry_.metrics();
@@ -292,6 +319,7 @@ std::string QueryService::MetricsJson() const {
     w.UInt(cache.capacity);
     w.EndObject();
     w.EndObject();
+    if (extra_keys) extra_keys(w);
   };
   return RenderTelemetryDoc("service", "", aggregate_, {}, false,
                             OptimizationReport(), Status::Ok(),

@@ -32,11 +32,14 @@
 #ifndef EXDL_SERVICE_QUERY_SERVICE_H_
 #define EXDL_SERVICE_QUERY_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -48,6 +51,7 @@
 #include "obs/telemetry.h"
 #include "service/program_cache.h"
 #include "storage/database.h"
+#include "util/cancellation.h"
 #include "util/worker_pool.h"
 
 namespace exdl {
@@ -75,6 +79,17 @@ struct QueryRequest {
   std::string source;
   /// Provenance label (file name) echoed into the response and telemetry.
   std::string name;
+  /// Per-request budget override. When set it replaces the service-template
+  /// budget for this query (the daemon's admission control resolves the
+  /// client ask against the tenant policy and passes the clamped result
+  /// here). EXDL_BUDGET_* environment variables still fill limits the
+  /// override leaves at zero.
+  std::optional<EvalBudget> budget;
+  /// Optional per-request cancellation, merged into the session budget.
+  /// Borrowed: must stay alive until the ticket's response is produced
+  /// (the daemon cancels abandoned queries through this on client
+  /// disconnect). Overrides any token in `budget`.
+  CancellationToken* cancellation = nullptr;
 };
 
 struct QueryResponse {
@@ -122,6 +137,15 @@ class QueryService {
   QueryResponse Await(Ticket ticket);
   std::vector<QueryResponse> AwaitBatch(const std::vector<Ticket>& tickets);
 
+  /// Await with a timeout: waits up to `timeout` for `ticket`'s response.
+  /// Returns the response when it arrived in time (or immediately, with an
+  /// InvalidArgument response, for an unknown/consumed ticket) and
+  /// std::nullopt on timeout — the ticket remains awaitable. The daemon's
+  /// connection loops poll through this so a blocked Await can notice a
+  /// torn client connection.
+  std::optional<QueryResponse> AwaitFor(Ticket ticket,
+                                        std::chrono::milliseconds timeout);
+
   /// Parses a facts-only source (rules are rejected) and publishes the
   /// next EDB snapshot generation: a copy-on-write clone of the current
   /// one plus the new facts. In-flight queries keep reading the
@@ -146,8 +170,11 @@ class QueryService {
   /// Engine::TelemetryJson (stats aggregated over every completed query,
   /// service-level metrics rows) plus a "service" object with worker,
   /// snapshot, queue, and cache counters. Validated by
-  /// tools/check_metrics_schema.py.
-  std::string MetricsJson() const;
+  /// tools/check_metrics_schema.py. When `extra` is set it is invoked
+  /// right before the document closes so an embedder can append its own
+  /// top-level keys (the daemon's "daemon" object).
+  std::string MetricsJson(
+      const std::function<void(obs::JsonWriter&)>& extra = {}) const;
 
  private:
   struct Pending {

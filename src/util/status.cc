@@ -27,6 +27,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kCorruptCheckpoint:
       return "CorruptCheckpoint";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -26,6 +26,8 @@ enum class StatusCode {
   kResourceExhausted, ///< A tuple/byte/derivation budget was exceeded.
   kCancelled,         ///< Stopped via an external CancellationToken.
   kCorruptCheckpoint, ///< A snapshot failed CRC/structural validation.
+  kUnavailable,       ///< Transient: retry later (daemon backpressure, torn
+                      ///< connection, server draining).
 };
 
 /// Returns a short stable name for `code` ("InvalidArgument", ...).
@@ -66,6 +68,9 @@ class Status {
   }
   static Status CorruptCheckpoint(std::string msg) {
     return Status(StatusCode::kCorruptCheckpoint, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -401,6 +401,29 @@ TEST_F(CliObsTest, MetricsJsonWriteIsAtomic) {
                                                           : 0);
 }
 
+TEST_F(CliTest, ConnectWithoutDaemonExitsEightWithActionableMessage) {
+  const std::string missing = ::testing::TempDir() + "/no_such_daemon.sock";
+  int status = 0;
+  std::string out = RunCommand(Exdlc() + " connect " + program_path_ +
+                                   " --socket " + missing + " --retries 1",
+                               &status);
+  EXPECT_EQ(DecodeExitCode(status), 8) << out;
+  EXPECT_NE(out.find("cannot connect to exdld"), std::string::npos) << out;
+  EXPECT_NE(out.find("is exdld running?"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, FaultSitesListsEverySiteIncludingDaemon) {
+  int status = 0;
+  std::string out = RunCommand(Exdlc() + " fault-sites", &status);
+  EXPECT_EQ(DecodeExitCode(status), 0) << out;
+  for (const char* site :
+       {"storage.arena_grow", "snapshot.rename", "daemon.accept",
+        "daemon.read", "daemon.write", "daemon.dispatch"}) {
+    EXPECT_NE(out.find(std::string(site) + "\n"), std::string::npos)
+        << "missing site " << site << " in:\n" << out;
+  }
+}
+
 TEST_F(CliTest, GrammarCommand) {
   std::string chain = ::testing::TempDir() + "/cli_test_chain.dl";
   {

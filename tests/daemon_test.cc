@@ -1,0 +1,733 @@
+// exdld daemon tests: wire protocol encode/decode, admission policy,
+// version negotiation, byte-identity of socket-delivered answers, RETRY_LATER
+// backpressure, mid-query disconnect reclamation (serial and 4-thread),
+// torn-frame handling, and in-process fault injection at the daemon.* sites.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "daemon/admission.h"
+#include "daemon/client.h"
+#include "daemon/frame_io.h"
+#include "daemon/protocol.h"
+#include "daemon/server.h"
+#include "recovery/fault.h"
+#include "service/answer_text.h"
+#include "service/query_service.h"
+
+namespace exdl::daemon {
+namespace {
+
+using ::exdl::QueryService;
+
+// ---------------------------------------------------------------------------
+// Protocol layer.
+
+TEST(ProtocolTest, SubmitRoundTrip) {
+  SubmitMsg in;
+  in.name = "q.dl";
+  in.source = "p(a).\n?- p(X).\n";
+  in.deadline_ms = 1234;
+  in.max_tuples = 99;
+  in.max_bytes = 1 << 20;
+  const std::string payload = Encode(in);
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(static_cast<MsgType>(payload[0]), MsgType::kSubmit);
+  SubmitMsg out;
+  ASSERT_TRUE(Decode(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.name, in.name);
+  EXPECT_EQ(out.source, in.source);
+  EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+  EXPECT_EQ(out.max_tuples, in.max_tuples);
+  EXPECT_EQ(out.max_bytes, in.max_bytes);
+}
+
+TEST(ProtocolTest, ResultRoundTrip) {
+  ResultMsg in;
+  in.ticket = 7;
+  in.status_code = 0;
+  in.termination_code = static_cast<uint32_t>(StatusCode::kCancelled);
+  in.termination_message = "cancelled";
+  in.budget_kind = "cancelled";
+  in.stats_text = "rounds=3";
+  in.answer_count = 2;
+  in.answers = "a\nb\n";
+  in.cache_hit = 1;
+  const std::string payload = Encode(in);
+  ResultMsg out;
+  ASSERT_TRUE(Decode(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.ticket, in.ticket);
+  EXPECT_EQ(out.termination_code, in.termination_code);
+  EXPECT_EQ(out.answers, in.answers);
+  EXPECT_EQ(out.cache_hit, 1);
+}
+
+TEST(ProtocolTest, TruncatedBodyIsRejectedNotOverread) {
+  HelloMsg hello;
+  hello.tenant = "alice";
+  const std::string payload = Encode(hello);
+  // Every proper prefix of the body must decode to an error, never crash.
+  for (size_t len = 0; len + 1 < payload.size(); ++len) {
+    HelloMsg out;
+    Status status = Decode(std::string_view(payload).substr(1, len), &out);
+    EXPECT_FALSE(status.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ProtocolTest, TrailingGarbageIsRejected) {
+  AwaitMsg in;
+  in.ticket = 3;
+  std::string body = Encode(in).substr(1);
+  body += "x";
+  AwaitMsg out;
+  EXPECT_EQ(Decode(body, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, StringLengthLyingPastBufferIsRejected) {
+  // A string header claiming 2^31 bytes in a 16-byte body.
+  WireWriter w;
+  w.U32(0x7fffffffu);
+  w.Str("short");
+  std::string body = w.Take();
+  LoadFactsMsg out;
+  EXPECT_FALSE(Decode(body, &out).ok());
+}
+
+TEST(ProtocolTest, UnknownStatusCodeMapsToInternal) {
+  Status status = StatusFromWire(10000, "from the future");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Admission policy.
+
+TEST(AdmissionTest, ParsePolicyWithDefaultAndTenant) {
+  Result<AdmissionPolicy> policy = AdmissionPolicy::Parse(
+      "# comment\n"
+      "*      deadline_ms=10000 max_tuples=500 max_inflight=2\n"
+      "alice  deadline_ms=60000 max_inflight=4\n");
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  EXPECT_EQ(policy->QuotaFor("bob").deadline_ms, 10000u);
+  EXPECT_EQ(policy->QuotaFor("bob").max_tuples, 500u);
+  EXPECT_EQ(policy->QuotaFor("alice").deadline_ms, 60000u);
+  EXPECT_EQ(policy->QuotaFor("alice").max_inflight, 4u);
+  // A tenant line overrides wholesale: unset keys are unlimited.
+  EXPECT_EQ(policy->QuotaFor("alice").max_tuples, 0u);
+}
+
+TEST(AdmissionTest, ParseRejectsMalformedPolicies) {
+  EXPECT_FALSE(AdmissionPolicy::Parse("* max_wombats=3\n").ok());
+  EXPECT_FALSE(AdmissionPolicy::Parse("* deadline_ms=abc\n").ok());
+  EXPECT_FALSE(AdmissionPolicy::Parse("* deadline_ms=1\n* max_tuples=2\n").ok());
+  EXPECT_FALSE(AdmissionPolicy::Parse("a max_tuples=1\na max_tuples=2\n").ok());
+}
+
+TEST(AdmissionTest, ClampTakesTheTighterLimit) {
+  EXPECT_EQ(ClampLimit(0, 0), 0u);        // both unlimited
+  EXPECT_EQ(ClampLimit(5, 0), 5u);        // no cap: client ask stands
+  EXPECT_EQ(ClampLimit(0, 7), 7u);        // no ask: policy cap applies
+  EXPECT_EQ(ClampLimit(5, 7), 5u);        // tighter ask wins
+  EXPECT_EQ(ClampLimit(9, 7), 7u);        // cap clamps a looser ask
+}
+
+TEST(AdmissionTest, ControllerEnforcesTenantAndGlobalBounds) {
+  AdmissionPolicy policy;
+  policy.default_quota.max_inflight = 1;
+  AdmissionController ctl(policy, 2);
+  auto a1 = ctl.TryAdmit("a", 0, 0, 0);
+  EXPECT_TRUE(a1.admitted);
+  auto a2 = ctl.TryAdmit("a", 0, 0, 0);  // tenant cap
+  EXPECT_FALSE(a2.admitted);
+  EXPECT_GT(a2.retry_after_ms, 0u);
+  auto b1 = ctl.TryAdmit("b", 0, 0, 0);
+  EXPECT_TRUE(b1.admitted);
+  auto c1 = ctl.TryAdmit("c", 0, 0, 0);  // global cap (2)
+  EXPECT_FALSE(c1.admitted);
+  ctl.Release("a");
+  EXPECT_TRUE(ctl.TryAdmit("c", 0, 0, 0).admitted);
+}
+
+// ---------------------------------------------------------------------------
+// Server fixture.
+
+std::string ChainSource(int nodes) {
+  std::ostringstream out;
+  for (int i = 0; i + 1 < nodes; ++i) {
+    out << "e(n" << i << ", n" << i + 1 << ").\n";
+  }
+  out << "tc(X, Y) :- e(X, Y).\n"
+         "tc(X, Z) :- e(X, Y), tc(Y, Z).\n"
+         "?- tc(X, Y).\n";
+  return out.str();
+}
+
+constexpr char kTinyQuery[] =
+    "e(a, b). e(b, c).\n"
+    "tc(X, Y) :- e(X, Y).\n"
+    "tc(X, Z) :- e(X, Y), tc(Y, Z).\n"
+    "?- tc(a, X).\n";
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultPlan::Global().Disarm();
+    socket_path_ = ::testing::TempDir() + "/exdld_test_" +
+                   std::to_string(::getpid()) + "_" +
+                   ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name() +
+                   ".sock";
+    ::unlink(socket_path_.c_str());
+  }
+  void TearDown() override {
+    FaultPlan::Global().Disarm();
+    ::unlink(socket_path_.c_str());
+  }
+
+  DaemonOptions Options(uint32_t workers = 1) {
+    DaemonOptions options;
+    options.socket_path = socket_path_;
+    options.service.num_workers = workers;
+    options.drain_timeout_ms = 200;
+    return options;
+  }
+
+  Endpoint endpoint() const {
+    Endpoint ep;
+    ep.socket_path = socket_path_;
+    return ep;
+  }
+
+  /// Polls until `pred` is true or ~5s elapsed.
+  template <typename Pred>
+  bool Eventually(Pred pred) {
+    for (int i = 0; i < 500; ++i) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+  }
+
+  std::string socket_path_;
+};
+
+TEST_F(DaemonTest, HelloRejectsBadMagicAndBadVersion) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Raw connection with a corrupt magic.
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof addr.sun_path - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  HelloMsg bad;
+  bad.magic = 0xdeadbeef;
+  ASSERT_TRUE(WriteFrame(fd, Encode(bad)).ok());
+  Frame reply;
+  bool clean_eof = false;
+  // The server drops the connection without a reply.
+  Status status = ReadFrame(fd, &reply, &clean_eof);
+  EXPECT_FALSE(status.ok());
+  ::close(fd);
+
+  // A client from the future: versions the server cannot speak.
+  fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  HelloMsg future;
+  future.min_version = kProtocolVersionMax + 1;
+  future.max_version = kProtocolVersionMax + 5;
+  ASSERT_TRUE(WriteFrame(fd, Encode(future)).ok());
+  ASSERT_TRUE(ReadFrame(fd, &reply, &clean_eof).ok());
+  ASSERT_EQ(reply.type, MsgType::kError);
+  ErrorMsg err;
+  ASSERT_TRUE(Decode(reply.body, &err).ok());
+  EXPECT_EQ(err.code, static_cast<uint32_t>(StatusCode::kFailedPrecondition));
+  ::close(fd);
+
+  // A well-formed client still negotiates.
+  DaemonClient client;
+  EXPECT_TRUE(client.Connect(endpoint(), "t").ok());
+  EXPECT_EQ(client.negotiated_version(), kProtocolVersionMax);
+  EXPECT_TRUE(Eventually([&] {
+    return server.counters().connections_rejected >= 2;
+  }));
+  server.Stop();
+}
+
+TEST_F(DaemonTest, AnswersAreByteIdenticalToInProcessService) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<BatchQuery> queries = {{"a.dl", kTinyQuery},
+                                     {"b.dl", ChainSource(20)}};
+  BatchOptions options;
+  Result<BatchResult> batch = RunBatch(endpoint(), queries, options);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->queries.size(), 2u);
+
+  // The same submission sequence through an in-process QueryService.
+  QueryService service;
+  std::vector<QueryService::Ticket> tickets;
+  for (const BatchQuery& q : queries) {
+    QueryRequest request;
+    request.source = q.source;
+    request.name = q.name;
+    tickets.push_back(service.Submit(std::move(request)));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    QueryResponse response = service.Await(tickets[i]);
+    ASSERT_TRUE(response.status.ok());
+    const std::string expected =
+        RenderAnswerRows(*service.ctx(), response.result.answers);
+    EXPECT_EQ(batch->queries[i].result.answers, expected)
+        << "socket answers differ for " << queries[i].name;
+    EXPECT_EQ(batch->queries[i].result.answer_count,
+              response.result.answers.size());
+  }
+  server.Stop();
+}
+
+TEST_F(DaemonTest, LoadFactsFeedsLaterQueries) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+  DaemonClient client;
+  ASSERT_TRUE(client.Connect(endpoint(), "").ok());
+  ASSERT_TRUE(client.LoadFacts("e(x, y). e(y, z).\n").ok());
+
+  SubmitMsg submit;
+  submit.name = "q";
+  submit.source = "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- e(X, Y), tc(Y, Z).\n"
+                  "?- tc(x, X).\n";
+  bool admitted = false;
+  TicketMsg ticket;
+  RetryLaterMsg retry;
+  ErrorMsg error;
+  ASSERT_TRUE(
+      client.Submit(submit, &admitted, &ticket, &retry, &error).ok());
+  ASSERT_TRUE(admitted);
+  ResultMsg result;
+  ASSERT_TRUE(client.Await(ticket.ticket, &result).ok());
+  EXPECT_EQ(result.answer_count, 2u);
+  EXPECT_EQ(result.answers, "y\nz\n");
+
+  // Rules are rejected as facts.
+  EXPECT_FALSE(client.LoadFacts("p(X) :- e(X, Y).\n").ok());
+  server.Stop();
+}
+
+TEST_F(DaemonTest, AdmissionClampsBudgetAndReportsIt) {
+  DaemonOptions options = Options();
+  options.policy.default_quota.max_tuples = 50;
+  options.policy.default_quota.deadline_ms = 60000;
+  DaemonServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+  DaemonClient client;
+  ASSERT_TRUE(client.Connect(endpoint(), "").ok());
+
+  SubmitMsg submit;
+  submit.name = "big";
+  submit.source = ChainSource(200);
+  submit.max_tuples = 1000000;  // asks far beyond the policy
+  submit.deadline_ms = 1000;    // tighter than the policy: honored
+  bool admitted = false;
+  TicketMsg ticket;
+  RetryLaterMsg retry;
+  ErrorMsg error;
+  ASSERT_TRUE(
+      client.Submit(submit, &admitted, &ticket, &retry, &error).ok());
+  ASSERT_TRUE(admitted);
+  EXPECT_EQ(ticket.max_tuples, 50u);      // clamped down
+  EXPECT_EQ(ticket.deadline_ms, 1000u);   // client's tighter ask kept
+  ResultMsg result;
+  ASSERT_TRUE(client.Await(ticket.ticket, &result).ok());
+  EXPECT_EQ(result.status_code, 0u);
+  // The 200-node closure needs far more than 50 tuples: the budget trips.
+  EXPECT_EQ(result.termination_code,
+            static_cast<uint32_t>(StatusCode::kResourceExhausted));
+  EXPECT_EQ(result.budget_kind, "tuples");
+  server.Stop();
+}
+
+TEST_F(DaemonTest, BackpressureRetryLaterAndRecovery) {
+  DaemonOptions options = Options(2);
+  options.policy.default_quota.max_inflight = 1;
+  DaemonServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  DaemonClient slow;
+  ASSERT_TRUE(slow.Connect(endpoint(), "t").ok());
+  SubmitMsg long_submit;
+  long_submit.name = "slow";
+  long_submit.source = ChainSource(1500);
+  bool admitted = false;
+  TicketMsg slow_ticket;
+  RetryLaterMsg retry;
+  ErrorMsg error;
+  ASSERT_TRUE(slow.Submit(long_submit, &admitted, &slow_ticket, &retry,
+                          &error).ok());
+  ASSERT_TRUE(admitted);
+
+  // Same tenant, second in-flight query: RETRY_LATER with a backoff hint.
+  DaemonClient second;
+  ASSERT_TRUE(second.Connect(endpoint(), "t").ok());
+  SubmitMsg tiny;
+  tiny.name = "tiny";
+  tiny.source = kTinyQuery;
+  admitted = false;
+  TicketMsg tiny_ticket;
+  ASSERT_TRUE(
+      second.Submit(tiny, &admitted, &tiny_ticket, &retry, &error).ok());
+  EXPECT_FALSE(admitted);
+  EXPECT_GT(retry.backoff_ms, 0u);
+  EXPECT_FALSE(retry.reason.empty());
+  EXPECT_GE(server.counters().backpressure_events, 1u);
+
+  // Cancel the hog; its slot frees and the second submission is admitted.
+  ASSERT_TRUE(slow.Cancel(slow_ticket.ticket).ok());
+  ResultMsg slow_result;
+  ASSERT_TRUE(slow.Await(slow_ticket.ticket, &slow_result).ok());
+  EXPECT_EQ(slow_result.termination_code,
+            static_cast<uint32_t>(StatusCode::kCancelled));
+  ASSERT_TRUE(Eventually([&] {
+    bool ok = false;
+    TicketMsg t;
+    RetryLaterMsg r;
+    ErrorMsg e;
+    if (!second.Submit(tiny, &ok, &t, &r, &e).ok()) return false;
+    if (ok) tiny_ticket = t;
+    return ok;
+  }));
+  ResultMsg tiny_result;
+  ASSERT_TRUE(second.Await(tiny_ticket.ticket, &tiny_result).ok());
+  EXPECT_EQ(tiny_result.answers, "b\nc\n");
+  server.Stop();
+}
+
+TEST_F(DaemonTest, MidQueryDisconnectCancelsAndReclaims) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    DaemonClient doomed;
+    ASSERT_TRUE(doomed.Connect(endpoint(), "t").ok());
+    SubmitMsg submit;
+    submit.name = "abandoned";
+    submit.source = ChainSource(1500);
+    bool admitted = false;
+    TicketMsg ticket;
+    RetryLaterMsg retry;
+    ErrorMsg error;
+    ASSERT_TRUE(
+        doomed.Submit(submit, &admitted, &ticket, &retry, &error).ok());
+    ASSERT_TRUE(admitted);
+    // Drop the socket mid-query (destructor closes the fd).
+  }
+
+  // The server must cancel the abandoned query via its CancellationToken
+  // and release the admission slot.
+  EXPECT_TRUE(Eventually([&] {
+    return server.counters().cancelled_on_disconnect >= 1;
+  }));
+  EXPECT_TRUE(Eventually([&] { return server.counters().queue_depth == 0; }));
+
+  // And the next client gets normal service.
+  std::vector<BatchQuery> queries = {{"next.dl", kTinyQuery}};
+  Result<BatchResult> batch = RunBatch(endpoint(), queries, BatchOptions());
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->queries[0].result.answers, "b\nc\n");
+  server.Stop();
+}
+
+TEST_F(DaemonTest, DisconnectDuringAwaitCancelsToo) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    // Raw connection so AWAIT can be sent without blocking on its reply.
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path_.c_str(),
+                 sizeof addr.sun_path - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    HelloMsg hello;
+    ASSERT_TRUE(WriteFrame(fd, Encode(hello)).ok());
+    Frame reply;
+    bool clean_eof = false;
+    ASSERT_TRUE(ReadFrame(fd, &reply, &clean_eof).ok());
+    ASSERT_EQ(reply.type, MsgType::kHelloAck);
+    SubmitMsg submit;
+    submit.name = "awaited-then-dropped";
+    submit.source = ChainSource(1500);
+    ASSERT_TRUE(WriteFrame(fd, Encode(submit)).ok());
+    ASSERT_TRUE(ReadFrame(fd, &reply, &clean_eof).ok());
+    ASSERT_EQ(reply.type, MsgType::kTicket);
+    TicketMsg ticket;
+    ASSERT_TRUE(Decode(reply.body, &ticket).ok());
+    // Send AWAIT — the server is now blocked producing the result — and
+    // hang up without reading the reply.
+    AwaitMsg await;
+    await.ticket = ticket.ticket;
+    ASSERT_TRUE(WriteFrame(fd, Encode(await)).ok());
+    ::close(fd);
+  }
+  EXPECT_TRUE(Eventually([&] {
+    return server.counters().cancelled_on_disconnect >= 1;
+  }));
+  server.Stop();
+}
+
+TEST_F(DaemonTest, FourThreadDisconnectStorm) {
+  DaemonServer server(Options(4));
+  ASSERT_TRUE(server.Start().ok());
+
+  // Four clients submit long queries concurrently and vanish.
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([this, i] {
+      DaemonClient doomed;
+      if (!doomed.Connect(endpoint(), "t" + std::to_string(i)).ok()) return;
+      SubmitMsg submit;
+      submit.name = "storm" + std::to_string(i);
+      submit.source = ChainSource(1200 + i);
+      bool admitted = false;
+      TicketMsg ticket;
+      RetryLaterMsg retry;
+      ErrorMsg error;
+      (void)doomed.Submit(submit, &admitted, &ticket, &retry, &error);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_TRUE(Eventually([&] {
+    return server.counters().cancelled_on_disconnect >= 4;
+  })) << "cancelled_on_disconnect="
+      << server.counters().cancelled_on_disconnect;
+  EXPECT_TRUE(Eventually([&] { return server.counters().queue_depth == 0; }));
+
+  // Server still healthy afterwards.
+  std::vector<BatchQuery> queries = {{"next.dl", kTinyQuery}};
+  Result<BatchResult> batch = RunBatch(endpoint(), queries, BatchOptions());
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->queries[0].result.answers, "b\nc\n");
+  server.Stop();
+}
+
+TEST_F(DaemonTest, TornFrameMidPrefixLeavesServerServing) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Handshake, then send half a length prefix and hang up.
+  DaemonClient torn;
+  ASSERT_TRUE(torn.Connect(endpoint(), "t").ok());
+  {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path_.c_str(),
+                 sizeof addr.sun_path - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    HelloMsg hello;
+    ASSERT_TRUE(WriteFrame(fd, Encode(hello)).ok());
+    Frame ack;
+    bool clean_eof = false;
+    ASSERT_TRUE(ReadFrame(fd, &ack, &clean_eof).ok());
+    const char half[2] = {0x10, 0x00};  // 2 of 4 length-prefix bytes
+    ASSERT_EQ(::send(fd, half, sizeof half, MSG_NOSIGNAL), 2);
+    ::close(fd);
+  }
+  // Also: a full prefix promising a body that never arrives.
+  {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path_.c_str(),
+                 sizeof addr.sun_path - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    HelloMsg hello;
+    ASSERT_TRUE(WriteFrame(fd, Encode(hello)).ok());
+    Frame ack;
+    bool clean_eof = false;
+    ASSERT_TRUE(ReadFrame(fd, &ack, &clean_eof).ok());
+    const char prefix[4] = {0x40, 0x00, 0x00, 0x00};  // promises 64 bytes
+    ASSERT_EQ(::send(fd, prefix, sizeof prefix, MSG_NOSIGNAL), 4);
+    ::close(fd);
+  }
+
+  // The negotiated-but-quiet client and a fresh batch both still work.
+  std::string json;
+  EXPECT_TRUE(torn.Stats(&json).ok());
+  EXPECT_NE(json.find("\"daemon\""), std::string::npos);
+  std::vector<BatchQuery> queries = {{"ok.dl", kTinyQuery}};
+  Result<BatchResult> batch = RunBatch(endpoint(), queries, BatchOptions());
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  server.Stop();
+}
+
+TEST_F(DaemonTest, OversizedFramePrefixIsRejectedWithoutAllocation) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof addr.sun_path - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  // Length prefix claiming 4 GiB - 1. The server must drop the connection,
+  // not allocate.
+  const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(fd, prefix, sizeof prefix, MSG_NOSIGNAL), 4);
+  char byte;
+  // Server closes on us (read returns 0) rather than hanging.
+  struct timeval tv = {5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST_F(DaemonTest, InjectedReadFaultTearsOneConnectionOnly) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+  // Hit 1 is the victim's HELLO read.
+  ASSERT_TRUE(FaultPlan::Global().Arm("daemon.read:1").ok());
+  DaemonClient victim;
+  Status status = victim.Connect(endpoint(), "t");
+  EXPECT_FALSE(status.ok());
+  FaultPlan::Global().Disarm();
+  // The server took it as one torn connection; the next client is served.
+  std::vector<BatchQuery> queries = {{"ok.dl", kTinyQuery}};
+  Result<BatchResult> batch = RunBatch(endpoint(), queries, BatchOptions());
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->queries[0].result.answers, "b\nc\n");
+  server.Stop();
+}
+
+TEST_F(DaemonTest, InjectedWriteFaultLeavesHalfFrameClientRecovers) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+  // Hit 2 = the HELLO_ACK of the second connection: the injected failure
+  // emits a deliberately half-written frame. The batch client must treat
+  // it as torn and recover by reconnecting.
+  ASSERT_TRUE(FaultPlan::Global().Arm("daemon.write:2").ok());
+  std::vector<BatchQuery> queries = {{"ok.dl", kTinyQuery}};
+  BatchOptions options;
+  options.retry_base_ms = 5;
+  Result<BatchResult> batch = RunBatch(endpoint(), queries, options);
+  FaultPlan::Global().Disarm();
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->queries[0].result.answers, "b\nc\n");
+  server.Stop();
+}
+
+TEST_F(DaemonTest, InjectedDispatchFaultIsRetriedByBatchClient) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(FaultPlan::Global().Arm("daemon.dispatch:1").ok());
+  std::vector<BatchQuery> queries = {{"ok.dl", kTinyQuery}};
+  BatchOptions options;
+  options.retry_base_ms = 5;
+  Result<BatchResult> batch = RunBatch(endpoint(), queries, options);
+  FaultPlan::Global().Disarm();
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->queries[0].result.answers, "b\nc\n");
+  EXPECT_GE(batch->reconnects, 1u);
+  server.Stop();
+}
+
+TEST_F(DaemonTest, InjectedAcceptFaultDropsConnectionAtBirth) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(FaultPlan::Global().Arm("daemon.accept:1").ok());
+  std::vector<BatchQuery> queries = {{"ok.dl", kTinyQuery}};
+  BatchOptions options;
+  options.retry_base_ms = 5;
+  Result<BatchResult> batch = RunBatch(endpoint(), queries, options);
+  FaultPlan::Global().Disarm();
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_GE(server.counters().connections_rejected, 1u);
+  server.Stop();
+}
+
+TEST_F(DaemonTest, StaleSocketIsRecoveredLiveDaemonIsNot) {
+  // A dead daemon's leftover: bind the path and close the fd without
+  // unlinking, exactly what SIGKILL leaves behind.
+  int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(stale, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof addr.sun_path - 1);
+  ASSERT_EQ(::bind(stale, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  ::close(stale);
+
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok()) << "stale socket not recovered";
+  // A second daemon on the same path must refuse: the first is live.
+  DaemonServer second(Options());
+  Status status = second.Start();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  server.Stop();
+}
+
+TEST_F(DaemonTest, DrainRejectsNewSubmissionsAndConnections) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+  DaemonClient client;
+  ASSERT_TRUE(client.Connect(endpoint(), "t").ok());
+  server.RequestDrain();
+  SubmitMsg submit;
+  submit.name = "late";
+  submit.source = kTinyQuery;
+  bool admitted = false;
+  TicketMsg ticket;
+  RetryLaterMsg retry;
+  ErrorMsg error;
+  Status status = client.Submit(submit, &admitted, &ticket, &retry, &error);
+  // Either an explicit draining ERROR (kUnavailable) or the connection was
+  // already torn down by the drain.
+  if (status.ok()) {
+    EXPECT_FALSE(admitted);
+    EXPECT_EQ(error.code, static_cast<uint32_t>(StatusCode::kUnavailable));
+  } else {
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  }
+  server.Stop();
+}
+
+TEST_F(DaemonTest, MetricsJsonCarriesDaemonObject) {
+  DaemonServer server(Options());
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<BatchQuery> queries = {{"ok.dl", kTinyQuery}};
+  ASSERT_TRUE(RunBatch(endpoint(), queries, BatchOptions()).ok());
+  const std::string json = server.MetricsJson();
+  EXPECT_NE(json.find("\"daemon\""), std::string::npos);
+  EXPECT_NE(json.find("\"connections\""), std::string::npos);
+  EXPECT_NE(json.find("\"backpressure_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"cancelled_on_disconnect\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue\""), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace exdl::daemon

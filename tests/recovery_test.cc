@@ -143,8 +143,13 @@ TEST_F(FaultPlanTest, SiteRegistryIsStable) {
   EXPECT_TRUE(FaultPlan::IsSite("snapshot.write"));
   EXPECT_TRUE(FaultPlan::IsSite("snapshot.fsync"));
   EXPECT_TRUE(FaultPlan::IsSite("snapshot.rename"));
+  EXPECT_TRUE(FaultPlan::IsSite("daemon.accept"));
+  EXPECT_TRUE(FaultPlan::IsSite("daemon.read"));
+  EXPECT_TRUE(FaultPlan::IsSite("daemon.write"));
+  EXPECT_TRUE(FaultPlan::IsSite("daemon.dispatch"));
   EXPECT_FALSE(FaultPlan::IsSite("snapshot.unlink"));
-  EXPECT_EQ(FaultPlan::Sites().size(), 6u);
+  EXPECT_FALSE(FaultPlan::IsSite("daemon.connect"));
+  EXPECT_EQ(FaultPlan::Sites().size(), 10u);
 }
 
 TEST_F(FaultPlanTest, NthHitFiresExactlyOnce) {

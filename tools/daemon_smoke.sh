@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the exdld daemon lifecycle (DESIGN.md section 13),
+# run by the CI daemon-smoke job:
+#
+#   1. a batch over the unix socket prints answers byte-identical to an
+#      in-process `exdlc run <files...> --jobs 1` of the same files;
+#   2. the STATS document (exdlc connect --stats) satisfies
+#      tools/metrics_schema.json, daemon object included;
+#   3. kill -9 mid-query: the client sees a torn connection; a restarted
+#      daemon recovers the stale socket file, and the batch — whether the
+#      client's in-run retry ladder caught the restart or a fresh run was
+#      needed — ends byte-identical to the reference;
+#   4. SIGTERM: graceful drain, exit 0, and the --metrics-json document
+#      written on the way out validates against the schema.
+#
+# Any divergent output, unexpected exit code, or invalid document fails
+# the smoke. Runs are bounded by `timeout` so a hang cannot stall CI.
+#
+# usage: tools/daemon_smoke.sh <exdlc-binary> <exdld-binary>
+
+set -u
+
+EXDLC=${1:?usage: daemon_smoke.sh <exdlc-binary> <exdld-binary>}
+EXDLD=${2:?usage: daemon_smoke.sh <exdlc-binary> <exdld-binary>}
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+RUN="timeout 120"
+SOCK="$WORK/smoke.sock"
+METRICS="$WORK/exdld_metrics.json"
+DPID=""
+fail=0
+
+say() { printf 'daemon-smoke: %s\n' "$*"; }
+flunk() {
+  printf 'FAIL: %s\n' "$*"
+  fail=1
+}
+
+start_daemon() {  # $1 = extra args (may be empty)
+  # shellcheck disable=SC2086  # $1 is intentionally split
+  "$EXDLD" --socket "$SOCK" --jobs 2 --metrics-json "$METRICS" $1 \
+    >"$WORK/exdld.log" 2>&1 &
+  DPID=$!
+  i=0
+  while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
+    kill -0 "$DPID" 2>/dev/null || return 1
+    sleep 0.05
+    i=$((i + 1))
+  done
+  [ -S "$SOCK" ]
+}
+
+# The batch: one real workload plus a trivial one, so the byte-identity
+# check covers both multi-round evaluation and the batch framing itself.
+F1="$WORK/smoke_a.dl"
+F2="$WORK/smoke_b.dl"
+{
+  echo "tc(X, Y) :- e(X, Y)."
+  echo "tc(X, Z) :- e(X, Y), tc(Y, Z)."
+  echo "?- tc(s0, X)."
+  i=0
+  while [ "$i" -lt 1200 ]; do
+    echo "e(s$i, s$((i + 1)))."
+    i=$((i + 1))
+  done
+} >"$F1"
+cp "$REPO_ROOT/examples/tc_chain.dl" "$F2"
+
+REF="$WORK/ref.out"
+$RUN "$EXDLC" run "$F1" "$F2" --jobs 1 >"$REF" 2>/dev/null \
+  || { flunk "in-process reference run did not complete"; exit 1; }
+
+# --- 1. plain batch over the socket ----------------------------------------
+start_daemon "" || { flunk "exdld did not start"; exit 1; }
+$RUN "$EXDLC" connect "$F1" "$F2" --socket "$SOCK" \
+  >"$WORK/batch.out" 2>"$WORK/batch.err"
+rc=$?
+[ "$rc" -eq 0 ] || flunk "batch client exited $rc"
+cmp -s "$REF" "$WORK/batch.out" \
+  || { flunk "socket answers differ from exdlc run --jobs 1"; diff "$REF" "$WORK/batch.out" | head; }
+say "batch over the socket is byte-identical to --jobs 1"
+
+# --- 2. STATS document validates -------------------------------------------
+$RUN "$EXDLC" connect --socket "$SOCK" --stats >"$WORK/stats.json" 2>&1 \
+  || flunk "exdlc connect --stats failed"
+python3 "$REPO_ROOT/tools/check_metrics_schema.py" \
+  --schema "$REPO_ROOT/tools/metrics_schema.json" "$WORK/stats.json" \
+  || flunk "STATS document does not satisfy the schema"
+python3 - "$WORK/stats.json" <<'EOF' || fail=1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+daemon = doc.get("daemon")
+assert daemon, "STATS document is missing the daemon object"
+assert daemon["connections"]["accepted"] >= 2, daemon
+assert daemon["submits_admitted"] >= 2, daemon
+EOF
+say "STATS document satisfies tools/metrics_schema.json"
+
+# --- 3. kill -9 mid-query, restart, byte-identical recovery ----------------
+$RUN "$EXDLC" connect "$F1" "$F2" --socket "$SOCK" \
+  --retries 8 --retry-base-ms 100 >"$WORK/torn.out" 2>"$WORK/torn.err" &
+CPID=$!
+sleep 0.15   # let the first (long) query get in flight
+kill -9 "$DPID" 2>/dev/null
+wait "$DPID" 2>/dev/null
+# Immediate restart: the stale socket file from the SIGKILLed daemon must
+# be detected as dead and rebound, not mistaken for a live server.
+start_daemon "" || { flunk "exdld did not restart over the stale socket"; exit 1; }
+wait "$CPID"
+crc=$?
+if [ "$crc" -eq 0 ]; then
+  # The client's retry ladder caught the restart: in-run recovery.
+  cmp -s "$REF" "$WORK/torn.out" \
+    || flunk "in-run recovery output differs from reference"
+  say "client recovered in-run across the kill -9 (rc 0, byte-identical)"
+else
+  # The ladder ran out first; a fresh run against the restarted daemon
+  # must still be byte-identical — the torn batch leaves no trace.
+  $RUN "$EXDLC" connect "$F1" "$F2" --socket "$SOCK" \
+    >"$WORK/rerun.out" 2>"$WORK/rerun.err" \
+    || flunk "re-run after restart failed"
+  cmp -s "$REF" "$WORK/rerun.out" \
+    || flunk "post-restart output differs from reference"
+  say "client re-run after kill -9 restart is byte-identical (torn rc $crc)"
+fi
+
+# --- 4. graceful SIGTERM drain + metrics document --------------------------
+kill -TERM "$DPID" 2>/dev/null
+wait "$DPID" 2>/dev/null
+drc=$?
+[ "$drc" -eq 0 ] || flunk "SIGTERM drain exited $drc (want 0)"
+[ -f "$METRICS" ] || flunk "exdld wrote no --metrics-json document"
+if [ -f "$METRICS" ]; then
+  python3 "$REPO_ROOT/tools/check_metrics_schema.py" \
+    --schema "$REPO_ROOT/tools/metrics_schema.json" "$METRICS" \
+    || flunk "--metrics-json document does not satisfy the schema"
+fi
+say "SIGTERM drained cleanly and the exit metrics document validates"
+
+if [ "$fail" -ne 0 ]; then
+  echo "daemon smoke: FAILED"
+  exit 1
+fi
+echo "daemon smoke: all checks passed"

@@ -49,6 +49,27 @@
 //       Randomized query-equivalence check of two programs (shared
 //       predicate vocabulary; facts in the files are ignored).
 //
+//   exdlc connect <file...> (--socket PATH | --tcp HOST:PORT)
+//                 [--tenant NAME] [--deadline-ms N] [--max-tuples N]
+//                 [--max-bytes N] [--retries N] [--retry-base-ms N]
+//                 [--load-facts FILE] [--stats] [--shutdown]
+//       Run the files as a batch against a running exdld daemon
+//       (tools/exdld.cc). Output is per file under a "== <file> =="
+//       header, byte-identical to `exdlc run <file...> --jobs 1` against
+//       the same (initially empty) database. Budget flags are *requests*
+//       clamped by the daemon's admission policy. Backpressure
+//       (RETRY_LATER) and torn connections (daemon crash/restart) are
+//       retried with jittered exponential backoff up to --retries times;
+//       a torn connection re-runs the whole batch, which is safe because
+//       completed queries are program-cache hits and interning order is
+//       replayed. --load-facts loads an EDB file first; --stats prints
+//       the daemon telemetry document after the batch; --shutdown asks
+//       the daemon to drain.
+//
+//   exdlc fault-sites
+//       Print every registered fault-injection site, one per line (the
+//       single source of truth consumed by tools/fault_sweep.sh).
+//
 // Observability flags (optimize and run):
 //   --trace              print the span tree (per-phase / per-round / per-
 //                        rule timings) to stderr after the command
@@ -67,6 +88,8 @@
 //   5  run: --max-tuples / --max-bytes exhausted (partial answers printed)
 //   6  run/optimize: cancelled by SIGINT (partial answers printed)
 //   7  run: --resume snapshot failed CRC or structural validation
+//   8  connect: cannot reach the exdld daemon (not running / refused),
+//      or retries exhausted against an unavailable daemon
 //
 // Fault injection (testing): EXDL_FAULT_SPEC="<site>:<n>[:abort]" arms one
 // deterministic fault that fires on the Nth hit of the named site (see
@@ -80,10 +103,12 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ast/printer.h"
 #include "core/engine.h"
+#include "daemon/client.h"
 #include "equiv/random_check.h"
 #include "eval/evaluator.h"
 #include "eval/plan.h"
@@ -94,6 +119,7 @@
 #include "parser/parser.h"
 #include "recovery/atomic_file.h"
 #include "recovery/fault.h"
+#include "service/answer_text.h"
 #include "service/query_service.h"
 #include "util/cancellation.h"
 
@@ -126,7 +152,9 @@ int ExitCodeFor(const Status& termination) {
 }
 
 int Usage() {
-  std::cerr << "usage: exdlc optimize|run|grammar|check <file> [flags]\n"
+  std::cerr << "usage: exdlc optimize|run|grammar|check|connect <file> "
+               "[flags]\n"
+               "       exdlc fault-sites\n"
                "       see the header of tools/exdlc.cc for details\n";
   return 2;
 }
@@ -140,6 +168,7 @@ enum : uint32_t {
   kCmdOptimize = 1u << 0,
   kCmdRun = 1u << 1,
   kCmdCheck = 1u << 2,
+  kCmdConnect = 1u << 3,
 };
 
 struct FlagSpec {
@@ -163,10 +192,19 @@ constexpr FlagSpec kFlagTable[] = {
     {"--optimize", false, kCmdRun},
     {"--threads", true, kCmdRun},
     {"--jobs", true, kCmdRun},
-    // budgets (run only: optimize has no budgeted resources beyond SIGINT)
-    {"--deadline-ms", true, kCmdRun},
-    {"--max-tuples", true, kCmdRun},
-    {"--max-bytes", true, kCmdRun},
+    // budgets (requests under `connect`: the daemon clamps them)
+    {"--deadline-ms", true, kCmdRun | kCmdConnect},
+    {"--max-tuples", true, kCmdRun | kCmdConnect},
+    {"--max-bytes", true, kCmdRun | kCmdConnect},
+    // daemon client
+    {"--socket", true, kCmdConnect},
+    {"--tcp", true, kCmdConnect},
+    {"--tenant", true, kCmdConnect},
+    {"--retries", true, kCmdConnect},
+    {"--retry-base-ms", true, kCmdConnect},
+    {"--load-facts", true, kCmdConnect},
+    {"--stats", false, kCmdConnect},
+    {"--shutdown", false, kCmdConnect},
     // durability
     {"--checkpoint-dir", true, kCmdRun},
     {"--checkpoint-every-rounds", true, kCmdRun},
@@ -394,13 +432,7 @@ int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
     std::cerr << result.status().ToString() << "\n";
     return 1;
   }
-  for (const auto& row : result->answers) {
-    for (size_t i = 0; i < row.size(); ++i) {
-      if (i > 0) std::cout << "\t";
-      std::cout << engine.ctx()->SymbolName(row[i]);
-    }
-    std::cout << "\n";
-  }
+  std::cout << RenderAnswerRows(*engine.ctx(), result->answers);
   std::cerr << result->answers.size() << " answer(s)   ["
             << result->stats.ToString() << "]\n";
   int obs_rc = EmitObservability(engine, flags, "run", path);
@@ -453,7 +485,10 @@ int CmdRunService(const std::vector<std::string>& files,
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
-    requests.push_back(QueryRequest{buffer.str(), file});
+    QueryRequest request;
+    request.source = buffer.str();
+    request.name = file;
+    requests.push_back(std::move(request));
   }
   QueryService service(std::move(options));
   const std::vector<QueryService::Ticket> tickets =
@@ -467,13 +502,7 @@ int CmdRunService(const std::vector<std::string>& files,
       rc = std::max(rc, 1);
       continue;
     }
-    for (const auto& row : response.result.answers) {
-      for (size_t i = 0; i < row.size(); ++i) {
-        if (i > 0) std::cout << "\t";
-        std::cout << service.ctx()->SymbolName(row[i]);
-      }
-      std::cout << "\n";
-    }
+    std::cout << RenderAnswerRows(*service.ctx(), response.result.answers);
     std::cerr << response.name << ": " << response.result.answers.size()
               << " answer(s)   [" << response.result.stats.ToString() << "]"
               << (response.cache_hit ? "   (cached program)" : "") << "\n";
@@ -496,6 +525,140 @@ int CmdRunService(const std::vector<std::string>& files,
       std::cerr << "cannot write " << metrics_path << ": "
                 << written.ToString() << "\n";
       rc = std::max(rc, 1);
+    }
+  }
+  return rc;
+}
+
+/// `exdlc connect`: run the input files as a batch against an exdld
+/// daemon. Stdout is byte-identical to CmdRunService with --jobs 1 (both
+/// ends render through RenderAnswerRows; the batch runner replays the
+/// submission sequence on retry).
+int CmdConnect(const std::vector<std::string>& files,
+               const std::vector<std::string>& flags) {
+  daemon::Endpoint endpoint;
+  endpoint.socket_path = FlagString(flags, "--socket", std::string());
+  const std::string tcp = FlagString(flags, "--tcp", std::string());
+  if (!tcp.empty()) {
+    const size_t colon = tcp.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--tcp requires HOST:PORT\n";
+      return 2;
+    }
+    endpoint.use_tcp = true;
+    endpoint.tcp_host = tcp.substr(0, colon);
+    try {
+      endpoint.tcp_port =
+          static_cast<uint16_t>(std::stoul(tcp.substr(colon + 1)));
+    } catch (...) {
+      std::cerr << "--tcp requires HOST:PORT\n";
+      return 2;
+    }
+  } else if (endpoint.socket_path.empty()) {
+    std::cerr << "connect requires --socket PATH or --tcp HOST:PORT\n";
+    return 2;
+  }
+
+  daemon::BatchOptions options;
+  options.tenant = FlagString(flags, "--tenant", std::string());
+  options.deadline_ms = FlagValue64(flags, "--deadline-ms", 0);
+  options.max_tuples = FlagValue64(flags, "--max-tuples", 0);
+  options.max_bytes = FlagValue64(flags, "--max-bytes", 0);
+  options.max_retries = FlagValue(flags, "--retries", 5);
+  options.retry_base_ms = FlagValue(flags, "--retry-base-ms", 25);
+
+  auto read = [](const std::string& path) -> Result<std::string> {
+    std::ifstream in(path);
+    if (!in) return Status::NotFound("cannot open " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::string facts_path =
+      FlagString(flags, "--load-facts", std::string());
+  if (!facts_path.empty()) {
+    Result<std::string> facts = read(facts_path);
+    if (!facts.ok()) {
+      std::cerr << facts.status().ToString() << "\n";
+      return 1;
+    }
+    options.facts_source = std::move(*facts);
+  }
+  std::vector<daemon::BatchQuery> queries;
+  for (const std::string& file : files) {
+    Result<std::string> source = read(file);
+    if (!source.ok()) {
+      std::cerr << source.status().ToString() << "\n";
+      return 1;
+    }
+    queries.push_back(daemon::BatchQuery{file, std::move(*source)});
+  }
+
+  int rc = 0;
+  if (!queries.empty() || !options.facts_source.empty()) {
+    Result<daemon::BatchResult> batch =
+        daemon::RunBatch(endpoint, queries, options);
+    if (!batch.ok()) {
+      if (batch.status().code() == StatusCode::kUnavailable) {
+        std::cerr << "exdlc: " << batch.status().message()
+                  << "\nexdlc: is exdld running? start it with: exdld "
+                  << (endpoint.use_tcp ? "--tcp " + tcp
+                                       : "--socket " + endpoint.socket_path)
+                  << "\n";
+        return 8;
+      }
+      std::cerr << batch.status().ToString() << "\n";
+      return 1;
+    }
+    for (const daemon::BatchQueryResult& query : batch->queries) {
+      std::cout << "== " << query.name << " ==\n";
+      const Status status =
+          daemon::StatusFromWire(query.result.status_code,
+                                 query.result.status_message);
+      if (!status.ok()) {
+        std::cerr << query.name << ": " << status.ToString() << "\n";
+        rc = std::max(rc, 1);
+        continue;
+      }
+      std::cout << query.result.answers;
+      std::cerr << query.name << ": " << query.result.answer_count
+                << " answer(s)   [" << query.result.stats_text << "]"
+                << (query.result.cache_hit != 0 ? "   (cached program)" : "")
+                << "\n";
+      const Status termination =
+          daemon::StatusFromWire(query.result.termination_code,
+                                 query.result.termination_message);
+      if (!termination.ok()) {
+        std::cerr << query.name << ": budget tripped ("
+                  << query.result.budget_kind << "): "
+                  << termination.ToString() << "\n";
+        rc = std::max(rc, ExitCodeFor(termination));
+      }
+    }
+  }
+
+  if (HasFlag(flags, "--stats") || HasFlag(flags, "--shutdown")) {
+    daemon::DaemonClient client;
+    Status connected = client.Connect(endpoint, options.tenant);
+    if (!connected.ok()) {
+      std::cerr << "exdlc: " << connected.message() << "\n";
+      return connected.code() == StatusCode::kUnavailable ? 8 : 1;
+    }
+    if (HasFlag(flags, "--stats")) {
+      std::string json;
+      Status stats = client.Stats(&json);
+      if (!stats.ok()) {
+        std::cerr << stats.ToString() << "\n";
+        return 1;
+      }
+      std::cout << json << "\n";
+    }
+    if (HasFlag(flags, "--shutdown")) {
+      Status shutdown = client.Shutdown();
+      if (!shutdown.ok()) {
+        std::cerr << shutdown.ToString() << "\n";
+        return 1;
+      }
     }
   }
   return rc;
@@ -626,6 +789,12 @@ int Main(int argc, char** argv) {
     std::cerr << fault.ToString() << "\n";
     return 2;
   }
+  if (argc >= 2 && std::strcmp(argv[1], "fault-sites") == 0) {
+    for (std::string_view site : FaultPlan::Sites()) {
+      std::cout << site << "\n";
+    }
+    return 0;
+  }
   if (argc < 3) return Usage();
   std::string command = argv[1];
   std::vector<std::string> rest(argv + 2, argv + argc);
@@ -651,6 +820,19 @@ int Main(int argc, char** argv) {
       return CmdRunService(files, rest);
     }
     return CmdRun(files[0], rest);
+  }
+  if (command == "connect") {
+    ValidateFlags(rest, command, kCmdConnect);
+    std::vector<std::string> files;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      if (rest[i].rfind("--", 0) == 0) {
+        const FlagSpec* spec = FindFlag(rest[i]);
+        if (spec != nullptr && spec->takes_value) ++i;
+        continue;
+      }
+      files.push_back(rest[i]);
+    }
+    return CmdConnect(files, rest);
   }
   if (command == "grammar") {
     ValidateFlags(rest, command, 0);

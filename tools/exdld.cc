@@ -1,0 +1,240 @@
+// exdld — the ExDatalog query daemon (DESIGN.md §13).
+//
+//   exdld --socket PATH [--policy FILE] [--jobs N] [--threads N]
+//         [--queue-depth N] [--drain-ms N] [--optimize]
+//         [--metrics-json FILE]
+//   exdld --tcp HOST:PORT [same flags]
+//
+// One long-lived server wraps a QueryService behind the protocol of
+// src/daemon/protocol.h on a unix-domain socket (or TCP with --tcp).
+// Clients are `exdlc connect` invocations; see README "Running the
+// daemon".
+//
+//   --socket PATH       unix-domain socket to listen on (default
+//                       transport). A stale socket file left by a killed
+//                       daemon is replaced; a live daemon on the path is
+//                       an error.
+//   --tcp HOST:PORT     listen on TCP instead (port 0 = ephemeral; the
+//                       bound port is printed on startup)
+//   --policy FILE       admission-control policy (tenant quotas; see
+//                       src/daemon/admission.h for the format). Without
+//                       it every tenant gets unlimited budgets.
+//   --jobs N            query-service workers (parallel sessions)
+//   --threads N         per-query evaluation threads
+//   --queue-depth N     server-wide in-flight query bound; at the bound
+//                       SUBMIT gets RETRY_LATER (default 64)
+//   --drain-ms N        graceful-drain grace period (default 5000)
+//   --optimize          run the optimizer pipeline on submitted queries
+//   --metrics-json FILE write the final telemetry document (with the
+//                       "daemon" object) on clean shutdown
+//
+// Lifecycle: SIGTERM and SIGINT initiate a graceful drain — stop
+// accepting, finish or cancel in-flight work, then exit 0. A client
+// SHUTDOWN message does the same. SIGKILL is recovered at next startup
+// (stale socket replaced) and by clients (batch retry reruns against the
+// restarted daemon).
+//
+// Exit codes: 0 clean shutdown, 1 startup/runtime error, 2 usage.
+//
+// Fault injection: EXDL_FAULT_SPEC arms the daemon.* sites (see
+// recovery/fault.h); tools/fault_sweep.sh drives them.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "daemon/server.h"
+#include "recovery/atomic_file.h"
+#include "recovery/fault.h"
+
+namespace exdl::daemon {
+namespace {
+
+/// Self-pipe written by the signal handler; the main loop polls it.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void HandleTermSignal(int) {
+  const char byte = 't';
+  [[maybe_unused]] ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int Usage() {
+  std::cerr << "usage: exdld --socket PATH | --tcp HOST:PORT\n"
+               "             [--policy FILE] [--jobs N] [--threads N]\n"
+               "             [--queue-depth N] [--drain-ms N] [--optimize]\n"
+               "             [--metrics-json FILE]\n";
+  return 2;
+}
+
+struct FlagSpec {
+  const char* name;
+  bool takes_value;
+};
+
+constexpr FlagSpec kFlagTable[] = {
+    {"--socket", true},      {"--tcp", true},      {"--policy", true},
+    {"--jobs", true},        {"--threads", true},  {"--queue-depth", true},
+    {"--drain-ms", true},    {"--optimize", false},
+    {"--metrics-json", true},
+};
+
+const FlagSpec* FindFlag(const std::string& arg) {
+  for (const FlagSpec& spec : kFlagTable) {
+    if (arg == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+bool HasFlag(const std::vector<std::string>& args, const std::string& flag) {
+  for (const std::string& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+std::string FlagString(const std::vector<std::string>& args,
+                       const std::string& flag, std::string fallback) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == flag && i + 1 < args.size()) return args[i + 1];
+  }
+  return fallback;
+}
+
+uint32_t FlagValue(const std::vector<std::string>& args,
+                   const std::string& flag, uint32_t fallback,
+                   uint32_t min_value = 1) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    try {
+      unsigned long v = std::stoul(args[i + 1]);
+      if (v < min_value || v > 1u << 20) throw std::out_of_range("range");
+      return static_cast<uint32_t>(v);
+    } catch (...) {
+      std::cerr << flag << " requires a positive integer, got '"
+                << args[i + 1] << "'\n";
+      std::exit(2);
+    }
+  }
+  return fallback;
+}
+
+int Main(int argc, char** argv) {
+  Status fault = FaultPlan::Global().ArmFromEnv();
+  if (!fault.ok()) {
+    std::cerr << fault.ToString() << "\n";
+    return 2;
+  }
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (size_t i = 0; i < args.size(); ++i) {
+    const FlagSpec* spec = FindFlag(args[i]);
+    if (spec == nullptr) {
+      std::cerr << "unknown flag: " << args[i] << "\n";
+      return Usage();
+    }
+    if (spec->takes_value) {
+      if (i + 1 >= args.size()) {
+        std::cerr << args[i] << " requires a value\n";
+        return 2;
+      }
+      ++i;
+    }
+  }
+
+  DaemonOptions options;
+  options.socket_path = FlagString(args, "--socket", std::string());
+  const std::string tcp = FlagString(args, "--tcp", std::string());
+  if (!tcp.empty()) {
+    const size_t colon = tcp.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--tcp requires HOST:PORT\n";
+      return 2;
+    }
+    options.use_tcp = true;
+    options.tcp_host = tcp.substr(0, colon);
+    try {
+      options.tcp_port = static_cast<uint16_t>(std::stoul(tcp.substr(colon + 1)));
+    } catch (...) {
+      std::cerr << "--tcp requires HOST:PORT\n";
+      return 2;
+    }
+  } else if (options.socket_path.empty()) {
+    return Usage();
+  }
+  const std::string policy_path = FlagString(args, "--policy", std::string());
+  if (!policy_path.empty()) {
+    Result<AdmissionPolicy> policy = AdmissionPolicy::Load(policy_path);
+    if (!policy.ok()) {
+      std::cerr << policy.status().ToString() << "\n";
+      return 1;
+    }
+    options.policy = std::move(*policy);
+  }
+  options.service.num_workers = FlagValue(args, "--jobs", 1);
+  options.service.eval.num_threads = FlagValue(args, "--threads", 1);
+  options.service.compile.optimize = HasFlag(args, "--optimize");
+  options.max_pending = FlagValue(args, "--queue-depth", 64);
+  options.drain_timeout_ms = FlagValue(args, "--drain-ms", 5000, 0);
+
+  // SIGTERM / SIGINT drain through the self-pipe; SIGPIPE would otherwise
+  // kill the daemon whenever a client disappears mid-write.
+  if (::pipe(g_signal_pipe) < 0) {
+    std::cerr << "pipe(): " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, HandleTermSignal);
+  std::signal(SIGINT, HandleTermSignal);
+  options.shutdown_notify_fd = g_signal_pipe[1];
+
+  DaemonServer server(std::move(options));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+  if (server.options().use_tcp) {
+    std::cout << "exdld: listening on " << server.options().tcp_host << ":"
+              << server.bound_tcp_port() << std::endl;
+  } else {
+    std::cout << "exdld: listening on " << server.options().socket_path
+              << std::endl;
+  }
+
+  // Block until a termination signal or a client SHUTDOWN.
+  while (true) {
+    pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc > 0 || rc == 0) break;
+    break;
+  }
+  std::cerr << "exdld: draining\n";
+  server.Stop();
+
+  const std::string metrics_path =
+      FlagString(args, "--metrics-json", std::string());
+  if (!metrics_path.empty()) {
+    Status written =
+        recovery::AtomicWriteFile(metrics_path, server.MetricsJson());
+    if (!written.ok()) {
+      std::cerr << "cannot write " << metrics_path << ": "
+                << written.ToString() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace exdl::daemon
+
+int main(int argc, char** argv) {
+  return exdl::daemon::Main(argc, argv);
+}

@@ -1,52 +1,88 @@
 #!/usr/bin/env bash
-# Deterministic fault sweep over the checkpoint/restore path.
+# Deterministic fault sweep over the recovery paths.
 #
-# For every registered fault site and every trigger depth 1..MAX_HITS, run
-# exdlc with an injected crash (EXDL_FAULT_SPEC="<site>:<n>:abort") and
-# round-boundary checkpointing, then prove one of:
+# The site list is NOT hard-coded here: it comes from `exdlc fault-sites`,
+# the single source of truth (src/recovery/fault.cc). Sites are partitioned
+# by prefix:
 #
-#   * the run completed (the site was never reached at that depth) and its
-#     output is byte-identical to the uninterrupted reference, or
-#   * the run died with the injected-crash exit code (86), and resuming
-#     from the surviving checkpoint — or restarting from scratch when the
-#     crash landed before the first checkpoint was cut — reproduces the
-#     reference output byte for byte.
+#   engine sites (storage.*, eval.*, snapshot.*)
+#     For every trigger depth 1..MAX_HITS, run exdlc with an injected crash
+#     (EXDL_FAULT_SPEC="<site>:<n>:abort") and round-boundary
+#     checkpointing, then prove the run either completed untouched (site
+#     not reached at that depth) or died with exit 86 and recovered — via
+#     the surviving checkpoint or a restart — to byte-identical output.
+#
+#   daemon sites (daemon.*) — requires the exdld binary argument
+#     For every depth, twice per depth:
+#       fail mode  the daemon injects the failure (torn connection,
+#                  dropped accept, failed dispatch) but keeps running; the
+#                  exdlc connect batch client must recover in-run through
+#                  its retry ladder and produce output byte-identical to an
+#                  in-process `exdlc run --jobs 1` of the same files.
+#       abort mode the daemon hard-crashes (exit 86) at the site; the
+#                  sweep restarts it and re-runs the client, which must
+#                  recover to byte-identical output. The 86 exit is also
+#                  the proof the site was reached.
+#     Both a serial (--jobs 1) and a 4-worker daemon are swept.
+#
+# At the end the sweep fails loudly if any site in the registry was never
+# reached (never produced an 86 exit at any depth) — a renamed or
+# disconnected site cannot silently drop out of coverage.
 #
 # Any other exit code (a real crash, a sanitizer report), any divergent
-# output, or any checkpoint that fails to load is a sweep failure.
+# output, any hang (runs are bounded by `timeout`), or any checkpoint that
+# fails to load is a sweep failure.
 #
-# usage: tools/fault_sweep.sh <exdlc-binary> [max-hits]
+# usage: tools/fault_sweep.sh <exdlc-binary> [exdld-binary] [max-hits]
+#   Without <exdld-binary> the daemon.* sites are skipped (and exempted
+#   from the must-reach check) — CI always passes it.
 
 set -u
 
-EXDLC=${1:?usage: fault_sweep.sh <exdlc-binary> [max-hits]}
-MAX_HITS=${2:-5}
+EXDLC=${1:?usage: fault_sweep.sh <exdlc-binary> [exdld-binary] [max-hits]}
+EXDLD=${2:-}
+MAX_HITS=${3:-5}
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
-SITES="storage.arena_grow eval.pool_dispatch snapshot.open snapshot.write snapshot.fsync snapshot.rename"
+# The shared site table (recovery/fault.cc), split by subsystem.
+ALL_SITES=$("$EXDLC" fault-sites) || {
+  echo "FAIL: cannot read the site list from exdlc fault-sites"
+  exit 1
+}
+ENGINE_SITES=$(printf '%s\n' "$ALL_SITES" | grep -v '^daemon\.')
+DAEMON_SITES=$(printf '%s\n' "$ALL_SITES" | grep '^daemon\.')
+
 fail=0
 cases=0
 
+mark_reached() { touch "$WORK/reached_$1"; }
+
+# Bound every child run so an injected fault can never hang the sweep.
+RUN="timeout 120"
+
+# ---------------------------------------------------------------------------
+# Engine sweep: crash + checkpoint/resume recovery.
+
 # $1 = program file, $2 = thread count, $3 = label for messages
-run_sweep() {
+run_engine_sweep() {
   prog=$1
   threads=$2
   label=$3
   ref="$WORK/ref_$label.out"
-  if ! "$EXDLC" run "$prog" --threads "$threads" >"$ref" 2>/dev/null; then
+  if ! $RUN "$EXDLC" run "$prog" --threads "$threads" >"$ref" 2>/dev/null; then
     echo "FAIL: $label reference run did not complete"
     fail=1
     return
   fi
-  for site in $SITES; do
+  for site in $ENGINE_SITES; do
     for n in $(seq 1 "$MAX_HITS"); do
       cases=$((cases + 1))
       dir="$WORK/ckpt_${label}_${site}_${n}"
       mkdir -p "$dir"
       out="$WORK/out.txt"
-      EXDL_FAULT_SPEC="$site:$n:abort" "$EXDLC" run "$prog" \
+      EXDL_FAULT_SPEC="$site:$n:abort" $RUN "$EXDLC" run "$prog" \
         --threads "$threads" --checkpoint-dir "$dir" \
         --checkpoint-every-rounds 1 >"$out" 2>"$WORK/err.txt"
       rc=$?
@@ -64,12 +100,13 @@ run_sweep() {
         fail=1
         continue
       fi
+      mark_reached "$site"
       resume_args=""
       if [ -f "$dir/checkpoint.exdl" ]; then
         resume_args="--resume $dir/checkpoint.exdl"
       fi
       # shellcheck disable=SC2086  # resume_args is intentionally split
-      if ! "$EXDLC" run "$prog" --threads "$threads" $resume_args \
+      if ! $RUN "$EXDLC" run "$prog" --threads "$threads" $resume_args \
           >"$out" 2>"$WORK/err.txt"; then
         echo "FAIL: $label $site:$n recovery run failed"
         sed 's/^/    /' "$WORK/err.txt" | head -5
@@ -84,10 +121,132 @@ run_sweep() {
   done
 }
 
+# ---------------------------------------------------------------------------
+# Daemon sweep: torn connections, dropped accepts, failed dispatches, and
+# hard crashes of exdld, all recovered by the exdlc connect retry client.
+
+SOCK="$WORK/sweep.sock"
+DPID=""
+
+start_daemon() {  # $1 = jobs, $2 = fault spec ("" for none)
+  rm -f "$SOCK"
+  if [ -n "$2" ]; then
+    EXDL_FAULT_SPEC="$2" "$EXDLD" --socket "$SOCK" --jobs "$1" \
+      >/dev/null 2>&1 &
+  else
+    "$EXDLD" --socket "$SOCK" --jobs "$1" >/dev/null 2>&1 &
+  fi
+  DPID=$!
+  i=0
+  while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
+    kill -0 "$DPID" 2>/dev/null || return 1
+    sleep 0.05
+    i=$((i + 1))
+  done
+  [ -S "$SOCK" ]
+}
+
+# Stops the daemon if alive; leaves its exit code in $DRC. (Not a command
+# substitution: `wait` only works on children of this shell, not a subshell.)
+stop_daemon() {
+  if kill -0 "$DPID" 2>/dev/null; then
+    kill -TERM "$DPID" 2>/dev/null
+  fi
+  wait "$DPID" 2>/dev/null
+  DRC=$?
+}
+
+run_daemon_sweep() {  # $1 = jobs, $2 = label
+  jobs=$1
+  label=$2
+  f1="$WORK/sweep_a.dl"
+  f2="$WORK/sweep_b.dl"
+  ref="$WORK/ref_daemon.out"
+  if ! $RUN "$EXDLC" run "$f1" "$f2" --jobs 1 >"$ref" 2>/dev/null; then
+    echo "FAIL: daemon-sweep in-process reference run did not complete"
+    fail=1
+    return
+  fi
+  for site in $DAEMON_SITES; do
+    for n in $(seq 1 "$MAX_HITS"); do
+      for mode in fail abort; do
+        cases=$((cases + 1))
+        spec="$site:$n"
+        [ "$mode" = abort ] && spec="$spec:abort"
+        if ! start_daemon "$jobs" "$spec"; then
+          echo "FAIL: $label $spec daemon did not start"
+          fail=1
+          continue
+        fi
+        out="$WORK/daemon_out.txt"
+        $RUN "$EXDLC" connect "$f1" "$f2" --socket "$SOCK" \
+          --retries 6 --retry-base-ms 5 >"$out" 2>"$WORK/err.txt"
+        crc=$?
+        if kill -0 "$DPID" 2>/dev/null; then
+          # Daemon survived: in fail mode the client must have recovered
+          # in-run; in abort mode the site was not reached at this depth.
+          if [ "$crc" -ne 0 ] || ! cmp -s "$ref" "$out"; then
+            echo "FAIL: $label $spec client rc=$crc or output differs"
+            sed 's/^/    /' "$WORK/err.txt" | head -5
+            fail=1
+          fi
+          stop_daemon
+          if [ "$DRC" -ne 0 ] && [ "$DRC" -ne 86 ]; then
+            echo "FAIL: $label $spec daemon shutdown rc=$DRC (want 0 or 86)"
+            fail=1
+          fi
+          [ "$DRC" -eq 86 ] && mark_reached "$site"
+          continue
+        fi
+        # Daemon died mid-run: only the injected crash may kill it.
+        stop_daemon
+        if [ "$DRC" -ne 86 ]; then
+          echo "FAIL: $label $spec daemon died rc=$DRC (want 86)"
+          fail=1
+          continue
+        fi
+        mark_reached "$site"
+        if [ "$mode" = fail ]; then
+          echo "FAIL: $label $spec fail-mode daemon must not crash"
+          fail=1
+          continue
+        fi
+        # The client saw a torn connection (rc 8 once its retries ran out
+        # against the dead socket, or nonzero mid-tear). Restart the
+        # daemon and prove the client recovers to byte-identical output —
+        # the torn first pass must leave no corrupting trace.
+        if ! start_daemon "$jobs" ""; then
+          echo "FAIL: $label $spec daemon did not restart after crash"
+          fail=1
+          continue
+        fi
+        if ! $RUN "$EXDLC" connect "$f1" "$f2" --socket "$SOCK" \
+            --retries 6 --retry-base-ms 5 >"$out" 2>"$WORK/err.txt"; then
+          echo "FAIL: $label $spec client did not recover after restart"
+          sed 's/^/    /' "$WORK/err.txt" | head -5
+          fail=1
+          stop_daemon
+          continue
+        fi
+        if ! cmp -s "$ref" "$out"; then
+          echo "FAIL: $label $spec recovered output differs from reference"
+          fail=1
+        fi
+        stop_daemon
+        if [ "$DRC" -ne 0 ]; then
+          echo "FAIL: $label $spec clean daemon shutdown rc=$DRC"
+          fail=1
+        fi
+      done
+    done
+  done
+}
+
+# ---------------------------------------------------------------------------
 # Sweep 1: the stock example, serial. Exercises arena growth and every
 # snapshot I/O site; eval.pool_dispatch is unreachable serially (counts as
 # "completed identical" at every depth, which the sweep verifies too).
-run_sweep "$REPO_ROOT/examples/tc_chain.dl" 1 serial
+run_engine_sweep "$REPO_ROOT/examples/tc_chain.dl" 1 serial
 
 # Sweep 2: a chain long enough for the worker pool to engage (the pool
 # partitions scans of >= 128 rows), 4 threads. Reaches eval.pool_dispatch
@@ -103,7 +262,42 @@ BIG="$WORK/big_chain.dl"
     i=$((i + 1))
   done
 } >"$BIG"
-run_sweep "$BIG" 4 parallel
+run_engine_sweep "$BIG" 4 parallel
+
+# Sweeps 3 + 4: the daemon sites, serial and 4-worker daemons.
+if [ -n "$EXDLD" ]; then
+  {
+    echo "tc(X, Y) :- e(X, Y)."
+    echo "tc(X, Z) :- e(X, Y), tc(Y, Z)."
+    echo "?- tc(m0, X)."
+    i=0
+    while [ "$i" -lt 200 ]; do
+      echo "e(m$i, m$((i + 1)))."
+      i=$((i + 1))
+    done
+  } >"$WORK/sweep_a.dl"
+  {
+    echo "p(X) :- e(X, Y)."
+    echo "?- p(X)."
+    echo "e(a, b). e(b, c). e(c, a)."
+  } >"$WORK/sweep_b.dl"
+  run_daemon_sweep 1 daemon-serial
+  run_daemon_sweep 4 daemon-4
+else
+  echo "note: no exdld binary given — daemon.* sites skipped"
+fi
+
+# ---------------------------------------------------------------------------
+# Coverage: every registered site must have fired at least once somewhere
+# in the sweep (daemon sites only when the daemon was swept).
+MUST_REACH=$ENGINE_SITES
+[ -n "$EXDLD" ] && MUST_REACH="$ENGINE_SITES $DAEMON_SITES"
+for site in $MUST_REACH; do
+  if [ ! -f "$WORK/reached_$site" ]; then
+    echo "FAIL: site $site was never reached by the sweep"
+    fail=1
+  fi
+done
 
 if [ "$fail" -ne 0 ]; then
   echo "fault sweep: FAILED ($cases cases)"
