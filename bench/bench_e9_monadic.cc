@@ -4,7 +4,15 @@
 //
 // Language: a b* c over a random labeled graph. Rows: the original binary
 // chain program (computing all (X, Y) pairs, then projecting) vs the
-// DFA-derived monadic program (computing target nodes only).
+// DFA-derived monadic program (computing target nodes only), the latter
+// under both physical representations (DESIGN.md §14) — the monadic
+// program is exactly the shape the bitset kernels target, so
+// Monadic_tuple vs Monadic_bitset isolates the executor.
+//
+// Every case records a JSON row (BENCH_bench_e9_monadic.json); with
+// EXDL_BENCH_METRICS=1 the rows carry the full telemetry document, and
+// tools/check_bench_fallback.py asserts the monadic bitset cases ran
+// kernel-only (storage.representation.fallbacks == 0).
 
 #include "bench_util.h"
 
@@ -36,29 +44,48 @@ Database MakeEdb(Context* ctx, int n) {
 void BM_BinaryChain(benchmark::State& state) {
   Setup setup = ParseOrDie(kChain);
   Database edb = MakeEdb(setup.ctx.get(), static_cast<int>(state.range(0)));
-  EvalStats last;
+  EvalResult best;
   for (auto _ : state) {
-    last = EvalOrDie(setup.program, edb).stats;
+    KeepFastest(EvalOrDie(setup.program, edb), &best);
   }
-  ReportStats(state, last);
+  ReportResult(state, "BinaryChain/" + std::to_string(state.range(0)), best);
 }
 
-void BM_Monadic(benchmark::State& state) {
+void RunMonadic(benchmark::State& state, Representation representation) {
   Setup setup = ParseOrDie(kChain);
   Result<Program> monadic = MonadicEquivalent(setup.program);
   if (!monadic.ok()) std::abort();
   state.counters["rules"] = static_cast<double>(monadic->NumRules());
   Database edb = MakeEdb(setup.ctx.get(), static_cast<int>(state.range(0)));
-  EvalStats last;
+  EvalOptions options;
+  options.representation = representation;
+  EvalResult best;
   for (auto _ : state) {
-    last = EvalOrDie(*monadic, edb).stats;
+    KeepFastest(EvalOrDie(*monadic, edb, options), &best);
   }
-  ReportStats(state, last);
+  ReportResult(state,
+               std::string("Monadic_") + RepresentationName(representation) +
+                   "/" + std::to_string(state.range(0)),
+               best);
+}
+
+void BM_Monadic(benchmark::State& state) {
+  RunMonadic(state, Representation::kAuto);
+}
+void BM_Monadic_Tuple(benchmark::State& state) {
+  RunMonadic(state, Representation::kTuple);
+}
+void BM_Monadic_Bitset(benchmark::State& state) {
+  RunMonadic(state, Representation::kBitset);
 }
 
 BENCHMARK(BM_BinaryChain)->Arg(200)->Arg(800)->Arg(3200)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Monadic)->Arg(200)->Arg(800)->Arg(3200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Monadic_Tuple)->Arg(200)->Arg(800)->Arg(3200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Monadic_Bitset)->Arg(200)->Arg(800)->Arg(3200)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

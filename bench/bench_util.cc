@@ -17,8 +17,9 @@ namespace exdl::bench {
 
 namespace {
 
-/// One JSON row per benchmark case (last iteration wins — benches report
-/// the stats of their final evaluation, which all iterations repeat).
+/// One JSON row per benchmark case. Benches report one representative
+/// evaluation — typically their fastest iteration (KeepFastest); all
+/// iterations repeat identical work, so only the timing varies.
 struct BenchRecord {
   EvalStats stats;
   bool has_result = false;

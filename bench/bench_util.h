@@ -44,6 +44,20 @@ Program OptimizeOrDie(const Program& program,
 EvalResult EvalOrDie(const Program& program, const Database& edb,
                      const EvalOptions& options = {});
 
+/// Keeps the fastest of the loop's evaluations for reporting: replaces
+/// *best when it is still empty or `candidate` evaluated faster. Bench
+/// iterations repeat identical work (every stat but the timing is
+/// deterministic), so the minimum eval time is the run least disturbed by
+/// scheduler/interrupt noise — the standard microbenchmark estimator, and
+/// much steadier than whichever iteration happened to run last for the
+/// microsecond-scale cases.
+inline void KeepFastest(EvalResult&& candidate, EvalResult* best) {
+  if (best->stats.eval_seconds <= 0 ||
+      candidate.stats.eval_seconds < best->stats.eval_seconds) {
+    *best = std::move(candidate);
+  }
+}
+
 /// Publishes the standard counters on `state`.
 void ReportStats(benchmark::State& state, const EvalStats& stats);
 

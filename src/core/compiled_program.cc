@@ -54,6 +54,8 @@ std::string CompiledProgram::CacheKeyMaterial(std::string_view source,
       static_cast<unsigned char>(o.deletion.use_sagiv),
       static_cast<unsigned char>(o.deletion.use_optimistic),
       static_cast<unsigned char>(o.deletion.cleanup),
+      0xC4,
+      static_cast<unsigned char>(options.representation),
   };
   std::string material;
   material.reserve(source.size() + sizeof(bits));

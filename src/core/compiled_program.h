@@ -50,6 +50,13 @@ struct CompileOptions {
   /// naive or cut-free evaluation of the same text.
   bool seminaive = true;
   bool boolean_cut = true;
+  /// Physical representation the artifact's evaluations will request
+  /// (DESIGN.md §14). Not part of the Fingerprint — answers and
+  /// checkpoints are representation-independent by contract — but part
+  /// of the cache key, so a service configured per-representation never
+  /// hands a cached artifact to a session expecting the other mode's
+  /// telemetry.
+  Representation representation = Representation::kAuto;
 };
 
 class CompiledProgram {

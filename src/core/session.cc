@@ -126,6 +126,7 @@ Result<EvalResult> Session::EvaluateInternal(const Program& program,
     summary_.stats = result->stats;
     summary_.answers = result->answers.size();
     summary_.termination = result->termination;
+    summary_.representation = result->representation;
   }
   return result;
 }
@@ -270,6 +271,24 @@ std::string RenderTelemetryDoc(
   }
   w.Key("dropped_spans");
   w.UInt(telemetry != nullptr ? telemetry->trace().dropped() : 0);
+
+  // Physical-representation counters (DESIGN.md §14). This is the only
+  // section allowed to differ between tuple and bitset runs of the same
+  // program; equivalence checks strip it before comparing documents.
+  w.Key("storage");
+  w.BeginObject();
+  w.Key("representation");
+  w.BeginObject();
+  w.Key("mode");
+  w.String(RepresentationName(run.representation.mode));
+  w.Key("bitset_relations");
+  w.UInt(run.representation.bitset_relations);
+  w.Key("words_scanned");
+  w.UInt(run.representation.words_scanned);
+  w.Key("fallbacks");
+  w.UInt(run.representation.fallbacks);
+  w.EndObject();
+  w.EndObject();
   if (extra) extra(w);
   w.EndObject();
   out.push_back('\n');

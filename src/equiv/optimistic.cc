@@ -16,7 +16,7 @@ std::vector<Value> ActiveDomain(const Program& program,
   std::unordered_set<Value> domain;
   for (const auto& [pred, rel] : input.relations()) {
     for (size_t r = 0; r < rel.size(); ++r) {
-      for (Value v : rel.Row(r)) domain.insert(v);
+      for (Value v : rel.view().Scan(r)) domain.insert(v);
     }
   }
   for (const Rule& rule : program.rules()) {
@@ -75,7 +75,7 @@ Result<Database> OptimisticFixpoint(const Program& program,
         const Relation* rel = db.Find(lit.pred);
         if (rel == nullptr) continue;
         for (size_t row_id = 0; row_id < rel->size(); ++row_id) {
-          std::span<const Value> row = rel->Row(row_id);
+          std::span<const Value> row = rel->view().Scan(row_id);
           // Unify the literal with the known fact.
           std::unordered_map<SymbolId, Value> binding;
           bool ok = true;
@@ -188,7 +188,7 @@ Result<bool> DeletableUnderOptimisticUqe(const Program& program,
   OptimisticOptions opt = options;
   for (const auto& [pred, rel] : frozen.body_facts.relations()) {
     for (size_t r = 0; r < rel.size(); ++r) {
-      for (Value v : rel.Row(r)) opt.extra_domain.push_back(v);
+      for (Value v : rel.view().Scan(r)) opt.extra_domain.push_back(v);
     }
   }
   Value anyctx = ctx->FreshSymbol("anyctx");

@@ -30,7 +30,7 @@ std::string DatabaseToString(const Context& ctx, const Database& db) {
     for (size_t r = 0; r < rel.size(); ++r) {
       out += ctx.PredicateDisplayName(pred);
       out += "(";
-      std::span<const Value> row = rel.Row(r);
+      std::span<const Value> row = rel.view().Scan(r);
       for (size_t j = 0; j < row.size(); ++j) {
         if (j > 0) out += ",";
         out += ctx.SymbolName(row[j]);

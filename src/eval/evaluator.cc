@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
@@ -144,9 +145,14 @@ struct RowRange {
 /// allocates nothing beyond amortized vector growth.
 struct PendingFact {
   PredId pred;
-  size_t begin;     ///< Offset of the tuple in the owner's value arena.
+  size_t begin;     ///< Offset of the first tuple in the owner's value arena.
   uint32_t len;     ///< Tuple arity.
   uint32_t rule;    ///< Firing rule index (telemetry attribution at flush).
+  /// Number of consecutive tuples (stride `len`) this entry covers. The
+  /// bitset kernels emit all of a variant's derivations with one pred /
+  /// len / rule and no provenance, so they extend one run instead of
+  /// buffering a fact per derivation; the generic descent always uses 1.
+  uint32_t count = 1;
   Provenance prov;  ///< Only filled when recording provenance.
 };
 
@@ -189,9 +195,32 @@ struct DescentState {
   /// Rows processed since the last cooperative budget check (governed
   /// evaluation only; see Engine::kBudgetCheckStride).
   uint32_t rows_since_check = 0;
+  /// Index into `buffer` of the kernel emission run currently being
+  /// extended, or SIZE_MAX when none is open (see PendingFact::count).
+  size_t open_run = static_cast<size_t>(-1);
+  /// 64-bit words read by the bitset kernels on this participant's
+  /// partitions (storage.representation.words_scanned after the merge).
+  uint64_t words_scanned = 0;
+  /// Bitset-kernel scratch: the surviving-values mask of the current
+  /// all-unary variant partition (reused across variants; sized to the
+  /// outer relation's bitset).
+  std::vector<uint64_t> mask;
   /// This participant's private metrics shard (null when telemetry is
   /// off). Written only by the owning thread, merged at round boundaries.
   obs::MetricsShard* shard = nullptr;
+};
+
+/// One pre-resolved unary membership test of a bitset-kernel variant:
+/// which bitset to test, with what key, positive or anti-join. `active`
+/// is false for negated steps over absent/empty relations (the test
+/// passes for every row and counts no probe, matching the generic path).
+struct BitProbe {
+  const UnaryBitset* bits = nullptr;
+  bool negated = false;
+  bool active = true;
+  bool const_key = false;
+  Value key_const = 0;
+  uint32_t key_reg = 0;
 };
 
 /// Begin-on-construct / end-on-destruct trace span that collapses to two
@@ -220,13 +249,19 @@ class Engine {
 
   Result<EvalResult> Run(const Database& input) {
     eval_begin_ = Clock::now();
+    // The bitset kernels never record provenance (they have no per-row
+    // descent spine); provenance runs take the generic path for every
+    // rule, counted as fallbacks.
+    use_bitset_ = UseBitsetKernels(options_.representation) &&
+                  !options_.record_provenance;
+    rep_stats_.mode = options_.representation;
+    pool_min_delta_rows_ = ResolvePoolMinDeltaRows();
     EXDL_RETURN_IF_ERROR(Compile());
     SetupObs();
     SpanGuard eval_span(obs_.t, "eval");
     EvalResult result;
     result.db = input.Clone();
     db_ = &result.db;
-    idb_preds_ = program_.IdbPredicates();
 
     governed_ = options_.budget.any();
     if (options_.budget.deadline_ms != 0) {
@@ -299,14 +334,24 @@ class Engine {
         obs_.m->Add(obs_.trip_counters[static_cast<size_t>(trip)], 1);
       }
     }
+    for (const auto& [pred, rel] : db_->relations()) {
+      if (rel.arity() == 1) ++rep_stats_.bitset_relations;
+    }
     if (obs_.t != nullptr) {
       obs_.m->Set(obs_.tuples_gauge, static_cast<double>(db_->TotalTuples()));
       obs_.m->Set(obs_.arena_bytes_gauge,
                   static_cast<double>(db_->TotalArenaBytes()));
       obs_.m->Set(obs_.rehashes_gauge,
                   static_cast<double>(db_->TotalRehashes()));
+      obs_.m->Set(obs_.rep_bitset_relations_gauge,
+                  static_cast<double>(rep_stats_.bitset_relations));
+      obs_.m->Add(obs_.rep_words_scanned,
+                  static_cast<double>(rep_stats_.words_scanned));
+      obs_.m->Add(obs_.rep_fallbacks,
+                  static_cast<double>(rep_stats_.fallbacks));
     }
     result.stats = stats_;
+    result.representation = rep_stats_;
     result.provenance = std::move(provenance_);
     if (program_.query()) {
       result.answers = ExtractAnswers(*program_.query(), result.db);
@@ -322,19 +367,29 @@ class Engine {
   /// lower strata are fixed; only this stratum's head predicates grow.
   Status RunFixpoint(size_t stratum_index,
                      const std::vector<size_t>& rule_indices, bool* stop) {
-    std::unordered_set<PredId> growing;
+    std::vector<PredId> growing;  // this stratum's head predicates
+    growing.reserve(rule_indices.size());
     for (size_t i : rule_indices) {
-      growing.insert(rules_[i].plan.head_pred);
-    }
-    // Delta variants are only needed for body literals over predicates
-    // that can still grow.
-    auto delta_steps = [&](const CompiledRule& cr) {
-      std::vector<size_t> out;
-      for (size_t s : cr.idb_steps) {
-        if (growing.count(cr.plan.steps[s].pred) > 0) out.push_back(s);
+      const PredId p = rules_[i].plan.head_pred;
+      if (std::find(growing.begin(), growing.end(), p) == growing.end()) {
+        growing.push_back(p);
       }
-      return out;
+    }
+    auto is_growing = [&](PredId p) {
+      return std::find(growing.begin(), growing.end(), p) != growing.end();
     };
+    // Delta variants are only needed for body literals over predicates
+    // that can still grow; the set is fixed for the whole stratum, so
+    // resolve it once per rule instead of per round.
+    std::vector<std::vector<size_t>> delta_steps_of(rule_indices.size());
+    for (size_t k = 0; k < rule_indices.size(); ++k) {
+      const CompiledRule& cr = rules_[rule_indices[k]];
+      for (size_t s : cr.idb_steps) {
+        if (is_growing(cr.plan.steps[s].pred)) {
+          delta_steps_of[k].push_back(s);
+        }
+      }
+    }
 
     Clock::time_point round_begin;
     SizeMap delta_lo;
@@ -351,17 +406,18 @@ class Engine {
       }
     } else {
       // Round 0: fire every rule of the stratum over the full database.
+      // sizes_ only changes at FinishRound's flush, so within a round it
+      // IS the pre-round snapshot — variants read it directly, no copy.
       round_begin = Clock::now();
       round_derivations_.store(0, std::memory_order_relaxed);
-      SizeMap start = sizes_;
-      delta_lo = start;
+      delta_lo = sizes_;
       {
         SpanGuard round_span(
             obs_.t, obs_.t != nullptr
                         ? "round:" + std::to_string(stats_.rounds)
                         : std::string());
         for (size_t i : rule_indices) {
-          FireVariant(rules_[i], /*delta_step=*/kNoDelta, start, start);
+          FireVariant(rules_[i], /*delta_step=*/kNoDelta, sizes_, sizes_);
         }
         if (Tripped()) {
           DiscardRound();
@@ -376,12 +432,33 @@ class Engine {
 
     *stop = ShouldStopOnGroundQuery();
     while (!*stop) {
-      SizeMap new_start = sizes_;
+      // Converged when no live rule has a non-empty delta to consume. A
+      // predicate can grow without any rule reading it (e.g. the query
+      // head); firing a round for it would flush nothing — semi-naive
+      // skips that empty trailing round, naive must keep refiring until
+      // nothing grows at all.
       bool any_delta = false;
-      for (const auto& [pred, sz] : new_start) {
-        if (growing.count(pred) > 0 && delta_lo[pred] < sz) {
-          any_delta = true;
-          break;
+      if (options_.seminaive) {
+        for (size_t k = 0; k < rule_indices.size() && !any_delta; ++k) {
+          const CompiledRule& cr = rules_[rule_indices[k]];
+          if (retired_.count(cr.rule_index) > 0) continue;
+          for (size_t step : delta_steps_of[k]) {
+            PredId p = cr.plan.steps[step].pred;
+            auto sit = sizes_.find(p);
+            const uint32_t sz = sit == sizes_.end() ? 0 : sit->second;
+            auto dit = delta_lo.find(p);
+            if ((dit == delta_lo.end() ? 0 : dit->second) < sz) {
+              any_delta = true;
+              break;
+            }
+          }
+        }
+      } else {
+        for (const auto& [pred, sz] : sizes_) {
+          if (is_growing(pred) && delta_lo[pred] < sz) {
+            any_delta = true;
+            break;
+          }
         }
       }
       if (!any_delta) break;
@@ -396,21 +473,25 @@ class Engine {
             obs_.t, obs_.t != nullptr
                         ? "round:" + std::to_string(stats_.rounds)
                         : std::string());
-        for (size_t i : rule_indices) {
-          const CompiledRule& cr = rules_[i];
+        for (size_t k = 0; k < rule_indices.size(); ++k) {
+          const CompiledRule& cr = rules_[rule_indices[k]];
           if (retired_.count(cr.rule_index) > 0) continue;
           if (options_.seminaive) {
             // One variant per growing body literal: that literal reads the
             // delta, the others read the pre-round database.
-            for (size_t step : delta_steps(cr)) {
+            for (size_t step : delta_steps_of[k]) {
               PredId p = cr.plan.steps[step].pred;
-              if (delta_lo[p] >= new_start[p]) continue;  // empty delta
-              FireVariant(cr, step, new_start, delta_lo);
+              auto sit = sizes_.find(p);
+              const uint32_t sz = sit == sizes_.end() ? 0 : sit->second;
+              auto dit = delta_lo.find(p);
+              const uint32_t lo = dit == delta_lo.end() ? 0 : dit->second;
+              if (lo >= sz) continue;  // empty delta
+              FireVariant(cr, step, sizes_, delta_lo);
             }
-          } else if (!delta_steps(cr).empty()) {
+          } else if (!delta_steps_of[k].empty()) {
             // Naive: refire over full relations (rules with no growing body
             // literal can produce nothing new after round 0).
-            FireVariant(cr, kNoDelta, new_start, new_start);
+            FireVariant(cr, kNoDelta, sizes_, sizes_);
           }
         }
         if (Tripped()) {
@@ -419,7 +500,9 @@ class Engine {
           DiscardRound();
           return Status::Ok();
         }
-        for (auto& [pred, sz] : new_start) delta_lo[pred] = sz;
+        // Advance the watermarks to the pre-flush sizes before FinishRound
+        // mutates sizes_.
+        for (const auto& [pred, sz] : sizes_) delta_lo[pred] = sz;
         FinishRound(round_begin, round_span.id);
       }
       if (!injected_.ok()) return injected_;
@@ -510,6 +593,9 @@ class Engine {
   static constexpr size_t kNoDelta = static_cast<size_t>(-1);
   /// Minimum outer rows per worker before a variant is worth splitting.
   static constexpr uint32_t kMinRowsPerWorker = 64;
+  /// Default EvalOptions::pool_min_delta_rows when neither the option nor
+  /// EXDL_POOL_MIN_DELTA_ROWS supplies one (see ResolvePoolMinDeltaRows).
+  static constexpr uint32_t kDefaultPoolMinDeltaRows = 4096;
   /// Rows between cooperative deadline/cancellation checks inside a round
   /// (per descent state, so each pool worker checks independently).
   static constexpr uint32_t kBudgetCheckStride = 1024;
@@ -561,6 +647,7 @@ class Engine {
   void DiscardRound() {
     round_buffer_.clear();
     round_values_.clear();
+    pool_skipped_this_round_ = false;
   }
 
   /// Round tail shared by round 0 and the delta rounds: flush the buffered
@@ -581,6 +668,13 @@ class Engine {
       injected_ = Status::Internal("injected fault at storage.arena_grow");
       DiscardRound();
       return;
+    }
+    if (pool_skipped_this_round_) {
+      // At least one variant this round stayed inline because its delta
+      // was under the pool threshold (the metric is how EXPERIMENTS.md E1
+      // shows the gate firing on the chain workloads).
+      pool_skipped_this_round_ = false;
+      if (obs_.t != nullptr) obs_.m->Add(obs_.pool_skipped_rounds, 1);
     }
     const uint64_t inserted_before = stats_.tuples_inserted;
     Flush();
@@ -623,6 +717,11 @@ class Engine {
     obs_.checkpoint_bytes = m.Counter("eval.checkpoint.bytes");
     obs_.checkpoint_seconds_hist = m.Histogram(
         "eval.checkpoint.seconds", {0.0001, 0.001, 0.01, 0.1, 1, 10});
+    obs_.pool_skipped_rounds = m.Counter("eval.pool.skipped_rounds");
+    obs_.rep_bitset_relations_gauge =
+        m.Gauge("storage.representation.bitset_relations");
+    obs_.rep_words_scanned = m.Counter("storage.representation.words_scanned");
+    obs_.rep_fallbacks = m.Counter("storage.representation.fallbacks");
     for (size_t k = 1; k <= static_cast<size_t>(BudgetKind::kCancelled);
          ++k) {
       obs_.trip_counters[k] = m.Counter(
@@ -714,7 +813,16 @@ class Engine {
   };
 
   Status Compile() {
-    std::unordered_set<PredId> idb = program_.IdbPredicates();
+    // Head predicates, deduplicated — a handful, so a flat vector beats a
+    // hash set on this per-evaluation path.
+    std::vector<PredId> idb;
+    idb.reserve(program_.rules().size());
+    for (const Rule& r : program_.rules()) {
+      if (std::find(idb.begin(), idb.end(), r.head.pred) == idb.end()) {
+        idb.push_back(r.head.pred);
+      }
+    }
+    rules_.reserve(program_.rules().size());
     for (size_t i = 0; i < program_.rules().size(); ++i) {
       EXDL_ASSIGN_OR_RETURN(RulePlan plan,
                             CompileRule(program_.rules()[i], options_.plan));
@@ -722,15 +830,53 @@ class Engine {
       cr.plan = std::move(plan);
       cr.rule_index = i;
       for (size_t s = 0; s < cr.plan.steps.size(); ++s) {
-        if (idb.count(cr.plan.steps[s].pred) > 0) cr.idb_steps.push_back(s);
+        if (std::find(idb.begin(), idb.end(), cr.plan.steps[s].pred) !=
+            idb.end()) {
+          cr.idb_steps.push_back(s);
+        }
       }
       cr.single_tuple_head = true;
       for (const ArgSpec& a : cr.plan.head_args) {
         if (a.kind == ArgSpec::Kind::kReg) cr.single_tuple_head = false;
       }
+      // A rule the bitset path cannot take (ineligible plan shape, or
+      // provenance forcing the generic descent) is a fallback when this
+      // run asked for bitset kernels.
+      if (UseBitsetKernels(options_.representation) &&
+          (!cr.plan.bitset_eligible || options_.record_provenance)) {
+        ++rep_stats_.fallbacks;
+      }
       rules_.push_back(std::move(cr));
     }
     return Status::Ok();
+  }
+
+  /// Resolves the pool-skip threshold: an explicit option wins, then
+  /// EXDL_POOL_MIN_DELTA_ROWS, then the built-in default. Small semi-naive
+  /// rounds cost more to dispatch to the pool than to run inline — 4096
+  /// delta rows is comfortably past the crossover on the E1 chain
+  /// workloads (see EXPERIMENTS.md E1: T4 was slower than serial before
+  /// this gate).
+  uint32_t ResolvePoolMinDeltaRows() const {
+    if (options_.pool_min_delta_rows != 0) {
+      return options_.pool_min_delta_rows;
+    }
+    // Read (and parse) the environment once per process: getenv scans
+    // environ linearly and this sits in the timed evaluation window of
+    // every Run. Processes honor the variable at startup, like the other
+    // EXDL_* knobs.
+    static const uint32_t env_value = [] {
+      const char* v = std::getenv("EXDL_POOL_MIN_DELTA_ROWS");
+      if (v != nullptr && *v != '\0') {
+        const uint64_t parsed = std::strtoull(v, nullptr, 10);
+        if (parsed != 0) {
+          return static_cast<uint32_t>(
+              std::min<uint64_t>(parsed, UINT32_MAX));
+        }
+      }
+      return kDefaultPoolMinDeltaRows;
+    }();
+    return env_value;
   }
 
   /// How many workers a variant should use: 1 (serial) unless threading is
@@ -766,7 +912,8 @@ class Engine {
         return;
       }
     }
-    std::vector<RowRange> ranges(plan.steps.size());
+    std::vector<RowRange>& ranges = ranges_scratch_;  // reused per variant
+    ranges.assign(plan.steps.size(), RowRange{0, 0});
     for (size_t s = 0; s < plan.steps.size(); ++s) {
       PredId p = plan.steps[s].pred;
       auto it = start.find(p);
@@ -794,23 +941,69 @@ class Engine {
     // shared snapshot stay payload-shared — the const GetIndex builds (or
     // reuses) the shared index in place, so concurrent sessions over the
     // same EDB pay for an index build once.
+    //
+    // Unary membership steps (step.bitset_eligible) never resolve a hash
+    // index: in every representation they probe the relation's word-packed
+    // bitset instead — full bits when the step reads the whole relation,
+    // a scratch bitset built from the arena rows [lo, hi) when it reads a
+    // semi-naive delta. This keeps index builds (and the storage.rehashes
+    // gauge) identical across representations.
     step_rels_.assign(plan.steps.size(), nullptr);
     step_indexes_.assign(plan.steps.size(), nullptr);
+    step_bits_.assign(plan.steps.size(), nullptr);
     for (size_t s = 0; s < plan.steps.size(); ++s) {
       const LiteralStep& step = plan.steps[s];
       const Relation* rel = db_->Find(step.pred);
       step_rels_[s] = rel;
-      if (rel != nullptr && !step.negated && !step.index_columns.empty()) {
+      if (rel == nullptr || step.negated || step.index_columns.empty()) {
+        continue;
+      }
+      // Provenance needs row ids, which a membership bit cannot supply;
+      // explain runs resolve the hash index like any other step (in every
+      // representation, so the comparison stays apples-to-apples).
+      if (step.bitset_eligible && !options_.record_provenance &&
+          rel->arity() == 1) {
+        const Relation::View v = rel->view();
+        if (ranges[s].lo == 0 && ranges[s].hi == v.size()) {
+          step_bits_[s] = v.bits();
+        } else {
+          // Delta reads cover the arena suffix [lo, hi); at most one step
+          // per variant is the delta step, so one scratch bitset suffices.
+          delta_bits_scratch_.Clear();
+          std::span<const Value> arena = v.Raw();
+          for (uint32_t r = ranges[s].lo; r < ranges[s].hi; ++r) {
+            delta_bits_scratch_.Set(arena[r]);
+          }
+          step_bits_[s] = &delta_bits_scratch_;
+        }
+      } else {
         step_indexes_[s] = &rel->GetIndex(step.index_columns);
       }
     }
 
-    const uint32_t workers = NumWorkers(plan, ranges);
+    // Pool-skip gate: a semi-naive round whose delta is tiny costs more to
+    // dispatch than to run inline (see EvalOptions::pool_min_delta_rows).
+    uint32_t workers = NumWorkers(plan, ranges);
+    if (workers > 1 && delta_step != kNoDelta) {
+      const uint32_t delta_rows =
+          ranges[delta_step].hi - ranges[delta_step].lo;
+      if (delta_rows < pool_min_delta_rows_) {
+        workers = 1;
+        pool_skipped_this_round_ = true;
+      }
+    }
+    bool kernel =
+        use_bitset_ && plan.bitset_eligible && !stop_after_first_;
+    if (kernel && !PrepareBitsetVariant(plan, ranges)) kernel = false;
     if (workers <= 1) {
       serial_.regs.assign(plan.num_regs, 0);
-      serial_.reg_set.assign(plan.num_regs, false);
-      serial_.path.clear();
-      Descend(plan, ranges, 0, serial_);
+      if (kernel) {
+        RunBitsetPartition(plan, ranges, serial_);
+      } else {
+        serial_.reg_set.assign(plan.num_regs, false);
+        serial_.path.clear();
+        Descend(plan, ranges, 0, serial_);
+      }
       RecordVariantShard(serial_);
       Drain(serial_);
       return;
@@ -836,9 +1029,17 @@ class Engine {
       return;
     }
     if (pool_ == nullptr) {
-      pool_ = std::make_unique<WorkerPool>(options_.num_threads - 1);
+      // Never oversubscribe: pool threads beyond the CPUs actually
+      // available to this process only add contention. The partition
+      // count (and therefore every result and counter) still follows
+      // num_threads; with zero extra threads the caller simply claims
+      // all partitions itself, in order.
+      const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+      pool_ = std::make_unique<WorkerPool>(
+          std::min(options_.num_threads, hw) - 1);
     }
-    pool_->Run(workers, [this, &plan, &ranges, lo, total, workers](uint32_t w) {
+    pool_->Run(workers, [this, &plan, &ranges, lo, total, workers,
+                         kernel](uint32_t w) {
       DescentState& ws = worker_states_[w];
       ws.regs.assign(plan.num_regs, 0);
       ws.reg_set.assign(plan.num_regs, false);
@@ -846,10 +1047,252 @@ class Engine {
       my_ranges[0] = RowRange{lo + w * total / workers,
                               lo + (w + 1) * total / workers};
       if (my_ranges[0].empty()) return;
-      Descend(plan, my_ranges, 0, ws);
+      if (kernel) {
+        RunBitsetPartition(plan, my_ranges, ws);
+      } else {
+        Descend(plan, my_ranges, 0, ws);
+      }
       RecordVariantShard(ws);
     });
     for (uint32_t w = 0; w < workers; ++w) Drain(worker_states_[w]);
+  }
+
+  /// Builds the pre-/post- unary-probe descriptors of a bitset-eligible
+  /// variant, split around the binary probe step when there is one (no
+  /// binary probe: everything lands in pre_probes_). Returns false when a
+  /// probe's backing bitset is unavailable — provenance resolved indexes
+  /// instead, or a defensive arity mismatch — and the variant must take
+  /// the generic descent.
+  bool PrepareBitsetVariant(const RulePlan& plan,
+                            const std::vector<RowRange>& ranges) {
+    pre_probes_.clear();
+    post_probes_.clear();
+    for (size_t s = 1; s < plan.steps.size(); ++s) {
+      if (s == plan.binary_probe_step) continue;
+      const LiteralStep& step = plan.steps[s];
+      BitProbe p;
+      p.negated = step.negated;
+      const ArgSpec& a = step.args[0];
+      if (a.kind == ArgSpec::Kind::kConst) {
+        p.const_key = true;
+        p.key_const = a.const_value;
+      } else {
+        p.key_reg = a.reg;
+      }
+      if (step.negated) {
+        // Anti-joins test the full relation (lower stratum: no longer
+        // growing); absent/empty relations pass vacuously with no probe,
+        // exactly like the generic anti-join branch.
+        const Relation* rel = step_rels_[s];
+        p.active = rel != nullptr && ranges[s].hi > 0;
+        if (p.active) {
+          p.bits = rel->view().bits();
+          if (p.bits == nullptr) return false;
+        }
+      } else {
+        p.bits = step_bits_[s];
+        if (p.bits == nullptr) return false;
+      }
+      (s < plan.binary_probe_step ? pre_probes_ : post_probes_).push_back(p);
+    }
+    return true;
+  }
+
+  /// Buffers one head derivation from the current register file — the
+  /// kernels' equivalent of Descend's emission base case (no provenance:
+  /// kernels never run on explain evaluations). Returns false when the
+  /// per-round derivation budget tripped and the partition must stop.
+  bool EmitHead(const RulePlan& plan, DescentState& ws) {
+    if (options_.budget.max_derivations_per_round != 0 &&
+        round_derivations_.fetch_add(1, std::memory_order_relaxed) >=
+            options_.budget.max_derivations_per_round) {
+      Trip(BudgetKind::kRoundDerivations);
+      return false;
+    }
+    for (const ArgSpec& a : plan.head_args) {
+      ws.values.push_back(a.kind == ArgSpec::Kind::kConst ? a.const_value
+                                                          : ws.regs[a.reg]);
+    }
+    if (ws.open_run != static_cast<size_t>(-1)) {
+      // Every kernel emission in this partition shares pred/len/rule and
+      // the tuples are contiguous in ws.values: extend the open run.
+      ++ws.buffer[ws.open_run].count;
+    } else {
+      PendingFact fact;
+      fact.pred = plan.head_pred;
+      fact.begin = ws.values.size() - plan.head_args.size();
+      fact.len = static_cast<uint32_t>(plan.head_args.size());
+      fact.rule = static_cast<uint32_t>(current_rule_index_);
+      ws.open_run = ws.buffer.size();
+      ws.buffer.push_back(std::move(fact));
+    }
+    ++ws.stats.rule_firings;
+    return true;
+  }
+
+  /// Executes one outer-range partition of a bitset-eligible variant
+  /// (ranges[0] is this participant's slice). Shape A — unary outer scan,
+  /// no binary probe — runs word-wise mask kernels and replays the arena
+  /// for emission; Shape B — binary outer scan and/or one binary index
+  /// probe — runs a tight per-row loop over the pre-resolved bit probes.
+  /// Both reproduce the generic descent's derivation sequence and counters
+  /// exactly (DESIGN.md §14).
+  void RunBitsetPartition(const RulePlan& plan,
+                          const std::vector<RowRange>& ranges,
+                          DescentState& ws) {
+    ws.open_run = static_cast<size_t>(-1);
+    const Relation::View outer = step_rels_[0]->view();
+    if (outer.arity() == 1 &&
+        plan.binary_probe_step == static_cast<size_t>(-1)) {
+      RunShapeA(plan, ranges[0], outer, ws);
+    } else {
+      RunShapeB(plan, ranges, outer, ws);
+    }
+  }
+
+  /// Shape A: every surviving binding is a distinct symbol id (the outer
+  /// relation deduplicates), so the whole partition is one bit mask.
+  /// Each unary probe is a word-wise AND / ANDNOT over the mask; counters
+  /// are reconstructed from popcounts (a probe per surviving row, a match
+  /// per survivor after a positive probe — exactly the generic per-row
+  /// counts). Emission replays the arena slice in row order against the
+  /// final mask, so the derivation sequence is the generic one.
+  void RunShapeA(const RulePlan& plan, RowRange outer,
+                 const Relation::View& view, DescentState& ws) {
+    std::span<const Value> arena = view.Raw();
+    std::vector<uint64_t>& mask = ws.mask;
+    size_t words = 0;
+    if (outer.lo == 0 && outer.hi == view.size()) {
+      const UnaryBitset* bits = view.bits();
+      words = bits->num_words();
+      mask.assign(bits->words(), bits->words() + words);
+    } else {
+      mask.clear();
+      for (uint32_t r = outer.lo; r < outer.hi; ++r) {
+        const Value v = arena[r];
+        const size_t w = v / UnaryBitset::kWordBits;
+        if (w >= words) {
+          words = w + 1;
+          mask.resize(words, 0);
+        }
+        mask[w] |= uint64_t{1} << (v % UnaryBitset::kWordBits);
+      }
+    }
+    ws.words_scanned += words;
+    uint64_t survivors = outer.hi - outer.lo;
+    ws.stats.rows_matched += survivors;
+
+    for (const BitProbe& p : pre_probes_) {
+      if (survivors == 0) break;
+      if (p.negated && !p.active) continue;  // vacuous pass, no probe
+      ws.stats.index_probes += survivors;
+      if (p.const_key) {
+        ++ws.words_scanned;
+        const bool hit = p.bits->Test(p.key_const);
+        if (p.negated == hit) {  // positive miss / negated hit: all fail
+          survivors = 0;
+          break;
+        }
+        if (!p.negated) ws.stats.rows_matched += survivors;
+        continue;  // mask unchanged
+      }
+      const uint64_t* pb = p.bits->words();
+      const size_t pw = p.bits->num_words();
+      uint64_t count = 0;
+      for (size_t w = 0; w < words; ++w) {
+        const uint64_t probe_word = w < pw ? pb[w] : 0;
+        mask[w] &= p.negated ? ~probe_word : probe_word;
+        count += std::popcount(mask[w]);
+      }
+      ws.words_scanned += words;
+      if (!p.negated) ws.stats.rows_matched += count;
+      survivors = count;
+    }
+    if (survivors == 0) return;
+
+    const uint32_t reg0 = plan.steps[0].args[0].reg;
+    for (uint32_t r = outer.lo; r < outer.hi; ++r) {
+      const Value v = arena[r];
+      const size_t w = v / UnaryBitset::kWordBits;
+      if (w >= words ||
+          ((mask[w] >> (v % UnaryBitset::kWordBits)) & 1) == 0) {
+        continue;
+      }
+      if (governed_ && ++ws.rows_since_check >= kBudgetCheckStride) {
+        ws.rows_since_check = 0;
+        if (CheckMidRound()) return;
+      }
+      ws.regs[reg0] = v;
+      if (!EmitHead(plan, ws)) return;
+    }
+  }
+
+  /// Shape B: per outer row, bind the scan registers straight off the
+  /// arena, run the pre-probes as single-bit tests, enumerate the one
+  /// binary index probe (if any) in row-id order binding its fresh
+  /// register, run the post-probes, emit. One probe / one match count per
+  /// generic-descent event, in the generic order.
+  void RunShapeB(const RulePlan& plan, const std::vector<RowRange>& ranges,
+                 const Relation::View& view, DescentState& ws) {
+    const RowRange outer = ranges[0];
+    std::span<const Value> arena = view.Raw();
+    const uint32_t arity = view.arity();
+    const LiteralStep& outer_step = plan.steps[0];
+    const size_t bp = plan.binary_probe_step;
+    const LiteralStep* bstep =
+        bp == static_cast<size_t>(-1) ? nullptr : &plan.steps[bp];
+    const Relation::Index* bindex = nullptr;
+    std::span<const Value> barena;
+    RowRange brange{0, 0};
+    uint32_t bfree_pos = 0;
+    uint32_t bfree_reg = 0;
+    if (bstep != nullptr) {
+      bindex = step_indexes_[bp];
+      barena = step_rels_[bp]->view().Raw();
+      brange = ranges[bp];
+      bfree_pos = bstep->index_columns[0] == 0 ? 1 : 0;
+      bfree_reg = bstep->args[bfree_pos].reg;
+    }
+    auto run_probes = [&](const std::vector<BitProbe>& probes) -> bool {
+      for (const BitProbe& p : probes) {
+        if (p.negated && !p.active) continue;
+        ++ws.stats.index_probes;
+        ++ws.words_scanned;
+        const Value key = p.const_key ? p.key_const : ws.regs[p.key_reg];
+        const bool hit = p.bits->Test(key);
+        if (p.negated == hit) return false;
+        if (!p.negated) ++ws.stats.rows_matched;
+      }
+      return true;
+    };
+    for (uint32_t r = outer.lo; r < outer.hi; ++r) {
+      if (governed_ && ++ws.rows_since_check >= kBudgetCheckStride) {
+        ws.rows_since_check = 0;
+        if (CheckMidRound()) return;
+      }
+      ++ws.stats.rows_matched;
+      const Value* row = arena.data() + static_cast<size_t>(r) * arity;
+      for (size_t i = 0; i < outer_step.args.size(); ++i) {
+        ws.regs[outer_step.args[i].reg] = row[i];
+      }
+      if (!run_probes(pre_probes_)) continue;
+      if (bstep == nullptr) {
+        if (!EmitHead(plan, ws)) return;
+        continue;
+      }
+      ++ws.stats.index_probes;
+      const Relation::RowIdList* ids =
+          bindex->LookupKey(RegKey{bstep, ws.regs.data()});
+      if (ids == nullptr) continue;
+      auto lo_it = std::lower_bound(ids->begin(), ids->end(), brange.lo);
+      for (auto it = lo_it; it != ids->end() && *it < brange.hi; ++it) {
+        ++ws.stats.rows_matched;
+        ws.regs[bfree_reg] =
+            barena[static_cast<size_t>(*it) * 2 + bfree_pos];
+        if (!run_probes(post_probes_)) continue;
+        if (!EmitHead(plan, ws)) return;
+      }
+    }
   }
 
   /// Folds one worker's stats into the engine's and appends its buffered
@@ -867,6 +1310,8 @@ class Engine {
     }
     stats_ += ws.stats;
     ws.stats = EvalStats();
+    rep_stats_.words_scanned += ws.words_scanned;
+    ws.words_scanned = 0;
     const size_t base = round_values_.size();
     round_values_.insert(round_values_.end(), ws.values.begin(),
                          ws.values.end());
@@ -876,6 +1321,7 @@ class Engine {
     }
     ws.values.clear();
     ws.buffer.clear();
+    ws.open_run = static_cast<size_t>(-1);
   }
 
   /// Returns false when evaluation of this variant should stop (the
@@ -931,12 +1377,33 @@ class Engine {
     }
     if (rel == nullptr) return true;
 
+    // Unary membership probe: a bound single argument against an arity-1
+    // relation tests one bit (of the full bitset, or the delta bitset
+    // FireVariant built for the delta step) instead of a hash-index
+    // lookup. The counter shape matches the index path exactly: one probe
+    // per binding reaching the step, one matched row per hit (arity-1
+    // dedup means an index group holds at most one row).
+    if (step_bits_[step_idx] != nullptr) {
+      ++ws.stats.index_probes;
+      const ArgSpec& a = step.args[0];
+      const Value key =
+          a.kind == ArgSpec::Kind::kConst ? a.const_value : ws.regs[a.reg];
+      if (!step_bits_[step_idx]->Test(key)) return true;
+      if (governed_ && ++ws.rows_since_check >= kBudgetCheckStride) {
+        ws.rows_since_check = 0;
+        if (CheckMidRound()) return false;
+      }
+      ++ws.stats.rows_matched;
+      return Descend(plan, ranges, step_idx + 1, ws);
+    }
+
+    const Relation::View rv = rel->view();
     auto process_row = [&](uint32_t row_id) -> bool {
       if (governed_ && ++ws.rows_since_check >= kBudgetCheckStride) {
         ws.rows_since_check = 0;
         if (CheckMidRound()) return false;
       }
-      std::span<const Value> row = rel->Row(row_id);
+      std::span<const Value> row = rv.Scan(row_id);
       ++ws.stats.rows_matched;
       // Bind/check arguments; remember which registers this row bound so we
       // can release them before the next row.
@@ -1003,21 +1470,41 @@ class Engine {
 
   void Flush() {
     for (PendingFact& f : round_buffer_) {
-      std::span<const Value> row(round_values_.data() + f.begin, f.len);
+      // Each entry is a run of f.count tuples (stride f.len) from one
+      // rule into one relation; the generic descent buffers runs of 1,
+      // kernels one run per partition. Resolve the relation and fold the
+      // per-rule telemetry once per run, insert per tuple.
       Relation& rel = db_->GetOrCreate(f.pred, f.len);
-      if (rel.Insert(row)) {
-        ++stats_.tuples_inserted;
-        sizes_[f.pred] = static_cast<uint32_t>(rel.size());
-        ++total_tuples_;
-        arena_bytes_ += static_cast<uint64_t>(f.len) * sizeof(Value);
-        if (options_.record_provenance) {
-          uint32_t row_id = static_cast<uint32_t>(rel.size() - 1);
-          provenance_.emplace(TupleRef{f.pred, row_id}, std::move(f.prov));
+      const Value* base = round_values_.data() + f.begin;
+      const bool unary = f.len == 1;
+      // Pre-size the arena for kernel runs. Unary only: Reserve on wider
+      // relations also pre-sizes the dedup table, which would make the
+      // storage.rehashes gauge depend on the representation.
+      if (unary && f.count > 1) rel.Reserve(rel.size() + f.count);
+      uint64_t inserted = 0;
+      for (uint32_t i = 0; i < f.count; ++i) {
+        const Value* row = base + static_cast<size_t>(i) * f.len;
+        if (unary ? rel.InsertUnary(*row)
+                  : rel.Insert(std::span<const Value>(row, f.len))) {
+          ++inserted;
+          if (options_.record_provenance) {
+            uint32_t row_id = static_cast<uint32_t>(rel.size() - 1);
+            provenance_.emplace(TupleRef{f.pred, row_id}, std::move(f.prov));
+          }
         }
-        if (obs_.t != nullptr) obs_.m->Add(obs_.rule_derived[f.rule], 1);
-      } else {
-        ++stats_.duplicate_inserts;
-        if (obs_.t != nullptr) obs_.m->Add(obs_.rule_duplicates[f.rule], 1);
+      }
+      if (inserted > 0) {
+        stats_.tuples_inserted += inserted;
+        sizes_[f.pred] = static_cast<uint32_t>(rel.size());
+        total_tuples_ += inserted;
+        arena_bytes_ += inserted * f.len * sizeof(Value);
+      }
+      stats_.duplicate_inserts += f.count - inserted;
+      if (obs_.t != nullptr) {
+        if (inserted > 0) obs_.m->Add(obs_.rule_derived[f.rule], inserted);
+        if (f.count > inserted) {
+          obs_.m->Add(obs_.rule_duplicates[f.rule], f.count - inserted);
+        }
       }
     }
     round_buffer_.clear();
@@ -1060,7 +1547,6 @@ class Engine {
   const EvalOptions& options_;
   Database* db_ = nullptr;
   std::vector<CompiledRule> rules_;
-  std::unordered_set<PredId> idb_preds_;
   std::unordered_set<size_t> retired_;
   EvalStats stats_;
   SizeMap sizes_;  ///< Relation sizes, kept current by Flush.
@@ -1095,6 +1581,26 @@ class Engine {
   /// pool workers for the variant's duration).
   std::vector<const Relation*> step_rels_;
   std::vector<const Relation::Index*> step_indexes_;
+  std::vector<RowRange> ranges_scratch_;  ///< FireVariant's step ranges.
+  /// Per-variant: the bitset each unary membership step probes (nullptr
+  /// for every other step). Full relation bits, or delta_bits_scratch_
+  /// when the step reads a semi-naive delta suffix.
+  std::vector<const UnaryBitset*> step_bits_;
+  UnaryBitset delta_bits_scratch_;
+  /// Per-variant bitset-kernel probe descriptors, split around the binary
+  /// probe step (read-only to the pool workers for the variant's
+  /// duration, like the caches above).
+  std::vector<BitProbe> pre_probes_;
+  std::vector<BitProbe> post_probes_;
+  /// Run the batched bitset kernels for eligible rules this evaluation
+  /// (representation != tuple and no provenance)?
+  bool use_bitset_ = false;
+  RepresentationStats rep_stats_;
+  /// Resolved pool-skip threshold (ResolvePoolMinDeltaRows) and the
+  /// per-round "gate fired" flag FinishRound turns into the
+  /// eval.pool.skipped_rounds metric.
+  uint32_t pool_min_delta_rows_ = 0;
+  bool pool_skipped_this_round_ = false;
   bool stop_after_first_ = false;
   size_t current_rule_index_ = 0;
   std::unordered_map<TupleRef, Provenance, TupleRefHash> provenance_;
@@ -1116,6 +1622,10 @@ class Engine {
     obs::MetricId checkpoint_writes = 0;
     obs::MetricId checkpoint_bytes = 0;
     obs::MetricId checkpoint_seconds_hist = 0;
+    obs::MetricId pool_skipped_rounds = 0;
+    obs::MetricId rep_bitset_relations_gauge = 0;
+    obs::MetricId rep_words_scanned = 0;
+    obs::MetricId rep_fallbacks = 0;
     /// Indexed by rule index (== CompiledRule::rule_index).
     std::vector<obs::MetricId> rule_derived;
     std::vector<obs::MetricId> rule_duplicates;
@@ -1150,6 +1660,33 @@ std::vector<std::vector<Value>> ExtractAnswers(const Atom& query,
   std::unordered_map<SymbolId, size_t> var_col;
   for (size_t i = 0; i < vars.size(); ++i) var_col[vars[i]] = i;
 
+  const Relation::View view = rel->view();
+
+  // Identity projection: every argument a distinct variable means each
+  // stored row IS an answer, already distinct (the relation deduplicates).
+  // Copy and sort — no per-row hash-set membership. This is the common
+  // query shape and most of ExtractAnswers' cost on large answer sets.
+  if (vars.size() == query.args.size() &&
+      query.args.size() == rel->arity()) {
+    if (rel->arity() == 1) {
+      // Monadic: sort the flat value column, then materialize — the sort
+      // compares machine words instead of heap-backed vectors.
+      std::span<const Value> raw = view.Raw();
+      std::vector<Value> flat(raw.begin(), raw.end());
+      std::sort(flat.begin(), flat.end());
+      out.reserve(flat.size());
+      for (Value v : flat) out.emplace_back(1, v);
+      return out;
+    }
+    out.reserve(rel->size());
+    for (size_t r = 0; r < rel->size(); ++r) {
+      std::span<const Value> row = view.Scan(r);
+      out.emplace_back(row.begin(), row.end());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
   std::unordered_set<std::vector<Value>, ValueVecHash> seen;
   seen.reserve(rel->size());
   out.reserve(rel->size());
@@ -1157,7 +1694,7 @@ std::vector<std::vector<Value>> ExtractAnswers(const Atom& query,
   std::vector<Value> answer(vars.size(), 0);
   std::vector<char> set(vars.size(), 0);
   for (size_t r = 0; r < rel->size(); ++r) {
-    std::span<const Value> row = rel->Row(r);
+    std::span<const Value> row = view.Scan(r);
     std::fill(answer.begin(), answer.end(), 0);
     std::fill(set.begin(), set.end(), 0);
     bool ok = true;
@@ -1191,7 +1728,7 @@ std::string RenderTuple(const Program& program, const Database& db,
   std::string out = ctx.PredicateDisplayName(ref.pred);
   const Relation* rel = db.Find(ref.pred);
   if (rel == nullptr || ref.row >= rel->size()) return out + "(?)";
-  std::span<const Value> row = rel->Row(ref.row);
+  std::span<const Value> row = rel->view().Scan(ref.row);
   if (row.empty()) return out;
   out += "(";
   for (size_t i = 0; i < row.size(); ++i) {
@@ -1236,8 +1773,9 @@ Result<std::string> ExplainFact(const Program& program,
                                 std::span<const Value> row) {
   const Relation* rel = result.db.Find(pred);
   if (rel == nullptr) return Status::NotFound("no tuples for predicate");
+  const Relation::View view = rel->view();
   for (uint32_t r = 0; r < rel->size(); ++r) {
-    std::span<const Value> stored = rel->Row(r);
+    std::span<const Value> stored = view.Scan(r);
     if (std::equal(stored.begin(), stored.end(), row.begin(), row.end())) {
       return ExplainTuple(program, result, TupleRef{pred, r});
     }

@@ -25,6 +25,7 @@
 #include "ast/program.h"
 #include "eval/plan.h"
 #include "storage/database.h"
+#include "storage/representation.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 
@@ -174,6 +175,22 @@ struct EvalOptions {
   /// are byte-identical to serial evaluation. <= 1 — or record_provenance —
   /// evaluates serially.
   uint32_t num_threads = 1;
+  /// Physical executor for bitset-eligible rules (DESIGN.md §14): kTuple
+  /// forces the generic descent everywhere, kBitset/kAuto run eligible
+  /// rules through the batched word-wise kernels. Answers and all
+  /// pre-existing telemetry are byte-identical across representations;
+  /// only the storage.representation.* counters differ.
+  Representation representation = Representation::kAuto;
+  /// Semi-naive rounds whose delta is smaller than this row count stay on
+  /// the calling thread even when num_threads > 1 — tiny rounds otherwise
+  /// pay full pool-dispatch overhead and parallel chains run slower than
+  /// serial. 0 resolves EXDL_POOL_MIN_DELTA_ROWS from the environment,
+  /// falling back to a built-in default (4096). Set to 1 to dispatch every
+  /// parallel-eligible variant regardless of delta size (tests and fault
+  /// sweeps that must reach the pool use this). The skip decision is
+  /// representation-independent; eval.pool.skipped_rounds counts rounds
+  /// where it fired.
+  uint32_t pool_min_delta_rows = 0;
   /// Resource governance (deadline, memory, cancellation); see EvalBudget.
   EvalBudget budget;
   /// Observability sink. When non-null the evaluator records trace spans
@@ -219,6 +236,33 @@ struct EvalStats {
   std::string ToString() const;
 };
 
+/// Representation telemetry for one evaluation (DESIGN.md §14). Kept out
+/// of EvalStats on purpose: EvalStats::ToString feeds daemon stats lines
+/// and checkpoints, which must stay byte-identical across
+/// representations. Rendered as the optional top-level "storage" object
+/// of the telemetry document.
+struct RepresentationStats {
+  /// The representation this evaluation ran with.
+  Representation mode = Representation::kAuto;
+  /// Arity-1 relations (all carry a word-packed bitset) in the final
+  /// database.
+  uint64_t bitset_relations = 0;
+  /// 64-bit words read by the batched bitset kernels (0 under kTuple).
+  uint64_t words_scanned = 0;
+  /// Rules that requested the bitset path (kBitset/kAuto) but ran the
+  /// generic descent because their plan is not bitset-eligible (or
+  /// provenance recording forced the generic path). Always 0 under
+  /// kTuple.
+  uint64_t fallbacks = 0;
+
+  RepresentationStats& operator+=(const RepresentationStats& o) {
+    bitset_relations += o.bitset_relations;
+    words_scanned += o.words_scanned;
+    fallbacks += o.fallbacks;
+    return *this;
+  }
+};
+
 /// Reference to one stored tuple.
 struct TupleRef {
   PredId pred = kInvalidId;
@@ -242,6 +286,9 @@ struct Provenance {
 struct EvalResult {
   Database db;        ///< Input plus all derived tuples.
   EvalStats stats;
+  /// Representation counters (never part of the cross-representation
+  /// byte-identity contract; see RepresentationStats).
+  RepresentationStats representation;
   /// OK after full convergence. After a budget trip: kDeadlineExceeded /
   /// kResourceExhausted / kCancelled, and db/answers/stats hold the
   /// consistent prefix as of the last completed round (see EvalBudget).

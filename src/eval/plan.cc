@@ -1,19 +1,37 @@
 #include "eval/plan.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace exdl {
 namespace {
 
+// Rule bodies are tiny (max_body_literals caps them), so every symbol /
+// register set below is a flat vector with linear membership — compiling a
+// rule on the hot path (one-shot Evaluate compiles per call) allocates a
+// handful of short vectors and no hash tables.
+
+bool VecContains(const std::vector<SymbolId>& v, SymbolId x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+/// Compile-time working sets, reused across CompileRule calls on the same
+/// thread: one-shot Evaluate compiles every rule per call, so after the
+/// first rule these vectors never reallocate (their capacity is bounded by
+/// the largest rule seen).
+struct CompileScratch {
+  std::vector<SymbolId> reg_syms;  ///< register r holds reg_syms[r]
+  std::vector<SymbolId> bound;     ///< variables bound so far (ordering)
+  std::vector<size_t> order;       ///< chosen literal order
+  std::vector<char> used;          ///< literal already placed in order
+  std::vector<char> bound_regs;    ///< register bound by an earlier step
+};
+
 /// Number of argument positions of `atom` that are constants or variables
 /// in `bound`.
-size_t BoundArgCount(const Atom& atom,
-                     const std::unordered_set<SymbolId>& bound) {
+size_t BoundArgCount(const Atom& atom, const std::vector<SymbolId>& bound) {
   size_t n = 0;
   for (const Term& t : atom.args) {
-    if (t.IsConst() || bound.count(t.id()) > 0) ++n;
+    if (t.IsConst() || VecContains(bound, t.id())) ++n;
   }
   return n;
 }
@@ -30,12 +48,18 @@ Result<RulePlan> CompileRule(const Rule& rule, const PlanOptions& options) {
   }
   RulePlan plan;
   plan.head_pred = rule.head.pred;
+  plan.steps.reserve(rule.body.size());
+  plan.head_args.reserve(rule.head.args.size());
 
-  std::unordered_map<SymbolId, uint32_t> reg_of;
+  static thread_local CompileScratch scratch;
+  std::vector<SymbolId>& reg_syms = scratch.reg_syms;
+  reg_syms.clear();
   auto reg_for = [&](SymbolId v) {
-    auto [it, inserted] =
-        reg_of.emplace(v, static_cast<uint32_t>(reg_of.size()));
-    return it->second;
+    for (uint32_t r = 0; r < reg_syms.size(); ++r) {
+      if (reg_syms[r] == v) return r;
+    }
+    reg_syms.push_back(v);
+    return static_cast<uint32_t>(reg_syms.size() - 1);
   };
 
   // Choose a literal order. A negated literal is only eligible once every
@@ -43,17 +67,19 @@ Result<RulePlan> CompileRule(const Rule& rule, const PlanOptions& options) {
   // negation); in no-reorder mode the written order must already satisfy
   // this.
   auto fully_bound = [](const Atom& atom,
-                        const std::unordered_set<SymbolId>& bound) {
+                        const std::vector<SymbolId>& bound) {
     for (const Term& t : atom.args) {
-      if (t.IsVar() && bound.count(t.id()) == 0) return false;
+      if (t.IsVar() && !VecContains(bound, t.id())) return false;
     }
     return true;
   };
-  std::vector<size_t> order;
-  order.reserve(rule.body.size());
+  std::vector<size_t>& order = scratch.order;
+  order.clear();
   {
-    std::vector<bool> used(rule.body.size(), false);
-    std::unordered_set<SymbolId> bound;
+    std::vector<char>& used = scratch.used;
+    used.assign(rule.body.size(), 0);
+    std::vector<SymbolId>& bound = scratch.bound;
+    bound.clear();
     for (size_t k = 0; k < rule.body.size(); ++k) {
       size_t best = static_cast<size_t>(-1);
       size_t best_score = 0;
@@ -82,14 +108,18 @@ Result<RulePlan> CompileRule(const Rule& rule, const PlanOptions& options) {
       order.push_back(best);
       if (!rule.body[best].negated) {
         for (const Term& t : rule.body[best].args) {
-          if (t.IsVar()) bound.insert(t.id());
+          if (t.IsVar() && !VecContains(bound, t.id())) {
+            bound.push_back(t.id());
+          }
         }
       }
     }
   }
 
-  // Compile literals in the chosen order.
-  std::unordered_set<uint32_t> bound_regs;
+  // Compile literals in the chosen order. Registers are dense ids, so the
+  // bound set is a flag per register.
+  std::vector<char>& bound_regs = scratch.bound_regs;
+  bound_regs.clear();
   plan.step_of_body_position.assign(rule.body.size(), 0);
   for (size_t step_idx = 0; step_idx < order.size(); ++step_idx) {
     size_t body_pos = order[step_idx];
@@ -98,7 +128,7 @@ Result<RulePlan> CompileRule(const Rule& rule, const PlanOptions& options) {
     step.pred = atom.pred;
     step.body_position = body_pos;
     step.negated = atom.negated;
-    std::unordered_set<uint32_t> bound_in_step;  // regs first bound here
+    step.args.reserve(atom.args.size());
     for (size_t i = 0; i < atom.args.size(); ++i) {
       const Term& t = atom.args[i];
       if (t.IsConst()) {
@@ -107,19 +137,21 @@ Result<RulePlan> CompileRule(const Rule& rule, const PlanOptions& options) {
         continue;
       }
       uint32_t reg = reg_for(t.id());
+      if (reg >= bound_regs.size()) bound_regs.resize(reg + 1, 0);
       step.args.push_back(ArgSpec::Reg(reg));
-      if (bound_regs.count(reg) > 0) {
+      if (bound_regs[reg]) {
         step.index_columns.push_back(static_cast<uint32_t>(i));
       } else if (atom.negated) {
         // The ordering above guarantees this cannot happen.
         return Status::Internal("negated literal scheduled before binding");
-      } else if (bound_in_step.insert(reg).second) {
-        step.binds.push_back(reg);
+      } else if (std::find(step.binds.begin(), step.binds.end(), reg) ==
+                 step.binds.end()) {
+        step.binds.push_back(reg);  // first occurrence in this literal
       }
       // A repeated new variable within the literal is checked by the
       // executor (first occurrence binds, later ones compare).
     }
-    for (uint32_t r : step.binds) bound_regs.insert(r);
+    for (uint32_t r : step.binds) bound_regs[r] = 1;
     plan.step_of_body_position[body_pos] = step_idx;
     plan.steps.push_back(std::move(step));
   }
@@ -130,15 +162,53 @@ Result<RulePlan> CompileRule(const Rule& rule, const PlanOptions& options) {
       plan.head_args.push_back(ArgSpec::Const(t.id()));
       continue;
     }
-    auto it = reg_of.find(t.id());
-    if (it == reg_of.end() || bound_regs.count(it->second) == 0) {
+    auto it = std::find(reg_syms.begin(), reg_syms.end(), t.id());
+    const size_t reg = static_cast<size_t>(it - reg_syms.begin());
+    if (it == reg_syms.end() || reg >= bound_regs.size() ||
+        !bound_regs[reg]) {
       return Status::InvalidArgument(
           "unsafe rule: head variable not bound by any body literal");
     }
-    plan.head_args.push_back(ArgSpec::Reg(it->second));
+    plan.head_args.push_back(ArgSpec::Reg(static_cast<uint32_t>(reg)));
   }
 
-  plan.num_regs = static_cast<uint32_t>(reg_of.size());
+  plan.num_regs = static_cast<uint32_t>(reg_syms.size());
+
+  // Bitset eligibility (DESIGN.md §14). Per literal: a unary membership
+  // test — one argument, fully bound (constant or earlier-bound register),
+  // so index_columns == {0} and nothing binds. Per rule: step 0 must be a
+  // pure scan over an arity-1/2 relation binding only fresh distinct
+  // registers, and every later step must be a unary membership test except
+  // at most one binary index probe binding exactly one fresh register.
+  // Rules outside this shape run the generic descent in every
+  // representation (a storage.representation.fallbacks count under
+  // bitset/auto); answers and counters are identical either way.
+  plan.bitset_eligible = !plan.steps.empty();
+  for (size_t s = 0; s < plan.steps.size(); ++s) {
+    LiteralStep& step = plan.steps[s];
+    step.bitset_eligible = step.args.size() == 1 &&
+                           step.index_columns.size() == 1 &&
+                           step.binds.empty();
+    if (s == 0) {
+      if (step.negated || !step.index_columns.empty() ||
+          step.args.empty() || step.args.size() > 2 ||
+          step.binds.size() != step.args.size()) {
+        plan.bitset_eligible = false;
+      }
+      continue;
+    }
+    if (step.bitset_eligible) continue;  // unary test, positive or negated
+    if (!step.negated && step.args.size() == 2 &&
+        step.index_columns.size() == 1 && step.binds.size() == 1 &&
+        plan.binary_probe_step == static_cast<size_t>(-1)) {
+      plan.binary_probe_step = s;
+      continue;
+    }
+    plan.bitset_eligible = false;
+  }
+  if (!plan.bitset_eligible) {
+    plan.binary_probe_step = static_cast<size_t>(-1);
+  }
   return plan;
 }
 
@@ -168,6 +238,8 @@ std::string PlanToString(const Context& ctx, const RulePlan& plan) {
     out += ctx.PredicateDisplayName(step.pred) + render_args(step.args);
     if (step.index_columns.empty()) {
       out += "  [scan]";
+    } else if (step.bitset_eligible) {
+      out += "  [bitset probe]";
     } else {
       out += "  [index on (";
       for (size_t i = 0; i < step.index_columns.size(); ++i) {
@@ -183,7 +255,9 @@ std::string PlanToString(const Context& ctx, const RulePlan& plan) {
     out += "\n";
   }
   out += "  emit " + ctx.PredicateDisplayName(plan.head_pred) +
-         render_args(plan.head_args) + "\n";
+         render_args(plan.head_args);
+  if (plan.bitset_eligible) out += "  [bitset-eligible]";
+  out += "\n";
   return out;
 }
 

@@ -49,6 +49,11 @@ struct LiteralStep {
   /// positive literals that bind its variables (stratified semantics: the
   /// relation read is from a strictly lower stratum and no longer grows).
   bool negated = false;
+  /// Bitset-eligible literal (DESIGN.md §14): a unary membership test —
+  /// arity 1 with the single position fully bound (index_columns == {0}),
+  /// positive or negated. Executors answer these from the relation's
+  /// word-packed bitset instead of a hash index, in every representation.
+  bool bitset_eligible = false;
 };
 
 /// A fully compiled rule.
@@ -60,6 +65,19 @@ struct RulePlan {
   /// steps index for each original body position (inverse of
   /// LiteralStep::body_position).
   std::vector<size_t> step_of_body_position;
+  /// Whole-rule bitset-kernel eligibility (DESIGN.md §14): step 0 is a
+  /// pure scan binding only fresh distinct registers over an arity-1 or
+  /// arity-2 relation, every later step is a unary membership test
+  /// (bitset_eligible above) except at most one binary index probe that
+  /// binds exactly one fresh register. Under --representation=bitset/auto
+  /// the evaluator runs such rules through the batched bitset kernels;
+  /// anything else falls back to the generic descent (counted in
+  /// storage.representation.fallbacks), with byte-identical answers and
+  /// counters either way.
+  bool bitset_eligible = false;
+  /// Step index of the single binary index-probe step, or SIZE_MAX when
+  /// the rule has none. Meaningful only when bitset_eligible.
+  size_t binary_probe_step = static_cast<size_t>(-1);
 };
 
 struct PlanOptions {

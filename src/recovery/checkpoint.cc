@@ -138,7 +138,7 @@ std::string EncodeDatabase(const Database& db) {
     PutU32(&body, pred);
     PutU32(&body, rel->arity());
     PutU64(&body, rel->size());
-    for (Value v : rel->RawData()) PutU32(&body, v);
+    for (Value v : rel->view().Raw()) PutU32(&body, v);
   }
   return body;
 }

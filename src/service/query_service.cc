@@ -32,6 +32,8 @@ QueryService::QueryService(ServiceOptions options)
   queries_failed_id_ = metrics.Counter("service.queries.failed");
   batches_id_ = metrics.Counter("service.batches");
   generation_id_ = metrics.Gauge("service.snapshot.generation");
+  // MetricsJson before the first query still labels the configured mode.
+  aggregate_.representation.mode = options_.eval.representation;
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -182,6 +184,10 @@ void QueryService::DispatcherLoop() {
           aggregate_.has_run = true;
           aggregate_.stats += item.summary.stats;
           aggregate_.answers += item.summary.answers;
+          // Counters sum across queries; the mode is the service-wide
+          // eval template's, identical for every session.
+          aggregate_.representation += item.summary.representation;
+          aggregate_.representation.mode = item.summary.representation.mode;
           if (aggregate_.termination.ok() && !item.summary.termination.ok()) {
             aggregate_.termination = item.summary.termination;
           }
@@ -247,7 +253,7 @@ void QueryService::ProcessOne(Active& item) {
   for (const auto& [pred, rel] : compiled->facts().relations()) {
     Relation& dst = edb.GetOrCreate(pred, rel.arity());
     for (size_t row = 0; row < rel.size(); ++row) {
-      dst.Insert(rel.Row(row));
+      dst.Insert(rel.view().Scan(row));
     }
   }
   SessionOptions session_options;

@@ -62,7 +62,7 @@ std::vector<Atom> Database::FactsOf(PredId pred) const {
   const Relation* rel = Find(pred);
   if (rel == nullptr) return out;
   for (size_t i = 0; i < rel->size(); ++i) {
-    std::span<const Value> row = rel->Row(i);
+    std::span<const Value> row = rel->view().Scan(i);
     std::vector<Term> args;
     args.reserve(row.size());
     for (Value v : row) args.push_back(Term::Const(v));

@@ -60,6 +60,21 @@ bool Relation::Insert(std::span<const Value> row) {
   Detach();
   Payload& p = *payload_;
   ++p.insert_attempts;
+
+  // Monadic fast path: arity-1 relations answer the duplicate test from
+  // the membership bitset (one word probe) and skip the open-addressing
+  // table entirely — FindRow/ContainsKey for arity 1 read the bitset too,
+  // so the slots table is never consulted for these relations. The arena
+  // append keeps row ids and insertion order exactly as before.
+  if (p.arity == 1) {
+    if (!p.bits.Set(row[0])) return false;
+    const uint32_t row_id = static_cast<uint32_t>(p.num_rows);
+    p.data.push_back(row[0]);
+    ++p.num_rows;
+    UpdateIndexes(row_id);
+    return true;
+  }
+
   const size_t hash = HashValueSpan(row.data(), row.size());
   if (FindRow(hash, row) != kNoRow) return false;
 
@@ -105,6 +120,8 @@ void Relation::Reserve(size_t rows) {
   Detach();
   Payload& p = *payload_;
   p.data.reserve(rows * p.arity);
+  // Arity-1 relations dedup through the bitset; no slots to pre-size.
+  if (p.arity == 1) return;
   const size_t want = NextPow2(rows + rows / 4);
   if (want > p.slots.size()) RehashSlots(want);
 }
@@ -176,6 +193,7 @@ void Relation::Clear() {
   p.data.clear();
   p.num_rows = 0;
   p.slots.clear();
+  p.bits.Clear();
   p.indexes.clear();
 }
 

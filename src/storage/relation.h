@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "ast/context.h"
+#include "storage/unary_bitset.h"
 
 namespace exdl {
 
@@ -170,25 +171,81 @@ class Relation {
   /// Detaches a shared payload first.
   bool Insert(std::span<const Value> row);
 
+  /// Arity-1 Insert without the span plumbing: one bitset probe for the
+  /// duplicate test, one arena append. Observationally identical to
+  /// Insert({v}) — insert_attempts, row ids, indexes all behave the same.
+  /// Must only be called on arity-1 relations. Inline because it sits on
+  /// the flush hot path of unary (monadic) fixpoints.
+  bool InsertUnary(Value v) {
+    Detach();
+    Payload& p = *payload_;
+    assert(p.arity == 1);
+    ++p.insert_attempts;
+    if (!p.bits.Set(v)) return false;
+    const uint32_t row_id = static_cast<uint32_t>(p.num_rows);
+    p.data.push_back(v);
+    ++p.num_rows;
+    if (!p.indexes.empty()) UpdateIndexes(row_id);
+    return true;
+  }
+
   /// Pre-sizes the arena and dedup table for `rows` tuples. Detaches a
   /// shared payload first.
   void Reserve(size_t rows);
 
-  /// The `row_id`-th tuple in insertion order. The span points into the
-  /// arena; it is invalidated by the next Insert/Reserve/Clear on this
-  /// Relation object.
-  std::span<const Value> Row(size_t row_id) const {
-    const Payload& p = *payload_;
-    return std::span<const Value>(p.data.data() + row_id * p.arity, p.arity);
-  }
+  /// The representation seam (DESIGN.md §14): everything outside
+  /// src/storage reads tuples through this narrow view instead of
+  /// touching the arena directly — Scan (one row, insertion order), Raw
+  /// (the whole arena, checkpoint serialization), Contains (exact-tuple
+  /// membership), Probe (hash index on a column subset), and bits (the
+  /// word-packed unary bitset, arity-1 relations only). Views are cheap
+  /// (one pointer); spans obey the same invalidation rules as the arena
+  /// they point into (next Insert/Reserve/Clear on this Relation object).
+  class View {
+   public:
+    uint32_t arity() const { return rel_->arity(); }
+    size_t size() const { return rel_->size(); }
+    bool empty() const { return rel_->empty(); }
 
-  /// Zero-copy view of the whole arena in row order: size() * arity()
-  /// values, row r at [r * arity, (r + 1) * arity). Invalidated like
-  /// Row(). Checkpoint serialization reads relations through this.
-  std::span<const Value> RawData() const {
-    const Payload& p = *payload_;
-    return std::span<const Value>(p.data.data(), p.num_rows * p.arity);
-  }
+    /// The `row_id`-th tuple in insertion order.
+    std::span<const Value> Scan(size_t row_id) const {
+      const Payload& p = *rel_->payload_;
+      return std::span<const Value>(p.data.data() + row_id * p.arity,
+                                    p.arity);
+    }
+
+    /// The whole arena in row order: size() * arity() values, row r at
+    /// [r * arity, (r + 1) * arity).
+    std::span<const Value> Raw() const {
+      const Payload& p = *rel_->payload_;
+      return std::span<const Value>(p.data.data(), p.num_rows * p.arity);
+    }
+
+    /// Exact-tuple membership; `key` is any key view of arity values.
+    template <typename KeyView>
+    bool Contains(const KeyView& key) const {
+      return rel_->ContainsKey(key);
+    }
+
+    /// Index probe handle on `columns` (built lazily, thread-safe).
+    const Index& Probe(const std::vector<uint32_t>& columns) const {
+      return rel_->GetIndex(columns);
+    }
+
+    /// Word-packed membership bitset, or nullptr for arity != 1. Bit v is
+    /// set iff tuple (v) is present; maintained incrementally by Insert.
+    const UnaryBitset* bits() const {
+      const Payload& p = *rel_->payload_;
+      return p.arity == 1 ? &p.bits : nullptr;
+    }
+
+   private:
+    friend class Relation;
+    explicit View(const Relation* rel) : rel_(rel) {}
+    const Relation* rel_;
+  };
+
+  View view() const { return View(this); }
 
   /// Bulk-loads `rows` tuples (an arity-strided value array laid out like
   /// RawData) into this relation, which must be empty. Returns false —
@@ -198,10 +255,13 @@ class Relation {
   bool LoadRows(std::span<const Value> data, size_t rows);
 
   /// True if the exact tuple is present — `key` is any key view of arity
-  /// values (see HashKeyView). Allocation-free.
+  /// values (see HashKeyView). Allocation-free. Arity-1 relations answer
+  /// from the membership bitset (one word probe, no hashing).
   template <typename KeyView>
   bool ContainsKey(const KeyView& key) const {
-    assert(key.size() == payload_->arity);
+    const Payload& p = *payload_;
+    assert(key.size() == p.arity);
+    if (p.arity == 1) return p.bits.Test(key[0]);
     return FindRow(HashKeyView(key), key) != kNoRow;
   }
 
@@ -264,6 +324,7 @@ class Relation {
           data(other.data),
           num_rows(other.num_rows),
           slots(other.slots),
+          bits(other.bits),
           insert_attempts(other.insert_attempts),
           rehashes(other.rehashes) {
       std::lock_guard<std::mutex> lock(other.index_mu);
@@ -274,6 +335,10 @@ class Relation {
     std::vector<Value> data;  ///< Arity-strided tuple arena.
     size_t num_rows = 0;
     std::vector<uint32_t> slots;  ///< Dedup: row id + 1; 0 = empty; pow2.
+    /// Arity-1 only: word-packed membership bitset over symbol ids, kept
+    /// in lockstep with the arena by Insert (empty for other arities).
+    /// Derived data — the arena stays the insertion-order source of truth.
+    UnaryBitset bits;
     // Keyed by column list so GetIndex can find existing indexes.
     // std::map: few indexes per relation, node stability keeps GetIndex
     // references valid across later GetIndex calls.

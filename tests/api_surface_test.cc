@@ -90,7 +90,7 @@ TEST(RandomInstanceTest, DeterministicAndBounded) {
   const Relation* rel = d1.Find(p);
   if (rel != nullptr) {
     for (size_t r = 0; r < rel->size(); ++r) {
-      for (Value v : rel->Row(r)) {
+      for (Value v : rel->view().Scan(r)) {
         EXPECT_TRUE(ctx.SymbolName(v).rfind("c", 0) == 0);
       }
     }

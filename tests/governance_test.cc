@@ -39,8 +39,8 @@ bool IsRowPrefixOf(const Database& prefix, const Database& full) {
     if (rel.size() > 0 && full_rel == nullptr) return false;
     if (full_rel != nullptr && rel.size() > full_rel->size()) return false;
     for (size_t r = 0; r < rel.size(); ++r) {
-      std::span<const Value> a = rel.Row(r);
-      std::span<const Value> b = full_rel->Row(r);
+      std::span<const Value> a = rel.view().Scan(r);
+      std::span<const Value> b = full_rel->view().Scan(r);
       if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) return false;
     }
   }

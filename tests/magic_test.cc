@@ -137,7 +137,7 @@ TEST(MagicTest, WorksOnAdornedProjectedPrograms) {
       continue;
     }
     for (size_t r = 0; r < rel.size(); ++r) {
-      if (parsed.ctx->SymbolName(rel.Row(r)[0]) == "n3") {
+      if (parsed.ctx->SymbolName(rel.view().Scan(r)[0]) == "n3") {
         derived_for_n3 = true;
       }
     }

@@ -267,8 +267,8 @@ TEST(EvalObsTest, NullSinkRunIsByteIdentical) {
     ASSERT_NE(other, nullptr);
     ASSERT_EQ(other->size(), rel.size());
     for (size_t r = 0; r < rel.size(); ++r) {
-      std::span<const Value> a = rel.Row(r);
-      std::span<const Value> b = other->Row(r);
+      std::span<const Value> a = rel.view().Scan(r);
+      std::span<const Value> b = other->view().Scan(r);
       ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
     }
   }

@@ -66,7 +66,7 @@ TEST(OptimisticFixpointTest, OverapproximatesStandardFixpoint) {
   const Relation* opt_rel = optimistic->Find(tc);
   ASSERT_NE(opt_rel, nullptr);
   for (size_t i = 0; i < std_rel->size(); ++i) {
-    EXPECT_TRUE(opt_rel->Contains(std_rel->Row(i)));
+    EXPECT_TRUE(opt_rel->Contains(std_rel->view().Scan(i)));
   }
   EXPECT_GE(opt_rel->size(), std_rel->size());
 }

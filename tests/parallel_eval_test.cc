@@ -25,8 +25,8 @@ void ExpectIdenticalDatabases(const Database& serial,
     ASSERT_NE(other, nullptr) << "missing predicate " << pred;
     ASSERT_EQ(rel.size(), other->size()) << "size mismatch for " << pred;
     for (size_t r = 0; r < rel.size(); ++r) {
-      std::span<const Value> a = rel.Row(r);
-      std::span<const Value> b = other->Row(r);
+      std::span<const Value> a = rel.view().Scan(r);
+      std::span<const Value> b = other->view().Scan(r);
       ASSERT_EQ(a.size(), b.size());
       for (size_t i = 0; i < a.size(); ++i) {
         ASSERT_EQ(a[i], b[i])
@@ -171,6 +171,60 @@ TEST(ParallelEvalTest, ProvenanceForcesSerialButStaysCorrect) {
   EvalResult serial = testing::MustEval(parsed.program, edb, options);
   ExpectIdenticalDatabases(serial.db, with_threads.db);
   EXPECT_EQ(serial.provenance.size(), with_threads.provenance.size());
+}
+
+TEST(ParallelEvalTest, BitsetKernelWorkloadMatchesSerial) {
+  // A fully bitset-eligible workload (DESIGN.md §14): unary recursive
+  // predicates advanced through a binary probe plus unary membership
+  // tests. pool_min_delta_rows=1 defeats the small-delta pool skip so the
+  // kernels genuinely run on the worker pool, and the test pins parallel
+  // == serial byte-identity in every representation.
+  auto parsed = testing::MustParse(
+      "odd(Y) :- even(X), p(X, Y).\n"
+      "even(Y) :- odd(X), p(X, Y).\n"
+      "even(X) :- zero(X).\n"
+      "result(X) :- even(X), mark(X).\n"
+      "?- result(X).\n");
+  GraphSpec spec;
+  spec.kind = GraphSpec::Kind::kRandomSparse;
+  spec.nodes = 400;
+  spec.avg_degree = 2.0;
+  spec.seed = 17;
+  PredId p = parsed.ctx->InternPredicate("p", 2);
+  Database edb;
+  std::vector<Value> nodes = MakeGraph(parsed.ctx.get(), &edb, p, spec);
+  PredId zero = parsed.ctx->InternPredicate("zero", 1);
+  PredId mark = parsed.ctx->InternPredicate("mark", 1);
+  edb.AddTuple(zero, std::vector<Value>{nodes[0]});
+  for (size_t i = 0; i < nodes.size(); i += 3) {
+    edb.AddTuple(mark, std::vector<Value>{nodes[i]});
+  }
+  for (Representation representation :
+       {Representation::kBitset, Representation::kTuple,
+        Representation::kAuto}) {
+    EvalOptions options;
+    options.representation = representation;
+    options.pool_min_delta_rows = 1;
+    ExpectParallelMatchesSerial(parsed.program, edb, options);
+  }
+  // Cross-representation: the two physical executors must also agree
+  // with each other, not just each with its own serial run.
+  EvalOptions bitset_options;
+  bitset_options.representation = Representation::kBitset;
+  EvalOptions tuple_options;
+  tuple_options.representation = Representation::kTuple;
+  EvalResult bitset = testing::MustEval(parsed.program, edb, bitset_options);
+  EvalResult tuple = testing::MustEval(parsed.program, edb, tuple_options);
+  ExpectIdenticalDatabases(tuple.db, bitset.db);
+  EXPECT_EQ(tuple.answers, bitset.answers);
+  EXPECT_EQ(tuple.stats.rounds, bitset.stats.rounds);
+  EXPECT_EQ(tuple.stats.rule_firings, bitset.stats.rule_firings);
+  EXPECT_EQ(tuple.stats.tuples_inserted, bitset.stats.tuples_inserted);
+  EXPECT_EQ(tuple.stats.duplicate_inserts, bitset.stats.duplicate_inserts);
+  EXPECT_EQ(tuple.stats.index_probes, bitset.stats.index_probes);
+  EXPECT_EQ(tuple.stats.rows_matched, bitset.stats.rows_matched);
+  EXPECT_GT(bitset.representation.words_scanned, 0u);
+  EXPECT_EQ(tuple.representation.words_scanned, 0u);
 }
 
 TEST(ParallelEvalTest, TimingCountersPopulated) {

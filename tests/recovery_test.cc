@@ -47,8 +47,8 @@ bool SameDatabase(const Database& a, const Database& b) {
       if (rel.size() == 0 && other == nullptr) continue;
       if (other == nullptr || rel.size() != other->size()) return false;
       for (size_t r = 0; r < rel.size(); ++r) {
-        std::span<const Value> ra = rel.Row(r);
-        std::span<const Value> rb = other->Row(r);
+        std::span<const Value> ra = rel.view().Scan(r);
+        std::span<const Value> rb = other->view().Scan(r);
         if (!std::equal(ra.begin(), ra.end(), rb.begin(), rb.end())) {
           return false;
         }
@@ -280,8 +280,12 @@ TEST_F(RecoveryTest, SerialCrashResumeIsByteIdentical) {
 }
 
 TEST_F(RecoveryTest, ParallelCrashResumeIsByteIdentical) {
+  // pool_min_delta_rows = 1 disables the small-delta inline gate so the
+  // chain's tiny delta rounds really dispatch (the armed fault site must
+  // be reachable every round).
   EngineRun ref = RunEngine(ChainSource(200), [](EngineOptions& o) {
     o.eval.num_threads = 4;
+    o.eval.pool_min_delta_rows = 1;
   });
   ASSERT_TRUE(ref.status.ok());
 
@@ -289,6 +293,7 @@ TEST_F(RecoveryTest, ParallelCrashResumeIsByteIdentical) {
   ASSERT_TRUE(FaultPlan::Global().Arm("eval.pool_dispatch:5").ok());
   EngineRun crashed = RunEngine(ChainSource(200), [&](EngineOptions& o) {
     o.eval.num_threads = 4;
+    o.eval.pool_min_delta_rows = 1;
     o.checkpoint.directory = dir;
     o.checkpoint.every_rounds = 1;
   });
@@ -313,6 +318,70 @@ TEST_F(RecoveryTest, ParallelCrashResumeIsByteIdentical) {
       ChainSource(200), [](EngineOptions&) {}, Checkpointer::PathIn(dir));
   ASSERT_TRUE(serial_resume.status.ok());
   EXPECT_TRUE(SameDatabase(serial_resume.result.db, ref.result.db));
+}
+
+TEST_F(RecoveryTest, BitsetRepresentationCrashResumeIsByteIdentical) {
+  // A monadic program (every rule bitset-eligible, DESIGN.md §14): the
+  // checkpoints cut mid-run carry arity-1 relations whose dedup bitsets
+  // are rebuilt on load. Resume must be representation-independent — a
+  // checkpoint written under kBitset resumes under kTuple (and the
+  // default kAuto) to the same converged database.
+  auto monadic_source = [](int n) {
+    std::string src =
+        "reach(Y) :- reach(X), e(X, Y).\n"
+        "reach(X) :- zero(X).\n"
+        "?- reach(X).\n"
+        "zero(n0).\n";
+    for (int i = 0; i < n; ++i) {
+      src +=
+          "e(n" + std::to_string(i) + ", n" + std::to_string(i + 1) + ").\n";
+    }
+    return src;
+  };
+  const std::string source = monadic_source(150);
+  EngineRun ref = RunEngine(source, [](EngineOptions& o) {
+    o.eval.representation = Representation::kBitset;
+  });
+  ASSERT_TRUE(ref.status.ok());
+  EXPECT_GT(ref.result.representation.words_scanned, 0u);
+
+  const std::string dir = MakeCheckpointDir();
+  ASSERT_TRUE(FaultPlan::Global().Arm("storage.arena_grow:40").ok());
+  EngineRun crashed = RunEngine(source, [&](EngineOptions& o) {
+    o.eval.representation = Representation::kBitset;
+    o.checkpoint.directory = dir;
+    o.checkpoint.every_rounds = 1;
+  });
+  ASSERT_FALSE(crashed.status.ok());
+  EXPECT_EQ(crashed.status.code(), StatusCode::kInternal);
+  FaultPlan::Global().Disarm();
+
+  // The interrupted run left a mid-fixpoint checkpoint with a non-empty
+  // unary `reach` relation in it.
+  Result<Snapshot> snap = ReadSnapshotFile(Checkpointer::PathIn(dir));
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  bool has_unary_rows = false;
+  for (const auto& [pred, rel] : snap->db.relations()) {
+    if (rel.arity() == 1 && rel.size() > 0) has_unary_rows = true;
+  }
+  EXPECT_TRUE(has_unary_rows);
+
+  for (Representation representation :
+       {Representation::kBitset, Representation::kTuple,
+        Representation::kAuto}) {
+    EngineRun resumed = RunEngine(
+        source,
+        [&](EngineOptions& o) { o.eval.representation = representation; },
+        Checkpointer::PathIn(dir));
+    ASSERT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+    EXPECT_TRUE(SameDatabase(resumed.result.db, ref.result.db));
+    EXPECT_EQ(resumed.result.answers, ref.result.answers);
+    EXPECT_EQ(resumed.result.stats.rounds, ref.result.stats.rounds);
+    EXPECT_EQ(resumed.result.stats.tuples_inserted,
+              ref.result.stats.tuples_inserted);
+    EXPECT_EQ(resumed.result.stats.rule_firings,
+              ref.result.stats.rule_firings);
+  }
 }
 
 TEST_F(RecoveryTest, SnapshotWriteFaultLeavesPreviousCheckpointGood) {

@@ -19,9 +19,9 @@ TEST(RelationTest, InsertDeduplicates) {
 TEST(RelationTest, RowsKeepInsertionOrder) {
   Relation rel(1);
   for (Value v : {5u, 3u, 9u}) rel.Insert(std::vector<Value>{v});
-  EXPECT_EQ(rel.Row(0)[0], 5u);
-  EXPECT_EQ(rel.Row(1)[0], 3u);
-  EXPECT_EQ(rel.Row(2)[0], 9u);
+  EXPECT_EQ(rel.view().Scan(0)[0], 5u);
+  EXPECT_EQ(rel.view().Scan(1)[0], 3u);
+  EXPECT_EQ(rel.view().Scan(2)[0], 9u);
 }
 
 TEST(RelationTest, Contains) {
@@ -124,7 +124,7 @@ TEST(RelationTest, StressInsertsAcrossRehashBoundaries) {
     ASSERT_NE(ids, nullptr);
     Relation::RowIdList expected;
     for (uint32_t r = 0; r < rel.size(); ++r) {
-      if (rel.Row(r)[0] == k) expected.push_back(r);
+      if (rel.view().Scan(r)[0] == k) expected.push_back(r);
     }
     EXPECT_EQ(*ids, expected);
   }
@@ -187,7 +187,7 @@ TEST(RelationTest, SelfAliasedRowInsertIsSafe) {
   // A span into the relation's own arena is always a duplicate here; the
   // probe must not be confused by potential arena growth.
   for (size_t r = 0; r < rel.size(); r += 7) {
-    EXPECT_FALSE(rel.Insert(rel.Row(r)));
+    EXPECT_FALSE(rel.Insert(rel.view().Scan(r)));
   }
   EXPECT_EQ(rel.size(), 300u);
 }

@@ -6,7 +6,7 @@
 //       Print the optimized program and the per-phase report.
 //
 //   exdlc run <file...> [--jobs N] [--naive] [--no-cut] [--optimize]
-//                    [--threads N]
+//                    [--threads N] [--representation auto|tuple|bitset]
 //                    [--deadline-ms N] [--max-tuples N] [--max-bytes N]
 //                    [--checkpoint-dir DIR] [--checkpoint-every-rounds N]
 //                    [--resume FILE] [--trace] [--metrics-json FILE]
@@ -33,6 +33,13 @@
 //       pass a ticket-ordered turnstile). --metrics-json then writes the
 //       merged service document (with a "service" object); checkpoint/
 //       resume flags are rejected in batch mode.
+//       --representation picks the physical executor (DESIGN.md §14):
+//       "tuple" forces the generic arena/index path, "bitset" runs
+//       eligible monadic rules through the word-packed kernels, "auto"
+//       (the default) behaves like bitset with per-rule fallback. Answers
+//       and all pre-existing output are byte-identical across modes; only
+//       the telemetry document's storage.representation counters differ.
+//       Anything else exits 2.
 //
 //   exdlc grammar <file>
 //       For a binary chain program: print the grammar, regularity
@@ -192,6 +199,7 @@ constexpr FlagSpec kFlagTable[] = {
     {"--optimize", false, kCmdRun},
     {"--threads", true, kCmdRun},
     {"--jobs", true, kCmdRun},
+    {"--representation", true, kCmdRun},
     // budgets (requests under `connect`: the daemon clamps them)
     {"--deadline-ms", true, kCmdRun | kCmdConnect},
     {"--max-tuples", true, kCmdRun | kCmdConnect},
@@ -319,6 +327,19 @@ std::string FlagString(const std::vector<std::string>& args,
   return fallback;
 }
 
+/// Parses --representation. Absent = auto; an unknown value exits 2 like
+/// every other flag violation.
+Representation FlagRepresentation(const std::vector<std::string>& flags) {
+  const std::string text = FlagString(flags, "--representation", "auto");
+  Representation r = Representation::kAuto;
+  if (!ParseRepresentation(text, &r)) {
+    std::cerr << "--representation must be auto, tuple, or bitset, got '"
+              << text << "'\n";
+    std::exit(2);
+  }
+  return r;
+}
+
 /// Emits the observability outputs after a command: the span tree on
 /// stderr for --trace, the telemetry JSON document for --metrics-json.
 /// Returns 0, or 1 when the JSON file cannot be written.
@@ -390,6 +411,7 @@ int CmdRun(const std::string& path, const std::vector<std::string>& flags) {
   options.eval.seminaive = !HasFlag(flags, "--naive");
   options.eval.boolean_cut = !HasFlag(flags, "--no-cut");
   options.eval.num_threads = FlagValue(flags, "--threads", 1);
+  options.eval.representation = FlagRepresentation(flags);
   // Budget precedence: explicit flags, then EXDL_BUDGET_* environment
   // variables for whatever the flags left unset (see EvalBudget::FromEnv).
   options.eval.budget = EvalBudget::FromEnv(EvalBudget::FromFlags(
@@ -472,8 +494,12 @@ int CmdRunService(const std::vector<std::string>& files,
       FlagValue64(flags, "--max-bytes", 0), &g_interrupted);
   options.compile.optimize = HasFlag(flags, "--optimize");
   options.compile.optimizer.cancellation = &g_interrupted;
+  options.eval.representation = FlagRepresentation(flags);
   options.compile.seminaive = options.eval.seminaive;
   options.compile.boolean_cut = options.eval.boolean_cut;
+  // Mirrored into the cache key: a cached artifact is only reused by
+  // sessions running the same representation.
+  options.compile.representation = options.eval.representation;
   options.collect_telemetry =
       HasFlag(flags, "--trace") || HasFlag(flags, "--metrics-json");
   std::vector<QueryRequest> requests;

@@ -251,6 +251,9 @@ run_engine_sweep "$REPO_ROOT/examples/tc_chain.dl" 1 serial
 # Sweep 2: a chain long enough for the worker pool to engage (the pool
 # partitions scans of >= 128 rows), 4 threads. Reaches eval.pool_dispatch
 # and re-proves the snapshot sites under parallel evaluation.
+# EXDL_POOL_MIN_DELTA_ROWS=1 disables the small-delta inline gate so the
+# chain's delta rounds really dispatch (the fault site must stay reachable).
+export EXDL_POOL_MIN_DELTA_ROWS=1
 BIG="$WORK/big_chain.dl"
 {
   echo "tc(X, Y) :- e(X, Y)."
