@@ -18,6 +18,7 @@
 #include "obs/json_writer.h"
 #include "recovery/fault.h"
 #include "service/answer_text.h"
+#include "service/edb_recovery.h"
 
 namespace exdl::daemon {
 
@@ -141,6 +142,16 @@ Status DaemonServer::BindTcp() {
 Status DaemonServer::Start() {
   if (started_.exchange(true)) {
     return Status::FailedPrecondition("daemon already started");
+  }
+  if (!options_.durability.data_dir.empty()) {
+    // Recover the durable EDB before any socket exists: no client can
+    // observe a partially replayed database. Replay goes through the
+    // service's normal LoadFacts path (minus re-logging), so the
+    // recovered interning state matches the pre-crash daemon's exactly.
+    durable_ = std::make_shared<durability::DurableEdb>(options_.durability);
+    EXDL_RETURN_IF_ERROR(durable_->Open());
+    EXDL_RETURN_IF_ERROR(RecoverDurableEdb(*durable_, service_));
+    service_.AttachDurability(durable_);
   }
   EXDL_RETURN_IF_ERROR(options_.use_tcp ? BindTcp() : BindUnix());
   if (::listen(listen_fd_, 64) < 0) {
@@ -503,6 +514,15 @@ Status DaemonServer::HandleLoadFacts(Connection& conn, std::string_view body) {
     err.message = "server is draining";
     return ServerWriteFrame(conn.fd, Encode(err));
   }
+  if (options_.max_facts_bytes != 0 &&
+      msg.source.size() > options_.max_facts_bytes) {
+    ErrorMsg err;
+    err.code = static_cast<uint32_t>(StatusCode::kResourceExhausted);
+    err.message = "LOAD_FACTS source of " + std::to_string(msg.source.size()) +
+                  " bytes exceeds the server's --max-facts-bytes quota (" +
+                  std::to_string(options_.max_facts_bytes) + ")";
+    return ServerWriteFrame(conn.fd, Encode(err));
+  }
   Status loaded = service_.LoadFacts(msg.source);
   if (loaded.ok()) {
     return ServerWriteFrame(conn.fd, EncodeEmpty(MsgType::kOk));
@@ -603,6 +623,24 @@ std::string DaemonServer::MetricsJson() const {
     w.UInt(counters.backpressure_events);
     w.Key("cancelled_on_disconnect");
     w.UInt(counters.cancelled_on_disconnect);
+    if (durable_ != nullptr) {
+      const durability::DurabilityCounters d = durable_->counters();
+      w.Key("durability");
+      w.BeginObject();
+      w.Key("records_appended");
+      w.UInt(d.records_appended);
+      w.Key("records_replayed");
+      w.UInt(d.records_replayed);
+      w.Key("truncated_tail_bytes");
+      w.UInt(d.truncated_tail_bytes);
+      w.Key("compactions");
+      w.UInt(d.compactions);
+      w.Key("snapshot_generation");
+      w.UInt(d.snapshot_generation);
+      w.Key("recovery_seconds");
+      w.Double(d.recovery_seconds);
+      w.EndObject();
+    }
     w.EndObject();
   });
 }

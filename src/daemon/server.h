@@ -39,6 +39,7 @@
 
 #include "daemon/admission.h"
 #include "daemon/protocol.h"
+#include "durability/durable_edb.h"
 #include "service/query_service.h"
 #include "util/cancellation.h"
 
@@ -67,6 +68,13 @@ struct DaemonOptions {
   /// When >= 0, a byte is written here when a client requests SHUTDOWN —
   /// exdld's main loop selects on this alongside its signal pipe.
   int shutdown_notify_fd = -1;
+  /// Durable EDB (DESIGN.md §15). With a non-empty data_dir, Start()
+  /// recovers the directory (newest snapshot + fact-log replay) before
+  /// accepting connections, and every LOAD_FACTS is write-ahead logged.
+  durability::DurabilityOptions durability;
+  /// Per-LOAD_FACTS source-size quota in bytes; an oversized load is
+  /// rejected with kResourceExhausted. 0 = unlimited.
+  uint64_t max_facts_bytes = 0;
 };
 
 /// Monotonic counters for the "daemon" telemetry object
@@ -116,6 +124,12 @@ class DaemonServer {
   const DaemonOptions& options() const { return options_; }
   QueryService& service() { return service_; }
 
+  /// The durable EDB behind --data-dir; null when durability is off.
+  /// Valid after a successful Start().
+  const std::shared_ptr<durability::DurableEdb>& durable() const {
+    return durable_;
+  }
+
  private:
   struct Connection {
     uint64_t id = 0;
@@ -155,6 +169,7 @@ class DaemonServer {
   DaemonOptions options_;
   QueryService service_;
   AdmissionController admission_;
+  std::shared_ptr<durability::DurableEdb> durable_;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  ///< Wakes the accept loop's poll().

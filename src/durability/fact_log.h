@@ -1,0 +1,130 @@
+// Write-ahead fact log (DESIGN.md §15).
+//
+// The FactLog makes `exdld`'s extensional database durable: every
+// QueryService::LoadFacts appends one record — the new snapshot
+// generation id plus the verbatim facts source bytes — and fsyncs it
+// *before* the generation is published. A restarted daemon replays the
+// records through the normal parse/intern path, so a crash loses at most
+// the one record whose fsync never completed and recovered answers are
+// byte-identical to a daemon that never died.
+//
+// On-disk layout (all integers little-endian):
+//
+//   header   "EXDLFLOG" magic, u32 version, u32 flags        (16 bytes)
+//   record   u32 payload_len, u32 crc32c(payload), payload
+//   payload  u64 generation, facts source bytes
+//
+// Corruption policy, the load-bearing distinction of the format:
+//
+//   * torn tail   a record whose frame is incomplete at EOF — the only
+//     shape an interrupted append can leave, because appends write
+//     front-to-back. The tail is truncated and every complete record
+//     before it is kept (the lost record was never acknowledged: its
+//     generation was published only after a successful fsync).
+//   * mid-log corruption   a structurally impossible frame (length out
+//     of range, checksum mismatch over a complete payload, generations
+//     out of order). No crash produces these — they mean bit rot or
+//     tampering — so the scan fails closed with kCorruptCheckpoint
+//     rather than silently dropping acknowledged facts.
+//
+// ScanFactLog is fully bounds-checked and must never crash or hang on
+// hostile bytes (the fuzz_factlog harness enforces this).
+
+#ifndef EXDL_DURABILITY_FACT_LOG_H_
+#define EXDL_DURABILITY_FACT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace exdl::durability {
+
+/// Current log format version; scans accept exactly this version.
+inline constexpr uint32_t kFactLogVersion = 1;
+
+/// Byte size of the file header ("EXDLFLOG" + version + flags).
+inline constexpr size_t kFactLogHeaderSize = 16;
+
+/// Upper bound on one record's payload (generation + source bytes). A
+/// length field above it cannot come from a real append, so the scan
+/// fails closed instead of treating a bit-flipped length as a torn tail.
+inline constexpr uint32_t kMaxFactPayloadBytes = 64u << 20;
+
+/// One replayable LoadFacts call.
+struct FactRecord {
+  uint64_t generation = 0;  ///< EDB snapshot generation the load published.
+  std::string source;       ///< Verbatim facts source bytes.
+
+  friend bool operator==(const FactRecord& a, const FactRecord& b) {
+    return a.generation == b.generation && a.source == b.source;
+  }
+};
+
+/// Result of scanning a log image.
+struct FactLogScan {
+  std::vector<FactRecord> records;
+  /// Offset one past the last complete record (>= header size for any
+  /// non-empty valid log). Recovery truncates the file to this length.
+  uint64_t valid_bytes = 0;
+  /// Bytes past valid_bytes: the torn tail an interrupted append left.
+  uint64_t truncated_tail_bytes = 0;
+};
+
+/// The canonical 16-byte file header.
+std::string EncodeFactLogHeader();
+
+/// Serializes one record frame (length, checksum, generation, source).
+std::string EncodeFactRecord(uint64_t generation, std::string_view source);
+
+/// Scans a whole log image. Returns the complete records plus torn-tail
+/// accounting, or kCorruptCheckpoint for mid-log corruption (see the
+/// policy above). An empty input is a valid empty log.
+Result<FactLogScan> ScanFactLog(std::string_view bytes);
+
+/// An open, append-only fact log file. Not internally synchronized: the
+/// QueryService serializes Append/Truncate under its own state mutex.
+class FactLog {
+ public:
+  FactLog() = default;
+  ~FactLog();
+  FactLog(FactLog&&) noexcept;
+  FactLog& operator=(FactLog&&) noexcept;
+  FactLog(const FactLog&) = delete;
+  FactLog& operator=(const FactLog&) = delete;
+
+  /// Opens (creating if absent) the log at `path`, scans it, and repairs
+  /// a torn tail in place (ftruncate to the last complete record). The
+  /// scan — records to replay plus how many tail bytes were cut — lands
+  /// in `*scan`. Mid-log corruption fails closed with kCorruptCheckpoint
+  /// and leaves the file untouched for inspection.
+  Status Open(const std::string& path, FactLogScan* scan);
+
+  /// Appends one record and fsyncs it. Consults the factlog.append
+  /// (short write) and factlog.fsync fault sites; on any failure —
+  /// injected or real — the file is truncated back to its pre-append
+  /// length, so an in-process retry appends to a clean log. Only a hard
+  /// crash mid-append leaves a torn tail, which the next Open repairs.
+  Status Append(uint64_t generation, std::string_view source);
+
+  /// Discards every record (truncates back to the bare header + fsync).
+  /// Called after a compaction snapshot has durably landed.
+  Status Truncate();
+
+  /// Bytes currently in the log, header included.
+  uint64_t size_bytes() const { return end_; }
+
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  void Close();
+
+  int fd_ = -1;
+  uint64_t end_ = 0;  ///< Current end-of-log offset (== file size).
+};
+
+}  // namespace exdl::durability
+
+#endif  // EXDL_DURABILITY_FACT_LOG_H_

@@ -19,6 +19,15 @@
 //   daemon.read          exdld reading a protocol frame (torn connection)
 //   daemon.write         exdld writing a protocol frame (torn connection)
 //   daemon.dispatch      exdld handing a SUBMIT to the query service
+//   factlog.append       appending a LOAD_FACTS record to the durable
+//                        fact log (fails as a short write; an abort here
+//                        leaves the torn tail recovery must repair)
+//   factlog.fsync        fsyncing the appended record — the generation is
+//                        published only after this point
+//   factlog.compact_rename  the atomic rename publishing a compacted EDB
+//                        snapshot (temp stays, previous snapshot intact)
+//   daemon.recover_replay   exdld replaying one fact-log record during
+//                        --data-dir startup recovery
 //
 // The site list is the single source of truth for tools/fault_sweep.sh,
 // which reads it via `exdlc fault-sites` — add sites here, never in the

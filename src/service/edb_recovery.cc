@@ -1,0 +1,48 @@
+#include "service/edb_recovery.h"
+
+#include <chrono>
+#include <string>
+
+#include "recovery/fault.h"
+
+namespace exdl {
+
+Status RecoverDurableEdb(durability::DurableEdb& edb, QueryService& service) {
+  const auto start = std::chrono::steady_clock::now();
+  if (edb.snapshot().has_value()) {
+    // RestoreSnapshot consumes the database; copy-on-write makes the
+    // clone cheap and leaves the DurableEdb's copy intact.
+    recovery::Snapshot snapshot;
+    snapshot.symbols = edb.snapshot()->symbols;
+    snapshot.preds = edb.snapshot()->preds;
+    snapshot.db = edb.snapshot()->db.Clone();
+    snapshot.program_fingerprint = edb.snapshot()->program_fingerprint;
+    EXDL_RETURN_IF_ERROR(
+        service.RestoreSnapshot(std::move(snapshot), edb.snapshot_generation()));
+  }
+  FaultPlan& faults = FaultPlan::Global();
+  for (const durability::FactRecord& record : edb.tail()) {
+    if (faults.armed() && faults.ShouldFail("daemon.recover_replay")) {
+      return Status::Internal(
+          "injected fault at daemon.recover_replay (generation " +
+          std::to_string(record.generation) + ")");
+    }
+    Status replayed = service.ReplayFacts(record.source, record.generation);
+    if (!replayed.ok()) {
+      // A record that no longer replays cleanly means the log is not
+      // trustworthy: fail closed rather than start with a partial EDB.
+      if (replayed.code() == StatusCode::kCorruptCheckpoint) return replayed;
+      return Status::CorruptCheckpoint(
+          "fact-log replay of generation " +
+          std::to_string(record.generation) + " failed: " +
+          replayed.message());
+    }
+  }
+  edb.NoteReplayed(edb.tail().size());
+  edb.NoteRecoverySeconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return Status::Ok();
+}
+
+}  // namespace exdl

@@ -20,6 +20,7 @@ QueryService::QueryService(ServiceOptions options)
     : options_(Normalize(std::move(options))),
       ctx_(std::make_shared<Context>()),
       cache_(options_.program_cache_capacity),
+      durable_(options_.durable),
       pool_(options_.num_workers - 1) {
   // Register every service metric before the first shard is cut (shards
   // are sized to the registry at creation time).
@@ -115,13 +116,20 @@ std::optional<QueryResponse> QueryService::AwaitFor(
 }
 
 Status QueryService::LoadFacts(std::string_view source) {
+  return LoadFactsImpl(source, /*durable=*/true);
+}
+
+Status QueryService::LoadFactsImpl(std::string_view source, bool durable) {
   // Parsing interns symbols/predicates into the shared Context, and the
   // compile turnstile orders all other interning strictly by ticket. Go
   // through the same turnstile: wait until every query submitted before
   // this call has passed its compile, then parse while holding
   // compile_mu_. Interned ids then depend only on the interleaving of
   // Submit and LoadFacts calls — never on pool size or scheduling — which
-  // preserves the byte-identical-answers determinism guarantee.
+  // preserves the byte-identical-answers determinism guarantee. Recovery
+  // replay takes the same path (on an idle service the turnstile passes
+  // straight through), so a replayed load interns exactly what the
+  // original did.
   Ticket submitted_before;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -143,10 +151,80 @@ Status QueryService::LoadFacts(std::string_view source) {
   for (const Atom& fact : parsed.facts) {
     EXDL_RETURN_IF_ERROR(next.AddFact(fact));
   }
+  // Durability ordering contract (DESIGN.md §15): the fact-log record is
+  // on stable storage before the generation becomes visible to queries.
+  // On failure the current snapshot stays published — the daemon never
+  // acknowledges a generation that is not logged.
+  if (durable && durable_ != nullptr) {
+    EXDL_RETURN_IF_ERROR(durable_->Append(generation_ + 1, source));
+  }
   ++generation_;
   snapshot_ = DatabaseSnapshot(
       std::make_shared<const Database>(std::move(next)), generation_);
+  if (durable && durable_ != nullptr) {
+    // Compaction is an optimization: a failed snapshot write (injected
+    // factlog.compact_rename, disk trouble) must not fail the load. The
+    // previous snapshot + intact log still recover everything, and the
+    // next append retries the compaction.
+    Status compacted =
+        durable_->MaybeCompact(*ctx_, snapshot_.db(), generation_);
+    (void)compacted;
+  }
   return Status::Ok();
+}
+
+Status QueryService::RestoreSnapshot(recovery::Snapshot snapshot,
+                                     uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_ticket_ != 0 || generation_ != 0 || ctx_->NumSymbols() != 0) {
+    return Status::FailedPrecondition(
+        "RestoreSnapshot requires a fresh service");
+  }
+  // Re-intern the stored tables in id order into the (empty) service
+  // Context. Sequential interning into an empty context assigns exactly
+  // the stored ids, so every SymbolId/PredId in the snapshot's database
+  // — and in later replayed loads — means what it meant in the daemon
+  // that wrote the snapshot. Any mismatch means the snapshot lied.
+  for (size_t i = 0; i < snapshot.symbols.size(); ++i) {
+    if (ctx_->InternSymbol(snapshot.symbols[i]) != static_cast<SymbolId>(i)) {
+      return Status::CorruptCheckpoint(
+          "EDB snapshot symbol table is not in intern order");
+    }
+  }
+  for (size_t i = 0; i < snapshot.preds.size(); ++i) {
+    const recovery::SnapshotPred& pred = snapshot.preds[i];
+    Adornment adornment;
+    if (!pred.adornment.empty()) {
+      EXDL_ASSIGN_OR_RETURN(adornment, Adornment::Parse(pred.adornment));
+    }
+    if (ctx_->InternPredicate(pred.name, pred.arity, adornment) !=
+        static_cast<PredId>(i)) {
+      return Status::CorruptCheckpoint(
+          "EDB snapshot predicate table is not in intern order");
+    }
+  }
+  generation_ = generation;
+  snapshot_ = DatabaseSnapshot(
+      std::make_shared<const Database>(std::move(snapshot.db)), generation_);
+  return Status::Ok();
+}
+
+Status QueryService::ReplayFacts(std::string_view source,
+                                 uint64_t expected_generation) {
+  EXDL_RETURN_IF_ERROR(LoadFactsImpl(source, /*durable=*/false));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation_ != expected_generation) {
+    return Status::CorruptCheckpoint(
+        "fact-log replay produced generation " + std::to_string(generation_) +
+        ", record says " + std::to_string(expected_generation));
+  }
+  return Status::Ok();
+}
+
+void QueryService::AttachDurability(
+    std::shared_ptr<durability::DurableEdb> durable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  durable_ = std::move(durable);
 }
 
 DatabaseSnapshot QueryService::snapshot() const {

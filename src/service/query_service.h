@@ -48,7 +48,9 @@
 #include <vector>
 
 #include "core/session.h"
+#include "durability/durable_edb.h"
 #include "obs/telemetry.h"
+#include "recovery/checkpoint.h"
 #include "service/program_cache.h"
 #include "storage/database.h"
 #include "util/cancellation.h"
@@ -71,6 +73,11 @@ struct ServiceOptions {
   /// Give every query its own obs::Telemetry sink and render a per-query
   /// telemetry document into QueryResponse::telemetry_json.
   bool collect_telemetry = false;
+  /// Durable-EDB hook (DESIGN.md §15). When set, every LoadFacts appends
+  /// and fsyncs a fact-log record *before* publishing the new snapshot
+  /// generation, and compacts on the DurableEdb's schedule. The service
+  /// does not recover from it — see service/edb_recovery.h.
+  std::shared_ptr<durability::DurableEdb> durable;
 };
 
 struct QueryRequest {
@@ -156,7 +163,29 @@ class QueryService {
   /// runs exclusively, so symbol/predicate ids depend only on the
   /// Submit/LoadFacts call sequence — not on pool size or scheduling.
   /// (Consequently this call blocks until prior submissions compile.)
+  ///
+  /// With a durable EDB attached, the fact-log record is fsync'd before
+  /// the generation is published; a durability failure leaves the
+  /// current snapshot untouched and surfaces the error.
   Status LoadFacts(std::string_view source);
+
+  /// Recovery bootstrap (DESIGN.md §15): installs a compacted EDB
+  /// snapshot as generation `generation`. The snapshot's interning
+  /// tables are re-interned into the service Context in stored (id)
+  /// order, so every id means the same thing it did in the daemon that
+  /// wrote it. Must run on a fresh service (no submissions, no loads);
+  /// an id mismatch fails closed with kCorruptCheckpoint.
+  Status RestoreSnapshot(recovery::Snapshot snapshot, uint64_t generation);
+
+  /// Recovery replay of one logged LoadFacts: same parse/turnstile/
+  /// publish path, but nothing is re-appended to the log, and the
+  /// resulting generation must equal `expected_generation` (else
+  /// kCorruptCheckpoint). Must run before the service takes traffic.
+  Status ReplayFacts(std::string_view source, uint64_t expected_generation);
+
+  /// Attaches the durable-EDB hook after recovery replay (replacing any
+  /// hook from ServiceOptions). Call before the first live LoadFacts.
+  void AttachDurability(std::shared_ptr<durability::DurableEdb> durable);
 
   /// The current EDB snapshot (generation 0 / invalid before the first
   /// LoadFacts).
@@ -193,10 +222,15 @@ class QueryService {
   /// Runs one query end to end on a worker thread: ticket-ordered compile
   /// (through the cache), then an isolated Session evaluation.
   void ProcessOne(Active& item);
+  /// Shared body of LoadFacts (durable == true) and ReplayFacts.
+  Status LoadFactsImpl(std::string_view source, bool durable);
 
   ServiceOptions options_;
   ContextPtr ctx_;
   ProgramCache cache_;
+  /// Durable-EDB hook; written only before the service takes traffic
+  /// (constructor / AttachDurability), read under mu_ afterwards.
+  std::shared_ptr<durability::DurableEdb> durable_;
   obs::Telemetry service_telemetry_;
 
   // Service metric ids (registered in the constructor, before any shard).

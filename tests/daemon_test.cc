@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -726,6 +727,79 @@ TEST_F(DaemonTest, MetricsJsonCarriesDaemonObject) {
   EXPECT_NE(json.find("\"backpressure_events\""), std::string::npos);
   EXPECT_NE(json.find("\"cancelled_on_disconnect\""), std::string::npos);
   EXPECT_NE(json.find("\"queue\""), std::string::npos);
+  // No --data-dir: no durability object.
+  EXPECT_EQ(json.find("\"durability\""), std::string::npos);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Durable EDB (DESIGN.md §15).
+
+TEST_F(DaemonTest, DurableDataDirSurvivesRestart) {
+  std::string data_dir = ::testing::TempDir() + "/exdld_data_XXXXXX";
+  ASSERT_NE(mkdtemp(data_dir.data()), nullptr);
+  DaemonOptions options = Options();
+  options.durability.data_dir = data_dir;
+  options.durability.compact_every = 2;
+
+  const std::vector<BatchQuery> queries = {
+      {"q.dl", "q(X) :- p(X).\n?- q(X).\n"}};
+  std::string live;
+  {
+    DaemonServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_NE(server.durable(), nullptr);
+    DaemonClient client;
+    ASSERT_TRUE(client.Connect(endpoint(), "").ok());
+    for (int k = 1; k <= 5; ++k) {
+      ASSERT_TRUE(
+          client.LoadFacts("p(d" + std::to_string(k) + ").\n").ok());
+    }
+    Result<BatchResult> batch = RunBatch(endpoint(), queries, BatchOptions());
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    live = batch->queries[0].result.answers;
+    ASSERT_FALSE(live.empty());
+    // The first server never shuts down gracefully from the durable EDB's
+    // point of view: Stop() does no compaction or flush — everything
+    // needed already hit disk before each LOAD_FACTS was acknowledged.
+    server.Stop();
+  }
+
+  DaemonOptions restarted_options = Options();
+  restarted_options.durability.data_dir = data_dir;
+  restarted_options.durability.compact_every = 2;
+  DaemonServer restarted(restarted_options);
+  ASSERT_TRUE(restarted.Start().ok());
+  ASSERT_NE(restarted.durable(), nullptr);
+  EXPECT_EQ(restarted.durable()->counters().records_replayed, 1u);
+  EXPECT_EQ(restarted.durable()->counters().snapshot_generation, 4u);
+  Result<BatchResult> batch = RunBatch(endpoint(), queries, BatchOptions());
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->queries[0].result.answers, live);
+  const std::string json = restarted.MetricsJson();
+  EXPECT_NE(json.find("\"durability\""), std::string::npos);
+  EXPECT_NE(json.find("\"records_replayed\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovery_seconds\""), std::string::npos);
+  restarted.Stop();
+}
+
+TEST_F(DaemonTest, OversizedLoadFactsIsRejectedByQuota) {
+  DaemonOptions options = Options();
+  options.max_facts_bytes = 16;
+  DaemonServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  DaemonClient client;
+  ASSERT_TRUE(client.Connect(endpoint(), "").ok());
+  ASSERT_TRUE(client.LoadFacts("p(a).\n").ok());
+  Status rejected =
+      client.LoadFacts("p(" + std::string(64, 'b') + ").\n");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  // The rejected load changed nothing: only p(a) is visible.
+  std::vector<BatchQuery> queries = {{"q.dl", "q(X) :- p(X).\n?- q(X).\n"}};
+  Result<BatchResult> batch = RunBatch(endpoint(), queries, BatchOptions());
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->queries[0].result.answers, "a\n");
   server.Stop();
 }
 

@@ -147,9 +147,14 @@ TEST_F(FaultPlanTest, SiteRegistryIsStable) {
   EXPECT_TRUE(FaultPlan::IsSite("daemon.read"));
   EXPECT_TRUE(FaultPlan::IsSite("daemon.write"));
   EXPECT_TRUE(FaultPlan::IsSite("daemon.dispatch"));
+  EXPECT_TRUE(FaultPlan::IsSite("factlog.append"));
+  EXPECT_TRUE(FaultPlan::IsSite("factlog.fsync"));
+  EXPECT_TRUE(FaultPlan::IsSite("factlog.compact_rename"));
+  EXPECT_TRUE(FaultPlan::IsSite("daemon.recover_replay"));
   EXPECT_FALSE(FaultPlan::IsSite("snapshot.unlink"));
   EXPECT_FALSE(FaultPlan::IsSite("daemon.connect"));
-  EXPECT_EQ(FaultPlan::Sites().size(), 10u);
+  EXPECT_FALSE(FaultPlan::IsSite("factlog.truncate"));
+  EXPECT_EQ(FaultPlan::Sites().size(), 14u);
 }
 
 TEST_F(FaultPlanTest, NthHitFiresExactlyOnce) {
@@ -187,6 +192,31 @@ TEST_F(SnapshotTest, CheckpointFileRoundTrips) {
   EXPECT_EQ(snap->program_fingerprint, run.fingerprint);
   EXPECT_FALSE(snap->symbols.empty());
   EXPECT_FALSE(snap->preds.empty());
+}
+
+TEST_F(SnapshotTest, DefaultCursorEdbSnapshotRoundTrips) {
+  // The durable-EDB compaction path (DESIGN.md §15) reuses this format
+  // with a default cursor and the generation in the fingerprint field: an
+  // encode/decode round trip must preserve the full interning state and
+  // database and come back with an untouched cursor.
+  Context ctx;
+  PredId p = ctx.InternPredicate("p", 1);
+  PredId e = ctx.InternPredicate("e", 2);
+  Database db;
+  for (int i = 0; i < 8; ++i) {
+    Value v = ctx.InternSymbol("d" + std::to_string(i));
+    db.GetOrCreate(p, 1).Insert(std::vector<Value>{v});
+    db.GetOrCreate(e, 2).Insert(std::vector<Value>{v, v});
+  }
+  const std::string bytes =
+      recovery::EncodeSnapshot(ctx, db, EvalCursor{}, /*fingerprint=*/42);
+  Result<Snapshot> snap = DecodeSnapshot(bytes);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE(SameDatabase(snap->db, db));
+  EXPECT_EQ(snap->program_fingerprint, 42u);
+  EXPECT_EQ(snap->cursor.rounds, 0u);
+  EXPECT_EQ(snap->cursor.tuples_inserted, 0u);
+  EXPECT_EQ(snap->symbols.size(), ctx.NumSymbols());
 }
 
 TEST_F(SnapshotTest, EveryTruncationIsCorrupt) {

@@ -11,7 +11,13 @@
 #      client's in-run retry ladder caught the restart or a fresh run was
 #      needed — ends byte-identical to the reference;
 #   4. SIGTERM: graceful drain, exit 0, and the --metrics-json document
-#      written on the way out validates against the schema.
+#      written on the way out validates against the schema;
+#   5. durability (DESIGN.md section 15): a --data-dir daemon is SIGKILLed
+#      in the middle of a stream of LOAD_FACTS calls. The restart must
+#      succeed, recover every acknowledged load (at most the un-fsync'd
+#      in-flight record may be missing — never an acknowledged one), and
+#      serve answers byte-identical to a fresh daemon loaded with exactly
+#      the recovered prefix.
 #
 # Any divergent output, unexpected exit code, or invalid document fails
 # the smoke. Runs are bounded by `timeout` so a hang cannot stall CI.
@@ -138,6 +144,85 @@ if [ -f "$METRICS" ]; then
     || flunk "--metrics-json document does not satisfy the schema"
 fi
 say "SIGTERM drained cleanly and the exit metrics document validates"
+
+# --- 5. durability: kill -9 mid-LOAD_FACTS stream, restart --data-dir ------
+DATA="$WORK/smoke_data"
+rm -rf "$DATA"
+for i in $(seq 1 12); do
+  echo "d(k$i)." >"$WORK/fact_$i.facts"
+done
+{
+  echo "m(X) :- d(X)."
+  echo "?- m(X)."
+} >"$WORK/durq.dl"
+start_daemon "--data-dir $DATA --compact-every 3" \
+  || { flunk "exdld did not start with --data-dir"; exit 1; }
+# Kill the daemon mid-stream; whichever load is in flight right then may
+# be lost, every load acknowledged before it must not be.
+(sleep 0.35; kill -9 "$DPID" 2>/dev/null) &
+KPID=$!
+acked=0
+for i in $(seq 1 12); do
+  if $RUN "$EXDLC" connect --load-facts "$WORK/fact_$i.facts" \
+      --socket "$SOCK" --retries 1 --retry-base-ms 1 >/dev/null 2>&1; then
+    acked=$((acked + 1))
+  else
+    break
+  fi
+done
+wait "$KPID" 2>/dev/null
+wait "$DPID" 2>/dev/null
+say "SIGKILLed the durable daemon after $acked acknowledged load(s)"
+# The SIGKILLed daemon leaves its socket file behind; remove it so
+# start_daemon's socket-exists wait really waits for the restarted daemon
+# to finish recovery and bind (phase 3 instead relies on client retries).
+rm -f "$SOCK"
+# The restart must never fail: a torn log tail is truncated, never fatal.
+start_daemon "--data-dir $DATA --compact-every 3" \
+  || { flunk "exdld did not restart over the crashed data dir"; exit 1; }
+$RUN "$EXDLC" connect "$WORK/durq.dl" --socket "$SOCK" \
+  >"$WORK/dur.out" 2>"$WORK/dur.err" \
+  || flunk "post-restart durability query failed"
+recovered=$(grep -c '^k' "$WORK/dur.out")
+if [ "$recovered" -lt "$acked" ] || [ "$recovered" -gt 12 ]; then
+  flunk "recovered $recovered load(s), want between acked=$acked and 12"
+fi
+$RUN "$EXDLC" connect --socket "$SOCK" --stats >"$WORK/dur_stats.json" 2>&1 \
+  || flunk "exdlc connect --stats failed on the durable daemon"
+python3 - "$WORK/dur_stats.json" <<'EOF' || fail=1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+dur = doc.get("daemon", {}).get("durability")
+assert dur, "durable daemon STATS is missing daemon.durability"
+assert dur["records_replayed"] >= 0, dur
+assert dur["snapshot_generation"] >= 0, dur
+EOF
+kill -TERM "$DPID" 2>/dev/null
+wait "$DPID" 2>/dev/null
+# Byte-identity: a fresh daemon loaded with exactly the recovered prefix
+# must serve the same answers — recovery replays through the same
+# interning path, so even intern order matches.
+FRESH="$WORK/smoke_fresh"
+rm -rf "$FRESH"
+start_daemon "--data-dir $FRESH --compact-every 3" \
+  || { flunk "fresh comparison daemon did not start"; exit 1; }
+i=1
+while [ "$i" -le "$recovered" ]; do
+  $RUN "$EXDLC" connect --load-facts "$WORK/fact_$i.facts" --socket "$SOCK" \
+    >/dev/null 2>&1 || flunk "fresh daemon load $i failed"
+  i=$((i + 1))
+done
+$RUN "$EXDLC" connect "$WORK/durq.dl" --socket "$SOCK" \
+  >"$WORK/fresh.out" 2>"$WORK/fresh.err" \
+  || flunk "fresh daemon comparison query failed"
+cmp -s "$WORK/dur.out" "$WORK/fresh.out" \
+  || { flunk "recovered answers differ from a fresh daemon's"; \
+       diff "$WORK/dur.out" "$WORK/fresh.out" | head; }
+kill -TERM "$DPID" 2>/dev/null
+wait "$DPID" 2>/dev/null
+drc=$?
+[ "$drc" -eq 0 ] || flunk "durable daemon SIGTERM drain exited $drc (want 0)"
+say "kill -9 mid-LOAD_FACTS recovered $recovered/12 loads, byte-identical"
 
 if [ "$fail" -ne 0 ]; then
   echo "daemon smoke: FAILED"

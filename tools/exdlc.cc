@@ -97,6 +97,10 @@
 //   7  run: --resume snapshot failed CRC or structural validation
 //   8  connect: cannot reach the exdld daemon (not running / refused),
 //      or retries exhausted against an unavailable daemon
+//   9  connect: the daemon rejected the fact load (admission / quota);
+//      retrying without changing the load or the server policy will not
+//      help. A kCorruptCheckpoint from the daemon (durable EDB failed
+//      recovery validation) maps to 7, same as a bad --resume snapshot.
 //
 // Fault injection (testing): EXDL_FAULT_SPEC="<site>:<n>[:abort]" arms one
 // deterministic fault that fires on the Nth hit of the named site (see
@@ -632,6 +636,23 @@ int CmdConnect(const std::vector<std::string>& files,
                                        : "--socket " + endpoint.socket_path)
                   << "\n";
         return 8;
+      }
+      if (batch.status().code() == StatusCode::kResourceExhausted ||
+          batch.status().code() == StatusCode::kFailedPrecondition) {
+        // Admission / quota rejection (e.g. --max-facts-bytes, tenant
+        // policy): the daemon is healthy but refused this load. Distinct
+        // from 8 so callers don't retry against a daemon that will keep
+        // saying no.
+        std::cerr << "exdlc: daemon rejected the fact load (admission/quota): "
+                  << batch.status().message() << "\n";
+        return 9;
+      }
+      if (batch.status().code() == StatusCode::kCorruptCheckpoint) {
+        // The daemon's durable EDB failed recovery validation (DESIGN.md
+        // §15) — same class of failure as a corrupt --resume snapshot.
+        std::cerr << "exdlc: daemon durable state is corrupt: "
+                  << batch.status().message() << "\n";
+        return 7;
       }
       std::cerr << batch.status().ToString() << "\n";
       return 1;

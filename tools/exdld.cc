@@ -2,6 +2,7 @@
 //
 //   exdld --socket PATH [--policy FILE] [--jobs N] [--threads N]
 //         [--queue-depth N] [--drain-ms N] [--optimize]
+//         [--data-dir DIR] [--compact-every N] [--max-facts-bytes N]
 //         [--metrics-json FILE]
 //   exdld --tcp HOST:PORT [same flags]
 //
@@ -25,14 +26,26 @@
 //                       SUBMIT gets RETRY_LATER (default 64)
 //   --drain-ms N        graceful-drain grace period (default 5000)
 //   --optimize          run the optimizer pipeline on submitted queries
-//   --metrics-json FILE write the final telemetry document (with the
-//                       "daemon" object) on clean shutdown
+//   --data-dir DIR      durable EDB (DESIGN.md §15): every LOAD_FACTS is
+//                       write-ahead logged to DIR/facts.log (fsync before
+//                       the generation is acknowledged) and periodically
+//                       compacted into DIR/edb.exdl; startup recovers the
+//                       directory so loaded facts survive any crash
+//   --compact-every N   fact loads between compactions (default 8;
+//                       0 = never compact, the log only grows)
+//   --max-facts-bytes N reject a LOAD_FACTS source larger than N bytes
+//                       with a quota error (default: unlimited)
+//   --metrics-json FILE write the telemetry document (with the "daemon"
+//                       object): refreshed atomically (tmp + rename, so a
+//                       crash never leaves a torn JSON file) about once a
+//                       second while serving, and finally on clean
+//                       shutdown
 //
 // Lifecycle: SIGTERM and SIGINT initiate a graceful drain — stop
 // accepting, finish or cancel in-flight work, then exit 0. A client
 // SHUTDOWN message does the same. SIGKILL is recovered at next startup
-// (stale socket replaced) and by clients (batch retry reruns against the
-// restarted daemon).
+// (stale socket replaced, --data-dir replayed) and by clients (batch
+// retry reruns against the restarted daemon).
 //
 // Exit codes: 0 clean shutdown, 1 startup/runtime error, 2 usage.
 //
@@ -69,7 +82,8 @@ int Usage() {
   std::cerr << "usage: exdld --socket PATH | --tcp HOST:PORT\n"
                "             [--policy FILE] [--jobs N] [--threads N]\n"
                "             [--queue-depth N] [--drain-ms N] [--optimize]\n"
-               "             [--metrics-json FILE]\n";
+               "             [--data-dir DIR] [--compact-every N]\n"
+               "             [--max-facts-bytes N] [--metrics-json FILE]\n";
   return 2;
 }
 
@@ -82,6 +96,8 @@ constexpr FlagSpec kFlagTable[] = {
     {"--socket", true},      {"--tcp", true},      {"--policy", true},
     {"--jobs", true},        {"--threads", true},  {"--queue-depth", true},
     {"--drain-ms", true},    {"--optimize", false},
+    {"--data-dir", true},    {"--compact-every", true},
+    {"--max-facts-bytes", true},
     {"--metrics-json", true},
 };
 
@@ -181,6 +197,9 @@ int Main(int argc, char** argv) {
   options.service.compile.optimize = HasFlag(args, "--optimize");
   options.max_pending = FlagValue(args, "--queue-depth", 64);
   options.drain_timeout_ms = FlagValue(args, "--drain-ms", 5000, 0);
+  options.durability.data_dir = FlagString(args, "--data-dir", std::string());
+  options.durability.compact_every = FlagValue(args, "--compact-every", 8, 0);
+  options.max_facts_bytes = FlagValue(args, "--max-facts-bytes", 0, 0);
 
   // SIGTERM / SIGINT drain through the self-pipe; SIGPIPE would otherwise
   // kill the daemon whenever a client disappears mid-write.
@@ -199,6 +218,19 @@ int Main(int argc, char** argv) {
     std::cerr << started.ToString() << "\n";
     return 1;
   }
+  if (server.durable() != nullptr) {
+    const durability::DurabilityCounters recovered =
+        server.durable()->counters();
+    std::cout << "exdld: recovered " << server.options().durability.data_dir
+              << " (generation " << recovered.snapshot_generation
+              << " snapshot + " << recovered.records_replayed
+              << " replayed record(s)";
+    if (recovered.truncated_tail_bytes > 0) {
+      std::cout << ", " << recovered.truncated_tail_bytes
+                << " torn tail byte(s) truncated";
+    }
+    std::cout << ")" << std::endl;
+  }
   if (server.options().use_tcp) {
     std::cout << "exdld: listening on " << server.options().tcp_host << ":"
               << server.bound_tcp_port() << std::endl;
@@ -207,19 +239,31 @@ int Main(int argc, char** argv) {
               << std::endl;
   }
 
-  // Block until a termination signal or a client SHUTDOWN.
+  const std::string metrics_path =
+      FlagString(args, "--metrics-json", std::string());
+
+  // Block until a termination signal or a client SHUTDOWN. With
+  // --metrics-json, wake about once a second to refresh the telemetry
+  // document atomically — a SIGKILL then leaves a recent, never-torn file.
+  const int poll_timeout_ms = metrics_path.empty() ? -1 : 1000;
   while (true) {
     pollfd pfd{g_signal_pipe[0], POLLIN, 0};
-    const int rc = ::poll(&pfd, 1, -1);
+    const int rc = ::poll(&pfd, 1, poll_timeout_ms);
     if (rc < 0 && errno == EINTR) continue;
-    if (rc > 0 || rc == 0) break;
+    if (rc == 0) {
+      Status refreshed =
+          recovery::AtomicWriteFile(metrics_path, server.MetricsJson());
+      if (!refreshed.ok()) {
+        std::cerr << "cannot write " << metrics_path << ": "
+                  << refreshed.ToString() << "\n";
+      }
+      continue;
+    }
     break;
   }
   std::cerr << "exdld: draining\n";
   server.Stop();
 
-  const std::string metrics_path =
-      FlagString(args, "--metrics-json", std::string());
   if (!metrics_path.empty()) {
     Status written =
         recovery::AtomicWriteFile(metrics_path, server.MetricsJson());

@@ -12,7 +12,8 @@
 #     not reached at that depth) or died with exit 86 and recovered — via
 #     the surviving checkpoint or a restart — to byte-identical output.
 #
-#   daemon sites (daemon.*) — requires the exdld binary argument
+#   daemon sites (daemon.*, except daemon.recover_replay) — requires the
+#   exdld binary argument
 #     For every depth, twice per depth:
 #       fail mode  the daemon injects the failure (torn connection,
 #                  dropped accept, failed dispatch) but keeps running; the
@@ -25,6 +26,17 @@
 #                  the proof the site was reached.
 #     Both a serial (--jobs 1) and a 4-worker daemon are swept.
 #
+#   durability sites (factlog.*, daemon.recover_replay) — requires exdld
+#     The durable-EDB paths (DESIGN.md §15): a daemon with --data-dir takes
+#     five fact loads with a fault armed at the site, in fail and abort
+#     mode, serial and 4-worker. Fail-mode failures must be recoverable by
+#     re-issuing the load against the live daemon; an abort (exit 86, torn
+#     log tail and all) must recover on restart. daemon.recover_replay is
+#     seeded first (load five facts, SIGKILL) and armed on the *restart*:
+#     recovery must fail closed (never serve a partial EDB), and a clean
+#     restart must then succeed. Every case ends by diffing the recovered
+#     daemon's answers against an uninterrupted reference — byte-identical.
+#
 # At the end the sweep fails loudly if any site in the registry was never
 # reached (never produced an 86 exit at any depth) — a renamed or
 # disconnected site cannot silently drop out of coverage.
@@ -34,8 +46,8 @@
 # fails to load is a sweep failure.
 #
 # usage: tools/fault_sweep.sh <exdlc-binary> [exdld-binary] [max-hits]
-#   Without <exdld-binary> the daemon.* sites are skipped (and exempted
-#   from the must-reach check) — CI always passes it.
+#   Without <exdld-binary> the daemon.* and durability sites are skipped
+#   (and exempted from the must-reach check) — CI always passes it.
 
 set -u
 
@@ -51,8 +63,11 @@ ALL_SITES=$("$EXDLC" fault-sites) || {
   echo "FAIL: cannot read the site list from exdlc fault-sites"
   exit 1
 }
-ENGINE_SITES=$(printf '%s\n' "$ALL_SITES" | grep -v '^daemon\.')
-DAEMON_SITES=$(printf '%s\n' "$ALL_SITES" | grep '^daemon\.')
+ENGINE_SITES=$(printf '%s\n' "$ALL_SITES" | grep -v -e '^daemon\.' -e '^factlog\.')
+DAEMON_SITES=$(printf '%s\n' "$ALL_SITES" | grep '^daemon\.' \
+  | grep -v '^daemon\.recover_replay$')
+DUR_SITES=$(printf '%s\n' "$ALL_SITES" \
+  | grep -e '^factlog\.' -e '^daemon\.recover_replay$')
 
 fail=0
 cases=0
@@ -243,6 +258,241 @@ run_daemon_sweep() {  # $1 = jobs, $2 = label
 }
 
 # ---------------------------------------------------------------------------
+# Durability sweep: the write-ahead fact log, its compaction, and startup
+# replay (DESIGN.md §15), recovered across daemon restarts.
+
+start_dur_daemon() {  # $1 = jobs, $2 = fault spec, $3 = data dir, $4 = compact-every
+  rm -f "$SOCK"
+  if [ -n "$2" ]; then
+    EXDL_FAULT_SPEC="$2" "$EXDLD" --socket "$SOCK" --jobs "$1" \
+      --data-dir "$3" --compact-every "$4" >"$WORK/dlog.txt" 2>&1 &
+  else
+    "$EXDLD" --socket "$SOCK" --jobs "$1" \
+      --data-dir "$3" --compact-every "$4" >"$WORK/dlog.txt" 2>&1 &
+  fi
+  DPID=$!
+  i=0
+  while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
+    kill -0 "$DPID" 2>/dev/null || return 1
+    sleep 0.05
+    i=$((i + 1))
+  done
+  [ -S "$SOCK" ]
+}
+
+# SIGKILLs the daemon (the crash the durable EDB must survive).
+kill9_daemon() {
+  kill -9 "$DPID" 2>/dev/null
+  wait "$DPID" 2>/dev/null
+}
+
+# Loads one fact file, re-issuing on a fail-mode injected failure (the
+# only client-side recovery a non-retryable error permits). Returns 1 if
+# the daemon died or the load never succeeded.
+dur_load() {
+  for _attempt in 1 2 3; do
+    if $RUN "$EXDLC" connect --load-facts "$1" --socket "$SOCK" \
+        --retries 6 --retry-base-ms 5 >/dev/null 2>"$WORK/err.txt"; then
+      return 0
+    fi
+    kill -0 "$DPID" 2>/dev/null || return 1
+  done
+  return 1
+}
+
+dur_query() {  # $1 = output file
+  $RUN "$EXDLC" connect "$WORK/dur_q.dl" --socket "$SOCK" \
+    --retries 6 --retry-base-ms 5 >"$1" 2>"$WORK/err.txt"
+}
+
+run_durability_sweep() {  # $1 = jobs, $2 = label
+  jobs=$1
+  label=$2
+  ref="$WORK/ref_dur.out"
+  out="$WORK/dur_out.txt"
+  if [ ! -f "$ref" ]; then
+    # Uninterrupted reference: load all five fact files, query, shut down
+    # cleanly. Computed once (serial); every recovered daemon — any pool
+    # size — must reproduce it byte for byte.
+    rm -rf "$WORK/dur_ref_dir"
+    if ! start_dur_daemon 1 "" "$WORK/dur_ref_dir" 2; then
+      echo "FAIL: durability reference daemon did not start"
+      fail=1
+      return
+    fi
+    for k in 1 2 3 4 5; do
+      if ! dur_load "$WORK/dur_$k.facts"; then
+        echo "FAIL: durability reference load $k failed"
+        fail=1
+        stop_daemon
+        return
+      fi
+    done
+    if ! dur_query "$ref"; then
+      echo "FAIL: durability reference query failed"
+      fail=1
+      stop_daemon
+      return
+    fi
+    stop_daemon
+    if [ "$DRC" -ne 0 ]; then
+      echo "FAIL: durability reference daemon shutdown rc=$DRC"
+      fail=1
+      return
+    fi
+  fi
+  for site in $DUR_SITES; do
+    for n in $(seq 1 "$MAX_HITS"); do
+      for mode in fail abort; do
+        cases=$((cases + 1))
+        spec="$site:$n"
+        [ "$mode" = abort ] && spec="$spec:abort"
+        dir="$WORK/dur_${label}_$(printf '%s' "$site" | tr . _)_${n}_${mode}"
+        rm -rf "$dir"
+        if [ "$site" = "daemon.recover_replay" ]; then
+          # Seed a five-record log tail (never compact), then SIGKILL.
+          if ! start_dur_daemon "$jobs" "" "$dir" 0; then
+            echo "FAIL: $label $spec seed daemon did not start"
+            fail=1
+            continue
+          fi
+          seed_ok=1
+          for k in 1 2 3 4 5; do
+            dur_load "$WORK/dur_$k.facts" || seed_ok=0
+          done
+          if [ "$seed_ok" -ne 1 ]; then
+            echo "FAIL: $label $spec seeding loads failed"
+            fail=1
+            stop_daemon
+            continue
+          fi
+          kill9_daemon
+          # Armed restart: replay hits the fault. Fail mode must refuse to
+          # start (fail closed — never a partial EDB); abort mode dies 86.
+          if start_dur_daemon "$jobs" "$spec" "$dir" 0; then
+            # Site not reached at this depth: full recovery, same answers.
+            if ! dur_query "$out" || ! cmp -s "$ref" "$out"; then
+              echo "FAIL: $label $spec unreached-restart answers differ"
+              fail=1
+            fi
+            stop_daemon
+            if [ "$DRC" -ne 0 ]; then
+              echo "FAIL: $label $spec daemon shutdown rc=$DRC"
+              fail=1
+            fi
+          else
+            wait "$DPID" 2>/dev/null
+            arc=$?
+            if [ "$mode" = abort ] && [ "$arc" -ne 86 ]; then
+              echo "FAIL: $label $spec armed restart rc=$arc (want 86)"
+              fail=1
+              continue
+            fi
+            if [ "$mode" = fail ] && ! grep -q "daemon.recover_replay" \
+                "$WORK/dlog.txt"; then
+              echo "FAIL: $label $spec armed restart rc=$arc without the" \
+                   "injected-fault message"
+              sed 's/^/    /' "$WORK/dlog.txt" | head -5
+              fail=1
+              continue
+            fi
+            mark_reached "$site"
+          fi
+          # Clean restart over the same directory must fully recover.
+          if ! start_dur_daemon "$jobs" "" "$dir" 0; then
+            echo "FAIL: $label $spec clean restart did not start"
+            fail=1
+            continue
+          fi
+          if ! dur_query "$out" || ! cmp -s "$ref" "$out"; then
+            echo "FAIL: $label $spec recovered answers differ from reference"
+            fail=1
+          fi
+          stop_daemon
+          if [ "$DRC" -ne 0 ]; then
+            echo "FAIL: $label $spec clean daemon shutdown rc=$DRC"
+            fail=1
+          fi
+          continue
+        fi
+        # factlog.* sites: the armed daemon takes the five loads.
+        if ! start_dur_daemon "$jobs" "$spec" "$dir" 2; then
+          echo "FAIL: $label $spec daemon did not start"
+          fail=1
+          continue
+        fi
+        loads_ok=1
+        for k in 1 2 3 4 5; do
+          if ! dur_load "$WORK/dur_$k.facts"; then
+            loads_ok=0
+            break
+          fi
+        done
+        if kill -0 "$DPID" 2>/dev/null; then
+          # Fail mode (or unreached): every load must have gone through —
+          # an injected append/fsync failure unwinds the log, so the
+          # re-issued load must succeed against the live daemon.
+          if [ "$loads_ok" -ne 1 ]; then
+            echo "FAIL: $label $spec loads did not recover in-run"
+            sed 's/^/    /' "$WORK/err.txt" | head -5
+            fail=1
+            stop_daemon
+            continue
+          fi
+          if ! dur_query "$out" || ! cmp -s "$ref" "$out"; then
+            echo "FAIL: $label $spec live answers differ from reference"
+            fail=1
+            stop_daemon
+            continue
+          fi
+          # SIGKILL + restart: every acknowledged load was fsync'd, so the
+          # recovered daemon must serve the same answers.
+          kill9_daemon
+        else
+          # Daemon died mid-load: only the injected abort may do that.
+          wait "$DPID" 2>/dev/null
+          arc=$?
+          if [ "$mode" != abort ] || [ "$arc" -ne 86 ]; then
+            echo "FAIL: $label $spec daemon died rc=$arc (want abort 86)"
+            fail=1
+            continue
+          fi
+          mark_reached "$site"
+        fi
+        # Restart over the same directory (repairing any torn tail),
+        # re-issue every load — answers are set-semantics, so reloading an
+        # already-durable fact changes nothing — and diff.
+        if ! start_dur_daemon "$jobs" "" "$dir" 2; then
+          echo "FAIL: $label $spec daemon did not restart"
+          sed 's/^/    /' "$WORK/dlog.txt" | head -5
+          fail=1
+          continue
+        fi
+        reload_ok=1
+        for k in 1 2 3 4 5; do
+          dur_load "$WORK/dur_$k.facts" || reload_ok=0
+        done
+        if [ "$reload_ok" -ne 1 ]; then
+          echo "FAIL: $label $spec reload after restart failed"
+          fail=1
+          stop_daemon
+          continue
+        fi
+        if ! dur_query "$out" || ! cmp -s "$ref" "$out"; then
+          echo "FAIL: $label $spec recovered answers differ from reference"
+          fail=1
+        fi
+        stop_daemon
+        if [ "$DRC" -ne 0 ]; then
+          echo "FAIL: $label $spec clean daemon shutdown rc=$DRC"
+          fail=1
+        fi
+      done
+    done
+  done
+}
+
+# ---------------------------------------------------------------------------
 # Sweep 1: the stock example, serial. Exercises arena growth and every
 # snapshot I/O site; eval.pool_dispatch is unreachable serially (counts as
 # "completed identical" at every depth, which the sweep verifies too).
@@ -286,6 +536,17 @@ if [ -n "$EXDLD" ]; then
   } >"$WORK/sweep_b.dl"
   run_daemon_sweep 1 daemon-serial
   run_daemon_sweep 4 daemon-4
+
+  # Sweeps 5 + 6: the durable-EDB sites, serial and 4-worker daemons.
+  for k in 1 2 3 4 5; do
+    echo "p(d$k)." >"$WORK/dur_$k.facts"
+  done
+  {
+    echo "q(X) :- p(X)."
+    echo "?- q(X)."
+  } >"$WORK/dur_q.dl"
+  run_durability_sweep 1 dur-serial
+  run_durability_sweep 4 dur-4
 else
   echo "note: no exdld binary given — daemon.* sites skipped"
 fi
@@ -294,7 +555,7 @@ fi
 # Coverage: every registered site must have fired at least once somewhere
 # in the sweep (daemon sites only when the daemon was swept).
 MUST_REACH=$ENGINE_SITES
-[ -n "$EXDLD" ] && MUST_REACH="$ENGINE_SITES $DAEMON_SITES"
+[ -n "$EXDLD" ] && MUST_REACH="$ENGINE_SITES $DAEMON_SITES $DUR_SITES"
 for site in $MUST_REACH; do
   if [ ! -f "$WORK/reached_$site" ]; then
     echo "FAIL: site $site was never reached by the sweep"
