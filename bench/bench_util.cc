@@ -223,4 +223,10 @@ void ReportThroughput(benchmark::State& state, const std::string& name,
   RecordFor(name).queries_per_sec = queries_per_sec;
 }
 
+void AttachTelemetry(const std::string& name, std::string json) {
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  std::lock_guard<std::mutex> lock(g_records_mutex);
+  RecordFor(name).telemetry_json = std::move(json);
+}
+
 }  // namespace exdl::bench

@@ -75,6 +75,12 @@ void ReportResult(benchmark::State& state, const std::string& name,
 void ReportThroughput(benchmark::State& state, const std::string& name,
                       const EvalResult& result, double queries_per_sec);
 
+/// Attaches a telemetry JSON document to `name`'s row directly, for
+/// service-level benches where the document comes from
+/// QueryService::MetricsJson (with its "service"/"ivm" objects) rather
+/// than EvalOrDie's engine sink. Overwrites whatever EvalOrDie captured.
+void AttachTelemetry(const std::string& name, std::string json);
+
 }  // namespace exdl::bench
 
 #endif  // EXDL_BENCH_BENCH_UTIL_H_

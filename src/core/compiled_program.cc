@@ -1,6 +1,7 @@
 #include "core/compiled_program.h"
 
 #include "ast/printer.h"
+#include "core/query_request.h"
 #include "parser/parser.h"
 
 namespace exdl {
@@ -62,6 +63,15 @@ std::string CompiledProgram::CacheKeyMaterial(std::string_view source,
   material.append(source.data(), source.size());
   material.append(reinterpret_cast<const char*>(bits), sizeof(bits));
   return material;
+}
+
+std::string CompiledProgram::CacheKeyMaterial(const QueryRequest& request,
+                                              const CompileOptions& options) {
+  CompileOptions effective = options;
+  if (request.representation.has_value()) {
+    effective.representation = *request.representation;
+  }
+  return CacheKeyMaterial(request.source, effective);
 }
 
 uint64_t CompiledProgram::CacheKey(std::string_view source,

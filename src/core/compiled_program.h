@@ -36,6 +36,8 @@ namespace obs {
 class Telemetry;
 }  // namespace obs
 
+struct QueryRequest;
+
 /// Everything that determines the compile artifact (and therefore the
 /// cache key): the optimizer pipeline toggles, whether it runs at all,
 /// and the evaluation semantics the fingerprint binds to.
@@ -104,6 +106,15 @@ class CompiledProgram {
   /// alias an entry (FNV-1a is not collision-resistant, and a collision
   /// would silently serve the wrong artifact).
   static std::string CacheKeyMaterial(std::string_view source,
+                                      const CompileOptions& options);
+
+  /// CacheKeyMaterial for a full QueryRequest: folds the request's
+  /// artifact-affecting overrides (today: representation) into `options`
+  /// before keying. Service-only knobs — tenant, budget, cancellation,
+  /// checkpointing, the standing flag — are deliberately excluded: they
+  /// change how an evaluation runs, never what the compile produces, so
+  /// including them would only shatter the cache.
+  static std::string CacheKeyMaterial(const QueryRequest& request,
                                       const CompileOptions& options);
 
   /// FNV-1a over CacheKeyMaterial — a compact fingerprint of the cache

@@ -138,7 +138,9 @@ Status DaemonClient::Submit(const SubmitMsg& submit, bool* admitted,
                             ErrorMsg* error) {
   *admitted = false;
   Frame reply;
-  EXDL_RETURN_IF_ERROR(RoundTrip(Encode(submit), &reply));
+  // Encode for the negotiated version: a v1 server must not see the v2
+  // representation tail.
+  EXDL_RETURN_IF_ERROR(RoundTrip(Encode(submit, version_), &reply));
   switch (reply.type) {
     case MsgType::kTicket: {
       EXDL_RETURN_IF_ERROR(Decode(reply.body, ticket));
@@ -166,6 +168,76 @@ Status DaemonClient::Await(uint64_t ticket, ResultMsg* out) {
   }
   if (reply.type != MsgType::kResult) {
     return Status::InvalidArgument("unexpected reply to AWAIT");
+  }
+  return Decode(reply.body, out);
+}
+
+Status DaemonClient::RegisterQuery(const SubmitMsg& submit,
+                                   RegisteredMsg* out) {
+  if (version_ < 2) {
+    return Status::FailedPrecondition(
+        "server negotiated protocol version " + std::to_string(version_) +
+        "; standing queries need version 2");
+  }
+  RegisterQueryMsg msg;
+  msg.submit = submit;
+  Frame reply;
+  EXDL_RETURN_IF_ERROR(RoundTrip(Encode(msg), &reply));
+  if (reply.type == MsgType::kRetryLater) {
+    RetryLaterMsg retry;
+    EXDL_RETURN_IF_ERROR(Decode(reply.body, &retry));
+    return Status::Unavailable("server overloaded, retry in " +
+                               std::to_string(retry.backoff_ms) + "ms: " +
+                               retry.reason);
+  }
+  if (reply.type == MsgType::kError) {
+    ErrorMsg err;
+    EXDL_RETURN_IF_ERROR(Decode(reply.body, &err));
+    return ErrorToStatus(err);
+  }
+  if (reply.type != MsgType::kRegistered) {
+    return Status::InvalidArgument("unexpected reply to REGISTER_QUERY");
+  }
+  return Decode(reply.body, out);
+}
+
+Status DaemonClient::UnregisterQuery(uint64_t standing_id) {
+  if (version_ < 2) {
+    return Status::FailedPrecondition(
+        "server negotiated protocol version " + std::to_string(version_) +
+        "; standing queries need version 2");
+  }
+  UnregisterQueryMsg msg;
+  msg.standing_id = standing_id;
+  Frame reply;
+  EXDL_RETURN_IF_ERROR(RoundTrip(Encode(msg), &reply));
+  if (reply.type == MsgType::kOk) return Status::Ok();
+  if (reply.type == MsgType::kError) {
+    ErrorMsg err;
+    EXDL_RETURN_IF_ERROR(Decode(reply.body, &err));
+    return ErrorToStatus(err);
+  }
+  return Status::InvalidArgument("unexpected reply to UNREGISTER_QUERY");
+}
+
+Status DaemonClient::PollResult(uint64_t standing_id,
+                                StandingResultMsg* out) {
+  if (version_ < 2) {
+    return Status::FailedPrecondition(
+        "server negotiated protocol version " + std::to_string(version_) +
+        "; standing queries need version 2");
+  }
+  PollResultMsg msg;
+  msg.standing_id = standing_id;
+  Frame reply;
+  EXDL_RETURN_IF_ERROR(RoundTrip(Encode(msg), &reply));
+  if (reply.type == MsgType::kError) {
+    ErrorMsg err;
+    EXDL_RETURN_IF_ERROR(Decode(reply.body, &err));
+    return ErrorToStatus(err);
+  }
+  if (reply.type != MsgType::kStandingResult) {
+    return Status::InvalidArgument("unexpected reply to POLL_RESULT");
   }
   return Decode(reply.body, out);
 }

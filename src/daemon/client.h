@@ -63,6 +63,17 @@ class DaemonClient {
   /// One AWAIT exchange for `ticket`. Blocks until the result frame.
   Status Await(uint64_t ticket, ResultMsg* out);
 
+  /// Registers `submit` as a standing query (protocol >= 2; DESIGN.md
+  /// §16): the server evaluates it once, installs the maintained view,
+  /// and replies with the standing id and seed answers. Blocks for the
+  /// seeding evaluation. Backpressure surfaces as kUnavailable.
+  Status RegisterQuery(const SubmitMsg& submit, RegisteredMsg* out);
+  /// Drops a standing query (protocol >= 2).
+  Status UnregisterQuery(uint64_t standing_id);
+  /// Reads a standing query's maintained answers (protocol >= 2);
+  /// non-blocking on the server — no re-evaluation happens.
+  Status PollResult(uint64_t standing_id, StandingResultMsg* out);
+
   Status LoadFacts(const std::string& source);
   Status Stats(std::string* json);
   Status Cancel(uint64_t ticket);

@@ -4,7 +4,7 @@ namespace exdl::daemon {
 
 bool IsKnownMsgType(uint8_t type) {
   return type >= static_cast<uint8_t>(MsgType::kHello) &&
-         type <= static_cast<uint8_t>(MsgType::kError);
+         type <= static_cast<uint8_t>(MsgType::kStandingResult);
 }
 
 // ---------------------------------------------------------------------------
@@ -133,23 +133,123 @@ Status Decode(std::string_view body, HelloAckMsg* out) {
   return r.Finish();
 }
 
-std::string Encode(const SubmitMsg& m) {
-  WireWriter w = Begin(MsgType::kSubmit);
+namespace {
+
+// SUBMIT and REGISTER_QUERY share one body layout; only the type tag
+// differs. The representation tail is a protocol-2 addition: encoded only
+// on v2 connections, tolerated as absent by the decoder.
+void EncodeSubmitBody(WireWriter& w, const SubmitMsg& m, uint32_t version) {
   w.Str(m.name);
   w.Str(m.source);
   w.U64(m.deadline_ms);
   w.U64(m.max_tuples);
   w.U64(m.max_bytes);
-  return w.Take();
+  if (version >= 2) w.U8(m.representation);
 }
 
-Status Decode(std::string_view body, SubmitMsg* out) {
-  WireReader r(body);
+Status DecodeSubmitBody(WireReader& r, SubmitMsg* out) {
   EXDL_RETURN_IF_ERROR(r.Str(&out->name));
   EXDL_RETURN_IF_ERROR(r.Str(&out->source));
   EXDL_RETURN_IF_ERROR(r.U64(&out->deadline_ms));
   EXDL_RETURN_IF_ERROR(r.U64(&out->max_tuples));
   EXDL_RETURN_IF_ERROR(r.U64(&out->max_bytes));
+  if (!r.AtEnd()) {
+    EXDL_RETURN_IF_ERROR(r.U8(&out->representation));
+  }
+  return r.Finish();
+}
+
+}  // namespace
+
+std::string Encode(const SubmitMsg& m, uint32_t version) {
+  WireWriter w = Begin(MsgType::kSubmit);
+  EncodeSubmitBody(w, m, version);
+  return w.Take();
+}
+
+Status Decode(std::string_view body, SubmitMsg* out) {
+  WireReader r(body);
+  return DecodeSubmitBody(r, out);
+}
+
+std::string Encode(const RegisterQueryMsg& m) {
+  WireWriter w = Begin(MsgType::kRegisterQuery);
+  EncodeSubmitBody(w, m.submit, /*version=*/2);
+  return w.Take();
+}
+
+Status Decode(std::string_view body, RegisterQueryMsg* out) {
+  WireReader r(body);
+  return DecodeSubmitBody(r, &out->submit);
+}
+
+std::string Encode(const RegisteredMsg& m) {
+  WireWriter w = Begin(MsgType::kRegistered);
+  w.U64(m.standing_id);
+  w.U64(m.generation);
+  w.U64(m.answer_count);
+  w.Str(m.answers);
+  return w.Take();
+}
+
+Status Decode(std::string_view body, RegisteredMsg* out) {
+  WireReader r(body);
+  EXDL_RETURN_IF_ERROR(r.U64(&out->standing_id));
+  EXDL_RETURN_IF_ERROR(r.U64(&out->generation));
+  EXDL_RETURN_IF_ERROR(r.U64(&out->answer_count));
+  EXDL_RETURN_IF_ERROR(r.Str(&out->answers));
+  return r.Finish();
+}
+
+std::string Encode(const UnregisterQueryMsg& m) {
+  WireWriter w = Begin(MsgType::kUnregisterQuery);
+  w.U64(m.standing_id);
+  return w.Take();
+}
+
+Status Decode(std::string_view body, UnregisterQueryMsg* out) {
+  WireReader r(body);
+  EXDL_RETURN_IF_ERROR(r.U64(&out->standing_id));
+  return r.Finish();
+}
+
+std::string Encode(const PollResultMsg& m) {
+  WireWriter w = Begin(MsgType::kPollResult);
+  w.U64(m.standing_id);
+  return w.Take();
+}
+
+Status Decode(std::string_view body, PollResultMsg* out) {
+  WireReader r(body);
+  EXDL_RETURN_IF_ERROR(r.U64(&out->standing_id));
+  return r.Finish();
+}
+
+std::string Encode(const StandingResultMsg& m) {
+  WireWriter w = Begin(MsgType::kStandingResult);
+  w.U64(m.standing_id);
+  w.U64(m.generation);
+  w.U64(m.answer_count);
+  w.Str(m.answers);
+  w.U8(m.incremental);
+  w.Str(m.fallback);
+  w.U64(m.delta_rounds);
+  w.U64(m.full_recomputes);
+  w.U64(m.tuples_rederived);
+  return w.Take();
+}
+
+Status Decode(std::string_view body, StandingResultMsg* out) {
+  WireReader r(body);
+  EXDL_RETURN_IF_ERROR(r.U64(&out->standing_id));
+  EXDL_RETURN_IF_ERROR(r.U64(&out->generation));
+  EXDL_RETURN_IF_ERROR(r.U64(&out->answer_count));
+  EXDL_RETURN_IF_ERROR(r.Str(&out->answers));
+  EXDL_RETURN_IF_ERROR(r.U8(&out->incremental));
+  EXDL_RETURN_IF_ERROR(r.Str(&out->fallback));
+  EXDL_RETURN_IF_ERROR(r.U64(&out->delta_rounds));
+  EXDL_RETURN_IF_ERROR(r.U64(&out->full_recomputes));
+  EXDL_RETURN_IF_ERROR(r.U64(&out->tuples_rederived));
   return r.Finish();
 }
 

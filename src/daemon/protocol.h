@@ -29,9 +29,11 @@
 #define EXDL_DAEMON_PROTOCOL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
+#include "storage/representation.h"
 #include "util/status.h"
 
 namespace exdl::daemon {
@@ -44,8 +46,16 @@ inline constexpr uint32_t kProtocolMagic = 0x4C445845u;
 /// [min, max] range; the server replies with
 /// min(kProtocolVersionMax, client max) provided that version also
 /// satisfies both minima, and drops the connection otherwise.
+///
+/// Version history:
+///   1  initial protocol (SUBMIT .. ERROR).
+///   2  standing queries (REGISTER_QUERY, REGISTERED, UNREGISTER_QUERY,
+///      POLL_RESULT, STANDING_RESULT) and the SUBMIT representation tail.
+///      A v1 peer never sees either: the tail is encoded only on v2
+///      connections, and the server answers v2-only message types on a
+///      v1 connection with ERROR (kFailedPrecondition), not a drop.
 inline constexpr uint32_t kProtocolVersionMin = 1;
-inline constexpr uint32_t kProtocolVersionMax = 1;
+inline constexpr uint32_t kProtocolVersionMax = 2;
 
 /// Hard cap on one frame's payload. Bounds per-connection memory no matter
 /// what the peer claims in the length prefix.
@@ -66,6 +76,12 @@ enum class MsgType : uint8_t {
   kCancel = 12,     ///< client -> server: cancel an in-flight ticket
   kShutdown = 13,   ///< client -> server: request a graceful drain
   kError = 14,      ///< server -> client: StatusCode + message
+  // Protocol version 2 (standing queries, DESIGN.md §16).
+  kRegisterQuery = 15,    ///< client -> server: register a standing query
+  kRegistered = 16,       ///< server -> client: standing id + seed answers
+  kUnregisterQuery = 17,  ///< client -> server: drop a standing query
+  kPollResult = 18,       ///< client -> server: read a maintained view
+  kStandingResult = 19,   ///< server -> client: the view's current state
 };
 
 /// True for the u8 values that correspond to a MsgType enumerator.
@@ -102,6 +118,50 @@ struct SubmitMsg {
   uint64_t deadline_ms = 0;
   uint64_t max_tuples = 0;
   uint64_t max_bytes = 0;
+  /// Requested physical representation (protocol >= 2): 0 = server
+  /// default, else 1 + Representation. Encoded only on v2 connections;
+  /// the decoder tolerates its absence, so v1 SUBMIT frames still parse.
+  uint8_t representation = 0;
+};
+
+/// REGISTER_QUERY carries exactly a SUBMIT body (same codec, different
+/// type tag): a standing query is an ordinary submission whose result is
+/// installed as a maintained view.
+struct RegisterQueryMsg {
+  SubmitMsg submit;
+};
+
+struct RegisteredMsg {
+  uint64_t standing_id = 0;
+  /// EDB generation the seed answers are current as of.
+  uint64_t generation = 0;
+  uint64_t answer_count = 0;
+  /// RenderAnswerRows output of the seeding evaluation.
+  std::string answers;
+};
+
+struct UnregisterQueryMsg {
+  uint64_t standing_id = 0;
+};
+
+struct PollResultMsg {
+  uint64_t standing_id = 0;
+};
+
+struct StandingResultMsg {
+  uint64_t standing_id = 0;
+  uint64_t generation = 0;
+  uint64_t answer_count = 0;
+  /// RenderAnswerRows output — byte-identical to a cold evaluation of the
+  /// same source at `generation`.
+  std::string answers;
+  /// 1 when the last maintenance took the incremental path.
+  uint8_t incremental = 1;
+  /// ivm::FallbackName of the view's classification ("none" = fast path).
+  std::string fallback;
+  uint64_t delta_rounds = 0;
+  uint64_t full_recomputes = 0;
+  uint64_t tuples_rederived = 0;
 };
 
 struct TicketMsg {
@@ -160,7 +220,15 @@ struct ErrorMsg {
 
 std::string Encode(const HelloMsg& m);
 std::string Encode(const HelloAckMsg& m);
-std::string Encode(const SubmitMsg& m);
+/// `version` is the connection's negotiated protocol version: the v2
+/// representation tail is encoded only when version >= 2, so a v1 server
+/// never sees trailing bytes it would reject.
+std::string Encode(const SubmitMsg& m, uint32_t version = kProtocolVersionMax);
+std::string Encode(const RegisterQueryMsg& m);
+std::string Encode(const RegisteredMsg& m);
+std::string Encode(const UnregisterQueryMsg& m);
+std::string Encode(const PollResultMsg& m);
+std::string Encode(const StandingResultMsg& m);
 std::string Encode(const TicketMsg& m);
 std::string Encode(const RetryLaterMsg& m);
 std::string Encode(const AwaitMsg& m);
@@ -180,6 +248,11 @@ std::string EncodeEmpty(MsgType type);
 Status Decode(std::string_view body, HelloMsg* out);
 Status Decode(std::string_view body, HelloAckMsg* out);
 Status Decode(std::string_view body, SubmitMsg* out);
+Status Decode(std::string_view body, RegisterQueryMsg* out);
+Status Decode(std::string_view body, RegisteredMsg* out);
+Status Decode(std::string_view body, UnregisterQueryMsg* out);
+Status Decode(std::string_view body, PollResultMsg* out);
+Status Decode(std::string_view body, StandingResultMsg* out);
 Status Decode(std::string_view body, TicketMsg* out);
 Status Decode(std::string_view body, RetryLaterMsg* out);
 Status Decode(std::string_view body, AwaitMsg* out);
@@ -192,6 +265,20 @@ Status Decode(std::string_view body, ErrorMsg* out);
 /// Reconstructs a Status from an ErrorMsg, mapping unknown code values to
 /// kInternal so a newer server cannot make an older client misbehave.
 Status StatusFromWire(uint32_t code, std::string message);
+
+/// SubmitMsg::representation codec: 0 means "server default", any other
+/// value is 1 + the Representation enumerator. FromWire rejects values
+/// this build does not know (nullopt), so a newer client cannot smuggle
+/// an out-of-range enum into the evaluator.
+inline uint8_t RepresentationToWire(Representation r) {
+  return static_cast<uint8_t>(static_cast<uint8_t>(r) + 1);
+}
+inline std::optional<Representation> RepresentationFromWire(uint8_t wire) {
+  if (wire == 0 || wire > 1 + static_cast<uint8_t>(Representation::kBitset)) {
+    return std::nullopt;
+  }
+  return static_cast<Representation>(wire - 1);
+}
 
 // ---------------------------------------------------------------------------
 // Bounds-checked little-endian readers/writers (exposed for tests and the
@@ -216,6 +303,9 @@ class WireReader {
   Status U32(uint32_t* v);
   Status U64(uint64_t* v);
   Status Str(std::string* s);
+  /// True once every byte was consumed — the hook for optional message
+  /// tails added by later protocol versions.
+  bool AtEnd() const { return pos_ >= buf_.size(); }
   /// kInvalidArgument unless every byte was consumed.
   Status Finish() const;
 

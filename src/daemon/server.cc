@@ -330,6 +330,7 @@ void DaemonServer::HandleConnection(uint64_t conn_id, int fd) {
       } else {
         SetRecvTimeout(fd, 0);
         conn.tenant = hello.tenant;
+        conn.version = version;
         HelloAckMsg ack;
         ack.version = version;
         ack.server = "exdld/1";
@@ -393,6 +394,29 @@ Status DaemonServer::ServeFrames(Connection& conn) {
       case MsgType::kShutdown:
         status = HandleShutdown(conn);
         break;
+      case MsgType::kRegisterQuery:
+      case MsgType::kUnregisterQuery:
+      case MsgType::kPollResult: {
+        if (conn.version < 2) {
+          // Known-but-too-new type on a v1 connection: a protocol error
+          // the client caused, not a reason to drop it.
+          ErrorMsg err;
+          err.code = static_cast<uint32_t>(StatusCode::kFailedPrecondition);
+          err.message =
+              "standing queries need protocol version 2 (connection "
+              "negotiated 1)";
+          status = ServerWriteFrame(conn.fd, Encode(err));
+          break;
+        }
+        if (frame.type == MsgType::kRegisterQuery) {
+          status = HandleRegisterQuery(conn, frame.body);
+        } else if (frame.type == MsgType::kUnregisterQuery) {
+          status = HandleUnregisterQuery(conn, frame.body);
+        } else {
+          status = HandlePollResult(conn, frame.body);
+        }
+        break;
+      }
       default: {
         ErrorMsg err;
         err.code = static_cast<uint32_t>(StatusCode::kInvalidArgument);
@@ -437,6 +461,7 @@ Status DaemonServer::HandleSubmit(Connection& conn, std::string_view body) {
   QueryRequest request;
   request.source = std::move(submit.source);
   request.name = std::move(submit.name);
+  request.tenant = conn.tenant;
   EvalBudget budget;
   budget.deadline_ms = decision.effective.deadline_ms;
   budget.max_tuples = decision.effective.max_tuples;
@@ -444,6 +469,19 @@ Status DaemonServer::HandleSubmit(Connection& conn, std::string_view body) {
   budget.cancellation = token.get();
   request.budget = budget;
   request.cancellation = token.get();
+  if (submit.representation != 0) {
+    std::optional<Representation> repr =
+        RepresentationFromWire(submit.representation);
+    if (!repr.has_value()) {
+      admission_.Release(conn.tenant);
+      ErrorMsg err;
+      err.code = static_cast<uint32_t>(StatusCode::kInvalidArgument);
+      err.message = "unknown representation wire value " +
+                    std::to_string(submit.representation);
+      return ServerWriteFrame(conn.fd, Encode(err));
+    }
+    request.representation = repr;
+  }
   const QueryService::Ticket ticket = service_.Submit(std::move(request));
   conn.inflight.emplace(ticket, std::move(token));
   {
@@ -549,6 +587,126 @@ Status DaemonServer::HandleCancel(Connection& conn, std::string_view body) {
   // The ticket stays in flight: the client may still AWAIT it for the
   // consistent partial result (termination = Cancelled).
   return ServerWriteFrame(conn.fd, EncodeEmpty(MsgType::kOk));
+}
+
+Status DaemonServer::HandleRegisterQuery(Connection& conn,
+                                         std::string_view body) {
+  RegisterQueryMsg msg;
+  Status decoded = Decode(body, &msg);
+  if (!decoded.ok()) return decoded;  // Protocol violation: drop the peer.
+  if (draining()) {
+    ErrorMsg err;
+    err.code = static_cast<uint32_t>(StatusCode::kUnavailable);
+    err.message = "server is draining";
+    return ServerWriteFrame(conn.fd, Encode(err));
+  }
+  // The seeding evaluation is a full query: it takes an admission slot
+  // under the tenant's quota like any SUBMIT, held for the (synchronous)
+  // registration. Maintenance afterwards is server-internal and not
+  // admission-controlled.
+  AdmissionController::Decision decision =
+      admission_.TryAdmit(conn.tenant, msg.submit.deadline_ms,
+                          msg.submit.max_tuples, msg.submit.max_bytes);
+  if (!decision.admitted) {
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.backpressure_events;
+    }
+    RetryLaterMsg retry;
+    retry.backoff_ms = decision.retry_after_ms;
+    retry.reason = decision.reason;
+    return ServerWriteFrame(conn.fd, Encode(retry));
+  }
+  QueryRequest request;
+  request.source = std::move(msg.submit.source);
+  request.name = std::move(msg.submit.name);
+  request.tenant = conn.tenant;
+  EvalBudget budget;
+  budget.deadline_ms = decision.effective.deadline_ms;
+  budget.max_tuples = decision.effective.max_tuples;
+  budget.max_arena_bytes = decision.effective.max_bytes;
+  request.budget = budget;
+  if (msg.submit.representation != 0) {
+    std::optional<Representation> repr =
+        RepresentationFromWire(msg.submit.representation);
+    if (!repr.has_value()) {
+      admission_.Release(conn.tenant);
+      ErrorMsg err;
+      err.code = static_cast<uint32_t>(StatusCode::kInvalidArgument);
+      err.message = "unknown representation wire value " +
+                    std::to_string(msg.submit.representation);
+      return ServerWriteFrame(conn.fd, Encode(err));
+    }
+    request.representation = repr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.submits_admitted;
+    counters_.queue_depth = admission_.inflight();
+  }
+  Result<uint64_t> registered =
+      service_.RegisterStandingQuery(std::move(request));
+  admission_.Release(conn.tenant);
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    counters_.queue_depth = admission_.inflight();
+  }
+  if (!registered.ok()) {
+    ErrorMsg err;
+    err.code = static_cast<uint32_t>(registered.status().code());
+    err.message = registered.status().message();
+    return ServerWriteFrame(conn.fd, Encode(err));
+  }
+  Result<StandingQueryResult> seeded = service_.PollStandingQuery(*registered);
+  RegisteredMsg reply;
+  reply.standing_id = *registered;
+  if (seeded.ok()) {
+    reply.generation = seeded->generation;
+    reply.answer_count = seeded->answer_count;
+    reply.answers = std::move(seeded->answers);
+  }
+  return ServerWriteFrame(conn.fd, Encode(reply));
+}
+
+Status DaemonServer::HandleUnregisterQuery(Connection& conn,
+                                           std::string_view body) {
+  UnregisterQueryMsg msg;
+  Status decoded = Decode(body, &msg);
+  if (!decoded.ok()) return decoded;
+  Status unregistered = service_.UnregisterStandingQuery(msg.standing_id);
+  if (unregistered.ok()) {
+    return ServerWriteFrame(conn.fd, EncodeEmpty(MsgType::kOk));
+  }
+  ErrorMsg err;
+  err.code = static_cast<uint32_t>(unregistered.code());
+  err.message = unregistered.message();
+  return ServerWriteFrame(conn.fd, Encode(err));
+}
+
+Status DaemonServer::HandlePollResult(Connection& conn,
+                                      std::string_view body) {
+  PollResultMsg msg;
+  Status decoded = Decode(body, &msg);
+  if (!decoded.ok()) return decoded;
+  Result<StandingQueryResult> polled =
+      service_.PollStandingQuery(msg.standing_id);
+  if (!polled.ok()) {
+    ErrorMsg err;
+    err.code = static_cast<uint32_t>(polled.status().code());
+    err.message = polled.status().message();
+    return ServerWriteFrame(conn.fd, Encode(err));
+  }
+  StandingResultMsg reply;
+  reply.standing_id = polled->standing_id;
+  reply.generation = polled->generation;
+  reply.answer_count = polled->answer_count;
+  reply.answers = std::move(polled->answers);
+  reply.incremental = polled->last_was_incremental ? 1 : 0;
+  reply.fallback = std::string(ivm::FallbackName(polled->fallback));
+  reply.delta_rounds = polled->stats.delta_rounds;
+  reply.full_recomputes = polled->stats.full_recomputes;
+  reply.tuples_rederived = polled->stats.tuples_rederived;
+  return ServerWriteFrame(conn.fd, Encode(reply));
 }
 
 Status DaemonServer::HandleStats(Connection& conn) {

@@ -135,6 +135,12 @@ class DaemonServer {
     uint64_t id = 0;
     int fd = -1;
     std::string tenant;
+    /// Negotiated protocol version; gates the v2-only message types.
+    /// Standing-query ids are deliberately NOT connection-scoped: a
+    /// registered view outlives the registering connection (that is the
+    /// point of a standing query — `exdlc connect --poll` reconnects),
+    /// and lives until UNREGISTER_QUERY or daemon shutdown.
+    uint32_t version = kProtocolVersionMin;
     /// Admitted tickets not yet delivered: their cancellation tokens (the
     /// tokens must outlive the evaluation, so they are owned here and
     /// freed only after the response is drained).
@@ -149,6 +155,9 @@ class DaemonServer {
   Status ServeFrames(Connection& conn);
   Status HandleSubmit(Connection& conn, std::string_view body);
   Status HandleAwait(Connection& conn, std::string_view body);
+  Status HandleRegisterQuery(Connection& conn, std::string_view body);
+  Status HandleUnregisterQuery(Connection& conn, std::string_view body);
+  Status HandlePollResult(Connection& conn, std::string_view body);
   Status HandleLoadFacts(Connection& conn, std::string_view body);
   Status HandleCancel(Connection& conn, std::string_view body);
   Status HandleStats(Connection& conn);

@@ -247,7 +247,13 @@ class Engine {
   Engine(const Program& program, const EvalOptions& options)
       : program_(program), options_(options) {}
 
-  Result<EvalResult> Run(const Database& input) {
+  Result<EvalResult> Run(const Database& input) { return RunOwned(input.Clone()); }
+
+  /// Evaluates on `input` itself (by value: the caller either moved it in
+  /// or paid for the Clone in Run above). Keeping the worked-on database
+  /// uniquely owned means inserts never trigger a copy-on-write payload
+  /// detach — the property standing-query maintenance depends on.
+  Result<EvalResult> RunOwned(Database input) {
     eval_begin_ = Clock::now();
     // The bitset kernels never record provenance (they have no per-row
     // descent spine); provenance runs take the generic path for every
@@ -260,7 +266,7 @@ class Engine {
     SetupObs();
     SpanGuard eval_span(obs_.t, "eval");
     EvalResult result;
-    result.db = input.Clone();
+    result.db = std::move(input);
     db_ = &result.db;
 
     governed_ = options_.budget.any();
@@ -353,7 +359,7 @@ class Engine {
     result.stats = stats_;
     result.representation = rep_stats_;
     result.provenance = std::move(provenance_);
-    if (program_.query()) {
+    if (program_.query() && !options_.skip_answers) {
       result.answers = ExtractAnswers(*program_.query(), result.db);
       if (program_.query()->IsGround()) {
         result.ground_query_true = !result.answers.empty() || GroundQueryIn();
@@ -388,6 +394,28 @@ class Engine {
         if (is_growing(cr.plan.steps[s].pred)) {
           delta_steps_of[k].push_back(s);
         }
+      }
+    }
+    // IVM re-entry (DESIGN.md §16): body literals over extra_delta_preds
+    // also read deltas — new EDB facts appended to a maintained database,
+    // which idb_steps cannot name (it only lists derived predicates). Scan
+    // every step: EDB literals are not in idb_steps. Negated steps stay
+    // full reads (anti-joins have no delta semantics), and predicates that
+    // already grow in this stratum keep their single existing variant.
+    if (!options_.extra_delta_preds.empty()) {
+      const std::vector<PredId>& extra = options_.extra_delta_preds;
+      for (size_t k = 0; k < rule_indices.size(); ++k) {
+        const CompiledRule& cr = rules_[rule_indices[k]];
+        for (size_t s = 0; s < cr.plan.steps.size(); ++s) {
+          const LiteralStep& step = cr.plan.steps[s];
+          if (step.negated || is_growing(step.pred)) continue;
+          if (std::find(extra.begin(), extra.end(), step.pred) ==
+              extra.end()) {
+            continue;
+          }
+          delta_steps_of[k].push_back(s);
+        }
+        std::sort(delta_steps_of[k].begin(), delta_steps_of[k].end());
       }
     }
 
@@ -810,6 +838,20 @@ class Engine {
     /// can ever be derived, so the first witness suffices (Section 3.1's
     /// cut) and the rule can retire once the tuple exists.
     bool single_tuple_head = false;
+    /// Delta-first variant plans, keyed by the MAIN plan's step index that
+    /// the variant designates as delta. Each is the same rule recompiled
+    /// with that literal forced to step 0, so the semi-naive delta variant
+    /// scans only the delta suffix and probes the other literals through
+    /// indexes — O(delta) per round, not a full outer-relation scan. Steps
+    /// already outermost in the main plan need no entry.
+    std::vector<std::pair<size_t, RulePlan>> delta_plans;
+
+    const RulePlan* DeltaPlan(size_t main_step) const {
+      for (const auto& [s, p] : delta_plans) {
+        if (s == main_step) return &p;
+      }
+      return nullptr;
+    }
   };
 
   Status Compile() {
@@ -845,6 +887,33 @@ class Engine {
       if (UseBitsetKernels(options_.representation) &&
           (!cr.plan.bitset_eligible || options_.record_provenance)) {
         ++rep_stats_.fallbacks;
+      }
+      // Delta-first variants for every step that can carry a delta in
+      // semi-naive rounds: IDB literals plus (on IVM re-entry) literals
+      // over extra-delta predicates. A step already outermost keeps the
+      // main plan. Compile failure just means no variant (the main plan
+      // is always a sound fallback), but forcing a positive literal first
+      // cannot make an orderable rule unorderable.
+      if (options_.seminaive) {
+        for (size_t s = 0; s < cr.plan.steps.size(); ++s) {
+          const LiteralStep& step = cr.plan.steps[s];
+          if (s == 0 || step.negated) continue;
+          const bool idb_step =
+              std::find(cr.idb_steps.begin(), cr.idb_steps.end(), s) !=
+              cr.idb_steps.end();
+          const bool extra_step =
+              std::find(options_.extra_delta_preds.begin(),
+                        options_.extra_delta_preds.end(),
+                        step.pred) != options_.extra_delta_preds.end();
+          if (!idb_step && !extra_step) continue;
+          PlanOptions delta_opts = options_.plan;
+          delta_opts.first_body_position = step.body_position;
+          Result<RulePlan> delta_plan =
+              CompileRule(program_.rules()[i], delta_opts);
+          if (delta_plan.ok()) {
+            cr.delta_plans.emplace_back(s, std::move(*delta_plan));
+          }
+        }
       }
       rules_.push_back(std::move(cr));
     }
@@ -901,7 +970,20 @@ class Engine {
                    const SizeMap& start, const SizeMap& delta_lo) {
     if (Tripped()) return;  // budget already blown; finish the round fast
     if (!injected_.ok()) return;  // fault pending; finish the round fast
-    const RulePlan& plan = cr.plan;
+    // Delta variants run the delta-first plan when one was compiled: the
+    // delta literal is its step 0, so the outer scan covers only the
+    // suffix [delta_lo, start) and every other literal is an index probe.
+    // The match set is identical either way (loop order does not change
+    // the join), so answers are unchanged; per-variant derivation order
+    // and scan counters follow the plan actually run.
+    const RulePlan* chosen = &cr.plan;
+    if (delta_step != kNoDelta) {
+      if (const RulePlan* dp = cr.DeltaPlan(delta_step)) {
+        chosen = dp;
+        delta_step = 0;
+      }
+    }
+    const RulePlan& plan = *chosen;
     // Existence short-circuit (Section 3.1): a single-tuple head needs one
     // witness ever; skip entirely once the tuple exists.
     stop_after_first_ = options_.boolean_cut && cr.single_tuple_head;
@@ -1484,13 +1566,19 @@ class Engine {
       uint64_t inserted = 0;
       for (uint32_t i = 0; i < f.count; ++i) {
         const Value* row = base + static_cast<size_t>(i) * f.len;
-        if (unary ? rel.InsertUnary(*row)
-                  : rel.Insert(std::span<const Value>(row, f.len))) {
+        const bool was_new =
+            unary ? rel.InsertUnary(*row)
+                  : rel.Insert(std::span<const Value>(row, f.len));
+        if (was_new) {
           ++inserted;
           if (options_.record_provenance) {
             uint32_t row_id = static_cast<uint32_t>(rel.size() - 1);
             provenance_.emplace(TupleRef{f.pred, row_id}, std::move(f.prov));
           }
+        }
+        if (options_.support_sink != nullptr) {
+          options_.support_sink->Derived(
+              f.pred, std::span<const Value>(row, f.len), was_new);
         }
       }
       if (inserted > 0) {
@@ -1649,11 +1737,18 @@ Result<EvalResult> Evaluate(const Program& program, const Database& input,
   return engine.Run(input);
 }
 
+Result<EvalResult> Evaluate(const Program& program, Database&& input,
+                            const EvalOptions& options) {
+  Engine engine(program, options);
+  return engine.RunOwned(std::move(input));
+}
+
 std::vector<std::vector<Value>> ExtractAnswers(const Atom& query,
-                                               const Database& db) {
+                                               const Database& db,
+                                               size_t first_row) {
   std::vector<std::vector<Value>> out;
   const Relation* rel = db.Find(query.pred);
-  if (rel == nullptr) return out;
+  if (rel == nullptr || first_row >= rel->size()) return out;
   // Distinct variables in first-occurrence order are the answer columns.
   std::vector<SymbolId> vars;
   query.CollectVars(&vars);
@@ -1671,15 +1766,15 @@ std::vector<std::vector<Value>> ExtractAnswers(const Atom& query,
     if (rel->arity() == 1) {
       // Monadic: sort the flat value column, then materialize — the sort
       // compares machine words instead of heap-backed vectors.
-      std::span<const Value> raw = view.Raw();
+      std::span<const Value> raw = view.Raw().subspan(first_row);
       std::vector<Value> flat(raw.begin(), raw.end());
       std::sort(flat.begin(), flat.end());
       out.reserve(flat.size());
       for (Value v : flat) out.emplace_back(1, v);
       return out;
     }
-    out.reserve(rel->size());
-    for (size_t r = 0; r < rel->size(); ++r) {
+    out.reserve(rel->size() - first_row);
+    for (size_t r = first_row; r < rel->size(); ++r) {
       std::span<const Value> row = view.Scan(r);
       out.emplace_back(row.begin(), row.end());
     }
@@ -1688,12 +1783,12 @@ std::vector<std::vector<Value>> ExtractAnswers(const Atom& query,
   }
 
   std::unordered_set<std::vector<Value>, ValueVecHash> seen;
-  seen.reserve(rel->size());
-  out.reserve(rel->size());
+  seen.reserve(rel->size() - first_row);
+  out.reserve(rel->size() - first_row);
   // One scratch answer reused across rows; only kept answers are copied.
   std::vector<Value> answer(vars.size(), 0);
   std::vector<char> set(vars.size(), 0);
-  for (size_t r = 0; r < rel->size(); ++r) {
+  for (size_t r = first_row; r < rel->size(); ++r) {
     std::span<const Value> row = view.Scan(r);
     std::fill(answer.begin(), answer.end(), 0);
     std::fill(set.begin(), set.end(), 0);

@@ -153,6 +153,24 @@ class CheckpointSink {
                                  const EvalCursor& cursor) = 0;
 };
 
+/// Receives every head tuple the fixpoint flushes — new tuples and
+/// duplicate re-derivations alike — at round boundaries, from the
+/// coordinating thread only (never from pool workers). This is the
+/// substrate for counting-based incremental view maintenance (DESIGN.md
+/// §16): a ledger that tallies derivations per tuple can later support
+/// retraction by decrementing instead of recomputing. The call sequence is
+/// deterministic across thread counts and representations (derivations are
+/// drained in partition order before the flush). Null sink = a never-taken
+/// branch on the flush path.
+class SupportSink {
+ public:
+  virtual ~SupportSink() = default;
+  /// One derivation of `row` for `pred`; `inserted` is true when the tuple
+  /// was new (false for a duplicate re-derivation).
+  virtual void Derived(PredId pred, std::span<const Value> row,
+                       bool inserted) = 0;
+};
+
 /// Per-evaluation (per-session) options. EvalOptions owns no shared state:
 /// every pointer member (telemetry, checkpoint_sink, resume, the budget's
 /// cancellation token) is borrowed from the caller, so one options value
@@ -214,6 +232,25 @@ struct EvalOptions {
   /// checkpoint was cut, producing relations and answers byte-identical to
   /// an uninterrupted run. Not owned; must outlive the evaluation.
   const EvalCursor* resume = nullptr;
+  /// Incremental view maintenance (DESIGN.md §16): predicates whose body
+  /// literals get semi-naive delta variants *in addition to* the stratum's
+  /// growing head predicates. Checkpoint resume only re-derives from
+  /// derived-predicate deltas (EDB relations never grow mid-fixpoint);
+  /// IVM re-entry appends new EDB facts to a maintained database and names
+  /// their predicates here, with the cursor's delta_lo carrying the
+  /// pre-insert watermarks, so the delta loop joins the fact delta against
+  /// the maintained fixpoint instead of re-running round 0. Meaningful only
+  /// together with `resume` under semi-naive evaluation.
+  std::vector<PredId> extra_delta_preds;
+  /// Counting-support hook (see SupportSink). Not owned.
+  SupportSink* support_sink = nullptr;
+  /// Leave EvalResult::answers (and ground_query_true) unset instead of
+  /// re-extracting them from the full query relation at the end of the
+  /// run. Standing-query maintenance sets this and merges the delta
+  /// suffix's answers into the previous sorted answer set itself —
+  /// extraction over the whole relation would make an otherwise O(delta)
+  /// maintenance run O(database).
+  bool skip_answers = false;
 };
 
 /// Work counters. The paper's "duplicate elimination cost" is
@@ -308,10 +345,23 @@ struct EvalResult {
 Result<EvalResult> Evaluate(const Program& program, const Database& input,
                             const EvalOptions& options = EvalOptions());
 
+/// Ownership-taking variant: evaluates directly on `input` (moved into
+/// the result) instead of a copy-on-write clone. With a uniquely-owned
+/// database this keeps inserts truly incremental — no lazy payload
+/// detach copies — which is what makes standing-query maintenance
+/// (DESIGN.md §16) O(delta) instead of O(database). On failure the
+/// database is consumed; callers that need it back must clone first.
+Result<EvalResult> Evaluate(const Program& program, Database&& input,
+                            const EvalOptions& options = EvalOptions());
+
 /// Extracts query answers from an already-computed database (exposed for
-/// the equivalence testers).
+/// the equivalence testers). With `first_row`, only rows of the query
+/// relation at index >= first_row are considered — the suffix extraction
+/// standing-query maintenance merges into its previous answers. The
+/// returned rows are sorted and deduplicated either way.
 std::vector<std::vector<Value>> ExtractAnswers(const Atom& query,
-                                               const Database& db);
+                                               const Database& db,
+                                               size_t first_row = 0);
 
 /// Renders the recorded derivation tree of one tuple as an indented
 /// listing ("fact <- rule: child, child ..."). Requires the evaluation to

@@ -80,7 +80,23 @@ Result<RulePlan> CompileRule(const Rule& rule, const PlanOptions& options) {
     used.assign(rule.body.size(), 0);
     std::vector<SymbolId>& bound = scratch.bound;
     bound.clear();
-    for (size_t k = 0; k < rule.body.size(); ++k) {
+    // Delta-first forcing: pin the designated literal as step 0, then let
+    // the usual ordering place the rest behind it (their scores now see
+    // the forced literal's variables as bound, so joins against it become
+    // index probes).
+    if (options.first_body_position != static_cast<size_t>(-1)) {
+      const size_t first = options.first_body_position;
+      if (first >= rule.body.size() || rule.body[first].negated) {
+        return Status::InvalidArgument(
+            "first_body_position must name a positive body literal");
+      }
+      used[first] = 1;
+      order.push_back(first);
+      for (const Term& t : rule.body[first].args) {
+        if (t.IsVar() && !VecContains(bound, t.id())) bound.push_back(t.id());
+      }
+    }
+    for (size_t k = order.size(); k < rule.body.size(); ++k) {
       size_t best = static_cast<size_t>(-1);
       size_t best_score = 0;
       bool have_best = false;

@@ -91,6 +91,13 @@ struct PlanOptions {
   /// adversarial rule would otherwise cost O(n^2) in reordering and an
   /// n-deep join descent. 0 = unlimited.
   uint32_t max_body_literals = 4096;
+  /// Force the literal at this original body position to be step 0; the
+  /// remaining literals are ordered as usual behind it. Used to compile
+  /// delta-first variant plans for semi-naive evaluation: the variant's
+  /// delta literal becomes the outer scan, so the variant's cost is
+  /// O(delta x probes) instead of a full outer-relation scan per round.
+  /// Must name a positive literal. SIZE_MAX = no forcing.
+  size_t first_body_position = static_cast<size_t>(-1);
 };
 
 /// Compiles `rule`. Fails if the rule is unsafe (a head variable that no

@@ -1,0 +1,175 @@
+#include "ivm/materialized_view.h"
+
+#include <algorithm>
+#include <iterator>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace exdl::ivm {
+
+std::string_view FallbackName(Fallback f) {
+  switch (f) {
+    case Fallback::kNone:
+      return "none";
+    case Fallback::kNegation:
+      return "negation";
+    case Fallback::kNaive:
+      return "naive";
+    case Fallback::kGroundQueryStop:
+      return "ground_query_stop";
+    case Fallback::kProvenance:
+      return "provenance";
+  }
+  return "unknown";
+}
+
+Fallback MaterializedView::Classify(const Program& program,
+                                    const EvalOptions& eval) {
+  if (program.HasNegation()) return Fallback::kNegation;
+  if (!eval.seminaive) return Fallback::kNaive;
+  if (eval.stop_on_ground_query) return Fallback::kGroundQueryStop;
+  if (eval.record_provenance) return Fallback::kProvenance;
+  return Fallback::kNone;
+}
+
+MaterializedView::MaterializedView(CompiledProgram::Ptr program,
+                                   EvalOptions eval, EvalResult result,
+                                   uint64_t generation,
+                                   std::unique_ptr<SupportLedger> support)
+    : program_(std::move(program)),
+      eval_(std::move(eval)),
+      result_(std::move(result)),
+      generation_(generation),
+      support_(std::move(support)) {
+  fallback_ = Classify(program_->program(), eval_);
+  // Maintenance runs are ungoverned and unobserved: a budget trip or a
+  // checkpoint mid-maintenance would leave a partial view behind the
+  // published generation, which is strictly worse than slow maintenance.
+  // The seeding evaluation already paid the governed cost.
+  eval_.budget = EvalBudget();
+  eval_.telemetry = nullptr;
+  eval_.checkpoint_sink = nullptr;
+  eval_.resume = nullptr;
+  eval_.support_sink = nullptr;
+  eval_.extra_delta_preds.clear();
+  eval_.skip_answers = false;  // Reseed needs the full extraction.
+}
+
+Status MaterializedView::Apply(std::span<const Atom> facts,
+                               uint64_t generation,
+                               const Database& edb_snapshot) {
+  if (fallback_ != Fallback::kNone) {
+    // The snapshot already contains this generation's facts; re-running
+    // the fixpoint over it is the only sound maintenance for these
+    // programs (e.g. inserts are not monotone under negation).
+    return Reseed(edb_snapshot, generation);
+  }
+
+  // Answer watermark before anything is appended: the query predicate may
+  // itself be an EDB relation, so new facts can already be new answers.
+  // Rows past this index after re-derivation are the only possible new
+  // answers — merged below into the previous sorted answer set, so answer
+  // maintenance is O(delta + answers), never an O(relation) re-extraction.
+  const std::optional<Atom>& query = program_->program().query();
+  size_t answer_wm = 0;
+  if (query) {
+    if (const Relation* rel = result_.db.Find(query->pred)) {
+      answer_wm = rel->size();
+    }
+  }
+
+  // Watermarks first, then append: the suffix past each watermark is the
+  // delta. Re-sent facts dedup to no-ops and leave no suffix behind.
+  DeltaWatermarks marks = DeltaWatermarks::Capture(result_.db);
+  for (const Atom& fact : facts) {
+    EXDL_RETURN_IF_ERROR(result_.db.AddFact(fact));
+  }
+  const std::vector<PredId> grown = marks.GrownSince(result_.db);
+  stats_.facts_absorbed += marks.RowsSince(result_.db);
+  ++stats_.generations_applied;
+  generation_ = generation;
+  if (grown.empty()) {
+    // Every fact was already present: the maintained fixpoint is already
+    // the fixpoint of this generation.
+    last_incremental_ = true;
+    return Status::Ok();
+  }
+
+  // Re-enter the semi-naive delta loop on the maintained database: the
+  // cursor's watermarks mark the appended suffixes as the only deltas,
+  // and extra_delta_preds gives the grown EDB predicates delta variants
+  // (round 0 never re-fires — see DESIGN.md §16).
+  EvalOptions options = eval_;
+  EvalCursor cursor;
+  cursor.stratum = 0;
+  cursor.delta_lo = marks.CursorEntries(result_.db);
+  options.resume = &cursor;
+  options.extra_delta_preds = grown;
+  options.support_sink = support_.get();
+  options.skip_answers = true;
+  std::vector<std::vector<Value>> prior_answers = std::move(result_.answers);
+  const bool prior_ground = result_.ground_query_true;
+  // Move the maintained database into the evaluation: it is uniquely
+  // owned, so the delta run appends in place with no copy-on-write
+  // detach — O(delta), not O(database). On failure the database (and the
+  // moved-out answers) are gone; the service records the view unhealthy
+  // and the next generation Reseeds from the published snapshot, which
+  // does not need the old state.
+  Result<EvalResult> rederived =
+      Evaluate(program_->program(), std::move(result_.db), options);
+  if (!rederived.ok()) return rederived.status();
+  if (!rederived->termination.ok()) return rederived->termination;
+  stats_.delta_rounds += rederived->stats.rounds;
+  stats_.tuples_rederived += rederived->stats.tuples_inserted;
+  if (query) {
+    // Merge the delta suffix's (sorted, deduplicated) answers into the
+    // previous sorted set. Insertions are monotone, so prior answers
+    // never disappear; equal projections from both sides land adjacent
+    // under merge and collapse in unique.
+    std::vector<std::vector<Value>> fresh =
+        ExtractAnswers(*query, rederived->db, answer_wm);
+    std::vector<std::vector<Value>> merged;
+    merged.reserve(prior_answers.size() + fresh.size());
+    std::merge(prior_answers.begin(), prior_answers.end(), fresh.begin(),
+               fresh.end(), std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    rederived->answers = std::move(merged);
+    if (query->IsGround()) {
+      rederived->ground_query_true =
+          prior_ground || !rederived->answers.empty();
+    }
+  }
+  last_incremental_ = true;
+  result_ = std::move(*rederived);
+  return Status::Ok();
+}
+
+Status MaterializedView::Reseed(const Database& edb, uint64_t generation) {
+  Database base = edb.Clone();
+  // Re-add the program's own ground facts, exactly as a cold session
+  // seeds its evaluation database.
+  for (const auto& [pred, rel] : program_->facts().relations()) {
+    const Relation::View view = rel.view();
+    for (size_t row = 0; row < view.size(); ++row) {
+      base.AddTuple(pred, view.Scan(row));
+    }
+  }
+  EvalOptions options = eval_;
+  auto ledger = std::make_unique<SupportLedger>();
+  options.support_sink = ledger.get();
+  Result<EvalResult> recomputed =
+      Evaluate(program_->program(), std::move(base), options);
+  if (!recomputed.ok()) return recomputed.status();
+  if (!recomputed->termination.ok()) return recomputed->termination;
+  ++stats_.generations_applied;
+  ++stats_.full_recomputes;
+  stats_.tuples_rederived += recomputed->stats.tuples_inserted;
+  support_ = std::move(ledger);
+  last_incremental_ = false;
+  generation_ = generation;
+  result_ = std::move(*recomputed);
+  return Status::Ok();
+}
+
+}  // namespace exdl::ivm

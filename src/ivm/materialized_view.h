@@ -1,0 +1,131 @@
+// MaterializedView — one standing query's maintained fixpoint (DESIGN.md
+// §16).
+//
+// A standing query is registered once and answered across fact-load
+// generations without re-running its fixpoint: the view owns the full
+// EDB ∪ IDB database of the last evaluation, and each generation's new
+// facts are appended to it and re-derived from with the evaluator's
+// existing semi-naive watermark machinery — a synthesized EvalCursor
+// carries the pre-insert sizes as delta watermarks, EvalOptions::resume
+// re-enters the delta loop (round 0 never re-fires), and
+// EvalOptions::extra_delta_preds makes the appended EDB suffixes drive
+// delta variants. Cost per generation is O(changed facts and their
+// consequences), not O(database).
+//
+// Soundness: an insertions-only delta over a negation-free semi-naive
+// program is monotone, so re-derivation from the delta converges to the
+// same relation sets a cold evaluation of the whole database would — and
+// ExtractAnswers sorts + dedups, so the rendered answers are
+// byte-identical to the cold run regardless of derivation order, thread
+// count, or physical representation. Programs the incremental path cannot
+// handle (classified once at registration, see Fallback) take a full
+// recompute every generation instead, counted in IvmStats so the
+// ivm.full_recomputes metric proves when the fast path is taken.
+
+#ifndef EXDL_IVM_MATERIALIZED_VIEW_H_
+#define EXDL_IVM_MATERIALIZED_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "ast/atom.h"
+#include "core/compiled_program.h"
+#include "eval/evaluator.h"
+#include "ivm/support_ledger.h"
+#include "storage/delta_view.h"
+#include "util/status.h"
+
+namespace exdl::ivm {
+
+/// Cumulative maintenance counters of one view; QueryService aggregates
+/// them into the telemetry document's "ivm" object.
+struct IvmStats {
+  uint64_t generations_applied = 0;  ///< Apply()/Reseed() calls absorbed.
+  uint64_t delta_rounds = 0;      ///< Semi-naive rounds run incrementally.
+  uint64_t full_recomputes = 0;   ///< Generations that re-ran the fixpoint.
+  uint64_t tuples_rederived = 0;  ///< Tuples inserted by maintenance runs.
+  uint64_t facts_absorbed = 0;    ///< New EDB rows appended by Apply().
+
+  IvmStats& operator+=(const IvmStats& o) {
+    generations_applied += o.generations_applied;
+    delta_rounds += o.delta_rounds;
+    full_recomputes += o.full_recomputes;
+    tuples_rederived += o.tuples_rederived;
+    facts_absorbed += o.facts_absorbed;
+    return *this;
+  }
+};
+
+/// Why a program cannot take the incremental path (kNone = it can).
+/// Classified once from the compiled program and evaluation options.
+enum class Fallback {
+  kNone,
+  kNegation,         ///< Stratified negation: inserts are not monotone.
+  kNaive,            ///< Naive mode has no delta watermarks to re-enter.
+  kGroundQueryStop,  ///< Early-stopped fixpoint is not a materialization.
+  kProvenance,       ///< Provenance rows would go stale across resumes.
+};
+
+std::string_view FallbackName(Fallback f);
+
+class MaterializedView {
+ public:
+  /// Seeds a view from a finished full evaluation: `result` must be the
+  /// EvalResult of evaluating `program` over generation `generation`'s
+  /// EDB (plus the program's own ground facts), with ok termination.
+  /// `support` is the ledger that observed that evaluation (may be null
+  /// when the program is a fallback case — full recomputes re-seed it).
+  MaterializedView(CompiledProgram::Ptr program, EvalOptions eval,
+                   EvalResult result, uint64_t generation,
+                   std::unique_ptr<SupportLedger> support);
+
+  /// Absorbs one generation of new facts. Appends them to the maintained
+  /// database (duplicates dedup to no-ops) and re-derives incrementally
+  /// from the delta suffixes when the program allows it; fallback
+  /// programs Reseed from `edb_snapshot` (the just-published generation's
+  /// database, which already contains the facts) instead. `generation`
+  /// must be > generation(); loads the view already absorbed are skipped
+  /// by the caller.
+  Status Apply(std::span<const Atom> facts, uint64_t generation,
+               const Database& edb_snapshot);
+
+  /// Rebuilds the view from scratch over `edb` (the current snapshot's
+  /// database; the program's own ground facts are re-added). Used when
+  /// the view missed a generation (registration raced a fact load) and by
+  /// every generation of a fallback program — counted as a full
+  /// recompute.
+  Status Reseed(const Database& edb, uint64_t generation);
+
+  /// The maintained result: db is EDB ∪ IDB, answers are the query's
+  /// sorted, deduplicated rows — byte-identical (via RenderAnswerRows) to
+  /// a cold evaluation of the same generation.
+  const EvalResult& result() const { return result_; }
+  const CompiledProgram::Ptr& program() const { return program_; }
+  uint64_t generation() const { return generation_; }
+  const IvmStats& stats() const { return stats_; }
+  Fallback fallback() const { return fallback_; }
+  /// True when the most recent Apply() took the incremental path
+  /// (trivially true before the first Apply — the seed is not a
+  /// recompute).
+  bool last_was_incremental() const { return last_incremental_; }
+  const SupportLedger* support() const { return support_.get(); }
+
+  /// Classifies whether (program, eval) can be maintained incrementally.
+  static Fallback Classify(const Program& program, const EvalOptions& eval);
+
+ private:
+  CompiledProgram::Ptr program_;
+  EvalOptions eval_;  ///< Budget-free maintenance options (no resume set).
+  Fallback fallback_ = Fallback::kNone;
+  EvalResult result_;  ///< result_.db is the maintained EDB ∪ IDB.
+  uint64_t generation_ = 0;
+  IvmStats stats_;
+  bool last_incremental_ = true;
+  std::unique_ptr<SupportLedger> support_;
+};
+
+}  // namespace exdl::ivm
+
+#endif  // EXDL_IVM_MATERIALIZED_VIEW_H_

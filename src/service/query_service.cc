@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "parser/parser.h"
+#include "service/answer_text.h"
 
 namespace exdl {
 
@@ -146,31 +147,118 @@ Status QueryService::LoadFactsImpl(std::string_view source, bool durable) {
     return Status::InvalidArgument(
         "LoadFacts source must contain only ground facts");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  Database next = snapshot_.valid() ? snapshot_.db().Clone() : Database();
-  for (const Atom& fact : parsed.facts) {
-    EXDL_RETURN_IF_ERROR(next.AddFact(fact));
+  DatabaseSnapshot published;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Database next = snapshot_.valid() ? snapshot_.db().Clone() : Database();
+    for (const Atom& fact : parsed.facts) {
+      EXDL_RETURN_IF_ERROR(next.AddFact(fact));
+    }
+    // Durability ordering contract (DESIGN.md §15): the fact-log record is
+    // on stable storage before the generation becomes visible to queries.
+    // On failure the current snapshot stays published — the daemon never
+    // acknowledges a generation that is not logged.
+    if (durable && durable_ != nullptr) {
+      EXDL_RETURN_IF_ERROR(durable_->Append(generation_ + 1, source));
+    }
+    ++generation_;
+    snapshot_ = DatabaseSnapshot(
+        std::make_shared<const Database>(std::move(next)), generation_);
+    if (durable && durable_ != nullptr) {
+      // Compaction is an optimization: a failed snapshot write (injected
+      // factlog.compact_rename, disk trouble) must not fail the load. The
+      // previous snapshot + intact log still recover everything, and the
+      // next append retries the compaction.
+      Status compacted =
+          durable_->MaybeCompact(*ctx_, snapshot_.db(), generation_);
+      (void)compacted;
+    }
+    published = snapshot_;
   }
-  // Durability ordering contract (DESIGN.md §15): the fact-log record is
-  // on stable storage before the generation becomes visible to queries.
-  // On failure the current snapshot stays published — the daemon never
-  // acknowledges a generation that is not logged.
-  if (durable && durable_ != nullptr) {
-    EXDL_RETURN_IF_ERROR(durable_->Append(generation_ + 1, source));
-  }
-  ++generation_;
-  snapshot_ = DatabaseSnapshot(
-      std::make_shared<const Database>(std::move(next)), generation_);
-  if (durable && durable_ != nullptr) {
-    // Compaction is an optimization: a failed snapshot write (injected
-    // factlog.compact_rename, disk trouble) must not fail the load. The
-    // previous snapshot + intact log still recover everything, and the
-    // next append retries the compaction.
-    Status compacted =
-        durable_->MaybeCompact(*ctx_, snapshot_.db(), generation_);
-    (void)compacted;
-  }
+  // Standing views absorb the generation outside mu_ (lock order:
+  // standing_mu_ before mu_): queries against the new snapshot proceed
+  // while views re-derive, and polls see the new generation only once
+  // its maintenance finished.
+  MaintainStandingViews(parsed.facts, published);
   return Status::Ok();
+}
+
+void QueryService::MaintainStandingViews(std::span<const Atom> facts,
+                                         const DatabaseSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  for (auto& [id, entry] : standing_) {
+    ivm::MaterializedView& view = *entry.view;
+    // A view installed after this generation published already absorbed
+    // it (installation re-checks the current snapshot under
+    // standing_mu_).
+    if (entry.health.ok() && snapshot.generation() <= view.generation()) {
+      continue;
+    }
+    Status status;
+    if (entry.health.ok() &&
+        snapshot.generation() == view.generation() + 1) {
+      status = view.Apply(facts, snapshot.generation(), snapshot.db());
+      // A failed Apply may have half-appended the delta; rebuilding from
+      // the published snapshot restores the invariant.
+      if (!status.ok()) {
+        status = view.Reseed(snapshot.db(), snapshot.generation());
+      }
+    } else {
+      // Unhealthy, or the view missed a generation (registration raced
+      // several loads): the delta is not reconstructible, recompute.
+      status = view.Reseed(snapshot.db(), snapshot.generation());
+    }
+    entry.health = status;
+  }
+}
+
+Result<uint64_t> QueryService::RegisterStandingQuery(QueryRequest request) {
+  request.standing = true;
+  const Ticket ticket = Submit(std::move(request));
+  QueryResponse response = Await(ticket);
+  if (!response.status.ok()) return response.status;
+  if (response.standing_id == 0) {
+    // Evaluation succeeded but did not converge (budget trip): a partial
+    // fixpoint must not be installed as a materialization.
+    return Status::FailedPrecondition(
+        "standing query seeding did not converge: " +
+        response.result.termination.ToString());
+  }
+  return response.standing_id;
+}
+
+Status QueryService::UnregisterStandingQuery(uint64_t standing_id) {
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  auto it = standing_.find(standing_id);
+  if (it == standing_.end()) {
+    return Status::NotFound("unknown standing query id " +
+                            std::to_string(standing_id));
+  }
+  retained_standing_stats_ += it->second.view->stats();
+  standing_.erase(it);
+  return Status::Ok();
+}
+
+Result<StandingQueryResult> QueryService::PollStandingQuery(
+    uint64_t standing_id) const {
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  auto it = standing_.find(standing_id);
+  if (it == standing_.end()) {
+    return Status::NotFound("unknown standing query id " +
+                            std::to_string(standing_id));
+  }
+  if (!it->second.health.ok()) return it->second.health;
+  const ivm::MaterializedView& view = *it->second.view;
+  StandingQueryResult out;
+  out.standing_id = standing_id;
+  out.generation = view.generation();
+  out.name = it->second.name;
+  out.answer_count = view.result().answers.size();
+  out.answers = RenderAnswerRows(*ctx_, view.result().answers);
+  out.last_was_incremental = view.last_was_incremental();
+  out.fallback = view.fallback();
+  out.stats = view.stats();
+  return out;
 }
 
 Status QueryService::RestoreSnapshot(recovery::Snapshot snapshot,
@@ -288,9 +376,15 @@ void QueryService::ProcessOne(Active& item) {
   if (options_.collect_telemetry) {
     response.telemetry = std::make_shared<obs::Telemetry>();
   }
+  // The request struct is the single source of compile-affecting
+  // overrides: the key and the compile below must see the same effective
+  // options or a cache hit could hand back the wrong artifact.
+  CompileOptions compile_options = options_.compile;
+  if (item.pending.request.representation.has_value()) {
+    compile_options.representation = *item.pending.request.representation;
+  }
   std::string key =
-      CompiledProgram::CacheKeyMaterial(item.pending.request.source,
-                                        options_.compile);
+      CompiledProgram::CacheKeyMaterial(item.pending.request, options_.compile);
   CompiledProgram::Ptr compiled;
   {
     // Compile turnstile: cache fills and Context interning happen in
@@ -305,7 +399,7 @@ void QueryService::ProcessOne(Active& item) {
     } else {
       item.shard.Add(cache_miss_id_, 1);
       Result<CompiledProgram::Ptr> compile_result = CompiledProgram::Compile(
-          item.pending.request.source, options_.compile,
+          item.pending.request.source, compile_options,
           response.telemetry.get(), ctx_);
       if (compile_result.ok()) {
         compiled = *compile_result;
@@ -344,7 +438,29 @@ void QueryService::ProcessOne(Active& item) {
         item.pending.request.cancellation;
   }
   session_options.eval.budget = EvalBudget::FromEnv(session_options.eval.budget);
+  if (item.pending.request.representation.has_value()) {
+    session_options.eval.representation =
+        *item.pending.request.representation;
+  }
+  if (!item.pending.request.checkpoint_directory.empty()) {
+    session_options.checkpoint.directory =
+        item.pending.request.checkpoint_directory;
+    session_options.checkpoint.every_rounds =
+        item.pending.request.checkpoint_every_rounds;
+  }
   session_options.telemetry = response.telemetry.get();
+  // A standing request's seeding evaluation is observed by the view's
+  // support ledger (counting IVM substrate) unless the program is a
+  // fallback case, where counts are rebuilt by every recompute anyway.
+  std::unique_ptr<ivm::SupportLedger> ledger;
+  if (item.pending.request.standing &&
+      ivm::MaterializedView::Classify(compiled->program(),
+                                      session_options.eval) ==
+          ivm::Fallback::kNone) {
+    ledger = std::make_unique<ivm::SupportLedger>();
+    session_options.eval.support_sink = ledger.get();
+  }
+  const EvalOptions standing_eval = session_options.eval;
   Session session(std::move(session_options));
   session.Bind(compiled);
   Result<EvalResult> evaluated = session.Run(edb);
@@ -362,10 +478,64 @@ void QueryService::ProcessOne(Active& item) {
         session.summary().rule_texts, compiled->optimized(), compiled->report(),
         compiled->optimize_termination(), response.telemetry.get());
   }
+  if (item.pending.request.standing && response.result.termination.ok()) {
+    InstallStandingView(item, compiled, standing_eval, std::move(ledger));
+  }
+}
+
+void QueryService::InstallStandingView(
+    Active& item, CompiledProgram::Ptr compiled, const EvalOptions& eval,
+    std::unique_ptr<ivm::SupportLedger> ledger) {
+  QueryResponse& response = item.response;
+  // The view owns its own copy of the fixpoint database (copy-on-write:
+  // O(#relations) now, payloads detach lazily as maintenance appends).
+  EvalResult seed;
+  seed.db = response.result.db.Clone();
+  seed.stats = response.result.stats;
+  seed.representation = response.result.representation;
+  seed.termination = response.result.termination;
+  seed.answers = response.result.answers;
+  seed.ground_query_true = response.result.ground_query_true;
+  auto view = std::make_unique<ivm::MaterializedView>(
+      compiled, eval, std::move(seed), item.pending.snapshot.generation(),
+      std::move(ledger));
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  // Registration raced a LoadFacts if the published generation moved past
+  // the one this evaluation read: re-check under standing_mu_ (which
+  // maintenance also holds) and rebuild from the current snapshot, so the
+  // installed view is never behind the published generation.
+  const DatabaseSnapshot current = snapshot();
+  const uint64_t current_gen = current.valid() ? current.generation() : 0;
+  if (current_gen != view->generation()) {
+    Status reseeded = view->Reseed(current.db(), current_gen);
+    if (!reseeded.ok()) {
+      response.status = reseeded;
+      return;
+    }
+  }
+  const uint64_t id = next_standing_id_++;
+  StandingEntry entry;
+  entry.name = item.pending.request.name;
+  entry.view = std::move(view);
+  standing_.emplace(id, std::move(entry));
+  response.standing_id = id;
 }
 
 std::string QueryService::MetricsJson(
     const std::function<void(obs::JsonWriter&)>& extra_keys) const {
+  // Gather the IVM counters before taking mu_ (lock order: standing_mu_
+  // strictly before mu_). Retained stats keep unregistered views'
+  // counters monotone.
+  uint64_t maintained_queries = 0;
+  ivm::IvmStats ivm_stats;
+  {
+    std::lock_guard<std::mutex> lock(standing_mu_);
+    maintained_queries = standing_.size();
+    ivm_stats = retained_standing_stats_;
+    for (const auto& [id, entry] : standing_) {
+      ivm_stats += entry.view->stats();
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const ProgramCache::Stats cache = cache_.stats();
   const obs::MetricsRegistry& metrics = service_telemetry_.metrics();
@@ -402,6 +572,21 @@ std::string QueryService::MetricsJson(
     w.Key("capacity");
     w.UInt(cache.capacity);
     w.EndObject();
+    w.EndObject();
+    w.Key("ivm");
+    w.BeginObject();
+    w.Key("maintained_queries");
+    w.UInt(maintained_queries);
+    w.Key("generations_applied");
+    w.UInt(ivm_stats.generations_applied);
+    w.Key("delta_rounds");
+    w.UInt(ivm_stats.delta_rounds);
+    w.Key("full_recomputes");
+    w.UInt(ivm_stats.full_recomputes);
+    w.Key("tuples_rederived");
+    w.UInt(ivm_stats.tuples_rederived);
+    w.Key("facts_absorbed");
+    w.UInt(ivm_stats.facts_absorbed);
     w.EndObject();
     if (extra_keys) extra_keys(w);
   };

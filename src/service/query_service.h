@@ -37,9 +37,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -47,8 +49,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/query_request.h"
 #include "core/session.h"
 #include "durability/durable_edb.h"
+#include "ivm/materialized_view.h"
 #include "obs/telemetry.h"
 #include "recovery/checkpoint.h"
 #include "service/program_cache.h"
@@ -80,24 +84,9 @@ struct ServiceOptions {
   std::shared_ptr<durability::DurableEdb> durable;
 };
 
-struct QueryRequest {
-  /// Full query source: rules, query, and (optional) ground facts, which
-  /// are evaluated on top of the service's current EDB snapshot.
-  std::string source;
-  /// Provenance label (file name) echoed into the response and telemetry.
-  std::string name;
-  /// Per-request budget override. When set it replaces the service-template
-  /// budget for this query (the daemon's admission control resolves the
-  /// client ask against the tenant policy and passes the clamped result
-  /// here). EXDL_BUDGET_* environment variables still fill limits the
-  /// override leaves at zero.
-  std::optional<EvalBudget> budget;
-  /// Optional per-request cancellation, merged into the session budget.
-  /// Borrowed: must stay alive until the ticket's response is produced
-  /// (the daemon cancels abandoned queries through this on client
-  /// disconnect). Overrides any token in `budget`.
-  CancellationToken* cancellation = nullptr;
-};
+// QueryRequest moved to core/query_request.h (API v2 redesign): one
+// request struct shared by the service, the daemon wire layer, and the
+// CLI, instead of per-layer parameter lists.
 
 struct QueryResponse {
   /// OK when evaluation produced a result (even a budget-tripped one —
@@ -119,6 +108,30 @@ struct QueryResponse {
   bool cache_hit = false;
   /// QueryRequest::name echoed back.
   std::string name;
+  /// Non-zero when the request had `standing` set and the evaluation
+  /// succeeded: the id of the installed materialized view, for
+  /// PollStandingQuery / UnregisterStandingQuery.
+  uint64_t standing_id = 0;
+};
+
+/// One PollStandingQuery answer: the maintained view's current state,
+/// rendered exactly as a cold evaluation of the same generation would be.
+struct StandingQueryResult {
+  uint64_t standing_id = 0;
+  /// EDB generation the answers are current as of.
+  uint64_t generation = 0;
+  /// QueryRequest::name from registration.
+  std::string name;
+  uint64_t answer_count = 0;
+  /// RenderAnswerRows output — byte-identical to a cold run's rendering.
+  std::string answers;
+  /// True when the most recent maintenance took the incremental path
+  /// (trivially true right after registration).
+  bool last_was_incremental = true;
+  /// Why the view full-recomputes every generation (kNone = it doesn't).
+  ivm::Fallback fallback = ivm::Fallback::kNone;
+  /// This view's cumulative maintenance counters.
+  ivm::IvmStats stats;
 };
 
 class QueryService {
@@ -137,6 +150,38 @@ class QueryService {
   Ticket Submit(QueryRequest request);
   /// Enqueues a pipeline of queries in order; one ticket each.
   std::vector<Ticket> SubmitBatch(std::vector<QueryRequest> requests);
+
+  /// Deprecated: the pre-redesign parameter-list form, kept so existing
+  /// call sites compile; forwards to Submit(QueryRequest). New code
+  /// builds a QueryRequest (core/query_request.h) directly.
+  Ticket Submit(std::string source, std::string name,
+                std::optional<EvalBudget> budget,
+                CancellationToken* cancellation = nullptr) {
+    QueryRequest request;
+    request.source = std::move(source);
+    request.name = std::move(name);
+    request.budget = std::move(budget);
+    request.cancellation = cancellation;
+    return Submit(std::move(request));
+  }
+
+  /// Registers a standing query (DESIGN.md §16): evaluates `request` once
+  /// through the normal Submit path (same turnstile, cache, budget), then
+  /// installs the result as a materialized view that every later
+  /// LoadFacts maintains incrementally. Blocks until the seeding
+  /// evaluation finishes; returns the standing id. The request's
+  /// `standing` flag is implied.
+  Result<uint64_t> RegisterStandingQuery(QueryRequest request);
+
+  /// Drops a standing view. Its maintenance counters are retained for
+  /// MetricsJson's "ivm" object.
+  Status UnregisterStandingQuery(uint64_t standing_id);
+
+  /// The registered view's current answers — rendered text byte-identical
+  /// to a cold evaluation of the same source at the view's generation.
+  /// Non-blocking: reads the maintained materialization, never
+  /// re-evaluates.
+  Result<StandingQueryResult> PollStandingQuery(uint64_t standing_id) const;
 
   /// Blocks until `ticket`'s query finishes and moves its response out.
   /// Each ticket may be awaited exactly once; an unknown or already
@@ -220,10 +265,22 @@ class QueryService {
 
   void DispatcherLoop();
   /// Runs one query end to end on a worker thread: ticket-ordered compile
-  /// (through the cache), then an isolated Session evaluation.
+  /// (through the cache), then an isolated Session evaluation. Standing
+  /// requests additionally install their materialized view.
   void ProcessOne(Active& item);
   /// Shared body of LoadFacts (durable == true) and ReplayFacts.
   Status LoadFactsImpl(std::string_view source, bool durable);
+  /// Absorbs one published generation into every standing view. Called
+  /// by LoadFactsImpl after mu_ is released (lock order is standing_mu_
+  /// before mu_, never the reverse).
+  void MaintainStandingViews(std::span<const Atom> facts,
+                             const DatabaseSnapshot& snapshot);
+  /// Installs a standing request's finished evaluation as a materialized
+  /// view (re-checking the published generation under standing_mu_) and
+  /// stamps the new id into the response.
+  void InstallStandingView(Active& item, CompiledProgram::Ptr compiled,
+                           const EvalOptions& eval,
+                           std::unique_ptr<ivm::SupportLedger> ledger);
 
   ServiceOptions options_;
   ContextPtr ctx_;
@@ -263,6 +320,25 @@ class QueryService {
   std::mutex compile_mu_;
   std::condition_variable compile_cv_;
   Ticket next_compile_ = 0;
+
+  /// Standing-query registry (DESIGN.md §16). Lock order: standing_mu_
+  /// may be held while taking mu_ (installation re-checks the snapshot),
+  /// never the reverse — LoadFactsImpl maintains views only after
+  /// releasing mu_.
+  struct StandingEntry {
+    std::string name;
+    std::unique_ptr<ivm::MaterializedView> view;
+    /// Non-OK after a maintenance failure: polls surface this, and the
+    /// next generation retries with a full Reseed instead of trusting a
+    /// possibly half-applied view.
+    Status health;
+  };
+  mutable std::mutex standing_mu_;
+  std::map<uint64_t, StandingEntry> standing_;
+  uint64_t next_standing_id_ = 1;
+  /// Counters of views already unregistered, so the "ivm" metrics object
+  /// never goes backwards.
+  ivm::IvmStats retained_standing_stats_;
 
   WorkerPool pool_;
   std::thread dispatcher_;

@@ -54,6 +54,28 @@ TEST(PlanTest, IndexColumnsFromConstantsAndBoundVars) {
   EXPECT_EQ(plan->steps[1].index_columns, std::vector<uint32_t>{0});
 }
 
+TEST(PlanTest, FirstBodyPositionForcesOuterLiteral) {
+  auto parsed = MustParse("p(X, Y) :- e(X, Z), tc(Z, Y).\n");
+  PlanOptions delta_first;
+  delta_first.first_body_position = 1;  // tc(Z, Y) becomes the outer scan
+  Result<RulePlan> plan =
+      CompileRule(parsed.program.rules()[0], delta_first);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->steps.size(), 2u);
+  EXPECT_EQ(plan->steps[0].body_position, 1u);
+  EXPECT_TRUE(plan->steps[0].index_columns.empty());  // pure scan
+  // e(X, Z) now probes on Z, bound by the forced step.
+  EXPECT_EQ(plan->steps[1].body_position, 0u);
+  EXPECT_EQ(plan->steps[1].index_columns, std::vector<uint32_t>{1});
+}
+
+TEST(PlanTest, FirstBodyPositionRejectsNegatedLiteral) {
+  auto parsed = MustParse("p(X) :- e(X), not bad(X).\n");
+  PlanOptions delta_first;
+  delta_first.first_body_position = 1;
+  EXPECT_FALSE(CompileRule(parsed.program.rules()[0], delta_first).ok());
+}
+
 TEST(EvalTest, TransitiveClosureChain) {
   auto parsed = MustParse(kTransitiveClosure);
   std::vector<std::string> answers = EvalAnswers(parsed.program, parsed.edb);

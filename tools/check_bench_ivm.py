@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Assert the standing-query bench maintained its views incrementally.
+
+Usage: check_bench_ivm.py [BENCH_bench_a3_standing_queries.json]
+
+Reads the JSON rows written by bench_a3_standing_queries (run with
+EXDL_BENCH_METRICS=1 so every row carries the service's metrics document)
+and fails if any standing/incremental case reports ivm.full_recomputes
+!= 0 — i.e. a view that DESIGN.md §16 promises stays on the delta-driven
+path fell back to recomputing its fixpoint from scratch. The bench binary
+already aborts when the polled answers diverge from a cold re-evaluation,
+so by the time this checker runs, byte-identity has been enforced; this
+guards the *mechanism*, not the answers.
+
+The incremental-vs-recompute speedup is printed per worker count but is
+informational only (CI machines are too noisy to gate on a ratio).
+
+Exit codes: 0 every incremental case stayed incremental; 1 a full
+recompute happened (or telemetry was missing); 2 usage/unreadable input.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_bench_a3_standing_queries.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    qps = {}  # (case, workers) -> qps
+    for row in doc.get("results", []):
+        name = row.get("name", "")
+        if not name.startswith("standing/"):
+            continue
+        _, case, workers = name.split("/", 2)
+        if "queries_per_sec" in row:
+            qps[(case, workers)] = row["queries_per_sec"]
+        if case != "incremental":
+            continue
+        checked += 1
+        telemetry = row.get("telemetry")
+        if telemetry is None:
+            print(f"FAIL {name}: no telemetry in row "
+                  "(run the bench with EXDL_BENCH_METRICS=1)")
+            failures += 1
+            continue
+        ivm = telemetry.get("ivm", {})
+        recomputes = ivm.get("full_recomputes")
+        if recomputes != 0:
+            print(f"FAIL {name}: ivm.full_recomputes = {recomputes!r} "
+                  "(want 0: the incremental path must never reseed here)")
+            failures += 1
+        else:
+            print(f"ok   {name}: full_recomputes=0 "
+                  f"(generations={ivm.get('generations_applied')}, "
+                  f"delta_rounds={ivm.get('delta_rounds')}, "
+                  f"tuples_rederived={ivm.get('tuples_rederived')})")
+    for (case, workers), value in sorted(qps.items()):
+        if case != "incremental":
+            continue
+        base = qps.get(("recompute", workers))
+        if base:
+            print(f"info {workers}: incremental {value:.0f} qps vs "
+                  f"recompute {base:.0f} qps ({value / base:.1f}x)")
+    if checked == 0:
+        print(f"error: {path} has no standing/incremental rows",
+              file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

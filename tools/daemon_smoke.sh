@@ -17,7 +17,13 @@
 #      succeed, recover every acknowledged load (at most the un-fsync'd
 #      in-flight record may be missing — never an acknowledged one), and
 #      serve answers byte-identical to a fresh daemon loaded with exactly
-#      the recovered prefix.
+#      the recovered prefix;
+#   6. standing queries (DESIGN.md section 16, protocol v2): REGISTER a
+#      view, LOAD_FACTS a delta, and POLL_RESULT — the polled answers
+#      must be byte-identical to a one-shot submission of the same source
+#      at the same generation, the maintenance must report incremental
+#      (full_recomputes=0), and the view survives across connections
+#      until UNREGISTER drops it.
 #
 # Any divergent output, unexpected exit code, or invalid document fails
 # the smoke. Runs are bounded by `timeout` so a hang cannot stall CI.
@@ -223,6 +229,49 @@ wait "$DPID" 2>/dev/null
 drc=$?
 [ "$drc" -eq 0 ] || flunk "durable daemon SIGTERM drain exited $drc (want 0)"
 say "kill -9 mid-LOAD_FACTS recovered $recovered/12 loads, byte-identical"
+
+# --- 6. standing queries: register, load, poll, byte-identity --------------
+{
+  echo "stc(X, Y) :- se(X, Y)."
+  echo "stc(X, Z) :- se(X, Y), stc(Y, Z)."
+  echo "?- stc(a, X)."
+} >"$WORK/standq.dl"
+echo "se(a, b). se(b, c)." >"$WORK/stand_base.facts"
+echo "se(c, d). se(d, e2)." >"$WORK/stand_delta.facts"
+start_daemon "" || { flunk "exdld did not start for the standing phase"; exit 1; }
+$RUN "$EXDLC" connect --load-facts "$WORK/stand_base.facts" --socket "$SOCK" \
+  >/dev/null 2>&1 || flunk "standing base fact load failed"
+$RUN "$EXDLC" connect "$WORK/standq.dl" --socket "$SOCK" --register \
+  >"$WORK/reg.out" 2>"$WORK/reg.err" || flunk "standing REGISTER failed"
+SID=$(sed -n 's/.*registered standing query \([0-9][0-9]*\) .*/\1/p' "$WORK/reg.err")
+[ -n "$SID" ] || { flunk "could not parse the standing id from: $(cat "$WORK/reg.err")"; SID=1; }
+$RUN "$EXDLC" connect --load-facts "$WORK/stand_delta.facts" --socket "$SOCK" \
+  >/dev/null 2>&1 || flunk "standing delta fact load failed"
+# Poll on a NEW connection (views are daemon-scoped, not connection-scoped).
+$RUN "$EXDLC" connect --socket "$SOCK" --poll "$SID" \
+  >"$WORK/poll.out" 2>"$WORK/poll.err" || flunk "standing POLL_RESULT failed"
+grep -q 'incremental' "$WORK/poll.err" \
+  || flunk "poll did not report incremental maintenance: $(cat "$WORK/poll.err")"
+grep -q 'full_recomputes=0' "$WORK/poll.err" \
+  || flunk "poll reported a full recompute: $(cat "$WORK/poll.err")"
+# Byte-identity: a one-shot submission of the same source at the same
+# generation, minus the batch's "== name ==" header line.
+$RUN "$EXDLC" connect "$WORK/standq.dl" --socket "$SOCK" \
+  >"$WORK/standcold.out" 2>/dev/null || flunk "standing cold comparison run failed"
+tail -n +2 "$WORK/standcold.out" >"$WORK/standcold.body"
+cmp -s "$WORK/poll.out" "$WORK/standcold.body" \
+  || { flunk "polled standing answers differ from a one-shot submission"; \
+       diff "$WORK/poll.out" "$WORK/standcold.body" | head; }
+$RUN "$EXDLC" connect --socket "$SOCK" --unregister "$SID" \
+  >/dev/null 2>&1 || flunk "standing UNREGISTER failed"
+if $RUN "$EXDLC" connect --socket "$SOCK" --poll "$SID" >/dev/null 2>&1; then
+  flunk "poll of an unregistered standing id unexpectedly succeeded"
+fi
+kill -TERM "$DPID" 2>/dev/null
+wait "$DPID" 2>/dev/null
+src=$?
+[ "$src" -eq 0 ] || flunk "standing-phase SIGTERM drain exited $src (want 0)"
+say "standing query registered, maintained, polled byte-identical, dropped"
 
 if [ "$fail" -ne 0 ]; then
   echo "daemon smoke: FAILED"

@@ -60,6 +60,8 @@
 //                 [--tenant NAME] [--deadline-ms N] [--max-tuples N]
 //                 [--max-bytes N] [--retries N] [--retry-base-ms N]
 //                 [--load-facts FILE] [--stats] [--shutdown]
+//                 [--register] [--poll ID] [--unregister ID]
+//                 [--representation auto|tuple|bitset]
 //       Run the files as a batch against a running exdld daemon
 //       (tools/exdld.cc). Output is per file under a "== <file> =="
 //       header, byte-identical to `exdlc run <file...> --jobs 1` against
@@ -72,6 +74,17 @@
 //       replayed. --load-facts loads an EDB file first; --stats prints
 //       the daemon telemetry document after the batch; --shutdown asks
 //       the daemon to drain.
+//       Standing queries (DESIGN.md §16, protocol v2): --register installs
+//       each input file as a maintained view instead of running it once —
+//       the daemon prints the seed answers and a standing id, then keeps
+//       the materialized result current across later LOAD_FACTS via
+//       delta-driven semi-naive maintenance. --poll ID prints a view's
+//       current answers (no re-evaluation; byte-identical to a cold run of
+//       the same source at the same generation) plus maintenance stats on
+//       stderr; --unregister ID drops the view. Views are not tied to the
+//       registering connection: register in one invocation, poll from
+//       another. --representation requests the physical executor for the
+//       submitted/registered queries (server default when omitted).
 //
 //   exdlc fault-sites
 //       Print every registered fault-injection site, one per line (the
@@ -203,7 +216,7 @@ constexpr FlagSpec kFlagTable[] = {
     {"--optimize", false, kCmdRun},
     {"--threads", true, kCmdRun},
     {"--jobs", true, kCmdRun},
-    {"--representation", true, kCmdRun},
+    {"--representation", true, kCmdRun | kCmdConnect},
     // budgets (requests under `connect`: the daemon clamps them)
     {"--deadline-ms", true, kCmdRun | kCmdConnect},
     {"--max-tuples", true, kCmdRun | kCmdConnect},
@@ -217,6 +230,10 @@ constexpr FlagSpec kFlagTable[] = {
     {"--load-facts", true, kCmdConnect},
     {"--stats", false, kCmdConnect},
     {"--shutdown", false, kCmdConnect},
+    // standing queries (protocol v2; DESIGN.md §16)
+    {"--register", false, kCmdConnect},
+    {"--unregister", true, kCmdConnect},
+    {"--poll", true, kCmdConnect},
     // durability
     {"--checkpoint-dir", true, kCmdRun},
     {"--checkpoint-every-rounds", true, kCmdRun},
@@ -622,6 +639,114 @@ int CmdConnect(const std::vector<std::string>& files,
       return 1;
     }
     queries.push_back(daemon::BatchQuery{file, std::move(*source)});
+  }
+
+  // Standing-query mode (DESIGN.md §16): --register installs each input
+  // file as a maintained view, --poll reads a view's current answers,
+  // --unregister drops one. These bypass RunBatch — they are single
+  // request/reply exchanges on one connection, and a standing view
+  // outlives the connection anyway, so torn-connection replay semantics
+  // do not apply.
+  const bool do_register = HasFlag(flags, "--register");
+  const uint64_t unregister_id = FlagValue64(flags, "--unregister", 0);
+  const uint64_t poll_id = FlagValue64(flags, "--poll", 0);
+  if (do_register || unregister_id != 0 || poll_id != 0) {
+    daemon::DaemonClient client;
+    Status connected = client.Connect(endpoint, options.tenant);
+    if (!connected.ok()) {
+      std::cerr << "exdlc: " << connected.message()
+                << "\nexdlc: is exdld running? start it with: exdld "
+                << (endpoint.use_tcp ? "--tcp " + tcp
+                                     : "--socket " + endpoint.socket_path)
+                << "\n";
+      return connected.code() == StatusCode::kUnavailable ? 8 : 1;
+    }
+    if (!options.facts_source.empty()) {
+      Status loaded = client.LoadFacts(options.facts_source);
+      if (!loaded.ok()) {
+        std::cerr << "exdlc: fact load failed: " << loaded.ToString() << "\n";
+        return loaded.code() == StatusCode::kResourceExhausted ||
+                       loaded.code() == StatusCode::kFailedPrecondition
+                   ? 9
+                   : loaded.code() == StatusCode::kCorruptCheckpoint ? 7 : 1;
+      }
+    }
+    int rc = 0;
+    if (do_register) {
+      for (const daemon::BatchQuery& query : queries) {
+        daemon::SubmitMsg submit;
+        submit.name = query.name;
+        submit.source = query.source;
+        submit.deadline_ms = options.deadline_ms;
+        submit.max_tuples = options.max_tuples;
+        submit.max_bytes = options.max_bytes;
+        if (HasFlag(flags, "--representation")) {
+          submit.representation =
+              daemon::RepresentationToWire(FlagRepresentation(flags));
+        }
+        daemon::RegisteredMsg registered;
+        Status status = client.RegisterQuery(submit, &registered);
+        if (!status.ok()) {
+          std::cerr << query.name << ": " << status.ToString() << "\n";
+          rc = std::max(rc, status.code() == StatusCode::kUnavailable ? 8 : 1);
+          continue;
+        }
+        std::cout << "== " << query.name << " ==\n" << registered.answers;
+        std::cerr << query.name << ": registered standing query "
+                  << registered.standing_id << " at generation "
+                  << registered.generation << ", " << registered.answer_count
+                  << " answer(s)\n";
+      }
+    }
+    if (poll_id != 0) {
+      daemon::StandingResultMsg result;
+      Status status = client.PollResult(poll_id, &result);
+      if (!status.ok()) {
+        std::cerr << "exdlc: poll " << poll_id << ": " << status.ToString()
+                  << "\n";
+        rc = std::max(rc, 1);
+      } else {
+        // Answers only on stdout: the byte-identity contract is that this
+        // output matches a cold `exdlc run` of the same source against the
+        // same generation (modulo the "== name ==" batch header).
+        std::cout << result.answers;
+        std::cerr << "standing " << result.standing_id << ": "
+                  << result.answer_count << " answer(s) at generation "
+                  << result.generation << "   ["
+                  << (result.incremental != 0 ? "incremental" : "recompute")
+                  << ", fallback=" << result.fallback
+                  << ", delta_rounds=" << result.delta_rounds
+                  << ", full_recomputes=" << result.full_recomputes
+                  << ", tuples_rederived=" << result.tuples_rederived << "]\n";
+      }
+    }
+    if (unregister_id != 0) {
+      Status status = client.UnregisterQuery(unregister_id);
+      if (!status.ok()) {
+        std::cerr << "exdlc: unregister " << unregister_id << ": "
+                  << status.ToString() << "\n";
+        rc = std::max(rc, 1);
+      } else {
+        std::cerr << "unregistered standing query " << unregister_id << "\n";
+      }
+    }
+    if (HasFlag(flags, "--stats")) {
+      std::string json;
+      Status stats = client.Stats(&json);
+      if (!stats.ok()) {
+        std::cerr << stats.ToString() << "\n";
+        return 1;
+      }
+      std::cout << json << "\n";
+    }
+    if (HasFlag(flags, "--shutdown")) {
+      Status shutdown = client.Shutdown();
+      if (!shutdown.ok()) {
+        std::cerr << shutdown.ToString() << "\n";
+        return 1;
+      }
+    }
+    return rc;
   }
 
   int rc = 0;

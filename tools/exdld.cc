@@ -37,9 +37,12 @@
 //                       with a quota error (default: unlimited)
 //   --metrics-json FILE write the telemetry document (with the "daemon"
 //                       object): refreshed atomically (tmp + rename, so a
-//                       crash never leaves a torn JSON file) about once a
-//                       second while serving, and finally on clean
-//                       shutdown
+//                       crash never leaves a torn JSON file) every
+//                       --metrics-interval-ms while serving, and finally
+//                       on clean shutdown
+//   --metrics-interval-ms N
+//                       refresh period for --metrics-json (default 1000;
+//                       lower = fresher dashboards, more write traffic)
 //
 // Lifecycle: SIGTERM and SIGINT initiate a graceful drain — stop
 // accepting, finish or cancel in-flight work, then exit 0. A client
@@ -83,7 +86,8 @@ int Usage() {
                "             [--policy FILE] [--jobs N] [--threads N]\n"
                "             [--queue-depth N] [--drain-ms N] [--optimize]\n"
                "             [--data-dir DIR] [--compact-every N]\n"
-               "             [--max-facts-bytes N] [--metrics-json FILE]\n";
+               "             [--max-facts-bytes N] [--metrics-json FILE]\n"
+               "             [--metrics-interval-ms N]\n";
   return 2;
 }
 
@@ -99,6 +103,7 @@ constexpr FlagSpec kFlagTable[] = {
     {"--data-dir", true},    {"--compact-every", true},
     {"--max-facts-bytes", true},
     {"--metrics-json", true},
+    {"--metrics-interval-ms", true},
 };
 
 const FlagSpec* FindFlag(const std::string& arg) {
@@ -243,9 +248,13 @@ int Main(int argc, char** argv) {
       FlagString(args, "--metrics-json", std::string());
 
   // Block until a termination signal or a client SHUTDOWN. With
-  // --metrics-json, wake about once a second to refresh the telemetry
-  // document atomically — a SIGKILL then leaves a recent, never-torn file.
-  const int poll_timeout_ms = metrics_path.empty() ? -1 : 1000;
+  // --metrics-json, wake every --metrics-interval-ms (default 1000) to
+  // refresh the telemetry document atomically — a SIGKILL then leaves a
+  // recent, never-torn file.
+  const int poll_timeout_ms =
+      metrics_path.empty()
+          ? -1
+          : static_cast<int>(FlagValue(args, "--metrics-interval-ms", 1000));
   while (true) {
     pollfd pfd{g_signal_pipe[0], POLLIN, 0};
     const int rc = ::poll(&pfd, 1, poll_timeout_ms);
